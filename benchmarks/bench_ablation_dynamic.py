@@ -1,0 +1,148 @@
+"""Ablation A4 (future-work item (1)): updatable matrix storage.
+
+The paper's conclusion proposes replacing rebuild-on-update CSR with an
+updatable compressed format (faimGraph / Hornet).  This bench measures the
+*storage maintenance* cost of a change-set stream under three strategies:
+
+* ``rebuild``  -- re-canonicalise the full COO on every change set (what a
+                  naive GrB_build-per-step solution pays);
+* ``logflush`` -- the repo's production scheme: append to a log, merge into
+                  canonical form once per phase (Matrix.assign_coo);
+* ``dynamic``  -- DynamicMatrix (Hornet-style blocks + faimGraph free lists):
+                  amortised O(degree) per insert, one compaction at the end.
+
+Expected shape: rebuild grows with graph size (each step is O(nnz)),
+logflush and dynamic grow with change size; dynamic additionally avoids
+the per-flush sort, winning when change sets are many and small -- the
+regime the paper's future work targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import fresh_input
+from repro.graphblas import ops
+from repro.graphblas.dynamic import DynamicMatrix
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import BOOL
+
+
+def _like_stream(scale_factor: int):
+    """The likes-matrix insert stream of the update phase, precomputed.
+
+    Returns the initial likes matrix and one (rows, cols) batch per change
+    set, with dimensions already grown to their final size so the three
+    strategies time pure storage maintenance.
+    """
+    graph, change_sets = fresh_input(scale_factor)
+    batches = []
+    for cs in change_sets:
+        delta = graph.apply(cs)
+        c, u = delta.new_likes
+        batches.append((c.copy(), u.copy()))
+    final = graph.likes
+    # rebuild the *initial* likes matrix at final dimensions
+    n_rows, n_cols = final.nrows, final.ncols
+    r, c, v = final.to_coo()
+    inserted = np.zeros(0, dtype=np.int64)
+    for bc, bu in batches:
+        inserted = np.concatenate([inserted, bc * np.int64(n_cols) + bu])
+    keys = r * np.int64(n_cols) + c
+    keep = ~np.isin(keys, inserted)
+    initial = Matrix.from_coo(r[keep], c[keep], v[keep], n_rows, n_cols, dtype=BOOL)
+    return initial, batches
+
+
+_STREAM_CACHE: dict[int, tuple] = {}
+
+
+def _stream(scale_factor: int):
+    if scale_factor not in _STREAM_CACHE:
+        _STREAM_CACHE[scale_factor] = _like_stream(scale_factor)
+    return _STREAM_CACHE[scale_factor]
+
+
+def _setup_rebuild(initial: Matrix):
+    return initial.to_coo()
+
+
+def _run_rebuild(initial: Matrix, state, batches) -> Matrix:
+    rows, cols, vals = state
+    m = initial
+    for bc, bu in batches:
+        rows = np.concatenate([rows, bc])
+        cols = np.concatenate([cols, bu])
+        vals = np.concatenate([vals, np.ones(bc.size, dtype=vals.dtype)])
+        m = Matrix.from_coo(
+            rows, cols, vals, initial.nrows, initial.ncols, dtype=BOOL, dup_op=ops.lor
+        )
+    return m
+
+
+def _setup_logflush(initial: Matrix):
+    return initial.dup()  # assign_coo mutates; keep the cached input pristine
+
+
+def _run_logflush(initial: Matrix, state: Matrix, batches) -> Matrix:
+    for bc, bu in batches:
+        state = state.assign_coo(bc, bu, True, accum=ops.lor)
+    return state
+
+
+def _setup_dynamic(initial: Matrix):
+    return DynamicMatrix.from_matrix(initial, slack=0.25)
+
+
+def _run_dynamic(initial: Matrix, state: DynamicMatrix, batches) -> DynamicMatrix:
+    for bc, bu in batches:
+        state.assign_coo(bc, bu, True, accum=ops.lor)
+    return state
+
+
+STRATEGIES = {
+    "rebuild": (_setup_rebuild, _run_rebuild),
+    "logflush": (_setup_logflush, _run_logflush),
+    "dynamic": (_setup_dynamic, _run_dynamic),
+}
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_update_storage_maintenance(benchmark, scale_factor, strategy):
+    """Time the insert stream only; format construction happens in setup.
+
+    This isolates the per-change-set maintenance cost -- the quantity the
+    paper's future-work proposal targets.  ``rebuild`` still re-sorts the
+    whole matrix once per change set inside the timed region (that *is* its
+    maintenance cost); the others touch O(change) entries.
+    """
+    benchmark.group = f"ablation-dynamic-update-sf{scale_factor}"
+    initial, batches = _stream(scale_factor)
+    prepare, run = STRATEGIES[strategy]
+
+    def setup():
+        return (initial, prepare(initial), batches), {}
+
+    result = benchmark.pedantic(run, setup=setup, rounds=5)
+    assert result.nvals >= initial.nvals
+
+
+@pytest.mark.parametrize("strategy", ["dynamic"])
+def test_dynamic_adoption_cost(benchmark, scale_factor, strategy):
+    """One-time cost of adopting a CSR matrix into the dynamic format."""
+    benchmark.group = f"ablation-dynamic-adopt-sf{scale_factor}"
+    initial, _ = _stream(scale_factor)
+    benchmark(DynamicMatrix.from_matrix, initial, slack=0.25)
+
+
+def test_strategies_agree(scale_factor):
+    """All three maintenance strategies produce the identical final matrix."""
+    initial, batches = _stream(scale_factor)
+    results = []
+    for prepare, run in STRATEGIES.values():
+        out = run(initial, prepare(initial), batches)
+        results.append(out.to_matrix() if isinstance(out, DynamicMatrix) else out)
+    first = results[0]
+    for other in results[1:]:
+        assert first.isequal(other)

@@ -1,0 +1,54 @@
+"""Ablation A2 (future-work item (2)): connected-components strategy in Q2.
+
+Compares the update-phase cost of the three Q2Incremental component kernels:
+
+* ``fastsv``      -- the paper's published design (re-run FastSV per affected comment)
+* ``unionfind``   -- batch union-find re-run (cheaper constants, same asymptotics)
+* ``incremental`` -- dynamically maintained components (Ediger-style), the
+                     paper's proposed optimisation
+
+The paper predicts the incremental algorithm wins on the update phase; the
+load+initial phase pays for building the dynamic state (also measured).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE_FACTORS, fresh_input
+from repro.queries import Q2Incremental
+
+ALGORITHMS = ("fastsv", "unionfind", "incremental")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_q2_update_by_cc_strategy(benchmark, scale_factor, algorithm):
+    benchmark.group = f"ablation-inc-cc-update-sf{scale_factor}"
+
+    def setup():
+        graph, change_sets = fresh_input(scale_factor)
+        q = Q2Incremental(graph, algorithm=algorithm)
+        q.initial()
+        return (graph, q, change_sets), {}
+
+    def phase(graph, q, change_sets):
+        out = None
+        for cs in change_sets:
+            delta = graph.apply(cs)
+            out = q.update(delta)
+        return out
+
+    result = benchmark.pedantic(phase, setup=setup, rounds=3)
+    assert result
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_q2_initial_by_cc_strategy(benchmark, scale_factor, algorithm):
+    benchmark.group = f"ablation-inc-cc-initial-sf{scale_factor}"
+
+    def setup():
+        graph, _ = fresh_input(scale_factor)
+        return (Q2Incremental(graph, algorithm=algorithm),), {}
+
+    result = benchmark.pedantic(lambda q: q.initial(), setup=setup, rounds=3)
+    assert result is not None

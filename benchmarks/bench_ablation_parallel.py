@@ -1,0 +1,50 @@
+"""Ablation A3: executor choice for the Q2 batch parallel region.
+
+The paper parallelises Q2 with OpenMP at comment granularity; this bench
+quantifies our substitution choices:
+
+* ``serial``     -- baseline;
+* ``thread``     -- GIL-bound pool (demonstrably useless for this kernel);
+* ``process``    -- fresh ``multiprocessing`` pool per region (~250 ms spawn);
+* ``forkjoin``   -- raw ``os.fork`` fan-out per region (~25 ms/child once
+                    the parent heap is benchmark-sized);
+* ``persistent`` -- fork-once workers + shared-memory priming, the Fig. 5
+                    "8 threads" executor whose entry cost matches OpenMP's.
+
+Expected shape: only ``persistent`` beats serial across the sweep; the
+per-region spawners pay their entry cost anew each evaluation -- the same
+overhead narrative as the paper's evaluation, quantified per executor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE_FACTORS, benchmark_input
+from repro.parallel import make_executor
+from repro.queries.q2 import score_comments
+
+EXECUTORS = ("serial", "thread", "process", "forkjoin", "persistent")
+
+
+@pytest.mark.parametrize("kind", EXECUTORS)
+def test_q2_batch_scoring_by_executor(benchmark, scale_factor, kind):
+    benchmark.group = f"ablation-parallel-sf{scale_factor}"
+    graph, _ = benchmark_input(scale_factor)
+    comments = list(range(graph.num_comments))
+
+    executor = None if kind == "serial" else make_executor(kind, 8)
+    if executor is not None:
+        # force the parallel path even below the amortisation threshold so
+        # the overhead itself is measured
+        executor.MIN_PARALLEL_ITEMS = 0
+
+    def phase():
+        return score_comments(
+            graph, comments, algorithm="unionfind", executor=executor
+        )
+
+    scored = benchmark(phase)
+    assert len(scored) == len(comments)
+    if executor is not None:
+        executor.close()

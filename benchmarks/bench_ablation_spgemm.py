@@ -1,0 +1,54 @@
+"""Ablation A1: generic expansion SpGEMM vs the SciPy plus_times fast path.
+
+DESIGN.md calls out the dual-path mxm as a design choice; this bench
+quantifies it on random square matrices of growing size (results also sanity
+-check each other).  The generic path is the price of arbitrary semirings;
+the fast path shows what delegating to compiled SpGEMM buys for plus_times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphblas import INT64, Matrix, semiring
+from repro.graphblas._kernels import spgemm
+
+SIZES = (200, 500, 1000)
+DENSITY = 0.01
+
+
+def _random_matrix(n: int, seed: int) -> Matrix:
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(n * n * DENSITY))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = rng.integers(1, 10, nnz)
+    from repro.graphblas import ops
+
+    return Matrix.from_coo(rows, cols, vals, n, n, dtype=INT64, dup_op=ops.plus)
+
+
+@pytest.mark.parametrize("n", SIZES, ids=lambda n: f"n{n}")
+@pytest.mark.parametrize("path", ["generic", "scipy"])
+def test_spgemm_paths(benchmark, n, path):
+    benchmark.group = f"ablation-spgemm-n{n}"
+    a = _random_matrix(n, 1)
+    b = _random_matrix(n, 2)
+    at, bt = a._coo_tuple(), b._coo_tuple()
+
+    if path == "generic":
+        out = benchmark(spgemm.generic_mxm, at, bt, semiring.plus_times)
+    else:
+        out = benchmark(spgemm.scipy_plus_times_mxm, at, bt)
+    assert out[0].size > 0
+
+
+@pytest.mark.parametrize("n", SIZES[:2], ids=lambda n: f"n{n}")
+def test_spgemm_paths_agree(n):
+    a = _random_matrix(n, 3)._coo_tuple()
+    b = _random_matrix(n, 4)._coo_tuple()
+    g = spgemm.generic_mxm(a, b, semiring.plus_times)
+    s = spgemm.scipy_plus_times_mxm(a, b)
+    assert np.array_equal(g[0], s[0])
+    assert np.array_equal(g[2].astype(np.int64), s[2].astype(np.int64))

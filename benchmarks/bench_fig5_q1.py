@@ -1,0 +1,57 @@
+"""Fig. 5, Q1 panels: load+initial and update+reevaluation per tool.
+
+Each benchmark times exactly one Fig. 5 phase of one tool line.  Groups:
+
+* ``q1-load-initial``  -- upper-left panel
+* ``q1-update-reeval`` -- lower-left panel
+
+The "8 thr" process-pool variants are exercised in ``bench_ablation_parallel``
+(Q1 has no per-comment parallel region, matching the paper's solution).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import fresh_input
+from repro.queries.engine import make_engine
+
+TOOLS = ("graphblas-batch", "graphblas-incremental", "nmf-batch", "nmf-incremental")
+
+
+@pytest.mark.parametrize("tool", TOOLS)
+def test_q1_load_and_initial(benchmark, scale_factor, tool):
+    benchmark.group = f"q1-load-initial-sf{scale_factor}"
+
+    def phase():
+        graph, _ = fresh_input(scale_factor)
+        engine = make_engine(tool, "Q1")
+        engine.load(graph)
+        out = engine.initial()
+        engine.close()
+        return out
+
+    result = benchmark(phase)
+    assert result.count("|") >= 1
+
+
+@pytest.mark.parametrize("tool", TOOLS)
+def test_q1_update_and_reevaluation(benchmark, scale_factor, tool):
+    benchmark.group = f"q1-update-reeval-sf{scale_factor}"
+
+    def setup():
+        graph, change_sets = fresh_input(scale_factor)
+        engine = make_engine(tool, "Q1")
+        engine.load(graph)
+        engine.initial()
+        return (engine, change_sets), {}
+
+    def phase(engine, change_sets):
+        out = None
+        for cs in change_sets:
+            out = engine.update(cs)
+        engine.close()
+        return out
+
+    result = benchmark.pedantic(phase, setup=setup, rounds=3)
+    assert result.count("|") >= 1

@@ -1,0 +1,79 @@
+"""Fig. 5, Q2 panels: load+initial and update+reevaluation per tool.
+
+Q2 is the expensive query (per-comment induced subgraphs + connected
+components); the parallel "8 thr" variants appear here as in the paper's
+right-hand panels.  The process-pool variants only run when the graph is
+large enough to amortise the pool spawn (see repro.parallel), mirroring the
+paper's observation about parallelisation overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import fresh_input
+from repro.parallel import make_executor
+from repro.queries.engine import make_engine
+
+SERIAL_TOOLS = (
+    "graphblas-batch",
+    "graphblas-incremental",
+    "nmf-batch",
+    "nmf-incremental",
+)
+
+
+def _make(tool: str, parallel: bool):
+    executor = make_executor("process", 8) if parallel else None
+    return make_engine(tool, "Q2", executor=executor)
+
+
+def _variants():
+    out = [(t, False) for t in SERIAL_TOOLS]
+    out += [("graphblas-batch", True), ("graphblas-incremental", True)]
+    return out
+
+
+def _vid(v):
+    tool, parallel = v
+    return f"{tool}-8thr" if parallel else tool
+
+
+@pytest.mark.parametrize("variant", _variants(), ids=_vid)
+def test_q2_load_and_initial(benchmark, scale_factor, variant):
+    tool, parallel = variant
+    benchmark.group = f"q2-load-initial-sf{scale_factor}"
+
+    def phase():
+        graph, _ = fresh_input(scale_factor)
+        engine = _make(tool, parallel)
+        engine.load(graph)
+        out = engine.initial()
+        engine.close()
+        return out
+
+    result = benchmark(phase)
+    assert result.count("|") >= 1
+
+
+@pytest.mark.parametrize("variant", _variants(), ids=_vid)
+def test_q2_update_and_reevaluation(benchmark, scale_factor, variant):
+    tool, parallel = variant
+    benchmark.group = f"q2-update-reeval-sf{scale_factor}"
+
+    def setup():
+        graph, change_sets = fresh_input(scale_factor)
+        engine = _make(tool, parallel)
+        engine.load(graph)
+        engine.initial()
+        return (engine, change_sets), {}
+
+    def phase(engine, change_sets):
+        out = None
+        for cs in change_sets:
+            out = engine.update(cs)
+        engine.close()
+        return out
+
+    result = benchmark.pedantic(phase, setup=setup, rounds=2)
+    assert result.count("|") >= 1

@@ -1,0 +1,25 @@
+"""Table II: regenerate the graph-size table and benchmark generation itself.
+
+Asserts the generated counts against the paper's targets (nodes exact,
+edges within 2%, inserts exact) and times generation per scale factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import SCALE_FACTORS
+from repro.datagen import TABLE2, generate_benchmark_input
+
+
+@pytest.mark.parametrize("sf", SCALE_FACTORS, ids=lambda sf: f"sf{sf}")
+def test_table2_generation(benchmark, sf):
+    benchmark.group = "table2-datagen"
+
+    graph, change_sets = benchmark(generate_benchmark_input, sf, 42)
+
+    row = TABLE2[sf]
+    stats = graph.stats()
+    assert stats["nodes"] == row.nodes
+    assert abs(stats["edges"] - row.edges) / row.edges < 0.02
+    assert sum(len(cs) for cs in change_sets) == row.inserts

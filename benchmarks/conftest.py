@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures and scale-factor selection.
+
+Every bench regenerates an artefact of the paper's evaluation section.  The
+sweep is bounded by ``REPRO_MAX_SF`` (default 8) so the default
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; raise it to 64+
+to reproduce the full Fig. 5 slopes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import generate_benchmark_input
+
+MAX_SF = int(os.environ.get("REPRO_MAX_SF", 8))
+
+#: scale factors exercised by the Fig. 5 benches
+SCALE_FACTORS = [sf for sf in (1, 2, 4, 8, 16, 32, 64, 128) if sf <= MAX_SF]
+
+_INPUT_CACHE: dict[int, tuple] = {}
+
+
+def benchmark_input(scale_factor: int):
+    """Cached (graph, change_sets) per scale factor; callers must not mutate
+    the cached graph -- use :func:`fresh_input` inside timed code."""
+    if scale_factor not in _INPUT_CACHE:
+        _INPUT_CACHE[scale_factor] = generate_benchmark_input(scale_factor, seed=42)
+    return _INPUT_CACHE[scale_factor]
+
+
+def fresh_input(scale_factor: int):
+    """Uncached (graph, change_sets): safe to mutate (update-phase benches)."""
+    return generate_benchmark_input(scale_factor, seed=42)
+
+
+@pytest.fixture(params=SCALE_FACTORS, ids=lambda sf: f"sf{sf}")
+def scale_factor(request) -> int:
+    return request.param

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Scenario: re-run the TTC 2018 contest benchmark, paper-style.
+
+Drives the full benchmark harness over all six Fig. 5 tool configurations at
+small scale factors (fast enough for a laptop) and prints both Fig. 5 panels
+per query as tables and ASCII log-log charts, plus the regenerated Table II.
+
+Run:  python examples/contest_benchmark.py [max_scale_factor]
+Environment: REPRO_MAX_SF overrides the default of 4.
+"""
+
+import os
+import sys
+
+from repro.benchmark import BenchmarkConfig, run_benchmark
+from repro.benchmark.runner import FIG5_TOOLS, _fig5_report, _table2_report
+from repro.datagen.table2 import scale_factors
+
+
+def main(max_sf: int) -> None:
+    print("=" * 72)
+    print("Table II regeneration")
+    print("=" * 72)
+    _table2_report(max_sf, seed=42)
+
+    sfs = tuple(sf for sf in scale_factors() if sf <= max_sf)
+    config = BenchmarkConfig(
+        queries=("Q1", "Q2"),
+        tools=FIG5_TOOLS,
+        scale_factors=sfs,
+        runs=3,
+        seed=42,
+    )
+    print()
+    print("=" * 72)
+    print(f"Fig. 5 sweep: SF {sfs}, {config.runs} runs, geometric mean")
+    print("=" * 72)
+
+    def progress(res):
+        print(
+            f"  {res.query} SF{res.scale_factor:<4} {res.tool:<26}"
+            f" load+init={res.load_and_initial:8.4f}s"
+            f" update+reeval={res.update_and_reevaluation:8.4f}s"
+        )
+
+    results = run_benchmark(config, progress=progress)
+    print()
+    _fig5_report(results)
+
+
+if __name__ == "__main__":
+    default = int(os.environ.get("REPRO_MAX_SF", 4))
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else default)

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline editable installs).
+
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`
+through this file when PEP 660 editable wheels cannot be built.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro -- an incremental GraphBLAS solution for the TTC 2018 Social Media case study.
+
+A complete, pure-Python reproduction of Elekes & Szárnyas (2020): the
+GraphBLAS substrate, the LAGraph algorithm layer (FastSV and friends), the
+case-study data model and generators, the paper's batch and incremental
+query algorithms, the NMF reference baseline, and the benchmark framework
+that regenerates the paper's Fig. 5 and Table II.
+
+Layer map (see DESIGN.md for the full inventory):
+
+=====================  =====================================================
+``repro.graphblas``    sparse linear algebra over semirings (GrB_* API),
+                       plus DynamicMatrix updatable storage
+``repro.lagraph``      FastSV CC, BFS, PageRank, triangles, SSSP, CDLP,
+                       k-core, k-truss, LCC, betweenness, SCC, incremental CC
+``repro.model``        SocialGraph, ChangeSets, CSV + EMF/XMI IO
+``repro.queries``      Q1/Q2 batch + incremental (the paper's contribution)
+``repro.nmf``          reference baseline: object-graph traversal (batch)
+                       and a dynamic dependency graph engine (incremental)
+``repro.datagen``      LDBC-style synthetic graphs (Table II targets)
+``repro.parallel``     executors; "8 threads" = fork-once pool + /dev/shm
+``repro.benchmark``    TTC phase harness, Fig. 5 / Table II / contest logs
+=====================  =====================================================
+
+Quick start::
+
+    from repro import SocialGraph, Q1Batch
+    g = SocialGraph()
+    g.add_user(1); g.add_post(10, timestamp=0, user_id=1)
+    print(Q1Batch(g).evaluate())
+"""
+
+from repro.model import ChangeSet, SocialGraph
+from repro.queries import (
+    Q1Batch,
+    Q1Incremental,
+    Q2Batch,
+    Q2Incremental,
+    QueryEngine,
+    make_engine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SocialGraph",
+    "ChangeSet",
+    "Q1Batch",
+    "Q1Incremental",
+    "Q2Batch",
+    "Q2Incremental",
+    "QueryEngine",
+    "make_engine",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Single benchmark execution: drive one engine through the TTC phases."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.changes import ChangeSet
+from repro.model.graph import SocialGraph
+from repro.util.timer import WallClock
+
+__all__ = ["PhaseTimes", "run_once"]
+
+
+@dataclass
+class PhaseTimes:
+    """Wall-clock seconds of every phase of one run."""
+
+    initialization: float = 0.0
+    load: float = 0.0
+    initial: float = 0.0
+    updates: list[float] = field(default_factory=list)
+    #: result strings, for cross-tool correctness verification
+    results: list[str] = field(default_factory=list)
+
+    @property
+    def load_and_initial(self) -> float:
+        """Fig. 5 upper panels: load + initial evaluation."""
+        return self.load + self.initial
+
+    @property
+    def update_and_reevaluation(self) -> float:
+        """Fig. 5 lower panels: total update + reevaluation time."""
+        return float(sum(self.updates))
+
+
+def run_once(engine_factory, graph: SocialGraph, change_sets: list[ChangeSet]) -> PhaseTimes:
+    """One full benchmark execution of one tool configuration.
+
+    ``engine_factory`` constructs a fresh engine (counted as the
+    Initialization phase); the engine then loads ``graph``, evaluates, and
+    processes every change set.  The graph is mutated, so callers pass a
+    fresh copy per run (the runner regenerates it from the seed).
+    """
+    clock = WallClock.now
+
+    t0 = clock()
+    engine = engine_factory()
+    t1 = clock()
+
+    engine.load(graph)
+    t2 = clock()
+
+    times = PhaseTimes(initialization=t1 - t0, load=t2 - t1)
+    times.results.append(engine.initial())
+    times.initial = clock() - t2
+
+    for cs in change_sets:
+        t = clock()
+        times.results.append(engine.update(cs))
+        times.updates.append(clock() - t)
+
+    engine.close()
+    return times

@@ -1,0 +1,132 @@
+"""Result aggregation and presentation: tables, CSV and ASCII log-log plots.
+
+The paper reports the geometric mean of 5 runs and plots both Fig. 5 axes
+logarithmically; :func:`ascii_loglog_chart` renders the same series in the
+terminal so the reproduction is inspectable without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "geometric_mean",
+    "format_fig5_table",
+    "format_table2",
+    "ascii_loglog_chart",
+    "results_to_csv",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; tolerates (clamps) sub-microsecond values."""
+    vals = [max(float(v), 1e-9) for v in values]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:8.1f}"
+    if seconds >= 1:
+        return f"{seconds:8.3f}"
+    return f"{seconds:8.4f}"
+
+
+def format_fig5_table(results, query: str, phase: str) -> str:
+    """One Fig. 5 panel as a text table: rows = scale factors, cols = tools.
+
+    ``results`` is an iterable of BenchmarkResult; ``phase`` is
+    ``load_and_initial`` or ``update_and_reevaluation``.
+    """
+    rows = [r for r in results if r.query == query]
+    tools = sorted({r.tool for r in rows})
+    sfs = sorted({r.scale_factor for r in rows})
+    title = {
+        "load_and_initial": "Load and initial evaluation",
+        "update_and_reevaluation": "Update and reevaluation",
+    }[phase]
+    lines = [f"{query} -- {title} (geometric-mean seconds)"]
+    header = "SF".rjust(6) + "".join(t.rjust(28) for t in tools)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for sf in sfs:
+        cells = [f"{sf}".rjust(6)]
+        for t in tools:
+            match = [r for r in rows if r.scale_factor == sf and r.tool == t]
+            cells.append(
+                _fmt_time(getattr(match[0], phase)).rjust(28) if match else "-".rjust(28)
+            )
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_table2(achieved: dict[int, dict], paper_rows: dict) -> str:
+    """Table II regeneration: paper targets vs achieved counts."""
+    lines = [
+        "Table II -- graph sizes w.r.t. the scale factor (paper -> generated)",
+        f"{'SF':>6} {'#nodes':>20} {'#edges':>22} {'#inserts':>18}",
+    ]
+    for sf in sorted(achieved):
+        a = achieved[sf]
+        p = paper_rows[sf]
+        lines.append(
+            f"{sf:>6} {p.nodes:>9} -> {a['nodes']:<8} {p.edges:>9} -> {a['edges']:<9} "
+            f"{p.inserts:>7} -> {a['inserts']:<7}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_loglog_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 22,
+    title: str = "",
+) -> str:
+    """Render (x, y) series on a log-log grid with one symbol per series."""
+    symbols = "BIbiNnXOZ*+#"
+    pts = [(x, y) for s in series.values() for x, y in s if x > 0 and y > 0]
+    if not pts:
+        return f"{title}\n(no data)"
+    lx = [math.log10(x) for x, _ in pts]
+    ly = [math.log10(max(y, 1e-9)) for _, y in pts]
+    x0, x1 = min(lx), max(lx)
+    y0, y1 = min(ly), max(ly)
+    x1 = x1 if x1 > x0 else x0 + 1
+    y1 = y1 if y1 > y0 else y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, ch: str) -> None:
+        cx = int((math.log10(x) - x0) / (x1 - x0) * (width - 1))
+        cy = int((math.log10(max(y, 1e-9)) - y0) / (y1 - y0) * (height - 1))
+        grid[height - 1 - cy][cx] = ch
+
+    legend = []
+    for i, (name, data) in enumerate(series.items()):
+        ch = symbols[i % len(symbols)]
+        legend.append(f"  {ch} = {name}")
+        for x, y in data:
+            place(x, y, ch)
+
+    out = [title] if title else []
+    out.append(f"y: {10**y1:.3g}s (top) .. {10**y0:.3g}s (bottom), log scale")
+    out.extend("|" + "".join(row) + "|" for row in grid)
+    out.append(f"x: SF {10**x0:.3g} .. {10**x1:.3g}, log scale")
+    out.extend(legend)
+    return "\n".join(out)
+
+
+def results_to_csv(results) -> str:
+    """Flatten BenchmarkResults to CSV (one row per tool/query/SF)."""
+    lines = [
+        "tool,query,scale_factor,runs,load_and_initial_s,update_and_reevaluation_s"
+    ]
+    for r in sorted(results, key=lambda r: (r.query, r.tool, r.scale_factor)):
+        lines.append(
+            f"{r.tool},{r.query},{r.scale_factor},{r.runs},"
+            f"{r.load_and_initial:.6f},{r.update_and_reevaluation:.6f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""The benchmark runner: regenerate the paper's Fig. 5 and Table II.
+
+Sweeps (tool x query x scale factor), repeating each configuration ``runs``
+times on freshly generated input (same seed -> identical data per run) and
+aggregating with the geometric mean, exactly as the paper's framework does.
+Cross-tool result strings are verified for equality on every run -- a wrong
+answer invalidates a benchmark, so it aborts loudly.
+
+CLI (also installed as ``ttc-bench``)::
+
+    python -m repro.benchmark.runner --report fig5 --max-sf 16 --runs 3
+    python -m repro.benchmark.runner --report table2 --max-sf 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass, field
+
+from repro.benchmark.phases import PhaseTimes, run_once
+from repro.benchmark.reporting import (
+    ascii_loglog_chart,
+    format_fig5_table,
+    format_table2,
+    geometric_mean,
+    results_to_csv,
+)
+from repro.datagen.generator import generate_benchmark_input
+from repro.datagen.table2 import TABLE2, scale_factors
+from repro.parallel.executor import make_executor
+from repro.queries.engine import make_engine
+from repro.util.validation import ReproError
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "ToolSpec",
+    "FIG5_TOOLS",
+    "run_benchmark",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class ToolSpec:
+    """One Fig. 5 line: a tool name plus its engine configuration."""
+
+    label: str
+    tool: str
+    executor_kind: str = "serial"
+    workers: int = 1
+    q2_algorithm: str = "fastsv"
+
+    def make(self, query: str):
+        executor = None
+        if self.executor_kind != "serial":
+            executor = make_executor(self.executor_kind, self.workers)
+        return make_engine(
+            self.tool, query, executor=executor, q2_algorithm=self.q2_algorithm
+        )
+
+
+#: the six lines of Fig. 5.  "8 threads" maps to the persistent fork pool
+#: with shared-memory priming -- the executor whose cost model matches
+#: OpenMP's (see repro.parallel.pool for the substitution rationale;
+#: bench_ablation_parallel.py compares all executor kinds).
+FIG5_TOOLS: tuple[ToolSpec, ...] = (
+    ToolSpec("GraphBLAS Batch", "graphblas-batch"),
+    ToolSpec("GraphBLAS Incremental", "graphblas-incremental"),
+    ToolSpec("GraphBLAS Batch (8 thr)", "graphblas-batch", "persistent", 8),
+    ToolSpec("GraphBLAS Incr (8 thr)", "graphblas-incremental", "persistent", 8),
+    ToolSpec("NMF Batch", "nmf-batch"),
+    ToolSpec("NMF Incremental", "nmf-incremental"),
+)
+
+
+@dataclass
+class BenchmarkConfig:
+    queries: tuple[str, ...] = ("Q1", "Q2")
+    tools: tuple[ToolSpec, ...] = FIG5_TOOLS
+    scale_factors: tuple[int, ...] = (1, 2, 4, 8)
+    runs: int = 5
+    seed: int = 42
+    num_change_sets: int = 10
+    verify: bool = True
+
+
+@dataclass
+class BenchmarkResult:
+    tool: str
+    query: str
+    scale_factor: int
+    runs: int
+    load_and_initial: float
+    update_and_reevaluation: float
+    per_run: list[PhaseTimes] = field(default_factory=list)
+
+
+def run_benchmark(config: BenchmarkConfig, *, progress=None) -> list[BenchmarkResult]:
+    """Execute the full sweep; returns one aggregated result per cell."""
+    results: list[BenchmarkResult] = []
+    for query in config.queries:
+        for sf in config.scale_factors:
+            expected: list[str] | None = None
+            for spec in config.tools:
+                phases: list[PhaseTimes] = []
+                for run in range(config.runs):
+                    graph, change_sets = generate_benchmark_input(
+                        sf, seed=config.seed, num_change_sets=config.num_change_sets
+                    )
+                    pt = run_once(lambda: spec.make(query), graph, change_sets)
+                    phases.append(pt)
+                    if config.verify:
+                        if expected is None:
+                            expected = pt.results
+                        elif pt.results != expected:
+                            diffs = [
+                                (i, a, b)
+                                for i, (a, b) in enumerate(zip(pt.results, expected))
+                                if a != b
+                            ]
+                            raise ReproError(
+                                f"result mismatch: {spec.label} {query} SF{sf}: {diffs[:3]}"
+                            )
+                res = BenchmarkResult(
+                    tool=spec.label,
+                    query=query,
+                    scale_factor=sf,
+                    runs=config.runs,
+                    load_and_initial=geometric_mean(
+                        [p.load_and_initial for p in phases]
+                    ),
+                    update_and_reevaluation=geometric_mean(
+                        [p.update_and_reevaluation for p in phases]
+                    ),
+                    per_run=phases,
+                )
+                results.append(res)
+                if progress is not None:
+                    progress(res)
+    return results
+
+
+def _fig5_report(results, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    for query in sorted({r.query for r in results}):
+        for phase in ("load_and_initial", "update_and_reevaluation"):
+            print(format_fig5_table(results, query, phase), file=out)
+            print(file=out)
+            series = {}
+            for r in results:
+                if r.query == query:
+                    series.setdefault(r.tool, []).append(
+                        (float(r.scale_factor), getattr(r, phase))
+                    )
+            print(
+                ascii_loglog_chart(
+                    series, title=f"Fig. 5 panel: {query} / {phase}"
+                ),
+                file=out,
+            )
+            print(file=out)
+
+
+def _table2_report(max_sf: int, seed: int, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    achieved = {}
+    for sf in scale_factors():
+        if sf > max_sf:
+            break
+        graph, changes = generate_benchmark_input(sf, seed=seed)
+        stats = graph.stats()
+        achieved[sf] = {
+            "nodes": stats["nodes"],
+            "edges": stats["edges"],
+            "inserts": sum(len(cs) for cs in changes),
+        }
+    print(format_table2(achieved, TABLE2), file=out)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--report", choices=("fig5", "table2"), default="fig5")
+    ap.add_argument("--max-sf", type=int, default=int(os.environ.get("REPRO_MAX_SF", 8)))
+    ap.add_argument("--runs", type=int, default=5)
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--queries", nargs="+", default=["Q1", "Q2"])
+    ap.add_argument("--change-sets", type=int, default=10)
+    ap.add_argument("--csv", help="also write results to this CSV file")
+    ap.add_argument(
+        "--ttc-csv",
+        help="also write every run in the TTC 2018 contest log format "
+        "(Tool;View;ChangeSet;RunIndex;Iteration;PhaseName;MetricName;MetricValue)",
+    )
+    ap.add_argument(
+        "--serial-only",
+        action="store_true",
+        help="skip the process-pool (8-thread) tool variants",
+    )
+    args = ap.parse_args(argv)
+
+    if args.report == "table2":
+        _table2_report(args.max_sf, args.seed)
+        return 0
+
+    sfs = tuple(sf for sf in scale_factors() if sf <= args.max_sf)
+    tools = tuple(
+        t for t in FIG5_TOOLS if not (args.serial_only and t.executor_kind != "serial")
+    )
+    config = BenchmarkConfig(
+        queries=tuple(args.queries),
+        tools=tools,
+        scale_factors=sfs,
+        runs=args.runs,
+        seed=args.seed,
+        num_change_sets=args.change_sets,
+    )
+
+    def progress(res: BenchmarkResult) -> None:
+        print(
+            f"  {res.query} SF{res.scale_factor:<5} {res.tool:<26} "
+            f"load+init={res.load_and_initial:8.4f}s  "
+            f"update+reeval={res.update_and_reevaluation:8.4f}s",
+            file=sys.stderr,
+        )
+
+    results = run_benchmark(config, progress=progress)
+    _fig5_report(results)
+    if args.csv:
+        with open(args.csv, "w") as f:
+            f.write(results_to_csv(results) + "\n")
+    if args.ttc_csv:
+        from repro.benchmark.ttc_format import render_results
+
+        with open(args.ttc_csv, "w") as f:
+            f.write(render_results(results) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,205 @@
+"""The TTC 2018 benchmark framework's output format.
+
+The contest harness (Hinkel, "The TTC 2018 Social Media case" [7]) collects
+measurements from every solution as semicolon-separated records::
+
+    Tool;View;ChangeSet;RunIndex;Iteration;PhaseName;MetricName;MetricValue
+
+* ``View`` is the query (``Q1``/``Q2``);
+* ``ChangeSet`` names the input model (the scale factor directory);
+* ``Iteration`` is 0 for the one-shot phases and the 1-based change-set
+  number for ``Update`` phases;
+* ``PhaseName`` is one of ``Initialization``, ``Load``, ``Initial``,
+  ``Update``;
+* ``MetricName`` is ``Time`` (nanoseconds) or ``Elements`` (the result
+  string, used by the contest for cross-solution correctness checks).
+
+This module renders :class:`~repro.benchmark.phases.PhaseTimes` into that
+exact format and parses/aggregates it back, so our runner's output can be
+fed to the contest's R reporting scripts (and vice versa: reference
+solutions' logs can be compared against ours line-for-line).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.benchmark.phases import PhaseTimes
+from repro.benchmark.reporting import geometric_mean
+from repro.util.validation import ReproError
+
+__all__ = [
+    "TTC_HEADER",
+    "TTCRecord",
+    "render_run",
+    "render_results",
+    "parse",
+    "aggregate_times",
+    "verify_elements",
+]
+
+TTC_HEADER = "Tool;View;ChangeSet;RunIndex;Iteration;PhaseName;MetricName;MetricValue"
+
+_PHASES = ("Initialization", "Load", "Initial", "Update")
+_METRICS = ("Time", "Memory", "Elements")
+
+
+@dataclass(frozen=True)
+class TTCRecord:
+    """One parsed line of a TTC benchmark log."""
+
+    tool: str
+    view: str
+    change_set: str
+    run_index: int
+    iteration: int
+    phase: str
+    metric: str
+    value: str
+
+    @property
+    def time_seconds(self) -> float:
+        """The Time metric converted from the contest's nanoseconds."""
+        if self.metric != "Time":
+            raise ReproError(f"record carries {self.metric!r}, not Time")
+        return int(self.value) / 1e9
+
+    def line(self) -> str:
+        return ";".join(
+            (
+                self.tool,
+                self.view,
+                self.change_set,
+                str(self.run_index),
+                str(self.iteration),
+                self.phase,
+                self.metric,
+                self.value,
+            )
+        )
+
+
+def _ns(seconds: float) -> str:
+    return str(int(round(seconds * 1e9)))
+
+
+def render_run(
+    tool: str,
+    view: str,
+    change_set: str,
+    run_index: int,
+    times: PhaseTimes,
+    *,
+    with_results: bool = True,
+) -> list[str]:
+    """All log lines of a single benchmark execution, in phase order."""
+    rec = lambda it, phase, metric, value: TTCRecord(  # noqa: E731
+        tool, view, change_set, run_index, it, phase, metric, value
+    ).line()
+    lines = [
+        rec(0, "Initialization", "Time", _ns(times.initialization)),
+        rec(0, "Load", "Time", _ns(times.load)),
+        rec(0, "Initial", "Time", _ns(times.initial)),
+    ]
+    if with_results and times.results:
+        lines.append(rec(0, "Initial", "Elements", times.results[0]))
+    for i, t in enumerate(times.updates, start=1):
+        lines.append(rec(i, "Update", "Time", _ns(t)))
+        if with_results and i < len(times.results):
+            lines.append(rec(i, "Update", "Elements", times.results[i]))
+    return lines
+
+
+def render_results(results, *, header: bool = True) -> str:
+    """Render runner :class:`BenchmarkResult` objects into a full TTC log.
+
+    Every individual run (not the aggregate) is emitted, as the contest
+    framework's R scripts do their own aggregation.
+    """
+    out = [TTC_HEADER] if header else []
+    for res in results:
+        for run_index, pt in enumerate(res.per_run):
+            out.extend(
+                render_run(
+                    res.tool, res.query, f"sf{res.scale_factor}", run_index, pt
+                )
+            )
+    return "\n".join(out)
+
+
+def parse(text: str) -> list[TTCRecord]:
+    """Parse a TTC log (with or without header) into records.
+
+    Malformed lines raise :class:`ReproError` with the offending line number
+    -- silently skipping records would corrupt cross-tool comparisons.
+    """
+    records: list[TTCRecord] = []
+    reader = csv.reader(io.StringIO(text), delimiter=";")
+    for lineno, row in enumerate(reader, start=1):
+        if not row or (lineno == 1 and row == TTC_HEADER.split(";")):
+            continue
+        if len(row) != 8:
+            raise ReproError(f"TTC log line {lineno}: expected 8 fields, got {len(row)}")
+        tool, view, change_set, run_index, iteration, phase, metric, value = row
+        if phase not in _PHASES:
+            raise ReproError(f"TTC log line {lineno}: unknown phase {phase!r}")
+        if metric not in _METRICS:
+            raise ReproError(f"TTC log line {lineno}: unknown metric {metric!r}")
+        try:
+            records.append(
+                TTCRecord(
+                    tool, view, change_set, int(run_index), int(iteration),
+                    phase, metric, value,
+                )
+            )
+        except ValueError as exc:
+            raise ReproError(f"TTC log line {lineno}: {exc}") from exc
+    return records
+
+
+def aggregate_times(records) -> dict[tuple[str, str, str, str], float]:
+    """Geometric-mean seconds per (tool, view, change_set, phase-group).
+
+    Phase groups follow Fig. 5: ``load_and_initial`` sums Load + Initial
+    per run; ``update_and_reevaluation`` sums all Update iterations per
+    run.  Aggregation across runs uses the geometric mean, as the paper
+    reports.
+    """
+    per_run: dict[tuple, float] = defaultdict(float)
+    for r in records:
+        if r.metric != "Time":
+            continue
+        group = "load_and_initial" if r.phase in ("Load", "Initial") else (
+            "update_and_reevaluation" if r.phase == "Update" else None
+        )
+        if group is None:
+            continue
+        per_run[(r.tool, r.view, r.change_set, group, r.run_index)] += r.time_seconds
+    collected: dict[tuple, list[float]] = defaultdict(list)
+    for (tool, view, cs, group, _run), total in sorted(per_run.items()):
+        collected[(tool, view, cs, group)].append(total)
+    return {key: geometric_mean(vals) for key, vals in collected.items()}
+
+
+def verify_elements(records) -> None:
+    """Cross-tool correctness check on the Elements records.
+
+    For every (view, change_set, iteration), all tools and runs must report
+    the identical result string -- the contest disqualifies mismatches, and
+    so do we.
+    """
+    seen: dict[tuple, tuple[str, str]] = {}
+    for r in records:
+        if r.metric != "Elements":
+            continue
+        key = (r.view, r.change_set, r.iteration)
+        if key in seen and seen[key][1] != r.value:
+            other_tool, other_value = seen[key]
+            raise ReproError(
+                f"result mismatch at {key}: {r.tool}={r.value!r} "
+                f"vs {other_tool}={other_value!r}"
+            )
+        seen.setdefault(key, (r.tool, r.value))

@@ -1,0 +1,28 @@
+"""Synthetic social-network generation (the LDBC Datagen substitute).
+
+The paper benchmarks on graphs produced by the TTC 2018 framework, whose
+element counts follow the LDBC SNB Datagen's Facebook-like distributions.
+Without the (Hadoop-based, network-distributed) LDBC generator available,
+:mod:`repro.datagen.generator` produces seeded synthetic graphs that
+
+* match Table II's node / edge / insert counts per scale factor, and
+* reproduce the property that makes Q2 interesting: heavy-tailed likes and
+  friendships, so popular comments induce large subgraphs.
+
+:mod:`repro.datagen.table2` holds the paper's Table II constants;
+:mod:`repro.datagen.updates` builds the insert change sequences.
+"""
+
+from repro.datagen.table2 import TABLE2, Table2Row, scale_factors
+from repro.datagen.generator import GeneratorConfig, generate_graph, generate_benchmark_input
+from repro.datagen.updates import generate_change_sets
+
+__all__ = [
+    "TABLE2",
+    "Table2Row",
+    "scale_factors",
+    "GeneratorConfig",
+    "generate_graph",
+    "generate_benchmark_input",
+    "generate_change_sets",
+]

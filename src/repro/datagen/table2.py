@@ -1,0 +1,58 @@
+"""Table II of the paper: graph sizes w.r.t. the scale factor.
+
+Counts marked "15k"/"1.1M" in the paper are printed rounded; the constants
+below use those rounded values as generation targets.  The benchmark
+``benchmarks/bench_table2_datagen.py`` regenerates the table and reports the
+achieved counts next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Table2Row", "TABLE2", "scale_factors", "row_for"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    scale_factor: int
+    nodes: int
+    edges: int
+    inserts: int
+
+
+TABLE2: dict[int, Table2Row] = {
+    r.scale_factor: r
+    for r in (
+        Table2Row(1, 1_274, 2_533, 67),
+        Table2Row(2, 2_071, 4_207, 120),
+        Table2Row(4, 4_350, 9_118, 132),
+        Table2Row(8, 7_530, 18_000, 104),
+        Table2Row(16, 15_000, 35_000, 110),
+        Table2Row(32, 30_000, 71_000, 117),
+        Table2Row(64, 58_000, 143_000, 68),
+        Table2Row(128, 115_000, 287_000, 86),
+        Table2Row(256, 225_000, 568_000, 45),
+        Table2Row(512, 443_000, 1_100_000, 112),
+        Table2Row(1024, 859_000, 2_300_000, 74),
+    )
+}
+
+
+def scale_factors() -> list[int]:
+    return sorted(TABLE2)
+
+
+def row_for(scale_factor: int) -> Table2Row:
+    """Table II row; unlisted scale factors interpolate geometrically."""
+    if scale_factor in TABLE2:
+        return TABLE2[scale_factor]
+    # Geometric continuation for out-of-table sizes (used in smoke tests):
+    # nodes and edges roughly double per SF doubling.
+    base = TABLE2[1]
+    return Table2Row(
+        scale_factor,
+        int(base.nodes * scale_factor * 0.82),
+        int(base.edges * scale_factor * 0.9),
+        100,
+    )

@@ -1,0 +1,179 @@
+"""Insert change-sequence generation (the update phase workload).
+
+The TTC benchmark applies a series of change sets after the initial
+evaluation; Table II fixes the *total* number of inserted elements per scale
+factor.  The mix mirrors the case study's updates (and the paper's Fig. 3b
+example): mostly new comments and likes, some friendships, a few new users
+and posts.  References point at existing entities, sampled with the same
+heavy-tailed popularity as the initial graph so updates hit the hot
+comments -- the case that stresses incremental Q2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.distributions import sample_zipf
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
+from repro.model.graph import SocialGraph
+from repro.util.validation import ReproError
+
+__all__ = ["generate_change_sets", "DEFAULT_MIX"]
+
+#: fractions of each insert kind (comments, likes, friendships, users, posts)
+DEFAULT_MIX = {
+    "comment": 0.34,
+    "like": 0.32,
+    "friendship": 0.18,
+    "user": 0.10,
+    "post": 0.06,
+}
+
+
+def generate_change_sets(
+    graph: SocialGraph,
+    total_inserts: int,
+    num_change_sets: int = 10,
+    seed: int = 42,
+    mix: dict[str, float] | None = None,
+    removal_fraction: float = 0.0,
+) -> list[ChangeSet]:
+    """Build ``num_change_sets`` ChangeSets totalling ``total_inserts`` elements.
+
+    The graph is *not* modified; generated changes reference its current
+    entities plus entities introduced earlier in the generated sequence.
+
+    ``removal_fraction`` (extension, the paper's "more realistic update
+    operations") converts that fraction of the like/friendship changes into
+    removals of *existing* edges, producing the mixed insert/remove stream
+    of the future-work experiment (``benchmarks/bench_ext_removals.py``).
+    """
+    if total_inserts < 0:
+        raise ReproError("total_inserts must be non-negative")
+    if not 0.0 <= removal_fraction <= 1.0:
+        raise ReproError("removal_fraction must be in [0, 1]")
+    mix = mix or DEFAULT_MIX
+    rng = np.random.default_rng(seed)
+
+    kinds = list(mix)
+    probs = np.asarray([mix[k] for k in kinds], dtype=np.float64)
+    probs = probs / probs.sum()
+    draw = rng.choice(len(kinds), size=total_inserts, p=probs)
+
+    # Shadow id pools: existing entities + ones created by earlier changes.
+    user_ids = list(graph.users.external_array().tolist())
+    post_ids = list(graph.posts.external_array().tolist())
+    comment_ids = list(graph.comments.external_array().tolist())
+    submission_pool = post_ids + comment_ids
+    like_id_keys = {
+        (graph.comments.external(c), graph.users.external(u))
+        for c, u in graph._like_keys
+    }
+    friend_id_keys = {
+        (graph.users.external(a), graph.users.external(b))
+        for a, b in graph._friend_keys
+    }
+
+    next_user = (max(user_ids) + 1) if user_ids else 1
+    next_post = (max(post_ids) + 1) if post_ids else 1
+    next_comment = (max(comment_ids) + 1) if comment_ids else 1
+    ts = int(graph.comment_timestamps.max()) + 1 if graph.num_comments else 1
+    ts = max(ts, int(graph.post_timestamps.max()) + 1 if graph.num_posts else 1)
+
+    def pick_hot(pool: list[int], exponent: float) -> int:
+        """Heavy-tailed pick favouring early (popular) entities."""
+        i = int(sample_zipf(rng, len(pool), 1, exponent)[0])
+        return pool[i]
+
+    changes: list = []
+    for kind_idx in draw.tolist():
+        kind = kinds[kind_idx]
+        if kind == "user" or not user_ids:
+            changes.append(AddUser(next_user, f"user{next_user}"))
+            user_ids.append(next_user)
+            next_user += 1
+            continue
+        if kind == "post" or not submission_pool:
+            changes.append(AddPost(next_post, ts, pick_hot(user_ids, 0.7)))
+            post_ids.append(next_post)
+            submission_pool.append(next_post)
+            next_post += 1
+            ts += 1
+            continue
+        if kind == "comment":
+            parent = pick_hot(submission_pool, 0.8)
+            changes.append(
+                AddComment(next_comment, ts, pick_hot(user_ids, 0.7), parent)
+            )
+            comment_ids.append(next_comment)
+            submission_pool.append(next_comment)
+            next_comment += 1
+            ts += 1
+            continue
+        if (
+            kind in ("like", "friendship")
+            and removal_fraction > 0.0
+            and rng.random() < removal_fraction
+        ):
+            # Extension: remove an existing edge instead of inserting one.
+            if kind == "like" and like_id_keys:
+                keys = sorted(like_id_keys)
+                c, u = keys[int(rng.integers(len(keys)))]
+                like_id_keys.discard((c, u))
+                changes.append(RemoveLike(u, c))
+                continue
+            if kind == "friendship" and friend_id_keys:
+                keys = sorted(friend_id_keys)
+                a, b = keys[int(rng.integers(len(keys)))]
+                friend_id_keys.discard((a, b))
+                changes.append(RemoveFriendship(a, b))
+                continue
+        if kind == "like" and comment_ids:
+            placed = False
+            for _attempt in range(8):
+                c = pick_hot(comment_ids, 0.85)
+                u = pick_hot(user_ids, 0.7)
+                if (c, u) not in like_id_keys:
+                    like_id_keys.add((c, u))
+                    changes.append(AddLike(u, c))
+                    placed = True
+                    break
+            if placed:
+                continue
+        if kind == "friendship" and len(user_ids) >= 2:
+            placed = False
+            for _attempt in range(8):
+                a = pick_hot(user_ids, 0.7)
+                b = pick_hot(user_ids, 0.7)
+                if a == b:
+                    continue
+                key = (min(a, b), max(a, b))
+                if key not in friend_id_keys:
+                    friend_id_keys.add(key)
+                    changes.append(AddFriendship(*key))
+                    placed = True
+                    break
+            if placed:
+                continue
+        # fallthrough (like/friendship impossible): add a user instead
+        changes.append(AddUser(next_user, f"user{next_user}"))
+        user_ids.append(next_user)
+        next_user += 1
+
+    # Split into change sets of (near-)equal size, preserving order so that
+    # intra-sequence references stay valid.
+    num_change_sets = max(1, num_change_sets)
+    bounds = np.linspace(0, len(changes), num_change_sets + 1).astype(int)
+    return [
+        ChangeSet(changes[bounds[i] : bounds[i + 1]])
+        for i in range(num_change_sets)
+    ]

@@ -1,0 +1,81 @@
+"""A pure-Python GraphBLAS: sparse linear algebra over arbitrary semirings.
+
+This package is the repository's stand-in for SuiteSparse:GraphBLAS [Davis,
+TOMS 2019], providing the complete operation set the paper's solution uses
+(Table I of the paper): ``mxm``, ``mxv``, ``vxm``, ``eWiseAdd``,
+``eWiseMult``, ``extract``, ``assign``, ``apply``, ``select``, ``reduce``,
+``transpose``, ``build`` and ``extractTuples`` -- all with masks,
+accumulators and descriptors per the GraphBLAS C API specification.
+
+Quick start::
+
+    from repro import graphblas as gb
+
+    A = gb.Matrix.from_coo([0, 0, 1], [0, 1, 2], True, 2, 3, dtype=gb.BOOL)
+    d = A.reduce_vector(gb.monoid.plus_monoid)     # row degrees
+    y = A.mxv(gb.Vector.full(gb.INT64, 3, 1), gb.semiring.plus_times)
+"""
+
+from repro.graphblas import descriptor, monoid, ops, semiring
+from repro.graphblas.descriptor import Descriptor
+from repro.graphblas.dynamic import DynamicMatrix
+from repro.graphblas.mask import Mask
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.monoid import Monoid
+from repro.graphblas.ops import BinaryOp, IndexApplyOp, IndexUnaryOp, UnaryOp
+from repro.graphblas.semiring import Semiring
+from repro.graphblas.types import (
+    ALL_TYPES,
+    BOOL,
+    FP32,
+    FP64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    DataType,
+)
+from repro.graphblas.vector import Vector
+from repro.graphblas import blocks
+from repro.graphblas.blocks import concat, diag, hstack, split, vstack
+
+__all__ = [
+    "Matrix",
+    "DynamicMatrix",
+    "Vector",
+    "Mask",
+    "Descriptor",
+    "DataType",
+    "UnaryOp",
+    "BinaryOp",
+    "IndexUnaryOp",
+    "IndexApplyOp",
+    "Monoid",
+    "Semiring",
+    "ops",
+    "monoid",
+    "semiring",
+    "descriptor",
+    "blocks",
+    "concat",
+    "split",
+    "hstack",
+    "vstack",
+    "diag",
+    "ALL_TYPES",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+]

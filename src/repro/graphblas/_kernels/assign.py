@@ -1,0 +1,119 @@
+"""Submatrix/subvector assign kernels (GrB_assign).
+
+``GrB_assign`` writes a whole object into a rectangular region of a larger
+one: ``C(I, J) accum= A``.  The kernel computes the *Z phase* of the
+two-phase write -- the full-C-space content after the regional assignment,
+before the (whole-C) mask is applied -- so the caller can funnel the result
+through the shared masked-write kernel.
+
+The region-membership tests are O(nnz log |I|) searchsorted probes against
+the sorted index sets; the |I| x |J| region is never materialised, so
+assigning into a huge region (e.g. GrB_ALL rows) costs only the entries
+actually present.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphblas._kernels.coo import encode, in1d_sorted
+from repro.graphblas._kernels.merge import union_merge
+from repro.util.validation import ReproError
+
+__all__ = ["assign_submatrix_z", "assign_subvector_z", "check_unique_ids"]
+
+
+def check_unique_ids(ids: np.ndarray, name: str) -> np.ndarray:
+    """GrB_assign requires index sets without repeats; validate and return."""
+    if ids.size != np.unique(ids).size:
+        raise ReproError(f"assign: {name} contains duplicate indices")
+    return ids
+
+
+def _region_membership(rows, cols, row_ids_sorted, col_ids_sorted):
+    """Boolean mask of COO entries lying inside the I x J region."""
+    row_in = in1d_sorted(rows, row_ids_sorted)
+    col_in = in1d_sorted(cols, col_ids_sorted)
+    return row_in & col_in
+
+
+def assign_submatrix_z(c_coo, a_coo, row_ids, col_ids, accum, ncols_c):
+    """Z-phase content of ``C(I, J) accum= A`` as encoded keys/values.
+
+    ``c_coo``/``a_coo`` are ``(rows, cols, values)`` triples; ``row_ids`` and
+    ``col_ids`` map A's row/col indices into C's index space.  Without an
+    accumulator the region is overwritten (entries of C inside I x J but not
+    targeted by A are *deleted*, per the spec); with one, old and new merge.
+    """
+    c_rows, c_cols, c_vals = c_coo
+    a_rows, a_cols, a_vals = a_coo
+
+    # Map A into C coordinates.  A is canonical, but the index maps need not
+    # be monotone, so the mapped triples must be re-sorted.
+    t_rows = row_ids[a_rows]
+    t_cols = col_ids[a_cols]
+    t_keys = encode(t_rows, t_cols, ncols_c)
+    order = np.argsort(t_keys, kind="stable")
+    t_keys = t_keys[order]
+    t_vals = np.asarray(a_vals)[order]
+
+    row_sorted = np.sort(row_ids)
+    col_sorted = np.sort(col_ids)
+    in_region = _region_membership(c_rows, c_cols, row_sorted, col_sorted)
+    c_keys = encode(c_rows, c_cols, ncols_c)
+
+    if accum is None:
+        survivors_keys = c_keys[~in_region]
+        survivors_vals = c_vals[~in_region]
+        region_keys, region_vals = t_keys, t_vals
+    else:
+        survivors_keys = c_keys[~in_region]
+        survivors_vals = c_vals[~in_region]
+        region_keys, region_vals = union_merge(
+            c_keys[in_region], c_vals[in_region], t_keys, t_vals, accum
+        )
+
+    # Survivors (outside region) and region content are disjoint key sets.
+    keys = np.concatenate([survivors_keys, region_keys])
+    if keys.size == 0:
+        return keys, region_vals[:0]
+    vdt = np.promote_types(survivors_vals.dtype, region_vals.dtype)
+    vals = np.concatenate(
+        [survivors_vals.astype(vdt, copy=False), region_vals.astype(vdt, copy=False)]
+    )
+    order = np.argsort(keys, kind="stable")
+    return keys[order], vals[order]
+
+
+def assign_subvector_z(c_pair, u_pair, ids, accum):
+    """Z-phase content of ``w(I) accum= u`` as (indices, values)."""
+    c_idx, c_vals = c_pair
+    u_idx, u_vals = u_pair
+
+    t_idx = ids[u_idx]
+    order = np.argsort(t_idx, kind="stable")
+    t_idx = t_idx[order]
+    t_vals = np.asarray(u_vals)[order]
+
+    ids_sorted = np.sort(ids)
+    in_region = in1d_sorted(c_idx, ids_sorted)
+
+    if accum is None:
+        region_idx, region_vals = t_idx, t_vals
+    else:
+        region_idx, region_vals = union_merge(
+            c_idx[in_region], c_vals[in_region], t_idx, t_vals, accum
+        )
+
+    keys = np.concatenate([c_idx[~in_region], region_idx])
+    if keys.size == 0:
+        return keys, region_vals[:0]
+    vdt = np.promote_types(c_vals.dtype, region_vals.dtype)
+    vals = np.concatenate(
+        [
+            c_vals[~in_region].astype(vdt, copy=False),
+            region_vals.astype(vdt, copy=False),
+        ]
+    )
+    order = np.argsort(keys, kind="stable")
+    return keys[order], vals[order]

@@ -1,0 +1,142 @@
+"""Canonical sorted-COO primitives: key encoding, sorting, deduplication.
+
+The kernels encode a matrix position ``(i, j)`` as the int64 key
+``i * ncols + j``.  This turns 2-D structural set algebra (mask application,
+eWise merges, accumulation) into 1-D sorted-array operations, which NumPy
+executes at memcpy-like speed.  The encoding requires
+``nrows * ncols < 2**63``; :func:`check_key_space` guards this (a graph with
+3 billion nodes squared would overflow -- far beyond this library's scope).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import ReproError
+
+__all__ = [
+    "check_key_space",
+    "encode",
+    "decode",
+    "canonicalize_matrix",
+    "canonicalize_vector",
+    "segment_reduce",
+    "in1d_sorted",
+]
+
+_MAX_KEY = np.iinfo(np.int64).max
+
+
+def check_key_space(nrows: int, ncols: int) -> None:
+    """Raise if (nrows, ncols) positions cannot be encoded in int64 keys."""
+    if ncols != 0 and nrows > _MAX_KEY // max(ncols, 1):
+        raise ReproError(
+            f"matrix shape ({nrows}, {ncols}) exceeds the int64 key space; "
+            "this backend supports nrows*ncols < 2**63"
+        )
+
+
+def encode(rows: np.ndarray, cols: np.ndarray, ncols: int) -> np.ndarray:
+    """Encode (row, col) pairs into sortable int64 keys."""
+    return rows * np.int64(ncols) + cols
+
+
+def decode(keys: np.ndarray, ncols: int) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`encode`."""
+    if ncols == 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    return keys // ncols, keys % ncols
+
+
+def segment_reduce(values: np.ndarray, starts: np.ndarray, op) -> np.ndarray:
+    """Reduce contiguous segments of ``values``.
+
+    ``starts`` holds the first index of each (non-empty) segment; the final
+    segment ends at ``len(values)``.  Uses ``ufunc.reduceat`` when the binary
+    op has a ufunc; otherwise falls back to a Python loop (only exercised by
+    exotic user-defined monoids).
+    """
+    if starts.size == 0:
+        return values[:0]
+    uf = getattr(op, "ufunc", None)
+    if uf is not None:
+        return uf.reduceat(values, starts)
+    # Fallback: slow but general.
+    ends = np.append(starts[1:], len(values))
+    out = np.empty(starts.size, dtype=values.dtype)
+    for s in range(starts.size):
+        seg = values[starts[s] : ends[s]]
+        acc = seg[0]
+        for v in seg[1:]:
+            acc = op(acc, v)
+        out[s] = acc
+    return out
+
+
+def _dedup(keys_sorted: np.ndarray, vals_sorted: np.ndarray, dup_op):
+    """Collapse runs of equal keys in an already-sorted key array."""
+    if keys_sorted.size == 0:
+        return keys_sorted, vals_sorted
+    boundary = np.empty(keys_sorted.size, dtype=np.bool_)
+    boundary[0] = True
+    np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=boundary[1:])
+    if boundary.all():
+        return keys_sorted, vals_sorted
+    starts = np.flatnonzero(boundary)
+    if dup_op is None:
+        raise ReproError("duplicate positions present but no dup_op given")
+    if dup_op.name == "second":  # "last wins" fast path (GrB default for assign)
+        last = np.append(starts[1:], keys_sorted.size) - 1
+        return keys_sorted[starts], vals_sorted[last]
+    if dup_op.name == "first":
+        return keys_sorted[starts], vals_sorted[starts]
+    return keys_sorted[starts], segment_reduce(vals_sorted, starts, dup_op)
+
+
+def canonicalize_matrix(rows, cols, values, nrows: int, ncols: int, dup_op=None):
+    """Sort (row-major) and deduplicate COO triples.
+
+    Returns contiguous int64 ``rows``/``cols`` and a value array.  ``dup_op``
+    combines duplicates (GraphBLAS ``GrB_Matrix_build`` semantics); with no
+    duplicates present it is never consulted.
+    """
+    check_key_space(nrows, ncols)
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    cols = np.ascontiguousarray(cols, dtype=np.int64)
+    values = np.asarray(values)
+    if not (rows.shape == cols.shape == values.shape):
+        raise ReproError(
+            f"COO arrays must have equal length, got {rows.shape}, {cols.shape}, {values.shape}"
+        )
+    keys = encode(rows, cols, ncols)
+    order = np.argsort(keys, kind="stable")
+    keys, values = keys[order], values[order]
+    keys, values = _dedup(keys, values, dup_op)
+    r, c = decode(keys, ncols) if ncols else (keys * 0, keys * 0)
+    return r, c, values
+
+
+def canonicalize_vector(indices, values, size: int, dup_op=None):
+    """Sort and deduplicate (index, value) pairs for a vector."""
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    values = np.asarray(values)
+    if indices.shape != values.shape:
+        raise ReproError(
+            f"vector build arrays must have equal length, got {indices.shape}, {values.shape}"
+        )
+    order = np.argsort(indices, kind="stable")
+    idx, vals = indices[order], values[order]
+    return _dedup(idx, vals, dup_op)
+
+
+def in1d_sorted(needles: np.ndarray, haystack_sorted: np.ndarray) -> np.ndarray:
+    """Membership test against a sorted unique array, O(n log m).
+
+    Faster and allocation-lighter than ``np.isin`` because the haystack is
+    already sorted unique (a canonical key array).
+    """
+    if haystack_sorted.size == 0:
+        return np.zeros(needles.shape, dtype=np.bool_)
+    pos = np.searchsorted(haystack_sorted, needles)
+    pos[pos == haystack_sorted.size] = haystack_sorted.size - 1
+    return haystack_sorted[pos] == needles

@@ -1,0 +1,138 @@
+"""Sorted-merge kernels: eWiseAdd, eWiseMult, and masked/accumulated writes.
+
+All functions take *encoded key* arrays (sorted, unique -- see
+``_kernels.coo``) plus aligned value arrays, and return the same.  The merge
+strategy is the classic two-pointer union done branch-free: concatenate,
+stable-argsort, and detect equal-key neighbour pairs.  Stability guarantees
+the A-side entry precedes the B-side entry inside each pair, so operand order
+for non-commutative ops (``minus``, ``first``, ``div``) is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphblas._kernels.coo import in1d_sorted
+
+__all__ = ["union_merge", "intersect_merge", "write_mask_accum"]
+
+
+def _common_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
+    return np.promote_types(a.dtype, b.dtype)
+
+
+def union_merge(keys_a, vals_a, keys_b, vals_b, op):
+    """Set-union merge (GrB_eWiseAdd semantics).
+
+    Positions present in both inputs get ``op(a, b)``; positions present in
+    exactly one input copy that value through unchanged.
+    """
+    if keys_a.size == 0:
+        return keys_b.copy(), vals_b.copy()
+    if keys_b.size == 0:
+        return keys_a.copy(), vals_a.copy()
+    keys = np.concatenate([keys_a, keys_b])
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    dup_with_next = np.empty(keys.size, dtype=np.bool_)
+    np.equal(keys[:-1], keys[1:], out=dup_with_next[:-1])
+    dup_with_next[-1] = False
+
+    vdt = _common_dtype(vals_a, vals_b)
+    vals = np.concatenate(
+        [vals_a.astype(vdt, copy=False), vals_b.astype(vdt, copy=False)]
+    )[order]
+
+    pair_first = np.flatnonzero(dup_with_next)
+    if pair_first.size == 0:
+        return keys, vals
+    # Stable sort => vals[pair_first] is from A, vals[pair_first+1] from B.
+    combined = op(vals[pair_first], vals[pair_first + 1])
+    keep = np.ones(keys.size, dtype=np.bool_)
+    keep[pair_first + 1] = False
+    out_keys = keys[keep]
+    out_vals = vals[keep]
+    if combined.dtype != out_vals.dtype:
+        out_vals = out_vals.astype(np.promote_types(out_vals.dtype, combined.dtype))
+    # pair_first positions survive `keep`; recompute their compacted indices.
+    out_vals[np.cumsum(keep)[pair_first] - 1] = combined
+    return out_keys, out_vals
+
+
+def intersect_merge(keys_a, vals_a, keys_b, vals_b, op):
+    """Set-intersection merge (GrB_eWiseMult semantics)."""
+    if keys_a.size == 0 or keys_b.size == 0:
+        empty_vals = op(vals_a[:0], vals_b[:0])
+        return keys_a[:0], np.asarray(empty_vals)
+    # Intersect via searchsorted on the smaller side for cache friendliness.
+    if keys_a.size <= keys_b.size:
+        hit = in1d_sorted(keys_a, keys_b)
+        ka = keys_a[hit]
+        va = vals_a[hit]
+        pos = np.searchsorted(keys_b, ka)
+        vb = vals_b[pos]
+    else:
+        hit = in1d_sorted(keys_b, keys_a)
+        ka = keys_b[hit]
+        vb = vals_b[hit]
+        pos = np.searchsorted(keys_a, ka)
+        va = vals_a[pos]
+    return ka, np.asarray(op(va, vb))
+
+
+def write_mask_accum(
+    c_keys,
+    c_vals,
+    t_keys,
+    t_vals,
+    *,
+    mask_keys=None,
+    mask_complement: bool = False,
+    replace: bool = False,
+    accum=None,
+):
+    """The GraphBLAS two-phase write: ``C<M> accum= T`` with optional replace.
+
+    Implements the specification exactly:
+
+    1. ``Z = T`` if no accumulator, else the union-merge of C and T under
+       ``accum`` (C-entries untouched by T survive into Z).
+    2. Final content: inside the mask take Z; outside the mask take the old C
+       unless ``replace`` clears it.
+
+    ``mask_keys`` is the sorted array of mask-true positions (already
+    structural/value-filtered by the caller); None means "no mask" (all
+    positions writable).
+    """
+    if accum is None:
+        z_keys, z_vals = t_keys, t_vals
+    else:
+        z_keys, z_vals = union_merge(c_keys, c_vals, t_keys, t_vals, accum)
+
+    if mask_keys is None:
+        return z_keys, z_vals
+
+    in_mask_z = in1d_sorted(z_keys, mask_keys)
+    if mask_complement:
+        in_mask_z = ~in_mask_z
+    kept_z_keys = z_keys[in_mask_z]
+    kept_z_vals = z_vals[in_mask_z]
+
+    if replace:
+        return kept_z_keys, kept_z_vals
+
+    # Outside the mask the old C entries survive.
+    in_mask_c = in1d_sorted(c_keys, mask_keys)
+    if mask_complement:
+        in_mask_c = ~in_mask_c
+    kept_c_keys = c_keys[~in_mask_c]
+    kept_c_vals = c_vals[~in_mask_c]
+    # The two kept sets are disjoint (one inside the mask, one outside), so a
+    # plain sorted merge by concatenation + argsort suffices.
+    keys = np.concatenate([kept_c_keys, kept_z_keys])
+    vdt = _common_dtype(kept_c_vals, kept_z_vals) if keys.size else kept_z_vals.dtype
+    vals = np.concatenate(
+        [kept_c_vals.astype(vdt, copy=False), kept_z_vals.astype(vdt, copy=False)]
+    )
+    order = np.argsort(keys, kind="stable")
+    return keys[order], vals[order]

@@ -1,0 +1,129 @@
+"""Sparse matrix-matrix multiply over arbitrary semirings.
+
+Two code paths:
+
+* :func:`generic_mxm` -- expansion SpGEMM.  Every (i,k)x(k,j) product is
+  materialised (``np.repeat`` over B's row lengths), then products landing on
+  the same (i,j) are combined with the add monoid via a sorted segment
+  reduction.  Memory is O(flops); correct for *any* semiring including
+  annihilating sums, because reduction happens on the full product list.
+
+* :func:`scipy_plus_times_mxm` -- delegates to SciPy's compiled SpGEMM for the
+  common ``plus_times`` case.  SciPy computes over the ring of reals and may
+  drop entries whose sum happens to be exactly zero, which GraphBLAS must
+  keep; the structural product of the patterns is used to re-insert them.
+
+The dispatcher :func:`mxm` picks the fast path when the semiring and dtypes
+allow, mirroring how SuiteSparse selects built-in kernels.  The ablation
+benchmark ``benchmarks/bench_ablation_spgemm.py`` measures the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphblas._kernels.coo import (
+    canonicalize_matrix,
+    decode,
+    encode,
+    in1d_sorted,
+)
+from repro.graphblas._kernels.csr import indptr_from_rows, row_ranges
+from repro.util.validation import ReproError
+
+__all__ = ["mxm", "generic_mxm", "scipy_plus_times_mxm", "FLOP_LIMIT"]
+
+#: Expansion kernels refuse to materialise more than this many products.
+FLOP_LIMIT = 300_000_000
+
+
+def generic_mxm(a, b, semiring):
+    """``C = A ⊕.⊗ B`` over any semiring.
+
+    ``a`` and ``b`` are ``(rows, cols, values, nrows, ncols)`` tuples in
+    canonical COO form.  Returns canonical COO for C.
+    """
+    a_rows, a_cols, a_vals, a_nrows, a_ncols = a
+    b_rows, b_cols, b_vals, b_nrows, b_ncols = b
+    if a_ncols != b_nrows:
+        raise ReproError(f"mxm: inner dimensions differ ({a_ncols} vs {b_nrows})")
+
+    b_indptr = indptr_from_rows(b_rows, b_nrows)
+    lengths = b_indptr[a_cols + 1] - b_indptr[a_cols]
+    flops = int(lengths.sum())
+    if flops > FLOP_LIMIT:
+        raise ReproError(
+            f"mxm would materialise {flops} products (> {FLOP_LIMIT}); "
+            "matrix too dense for the expansion kernel"
+        )
+    b_entry, a_entry = row_ranges(b_indptr, a_cols)
+    out_rows = a_rows[a_entry]
+    out_cols = b_cols[b_entry]
+
+    mult = semiring.mult
+    if mult.name == "first":
+        prod = a_vals[a_entry]
+    elif mult.name == "second":
+        prod = b_vals[b_entry]
+    elif mult.name == "pair":
+        prod = np.ones(out_rows.size, dtype=np.int64)
+    else:
+        prod = np.asarray(mult(a_vals[a_entry], b_vals[b_entry]))
+
+    return canonicalize_matrix(
+        out_rows, out_cols, prod, a_nrows, b_ncols, dup_op=semiring.add.op
+    )
+
+
+def scipy_plus_times_mxm(a, b):
+    """plus_times SpGEMM via SciPy with annihilation repair."""
+    a_rows, a_cols, a_vals, a_nrows, a_ncols = a
+    b_rows, b_cols, b_vals, b_nrows, b_ncols = b
+    if a_ncols != b_nrows:
+        raise ReproError(f"mxm: inner dimensions differ ({a_ncols} vs {b_nrows})")
+    # SciPy cannot hold bool through matmul reliably; compute in int64/float64.
+    compute_dtype = np.float64 if (
+        np.issubdtype(a_vals.dtype, np.floating) or np.issubdtype(b_vals.dtype, np.floating)
+    ) else np.int64
+    A = sp.csr_matrix(
+        (a_vals.astype(compute_dtype), (a_rows, a_cols)), shape=(a_nrows, a_ncols)
+    )
+    B = sp.csr_matrix(
+        (b_vals.astype(compute_dtype), (b_rows, b_cols)), shape=(b_nrows, b_ncols)
+    )
+    C = (A @ B).tocoo()
+    c_rows, c_cols, c_vals = (
+        C.row.astype(np.int64),
+        C.col.astype(np.int64),
+        C.data,
+    )
+    # Structural product: which (i,j) must be present per GraphBLAS semantics.
+    Ap = sp.csr_matrix((np.ones(a_rows.size, np.int64), (a_rows, a_cols)), shape=A.shape)
+    Bp = sp.csr_matrix((np.ones(b_rows.size, np.int64), (b_rows, b_cols)), shape=B.shape)
+    P = (Ap @ Bp).tocoo()
+    c_keys = encode(c_rows, c_cols, b_ncols)
+    order = np.argsort(c_keys, kind="stable")
+    c_keys, c_vals = c_keys[order], c_vals[order]
+    p_keys = encode(P.row.astype(np.int64), P.col.astype(np.int64), b_ncols)
+    p_keys.sort()
+    missing = p_keys[~in1d_sorted(p_keys, c_keys)]
+    if missing.size:
+        keys = np.concatenate([c_keys, missing])
+        vals = np.concatenate([c_vals, np.zeros(missing.size, dtype=c_vals.dtype)])
+        order = np.argsort(keys, kind="stable")
+        c_keys, c_vals = keys[order], vals[order]
+    rows, cols = decode(c_keys, b_ncols)
+    return rows, cols, c_vals
+
+
+def mxm(a, b, semiring, prefer_scipy: bool = True):
+    """Dispatch to the SciPy fast path when applicable, else generic."""
+    if (
+        prefer_scipy
+        and semiring.name == "plus_times"
+        and a[2].dtype != np.bool_
+        and b[2].dtype != np.bool_
+    ):
+        return scipy_plus_times_mxm(a, b)
+    return generic_mxm(a, b, semiring)

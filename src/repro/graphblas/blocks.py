@@ -1,0 +1,136 @@
+"""Block (tiled) matrix operations: concat, split, stacking, diag.
+
+Mirrors the SuiteSparse extensions ``GxB_Matrix_concat`` / ``GxB_Matrix_split``
+and the ``GrB_Matrix_diag`` constructor.  These are pure index arithmetic on
+canonical COO -- each tile's triples are offset into (or out of) the composite
+index space and re-merged, so concat is O(sum nnz log) and split is O(nnz).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphblas import types as _types
+from repro.graphblas._kernels.coo import canonicalize_matrix
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+from repro.util.validation import DimensionMismatch, ReproError
+
+__all__ = ["concat", "split", "hstack", "vstack", "diag"]
+
+
+def concat(tiles: list, dtype=None) -> Matrix:
+    """Assemble a matrix from a 2-D grid of tiles (GxB_Matrix_concat).
+
+    ``tiles`` is a list of rows, each a list of Matrix tiles.  Tiles in one
+    grid row must agree on ``nrows``; tiles in one grid column must agree on
+    ``ncols``.  The result dtype is the promotion over all tiles unless given.
+    """
+    if not tiles or not all(isinstance(row, (list, tuple)) and row for row in tiles):
+        raise ReproError("concat requires a non-empty 2-D grid of tiles")
+    width = len(tiles[0])
+    if any(len(row) != width for row in tiles):
+        raise ReproError("concat grid is ragged")
+
+    row_heights = [row[0].nrows for row in tiles]
+    col_widths = [t.ncols for t in tiles[0]]
+    for gi, row in enumerate(tiles):
+        for gj, tile in enumerate(row):
+            if not isinstance(tile, Matrix):
+                raise TypeError(f"tile ({gi},{gj}) is {type(tile)}, expected Matrix")
+            if tile.nrows != row_heights[gi] or tile.ncols != col_widths[gj]:
+                raise DimensionMismatch(
+                    f"tile ({gi},{gj}) has shape {tile.shape}, expected "
+                    f"({row_heights[gi]}, {col_widths[gj]})"
+                )
+    row_off = np.concatenate([[0], np.cumsum(row_heights)])
+    col_off = np.concatenate([[0], np.cumsum(col_widths)])
+    nrows, ncols = int(row_off[-1]), int(col_off[-1])
+
+    if dtype is None:
+        dt = tiles[0][0].dtype
+        for row in tiles:
+            for tile in row:
+                dt = _types.promote(dt, tile.dtype)
+        dtype = dt
+    else:
+        dtype = _types.lookup(dtype)
+
+    parts_r, parts_c, parts_v = [], [], []
+    for gi, row in enumerate(tiles):
+        for gj, tile in enumerate(row):
+            r, c, v = tile.to_coo()
+            parts_r.append(r + row_off[gi])
+            parts_c.append(c + col_off[gj])
+            parts_v.append(dtype.cast(v))
+    rows = np.concatenate(parts_r) if parts_r else np.zeros(0, np.int64)
+    cols = np.concatenate(parts_c) if parts_c else np.zeros(0, np.int64)
+    vals = np.concatenate(parts_v) if parts_v else np.zeros(0, dtype.np_dtype)
+
+    out = Matrix(dtype, nrows, ncols)
+    r, c, v = canonicalize_matrix(rows, cols, vals, nrows, ncols, dup_op=None)
+    out._set(r, c, dtype.cast(v))
+    return out
+
+
+def split(a: Matrix, row_sizes, col_sizes) -> list:
+    """Partition a matrix into a grid of tiles (GxB_Matrix_split).
+
+    ``row_sizes``/``col_sizes`` must sum to the matrix dimensions.  Returns a
+    list-of-lists with the same layout :func:`concat` accepts, so
+    ``concat(split(A, rs, cs))`` is the identity.
+    """
+    row_sizes = [int(s) for s in row_sizes]
+    col_sizes = [int(s) for s in col_sizes]
+    if sum(row_sizes) != a.nrows or sum(col_sizes) != a.ncols:
+        raise DimensionMismatch(
+            f"split sizes {row_sizes} x {col_sizes} do not tile shape {a.shape}"
+        )
+    if any(s <= 0 for s in row_sizes + col_sizes):
+        raise ReproError("split sizes must be positive")
+    row_off = np.concatenate([[0], np.cumsum(row_sizes)])
+    col_off = np.concatenate([[0], np.cumsum(col_sizes)])
+
+    rows, cols, vals = a.to_coo()
+    gi = np.searchsorted(row_off, rows, side="right") - 1
+    gj = np.searchsorted(col_off, cols, side="right") - 1
+
+    grid = []
+    for i, rh in enumerate(row_sizes):
+        grid_row = []
+        for j, cw in enumerate(col_sizes):
+            inside = (gi == i) & (gj == j)
+            tile = Matrix(a.dtype, rh, cw)
+            # Entries keep their row-major order under a fixed tile, so the
+            # sliced triples are already canonical.
+            tile._set(
+                rows[inside] - row_off[i],
+                cols[inside] - col_off[j],
+                vals[inside].copy(),
+            )
+            grid_row.append(tile)
+        grid.append(grid_row)
+    return grid
+
+
+def hstack(matrices: list, dtype=None) -> Matrix:
+    """Concatenate matrices left-to-right (single-row :func:`concat`)."""
+    return concat([list(matrices)], dtype=dtype)
+
+
+def vstack(matrices: list, dtype=None) -> Matrix:
+    """Concatenate matrices top-to-bottom (single-column :func:`concat`)."""
+    return concat([[m] for m in matrices], dtype=dtype)
+
+
+def diag(v: Vector, k: int = 0) -> Matrix:
+    """Square matrix with ``v`` on diagonal ``k`` (GrB_Matrix_diag)."""
+    n = v.size + abs(k)
+    idx, vals = v.to_coo()
+    if k >= 0:
+        rows, cols = idx, idx + k
+    else:
+        rows, cols = idx - k, idx
+    out = Matrix(v.dtype, n, n)
+    out._set(rows.astype(np.int64), cols.astype(np.int64), vals.copy())
+    return out

@@ -1,0 +1,37 @@
+"""Descriptors: per-call modifiers mirroring ``GrB_Descriptor``.
+
+A descriptor toggles input transposition (``GrB_INP0``/``GrB_INP1``), output
+clearing (``GrB_OUTP = GrB_REPLACE``), and mask interpretation
+(``GrB_MASK = GrB_COMP`` and/or ``GrB_STRUCTURE``).  Mask flags given here are
+OR-ed with flags set on a :class:`~repro.graphblas.mask.Mask` wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+
+__all__ = ["Descriptor", "NULL", "T0", "T1", "T0T1", "R", "C", "S", "RC", "RS", "RSC"]
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    transpose_a: bool = False
+    transpose_b: bool = False
+    replace: bool = False
+    mask_complement: bool = False
+    mask_structure: bool = False
+
+    def with_(self, **kw) -> "Descriptor":
+        return _dc_replace(self, **kw)
+
+
+NULL = Descriptor()
+T0 = Descriptor(transpose_a=True)
+T1 = Descriptor(transpose_b=True)
+T0T1 = Descriptor(transpose_a=True, transpose_b=True)
+R = Descriptor(replace=True)
+C = Descriptor(mask_complement=True)
+S = Descriptor(mask_structure=True)
+RC = Descriptor(replace=True, mask_complement=True)
+RS = Descriptor(replace=True, mask_structure=True)
+RSC = Descriptor(replace=True, mask_structure=True, mask_complement=True)

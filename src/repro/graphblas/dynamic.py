@@ -1,0 +1,419 @@
+"""Updatable sparse-matrix storage (paper future work, item (1)).
+
+The paper's conclusion proposes "updatable compressed matrix representation
+formats such as faimGraph [10] or Hornet [2]" to avoid rebuilding CSR on
+every change set.  This module implements that format in the same spirit,
+adapted from GPU memory pools to NumPy arenas:
+
+* **Arena + per-row blocks** (Hornet): all adjacency data lives in two flat
+  arrays (``cols``/``vals``).  Each row owns a contiguous *block* with a
+  power-of-two capacity and a fill length; inserts append into the slack.
+* **Capacity-class free lists** (faimGraph): when a row outgrows its block it
+  relocates to a block of twice the capacity and its old block is pushed on
+  a per-size free list for reuse, so a long insert stream reaches a steady
+  state with bounded arena growth.
+* **Swap-with-last deletion** (Hornet): rows are *unsorted*; removing an
+  entry moves the row's last entry into the hole -- O(scan) to find, O(1)
+  to delete, no tombstones.
+
+Amortised costs: ``set_element`` O(row degree) (membership scan dominates),
+``remove_element`` O(row degree), ``to_matrix`` O(nnz log nnz) (one sort).
+The ablation benchmark ``benchmarks/bench_ablation_dynamic.py`` compares
+this against rebuild-per-changeset CSR maintenance on the update phase.
+
+This storage is *not* a GraphBLAS object: computation stays in
+:class:`~repro.graphblas.matrix.Matrix`.  ``to_matrix``/``from_matrix``
+convert at phase boundaries, which is exactly how the paper's future-work
+deployment would slot a dynamic format under the existing algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.graphblas import types as _types
+from repro.graphblas.matrix import Matrix
+from repro.util.validation import (
+    DimensionMismatch,
+    IndexOutOfBounds,
+    check_positive,
+)
+
+__all__ = ["DynamicMatrix"]
+
+_MIN_CAP = 4  # smallest block; everything is a power of two from here
+
+
+def _block_cap(n: int) -> int:
+    """Smallest power-of-two capacity >= max(n, _MIN_CAP)."""
+    return 1 << max(int(n) - 1, _MIN_CAP - 1).bit_length()
+
+
+class DynamicMatrix:
+    """A fully-dynamic sparse matrix with amortised O(degree) edge updates.
+
+    Supports ``set_element`` / ``remove_element`` / ``get`` plus bulk
+    variants, and converts to/from the immutable compute
+    :class:`~repro.graphblas.matrix.Matrix`.
+    """
+
+    __slots__ = (
+        "dtype",
+        "_nrows",
+        "_ncols",
+        "_cols",
+        "_vals",
+        "_start",
+        "_len",
+        "_cap",
+        "_used",
+        "_free",
+        "_nvals",
+        "_relocations",
+    )
+
+    def __init__(self, dtype, nrows: int, ncols: int):
+        self.dtype = _types.lookup(dtype)
+        self._nrows = check_positive(nrows, "nrows")
+        self._ncols = check_positive(ncols, "ncols")
+        self._cols = np.zeros(0, dtype=np.int64)
+        self._vals = np.zeros(0, dtype=self.dtype.np_dtype)
+        self._start = np.full(nrows, -1, dtype=np.int64)  # -1: no block yet
+        self._len = np.zeros(nrows, dtype=np.int64)
+        self._cap = np.zeros(nrows, dtype=np.int64)
+        self._used = 0  # arena bump pointer
+        self._free: dict[int, list[int]] = {}  # capacity -> block starts
+        self._nvals = 0
+        self._relocations = 0  # instrumentation for the ablation bench
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_matrix(cls, matrix: Matrix, *, slack: float = 0.0) -> "DynamicMatrix":
+        """Adopt an immutable matrix; ``slack`` adds per-row headroom.
+
+        ``slack=0.5`` sizes each block for 1.5x the current degree (rounded
+        up to the capacity class), trading memory for fewer relocations on
+        a subsequent insert stream.
+        """
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack}")
+        dm = cls(matrix.dtype, matrix.nrows, matrix.ncols)
+        rows, cols, vals = matrix.to_coo()
+        if rows.size == 0:
+            return dm
+        lengths = np.bincount(rows, minlength=matrix.nrows).astype(np.int64)
+        caps = np.array(
+            [_block_cap(int(np.ceil(n * (1.0 + slack)))) if n else 0 for n in lengths],
+            dtype=np.int64,
+        )
+        starts = np.concatenate([[0], np.cumsum(caps)[:-1]])
+        starts[lengths == 0] = -1
+        total = int(caps.sum())
+        dm._cols = np.zeros(total, dtype=np.int64)
+        dm._vals = np.zeros(total, dtype=dm.dtype.np_dtype)
+        # rows/cols arrive CSR-sorted: one vectorised scatter places all data
+        row_starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        dest = starts[rows] + (np.arange(rows.size) - row_starts[rows])
+        dm._cols[dest] = cols
+        dm._vals[dest] = dm.dtype.cast(vals)
+        dm._start = starts
+        dm._len = lengths
+        dm._cap = caps
+        dm._used = total
+        dm._nvals = int(rows.size)
+        return dm
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return self._nrows
+
+    @property
+    def ncols(self) -> int:
+        return self._ncols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._nrows, self._ncols)
+
+    @property
+    def nvals(self) -> int:
+        return self._nvals
+
+    @property
+    def relocations(self) -> int:
+        """How many row blocks have been moved to a larger capacity class."""
+        return self._relocations
+
+    def row_degree(self, i: int) -> int:
+        self._check_row(i)
+        return int(self._len[i])
+
+    def memory_stats(self) -> dict:
+        """Arena occupancy: how much slack the format is carrying."""
+        allocated = int(self._cap.sum())
+        free = sum(len(blocks) * cap for cap, blocks in self._free.items())
+        return {
+            "arena_size": int(self._cols.size),
+            "allocated_slots": allocated,
+            "filled_slots": self._nvals,
+            "free_list_slots": free,
+            "utilisation": (self._nvals / allocated) if allocated else 1.0,
+            "relocations": self._relocations,
+        }
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+
+    def _check_row(self, i: int) -> None:
+        if not 0 <= i < self._nrows:
+            raise IndexOutOfBounds(f"row {i} out of range [0, {self._nrows})")
+
+    def _check_col(self, j: int) -> None:
+        if not 0 <= j < self._ncols:
+            raise IndexOutOfBounds(f"col {j} out of range [0, {self._ncols})")
+
+    def _row_slice(self, i: int) -> slice:
+        s = self._start[i]
+        return slice(s, s + self._len[i])
+
+    def get(self, i: int, j: int, default=None):
+        """Value at (i, j), or ``default`` if the entry is absent."""
+        self._check_row(i)
+        self._check_col(j)
+        if self._len[i] == 0:
+            return default
+        sl = self._row_slice(i)
+        hits = np.flatnonzero(self._cols[sl] == j)
+        if hits.size == 0:
+            return default
+        return self._vals[sl][hits[0]][()]
+
+    def __contains__(self, ij) -> bool:
+        i, j = ij
+        return self.get(i, j) is not None
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of (column indices, values) of row ``i`` (unsorted)."""
+        self._check_row(i)
+        sl = self._row_slice(i)
+        return self._cols[sl].copy(), self._vals[sl].copy()
+
+    # ------------------------------------------------------------------
+    # arena management
+    # ------------------------------------------------------------------
+
+    def _alloc(self, cap: int) -> int:
+        """A block of capacity ``cap``: recycled if possible, else bump."""
+        blocks = self._free.get(cap)
+        if blocks:
+            return blocks.pop()
+        start = self._used
+        need = start + cap
+        if need > self._cols.size:
+            new_size = max(need, 2 * self._cols.size, 64)
+            self._cols = np.resize(self._cols, new_size)
+            self._vals = np.resize(self._vals, new_size)
+        self._used = need
+        return start
+
+    def _grow_row(self, i: int) -> None:
+        """Relocate row ``i`` into a block of the next capacity class."""
+        old_cap = int(self._cap[i])
+        new_cap = max(2 * old_cap, _MIN_CAP)
+        new_start = self._alloc(new_cap)
+        n = int(self._len[i])
+        if n:
+            old = self._row_slice(i)
+            # the new block may have been recycled from this very arena;
+            # copy through temporaries to be safe against overlap
+            self._cols[new_start : new_start + n] = self._cols[old].copy()
+            self._vals[new_start : new_start + n] = self._vals[old].copy()
+        if old_cap:
+            self._free.setdefault(old_cap, []).append(int(self._start[i]))
+            self._relocations += 1
+        self._start[i] = new_start
+        self._cap[i] = new_cap
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def set_element(self, i: int, j: int, value) -> None:
+        """Insert or overwrite entry (i, j) (GrB_Matrix_setElement)."""
+        self._check_row(i)
+        self._check_col(j)
+        value = self.dtype.np_dtype.type(value)
+        sl = self._row_slice(i)
+        hits = np.flatnonzero(self._cols[sl] == j)
+        if hits.size:
+            self._vals[sl.start + hits[0]] = value
+            return
+        if self._len[i] == self._cap[i]:
+            self._grow_row(i)
+        pos = self._start[i] + self._len[i]
+        self._cols[pos] = j
+        self._vals[pos] = value
+        self._len[i] += 1
+        self._nvals += 1
+
+    def remove_element(self, i: int, j: int) -> bool:
+        """Delete entry (i, j); True if it existed (swap-with-last, O(1))."""
+        self._check_row(i)
+        self._check_col(j)
+        sl = self._row_slice(i)
+        hits = np.flatnonzero(self._cols[sl] == j)
+        if hits.size == 0:
+            return False
+        pos = sl.start + hits[0]
+        last = sl.stop - 1
+        self._cols[pos] = self._cols[last]
+        self._vals[pos] = self._vals[last]
+        self._len[i] -= 1
+        self._nvals -= 1
+        return True
+
+    def assign_coo(self, rows, cols, values, *, accum=None) -> None:
+        """Bulk insert/overwrite of (row, col, value) triples.
+
+        With ``accum`` (a BinaryOp), values combine with existing entries
+        instead of overwriting -- the log-flush idiom of the social graph.
+        Duplicates *within the batch* also combine under ``accum`` (they
+        overwrite left-to-right without it).
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if np.isscalar(values) or getattr(values, "ndim", 1) == 0:
+            values = np.full(rows.shape, values)
+        values = self.dtype.cast(np.asarray(values))
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self._nrows:
+            raise IndexOutOfBounds("row index out of range in assign_coo")
+        if cols.min() < 0 or cols.max() >= self._ncols:
+            raise IndexOutOfBounds("col index out of range in assign_coo")
+        # group by row so each row is touched once
+        order = np.argsort(rows, kind="stable")
+        rows, cols, values = rows[order], cols[order], values[order]
+        boundaries = np.flatnonzero(np.diff(rows)) + 1
+        for seg_start, seg_stop in zip(
+            np.concatenate([[0], boundaries]),
+            np.concatenate([boundaries, [rows.size]]),
+        ):
+            i = int(rows[seg_start])
+            self._assign_row(
+                i, cols[seg_start:seg_stop], values[seg_start:seg_stop], accum
+            )
+
+    def _assign_row(self, i: int, new_cols, new_vals, accum) -> None:
+        """Merge a batch of entries into one row."""
+        # combine duplicates inside the batch first
+        uniq, inverse = np.unique(new_cols, return_inverse=True)
+        if uniq.size != new_cols.size:
+            merged = np.empty(uniq.size, dtype=new_vals.dtype)
+            if accum is None:
+                merged[inverse] = new_vals  # last writer wins
+            else:
+                for k in range(uniq.size):
+                    sel = new_vals[inverse == k]
+                    acc = sel[0]
+                    for v in sel[1:]:
+                        acc = accum(acc, v)
+                    merged[k] = acc
+            new_cols, new_vals = uniq, merged
+        sl = self._row_slice(i)
+        existing = self._cols[sl]
+        pos_in_row = {int(c): k for k, c in enumerate(existing.tolist())}
+        hit = np.array([int(c) in pos_in_row for c in new_cols.tolist()], dtype=bool)
+        # overwrite / accumulate the hits
+        for c, v in zip(new_cols[hit].tolist(), new_vals[hit]):
+            k = sl.start + pos_in_row[c]
+            self._vals[k] = accum(self._vals[k], v) if accum is not None else v
+        # append the misses, growing as needed
+        miss_cols, miss_vals = new_cols[~hit], new_vals[~hit]
+        n_new = int(miss_cols.size)
+        if n_new == 0:
+            return
+        while self._len[i] + n_new > self._cap[i]:
+            self._grow_row(i)
+        pos = int(self._start[i] + self._len[i])
+        self._cols[pos : pos + n_new] = miss_cols
+        self._vals[pos : pos + n_new] = miss_vals
+        self._len[i] += n_new
+        self._nvals += n_new
+
+    def resize(self, nrows: int, ncols: int) -> None:
+        """Grow the logical dimensions (GxB_Matrix_resize, grow-only)."""
+        if nrows < self._nrows or ncols < self._ncols:
+            raise DimensionMismatch(
+                f"DynamicMatrix.resize only grows: {self.shape} -> {(nrows, ncols)}"
+            )
+        if nrows > self._nrows:
+            extra = nrows - self._nrows
+            self._start = np.concatenate([self._start, np.full(extra, -1, np.int64)])
+            self._len = np.concatenate([self._len, np.zeros(extra, np.int64)])
+            self._cap = np.concatenate([self._cap, np.zeros(extra, np.int64)])
+            self._nrows = nrows
+        self._ncols = ncols
+
+    def compact(self) -> None:
+        """Rebuild the arena with zero slack (defragmentation)."""
+        fresh = DynamicMatrix.from_matrix(self.to_matrix())
+        for name in ("_cols", "_vals", "_start", "_len", "_cap", "_used", "_free"):
+            setattr(self, name, getattr(fresh, name))
+        self._nvals = fresh._nvals
+
+    # ------------------------------------------------------------------
+    # conversion / iteration
+    # ------------------------------------------------------------------
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(rows, cols, values) in canonical (row-major sorted) order."""
+        n = self._nvals
+        rows = np.empty(n, dtype=np.int64)
+        cols = np.empty(n, dtype=np.int64)
+        vals = np.empty(n, dtype=self.dtype.np_dtype)
+        out = 0
+        for i in np.flatnonzero(self._len).tolist():
+            k = int(self._len[i])
+            sl = self._row_slice(i)
+            order = np.argsort(self._cols[sl], kind="stable")
+            rows[out : out + k] = i
+            cols[out : out + k] = self._cols[sl][order]
+            vals[out : out + k] = self._vals[sl][order]
+            out += k
+        return rows, cols, vals
+
+    def to_matrix(self) -> Matrix:
+        """Freeze into an immutable compute Matrix."""
+        rows, cols, vals = self.to_coo()
+        return Matrix.from_coo(
+            rows, cols, vals, self._nrows, self._ncols, dtype=self.dtype
+        )
+
+    def items(self) -> Iterator[tuple[int, int, object]]:
+        rows, cols, vals = self.to_coo()
+        yield from zip(rows.tolist(), cols.tolist(), vals.tolist())
+
+    def isequal(self, other) -> bool:
+        """Structural and value equality against Matrix or DynamicMatrix."""
+        if self.shape != other.shape or self.nvals != other.nvals:
+            return False
+        a = self.to_coo()
+        b = other.to_coo()
+        return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DynamicMatrix {self._nrows}x{self._ncols} {self.dtype.name} "
+            f"nvals={self._nvals} util={self.memory_stats()['utilisation']:.2f}>"
+        )

@@ -1,0 +1,68 @@
+"""Mask wrappers.
+
+A mask restricts where an operation may write.  Any Matrix/Vector can be used
+directly as a *value mask* (positions whose stored value is truthy).  Wrap it
+in :class:`Mask` to request structural interpretation (every stored position
+counts) and/or complementing, mirroring ``GrB_MASK`` descriptor settings but
+attached to the object for ergonomic call sites::
+
+    C = A.mxm(B, sr, mask=Mask(M, structure=True, complement=True))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Mask", "resolve_mask"]
+
+
+@dataclass(frozen=True)
+class Mask:
+    parent: object  # Vector or Matrix
+    complement: bool = False
+    structure: bool = False
+
+    def __post_init__(self):
+        from repro.graphblas.matrix import Matrix
+        from repro.graphblas.vector import Vector
+
+        if not isinstance(self.parent, (Matrix, Vector)):
+            raise TypeError(f"Mask parent must be Matrix or Vector, got {type(self.parent)}")
+
+
+def resolve_mask(mask, desc) -> Optional[tuple[object, bool, bool]]:
+    """Normalise a mask argument to ``(parent, complement, structure)``.
+
+    Accepts None, a bare Matrix/Vector, or a :class:`Mask`; descriptor mask
+    flags are OR-ed in.  Returns None when no mask applies.
+    """
+    comp = bool(desc is not None and desc.mask_complement)
+    struct = bool(desc is not None and desc.mask_structure)
+    if mask is None:
+        if comp:
+            # Complement of "no mask" masks out everything only if a mask were
+            # present; per the spec a complemented NULL mask writes nowhere.
+            # We surface this rare corner explicitly rather than silently.
+            raise ValueError("mask_complement set but no mask supplied")
+        return None
+    if isinstance(mask, Mask):
+        return (mask.parent, comp or mask.complement, struct or mask.structure)
+    return (mask, comp, struct)
+
+
+def mask_true_keys(parent, structure: bool) -> np.ndarray:
+    """Encoded key array of mask-true positions (see _kernels.coo.encode)."""
+    from repro.graphblas.matrix import Matrix
+
+    if isinstance(parent, Matrix):
+        rows, cols, vals = parent._rows, parent._cols, parent._values
+        keys = rows * parent.ncols + cols
+    else:
+        keys, vals = parent._indices, parent._values
+    if structure:
+        return keys
+    truthy = vals != 0
+    return keys[truthy]

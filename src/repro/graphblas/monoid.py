@@ -1,0 +1,100 @@
+"""Monoids: an associative, commutative binary op plus a typed identity.
+
+A monoid is what a GraphBLAS reduction or the "add" half of a semiring needs.
+Identities are dtype-dependent (MIN's identity is ``+inf`` for floats but
+``INT64_MAX`` for 64-bit ints), so :meth:`Monoid.identity` takes the
+:class:`~repro.graphblas.types.DataType`.  A *terminal* value, when present,
+allows reductions to stop early (e.g. LOR terminates at True) -- our
+vectorised kernels do not exploit it, but it is recorded because the paper's
+SuiteSparse backend does and tests assert the algebra is declared correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.graphblas import ops
+from repro.graphblas.types import DataType
+
+__all__ = [
+    "Monoid",
+    "plus_monoid",
+    "times_monoid",
+    "min_monoid",
+    "max_monoid",
+    "lor_monoid",
+    "land_monoid",
+    "lxor_monoid",
+    "any_monoid",
+    "MONOIDS",
+]
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """A commutative monoid over any GraphBLAS type."""
+
+    name: str
+    op: ops.BinaryOp
+    _identity: Callable[[DataType], object]
+    _terminal: Optional[Callable[[DataType], object]] = None
+
+    def __post_init__(self):
+        if not self.op.associative:
+            raise ValueError(f"monoid {self.name}: op {self.op.name} is not associative")
+
+    def identity(self, dtype: DataType):
+        """Identity element cast to ``dtype``."""
+        return dtype.np_dtype.type(self._identity(dtype))
+
+    def terminal(self, dtype: DataType):
+        """Terminal (annihilator) element, or None if the monoid has none."""
+        if self._terminal is None:
+            return None
+        return dtype.np_dtype.type(self._terminal(dtype))
+
+    @property
+    def ufunc(self) -> Optional[np.ufunc]:
+        return self.op.ufunc
+
+    def reduce_array(self, values: np.ndarray, dtype: DataType):
+        """Reduce a 1-D array to a scalar; identity for empty input."""
+        if values.size == 0:
+            return self.identity(dtype)
+        if self.ufunc is not None:
+            return dtype.cast(self.ufunc.reduce(values))
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.op(acc, v)
+        return dtype.cast(np.asarray(acc))[()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Monoid({self.name})"
+
+
+plus_monoid = Monoid("plus", ops.plus, lambda dt: 0)
+times_monoid = Monoid("times", ops.times, lambda dt: 1, _terminal=lambda dt: 0)
+min_monoid = Monoid("min", ops.min, lambda dt: dt.max_value(), _terminal=lambda dt: dt.min_value())
+max_monoid = Monoid("max", ops.max, lambda dt: dt.min_value(), _terminal=lambda dt: dt.max_value())
+lor_monoid = Monoid("lor", ops.lor, lambda dt: False, _terminal=lambda dt: True)
+land_monoid = Monoid("land", ops.land, lambda dt: True, _terminal=lambda dt: False)
+lxor_monoid = Monoid("lxor", ops.lxor, lambda dt: False)
+# ANY monoid: identity is unobservable (any value is a valid result); use 0.
+any_monoid = Monoid("any", ops.any_, lambda dt: 0)
+
+MONOIDS = {
+    m.name: m
+    for m in (
+        plus_monoid,
+        times_monoid,
+        min_monoid,
+        max_monoid,
+        lor_monoid,
+        land_monoid,
+        lxor_monoid,
+        any_monoid,
+    )
+}

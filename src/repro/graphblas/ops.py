@@ -1,0 +1,347 @@
+"""Operators: unary, binary and index-unary (select) ops.
+
+Operator objects are *dtype-generic*: they operate on whole NumPy arrays and
+let NumPy handle elementwise typing, after which the calling kernel casts the
+result into the output object's type.  Binary ops carry their backing
+``np.ufunc`` when one exists so monoid reductions can use
+``ufunc.reduceat`` / ``ufunc.at`` fast paths; ops without a ufunc (e.g.
+``first``) still work everywhere except as a reduction monoid.
+
+Naming follows the GraphBLAS C API (``GrB_PLUS`` -> :data:`plus`,
+``GxB_PAIR`` -> :data:`pair`, ...).  Index-unary ops implement the
+``GrB_select``/``GxB_select`` predicates (``VALUEEQ``, ``TRIL``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "UnaryOp",
+    "BinaryOp",
+    "IndexUnaryOp",
+    # unary
+    "identity",
+    "ainv",
+    "abs_",
+    "lnot",
+    "one",
+    "minv",
+    # binary
+    "plus",
+    "minus",
+    "times",
+    "div",
+    "min",
+    "max",
+    "first",
+    "second",
+    "pair",
+    "any_",
+    "lor",
+    "land",
+    "lxor",
+    "eq",
+    "ne",
+    "gt",
+    "lt",
+    "ge",
+    "le",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    # index-unary / select
+    "valueeq",
+    "valuene",
+    "valuegt",
+    "valuege",
+    "valuelt",
+    "valuele",
+    "rowindex_le",
+    "colindex_le",
+    "tril",
+    "triu",
+    "diag",
+    "offdiag",
+    "SELECT_OPS",
+    # positional apply (GrB_apply with IndexUnaryOp)
+    "IndexApplyOp",
+    "rowindex",
+    "colindex",
+    "diagindex",
+    "INDEX_APPLY_OPS",
+]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Elementwise unary operator ``z = f(x)``."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    bool_result: bool = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fn(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryOp({self.name})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Elementwise binary operator ``z = f(x, y)``.
+
+    Attributes
+    ----------
+    ufunc:
+        The backing NumPy ufunc if the op is one (enables ``reduceat``/``at``
+        segment reductions and scatter-accumulate fast paths).
+    bool_result:
+        True for comparison ops whose natural output type is BOOL.
+    commutative / associative:
+        Algebraic properties; associativity is required for use in a monoid.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ufunc: Optional[np.ufunc] = field(default=None)
+    bool_result: bool = False
+    commutative: bool = False
+    associative: bool = False
+
+    def __call__(self, x, y) -> np.ndarray:
+        return self.fn(x, y)
+
+    def bind_second(self, value) -> UnaryOp:
+        """Curry the right operand: ``f(x) = op(x, value)`` (GrB_apply BinaryOp+scalar)."""
+        return UnaryOp(
+            f"{self.name}_bound2({value!r})",
+            lambda x, _op=self.fn, _v=value: _op(x, _v),
+            bool_result=self.bool_result,
+        )
+
+    def bind_first(self, value) -> UnaryOp:
+        """Curry the left operand: ``f(y) = op(value, y)``."""
+        return UnaryOp(
+            f"{self.name}_bound1({value!r})",
+            lambda y, _op=self.fn, _v=value: _op(_v, y),
+            bool_result=self.bool_result,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryOp({self.name})"
+
+
+@dataclass(frozen=True)
+class IndexUnaryOp:
+    """Select predicate ``keep = f(value, row, col, thunk)``.
+
+    For vectors ``col`` is passed as zeros.  The thunk is the scalar ``k`` in
+    the ``GxB_select`` signature (e.g. the comparison constant of VALUEEQ).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray]
+
+    def __call__(self, values, rows, cols, thunk) -> np.ndarray:
+        out = self.fn(values, rows, cols, thunk)
+        return np.asarray(out, dtype=np.bool_)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexUnaryOp({self.name})"
+
+
+# --------------------------------------------------------------------------
+# Unary ops
+# --------------------------------------------------------------------------
+
+identity = UnaryOp("identity", lambda x: x)
+ainv = UnaryOp("ainv", np.negative)
+abs_ = UnaryOp("abs", np.abs)
+lnot = UnaryOp("lnot", lambda x: ~np.asarray(x, dtype=np.bool_), bool_result=True)
+one = UnaryOp("one", lambda x: np.ones_like(x))
+
+
+def _minv(x):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(1.0, x)
+
+
+minv = UnaryOp("minv", _minv)
+
+
+def _safe_log(x):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.log(x)
+
+
+def _safe_sqrt(x):
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(x)
+
+
+sqrt = UnaryOp("sqrt", _safe_sqrt)
+exp = UnaryOp("exp", np.exp)
+log = UnaryOp("log", _safe_log)
+sign = UnaryOp("sign", np.sign)
+floor = UnaryOp("floor", np.floor)
+ceil = UnaryOp("ceil", np.ceil)
+
+UNARY_OPS = {
+    op.name: op
+    for op in (identity, ainv, abs_, lnot, one, minv, sqrt, exp, log, sign, floor, ceil)
+}
+
+
+# --------------------------------------------------------------------------
+# Binary ops
+# --------------------------------------------------------------------------
+
+
+def _bool2(fn):
+    """Wrap a logical op so inputs are coerced to bool first."""
+
+    def wrapped(x, y, _fn=fn):
+        return _fn(np.asarray(x, dtype=np.bool_), np.asarray(y, dtype=np.bool_))
+
+    return wrapped
+
+
+plus = BinaryOp("plus", np.add, ufunc=np.add, commutative=True, associative=True)
+minus = BinaryOp("minus", np.subtract, ufunc=np.subtract)
+times = BinaryOp("times", np.multiply, ufunc=np.multiply, commutative=True, associative=True)
+
+
+def _safe_div(x, y):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.divide(x, y)
+
+
+div = BinaryOp("div", _safe_div)
+min = BinaryOp("min", np.minimum, ufunc=np.minimum, commutative=True, associative=True)
+max = BinaryOp("max", np.maximum, ufunc=np.maximum, commutative=True, associative=True)
+first = BinaryOp("first", lambda x, y: np.asarray(x), commutative=False, associative=True)
+second = BinaryOp("second", lambda x, y: np.asarray(y), commutative=False, associative=True)
+pair = BinaryOp(
+    "pair",
+    lambda x, y: np.ones(np.broadcast(np.asarray(x), np.asarray(y)).shape, dtype=np.int64),
+    commutative=True,
+    associative=False,
+)
+# GxB_ANY: "pick either operand" -- any deterministic choice is valid; we pick
+# the first.  It is associative and commutative *as a specification*, because
+# every result is an acceptable ANY-result.
+any_ = BinaryOp("any", lambda x, y: np.asarray(x), commutative=True, associative=True)
+
+lor = BinaryOp(
+    "lor", _bool2(np.logical_or), ufunc=np.logical_or, bool_result=True, commutative=True, associative=True
+)
+land = BinaryOp(
+    "land", _bool2(np.logical_and), ufunc=np.logical_and, bool_result=True, commutative=True, associative=True
+)
+lxor = BinaryOp(
+    "lxor", _bool2(np.logical_xor), ufunc=np.logical_xor, bool_result=True, commutative=True, associative=True
+)
+
+eq = BinaryOp("eq", np.equal, ufunc=np.equal, bool_result=True, commutative=True)
+ne = BinaryOp("ne", np.not_equal, ufunc=np.not_equal, bool_result=True, commutative=True)
+gt = BinaryOp("gt", np.greater, bool_result=True)
+lt = BinaryOp("lt", np.less, bool_result=True)
+ge = BinaryOp("ge", np.greater_equal, bool_result=True)
+le = BinaryOp("le", np.less_equal, bool_result=True)
+
+BINARY_OPS = {
+    op.name: op
+    for op in (
+        plus,
+        minus,
+        times,
+        div,
+        min,
+        max,
+        first,
+        second,
+        pair,
+        any_,
+        lor,
+        land,
+        lxor,
+        eq,
+        ne,
+        gt,
+        lt,
+        ge,
+        le,
+    )
+}
+
+
+# --------------------------------------------------------------------------
+# Index-unary (select) ops
+# --------------------------------------------------------------------------
+
+valueeq = IndexUnaryOp("valueeq", lambda v, r, c, k: v == k)
+valuene = IndexUnaryOp("valuene", lambda v, r, c, k: v != k)
+valuegt = IndexUnaryOp("valuegt", lambda v, r, c, k: v > k)
+valuege = IndexUnaryOp("valuege", lambda v, r, c, k: v >= k)
+valuelt = IndexUnaryOp("valuelt", lambda v, r, c, k: v < k)
+valuele = IndexUnaryOp("valuele", lambda v, r, c, k: v <= k)
+rowindex_le = IndexUnaryOp("rowindex_le", lambda v, r, c, k: r <= k)
+colindex_le = IndexUnaryOp("colindex_le", lambda v, r, c, k: c <= k)
+tril = IndexUnaryOp("tril", lambda v, r, c, k: c <= r + (0 if k is None else k))
+triu = IndexUnaryOp("triu", lambda v, r, c, k: c >= r + (0 if k is None else k))
+diag = IndexUnaryOp("diag", lambda v, r, c, k: c == r + (0 if k is None else k))
+offdiag = IndexUnaryOp("offdiag", lambda v, r, c, k: c != r + (0 if k is None else k))
+
+SELECT_OPS = {
+    op.name: op
+    for op in (
+        valueeq,
+        valuene,
+        valuegt,
+        valuege,
+        valuelt,
+        valuele,
+        rowindex_le,
+        colindex_le,
+        tril,
+        triu,
+        diag,
+        offdiag,
+    )
+}
+
+
+# --------------------------------------------------------------------------
+# Positional apply ops (GrB_apply with a value-producing IndexUnaryOp)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexApplyOp:
+    """Positional apply ``z = f(value, row, col, thunk)`` producing values.
+
+    The value-typed sibling of :class:`IndexUnaryOp`: where the latter is a
+    *predicate* (select keeps/drops entries), this produces the new stored
+    value.  Covers the ``GrB_ROWINDEX``/``GrB_COLINDEX``/``GrB_DIAGINDEX``
+    family used with ``GrB_apply``; for vectors the col array is zeros.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray, np.ndarray, object], np.ndarray]
+
+    def __call__(self, values, rows, cols, thunk) -> np.ndarray:
+        return np.asarray(self.fn(values, rows, cols, thunk))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexApplyOp({self.name})"
+
+
+rowindex = IndexApplyOp("rowindex", lambda v, r, c, k: r + (0 if k is None else k))
+colindex = IndexApplyOp("colindex", lambda v, r, c, k: c + (0 if k is None else k))
+diagindex = IndexApplyOp("diagindex", lambda v, r, c, k: c - r + (0 if k is None else k))
+
+INDEX_APPLY_OPS = {op.name: op for op in (rowindex, colindex, diagindex)}

@@ -1,0 +1,181 @@
+"""Dict-of-keys reference oracle for the GraphBLAS semantics.
+
+This module re-implements the core operations in the most obviously-correct
+way possible -- Python dicts keyed by positions, explicit loops -- so the
+vectorised kernels can be property-tested against it.  It is intentionally
+slow and lives outside any hot path; only the test-suite imports it.
+
+Objects are plain dicts: a vector is ``{i: value}``, a matrix is
+``{(i, j): value}``.  Every function mirrors the corresponding kernel's
+contract, including mask/accumulator/replace write semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = [
+    "ewise_add",
+    "ewise_mult",
+    "mxm",
+    "mxv",
+    "vxm",
+    "reduce_rowwise",
+    "reduce_all",
+    "apply",
+    "select_vector",
+    "select_matrix",
+    "extract_matrix",
+    "assign_matrix",
+    "kron",
+    "apply_index_matrix",
+    "write",
+]
+
+
+def ewise_add(a: dict, b: dict, op: Callable) -> dict:
+    out = {}
+    for k in set(a) | set(b):
+        if k in a and k in b:
+            out[k] = op(a[k], b[k])
+        elif k in a:
+            out[k] = a[k]
+        else:
+            out[k] = b[k]
+    return out
+
+
+def ewise_mult(a: dict, b: dict, op: Callable) -> dict:
+    return {k: op(a[k], b[k]) for k in set(a) & set(b)}
+
+
+def mxm(a: dict, b: dict, add: Callable, mult: Callable) -> dict:
+    """C = A ⊕.⊗ B on {(i,k): v} dicts."""
+    out: dict = {}
+    b_by_row: dict = {}
+    for (k, j), v in b.items():
+        b_by_row.setdefault(k, []).append((j, v))
+    for (i, k), av in a.items():
+        for j, bv in b_by_row.get(k, ()):
+            prod = mult(av, bv)
+            key = (i, j)
+            out[key] = add(out[key], prod) if key in out else prod
+    return out
+
+
+def mxv(a: dict, u: dict, add: Callable, mult: Callable) -> dict:
+    out: dict = {}
+    for (i, j), av in a.items():
+        if j in u:
+            prod = mult(av, u[j])
+            out[i] = add(out[i], prod) if i in out else prod
+    return out
+
+
+def vxm(u: dict, a: dict, add: Callable, mult: Callable) -> dict:
+    out: dict = {}
+    for (i, j), av in a.items():
+        if i in u:
+            prod = mult(u[i], av)
+            out[j] = add(out[j], prod) if j in out else prod
+    return out
+
+
+def reduce_rowwise(a: dict, add: Callable) -> dict:
+    out: dict = {}
+    for (i, _j), v in a.items():
+        out[i] = add(out[i], v) if i in out else v
+    return out
+
+
+def reduce_all(a: dict, add: Callable, identity):
+    acc = identity
+    for v in a.values():
+        acc = add(acc, v)
+    return acc
+
+
+def apply(a: dict, fn: Callable) -> dict:
+    return {k: fn(v) for k, v in a.items()}
+
+
+def select_vector(u: dict, pred: Callable, thunk=None) -> dict:
+    return {i: v for i, v in u.items() if pred(v, i, 0, thunk)}
+
+
+def select_matrix(a: dict, pred: Callable, thunk=None) -> dict:
+    return {(i, j): v for (i, j), v in a.items() if pred(v, i, j, thunk)}
+
+
+def extract_matrix(a: dict, row_ids, col_ids) -> dict:
+    col_pos = {j: p for p, j in enumerate(col_ids)}
+    out = {}
+    for out_i, src_i in enumerate(row_ids):
+        for (i, j), v in a.items():
+            if i == src_i and j in col_pos:
+                out[(out_i, col_pos[j])] = v
+    return out
+
+
+def assign_matrix(c: dict, a: dict, row_ids, col_ids, accum: Optional[Callable] = None) -> dict:
+    """Z-phase of ``C(I, J) accum= A``, spelled naively (no mask)."""
+    region = {(i, j) for i in row_ids for j in col_ids}
+    out = {k: v for k, v in c.items() if k not in region}
+    mapped = {(row_ids[i], col_ids[j]): v for (i, j), v in a.items()}
+    if accum is None:
+        out.update(mapped)
+    else:
+        for k, v in mapped.items():
+            out[k] = accum(c[k], v) if k in c else v
+        for k in region:
+            if k in c and k not in mapped:
+                out[k] = c[k]
+    return out
+
+
+def kron(a: dict, b: dict, op: Callable, b_nrows: int, b_ncols: int) -> dict:
+    """Kronecker product on dicts."""
+    return {
+        (i * b_nrows + k, j * b_ncols + l): op(av, bv)
+        for (i, j), av in a.items()
+        for (k, l), bv in b.items()
+    }
+
+
+def apply_index_matrix(a: dict, fn: Callable, thunk=None) -> dict:
+    """Positional apply on dicts: ``out[i,j] = fn(v, i, j, thunk)``."""
+    return {(i, j): fn(v, i, j, thunk) for (i, j), v in a.items()}
+
+
+def write(
+    c: dict,
+    t: dict,
+    *,
+    mask: Optional[set] = None,
+    mask_complement: bool = False,
+    replace: bool = False,
+    accum: Optional[Callable] = None,
+) -> dict:
+    """The GraphBLAS two-phase masked/accumulated write, spelled naively."""
+    if accum is None:
+        z = dict(t)
+    else:
+        z = dict(c)
+        for k, v in t.items():
+            z[k] = accum(z[k], v) if k in z else v
+    if mask is None:
+        return z
+
+    def in_mask(k) -> bool:
+        present = k in mask
+        return (not present) if mask_complement else present
+
+    out = {}
+    for k, v in z.items():
+        if in_mask(k):
+            out[k] = v
+    if not replace:
+        for k, v in c.items():
+            if not in_mask(k) and k not in out:
+                out[k] = v
+    return out

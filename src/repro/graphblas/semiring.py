@@ -1,0 +1,124 @@
+"""Semirings: an "add" monoid paired with a "multiply" binary op.
+
+``C = A ⊕.⊗ B`` uses the multiply op on matched entries and the add monoid to
+combine products landing on the same output position.  The registry is
+generated as the cross product of the useful monoids and multiply ops, named
+``{add}_{mult}`` exactly as in SuiteSparse (``plus_times``, ``min_second``,
+``lor_land``, ...).  The case study uses:
+
+* ``plus_times``   -- Q1 likes aggregation, Q2 affected-comment counting
+* ``plus_pair``    -- structural counting (one per matched pair)
+* ``min_second``   -- FastSV hooking (minimum grandparent of neighbours)
+* ``lor_land``     -- boolean reachability / structure products
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphblas import monoid as _monoid
+from repro.graphblas import ops
+from repro.graphblas.types import BOOL, DataType, promote
+
+__all__ = ["Semiring", "SEMIRINGS", "get", "swapped"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An (add monoid, multiply op) pair."""
+
+    name: str
+    add: _monoid.Monoid
+    mult: ops.BinaryOp
+
+    def output_dtype(self, a: DataType, b: DataType) -> DataType:
+        """Natural output type for operand types ``a`` and ``b``."""
+        if self.mult.bool_result or self.add.op.bool_result:
+            return BOOL
+        if self.mult.name == "pair":
+            from repro.graphblas.types import INT64
+
+            return INT64
+        if self.mult.name == "first":
+            return a
+        if self.mult.name == "second":
+            return b
+        return promote(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+_ADDS = (
+    _monoid.plus_monoid,
+    _monoid.times_monoid,
+    _monoid.min_monoid,
+    _monoid.max_monoid,
+    _monoid.lor_monoid,
+    _monoid.land_monoid,
+    _monoid.lxor_monoid,
+    _monoid.any_monoid,
+)
+_MULTS = (
+    ops.plus,
+    ops.minus,
+    ops.times,
+    ops.div,
+    ops.min,
+    ops.max,
+    ops.first,
+    ops.second,
+    ops.pair,
+    ops.lor,
+    ops.land,
+    ops.lxor,
+    ops.eq,
+    ops.ne,
+)
+
+SEMIRINGS: dict[str, Semiring] = {}
+for _add in _ADDS:
+    for _mult in _MULTS:
+        _name = f"{_add.name}_{_mult.name}"
+        SEMIRINGS[_name] = Semiring(_name, _add, _mult)
+
+
+def get(name: str) -> Semiring:
+    """Look up a semiring by ``{add}_{mult}`` name."""
+    try:
+        return SEMIRINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; available: {sorted(SEMIRINGS)}"
+        ) from None
+
+
+def swapped(s: Semiring) -> Semiring:
+    """Semiring with the multiply operand order flipped.
+
+    ``vxm`` is implemented as ``mxv`` on the transpose, which flips the
+    multiply's operand order; for non-commutative multiplies (``first``,
+    ``second``, ``minus``, ...) the kernel must therefore run the swapped op.
+    """
+    m = s.mult
+    if m.commutative:
+        return s
+    if m.name == "first":
+        new = ops.second
+    elif m.name == "second":
+        new = ops.first
+    else:
+        new = ops.BinaryOp(
+            f"{m.name}_swapped",
+            lambda x, y, _fn=m.fn: _fn(y, x),
+            bool_result=m.bool_result,
+        )
+    return Semiring(f"{s.name}_swapped", s.add, new)
+
+
+def __getattr__(name: str) -> Semiring:
+    """Allow ``semiring.plus_times`` style attribute access."""
+    try:
+        return SEMIRINGS[name]
+    except KeyError:
+        raise AttributeError(name) from None

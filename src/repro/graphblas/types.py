@@ -1,0 +1,152 @@
+"""GraphBLAS data types.
+
+The GraphBLAS C API defines eleven built-in scalar types (``GrB_BOOL``,
+``GrB_INT8`` ... ``GrB_FP64``).  Here each is a :class:`DataType` wrapping the
+corresponding NumPy dtype.  All stored values in :class:`~repro.graphblas.Matrix`
+and :class:`~repro.graphblas.Vector` objects are NumPy arrays of the wrapped
+dtype, so casting rules follow NumPy with one GraphBLAS-specific addition:
+:func:`promote` maps the NumPy promotion result back onto a registered type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DataType",
+    "BOOL",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "FP32",
+    "FP64",
+    "ALL_TYPES",
+    "from_numpy",
+    "promote",
+    "lookup",
+]
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A GraphBLAS scalar type backed by a NumPy dtype."""
+
+    name: str
+    np_dtype: np.dtype
+
+    @property
+    def is_bool(self) -> bool:
+        return self.np_dtype == np.bool_
+
+    @property
+    def is_integer(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.integer)
+
+    @property
+    def is_signed(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.signedinteger)
+
+    @property
+    def is_float(self) -> bool:
+        return np.issubdtype(self.np_dtype, np.floating)
+
+    def zero(self):
+        """The additive-identity-flavoured default value of this type."""
+        return self.np_dtype.type(0)
+
+    def one(self):
+        return self.np_dtype.type(1)
+
+    def cast(self, values) -> np.ndarray:
+        """Cast an array-like to this type (GraphBLAS typecast semantics).
+
+        Float -> integer casts truncate toward zero as in C, which is what
+        ``ndarray.astype`` does.  Anything -> BOOL is a != 0 test.
+        """
+        arr = np.asarray(values)
+        if self.is_bool and arr.dtype != np.bool_:
+            return arr != 0
+        return arr.astype(self.np_dtype, copy=False)
+
+    def min_value(self):
+        """Smallest representable value (identity for MAX monoids)."""
+        if self.is_bool:
+            return np.bool_(False)
+        if self.is_integer:
+            return np.iinfo(self.np_dtype).min
+        return -np.inf
+
+    def max_value(self):
+        """Largest representable value (identity for MIN monoids)."""
+        if self.is_bool:
+            return np.bool_(True)
+        if self.is_integer:
+            return np.iinfo(self.np_dtype).max
+        return np.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DataType({self.name})"
+
+
+BOOL = DataType("BOOL", np.dtype(np.bool_))
+INT8 = DataType("INT8", np.dtype(np.int8))
+INT16 = DataType("INT16", np.dtype(np.int16))
+INT32 = DataType("INT32", np.dtype(np.int32))
+INT64 = DataType("INT64", np.dtype(np.int64))
+UINT8 = DataType("UINT8", np.dtype(np.uint8))
+UINT16 = DataType("UINT16", np.dtype(np.uint16))
+UINT32 = DataType("UINT32", np.dtype(np.uint32))
+UINT64 = DataType("UINT64", np.dtype(np.uint64))
+FP32 = DataType("FP32", np.dtype(np.float32))
+FP64 = DataType("FP64", np.dtype(np.float64))
+
+ALL_TYPES = (
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    FP32,
+    FP64,
+)
+
+_BY_NP = {t.np_dtype: t for t in ALL_TYPES}
+_BY_NAME = {t.name: t for t in ALL_TYPES}
+
+
+def from_numpy(dtype) -> DataType:
+    """Map a NumPy dtype (or anything np.dtype accepts) to a DataType."""
+    dt = np.dtype(dtype)
+    try:
+        return _BY_NP[dt]
+    except KeyError:
+        raise TypeError(f"no GraphBLAS type for numpy dtype {dt}") from None
+
+
+def lookup(spec) -> DataType:
+    """Resolve a DataType from a DataType, name string, or numpy dtype."""
+    if isinstance(spec, DataType):
+        return spec
+    if isinstance(spec, str) and spec.upper() in _BY_NAME:
+        return _BY_NAME[spec.upper()]
+    return from_numpy(spec)
+
+
+def promote(a: DataType, b: DataType) -> DataType:
+    """GraphBLAS-style type promotion via NumPy's rules.
+
+    ``promote(INT32, FP32) == FP64`` follows NumPy (int32+float32 -> float64),
+    which is a superset of the precision the C API guarantees.
+    """
+    return from_numpy(np.promote_types(a.np_dtype, b.np_dtype))

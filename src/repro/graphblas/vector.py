@@ -1,0 +1,482 @@
+"""The GraphBLAS Vector: a typed sparse vector.
+
+Storage is canonical sparse form: a sorted, duplicate-free int64 index array
+plus an aligned value array of the vector's type.  All Table-I operations the
+paper uses are methods here: ``vxm``, ``eWiseAdd``/``eWiseMult``, ``apply``,
+``select``, ``extract``, ``assign``, ``reduce``, ``build``/``extractTuples``.
+
+Every computational method accepts the standard GraphBLAS modifiers::
+
+    w = u.ewise_add(v, binary.plus, out=w, mask=m, accum=binary.plus, desc=desc)
+
+``out=None`` allocates a fresh result; with ``out`` given, the two-phase
+masked/accumulated write of the spec is applied against its current content.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.graphblas import ops as _ops
+from repro.graphblas import types as _types
+from repro.graphblas._kernels.coo import (
+    canonicalize_vector,
+    in1d_sorted,
+    segment_reduce,
+)
+from repro.graphblas._kernels.merge import (
+    intersect_merge,
+    union_merge,
+    write_mask_accum,
+)
+from repro.graphblas._kernels.spmv import mxv as _mxv_kernel
+from repro.graphblas.descriptor import NULL as _NULL_DESC
+from repro.graphblas.mask import mask_true_keys, resolve_mask
+from repro.util.validation import (
+    DimensionMismatch,
+    ReproError,
+    check_in_range,
+    check_index_array,
+    check_positive,
+)
+
+__all__ = ["Vector"]
+
+
+class Vector:
+    """Sparse vector of a fixed GraphBLAS type."""
+
+    __slots__ = ("dtype", "_size", "_indices", "_values")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def __init__(self, dtype, size: int):
+        self.dtype = _types.lookup(dtype)
+        self._size = check_positive(size, "size")
+        self._indices = np.zeros(0, dtype=np.int64)
+        self._values = np.zeros(0, dtype=self.dtype.np_dtype)
+
+    @classmethod
+    def sparse(cls, dtype, size: int) -> "Vector":
+        """Empty vector (GrB_Vector_new)."""
+        return cls(dtype, size)
+
+    @classmethod
+    def from_coo(cls, indices, values, size: int, dtype=None, dup_op=None) -> "Vector":
+        """Build from (index, value) pairs (GrB_Vector_build).
+
+        ``values`` may be a scalar, broadcast to every index.  Duplicated
+        indices require ``dup_op``.
+        """
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if np.isscalar(values) or getattr(values, "ndim", 1) == 0:
+            values = np.full(indices.shape, values)
+        else:
+            values = np.asarray(values)
+        if dtype is None:
+            dtype = _types.from_numpy(values.dtype)
+        v = cls(dtype, size)
+        check_index_array(indices, size, "indices")
+        idx, vals = canonicalize_vector(indices, values, size, dup_op=dup_op)
+        v._set(idx, v.dtype.cast(vals))
+        return v
+
+    @classmethod
+    def from_dense(cls, array, dtype=None) -> "Vector":
+        """Full vector from a dense array: every position becomes an entry."""
+        arr = np.asarray(array)
+        if dtype is None:
+            dtype = _types.from_numpy(arr.dtype)
+        v = cls(dtype, arr.size)
+        v._set(np.arange(arr.size, dtype=np.int64), v.dtype.cast(arr).copy())
+        return v
+
+    @classmethod
+    def full(cls, dtype, size: int, fill) -> "Vector":
+        """Full vector with a constant value at every position."""
+        dtype = _types.lookup(dtype)
+        v = cls(dtype, size)
+        v._set(
+            np.arange(size, dtype=np.int64),
+            np.full(size, fill, dtype=dtype.np_dtype),
+        )
+        return v
+
+    @classmethod
+    def iota(cls, size: int, dtype=_types.INT64) -> "Vector":
+        """The ramp vector [0, 1, ..., size-1] (FastSV's initial parents)."""
+        dtype = _types.lookup(dtype)
+        v = cls(dtype, size)
+        v._set(
+            np.arange(size, dtype=np.int64),
+            np.arange(size, dtype=dtype.np_dtype),
+        )
+        return v
+
+    def _set(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Install canonical arrays (internal)."""
+        self._indices = indices
+        self._values = values
+
+    # ------------------------------------------------------------------
+    # basic properties / element access
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def nvals(self) -> int:
+        return int(self._indices.size)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def get(self, i: int, default=None):
+        """Stored value at position ``i`` or ``default``."""
+        i = check_in_range(i, self._size, "index")
+        pos = np.searchsorted(self._indices, i)
+        if pos < self._indices.size and self._indices[pos] == i:
+            return self._values[pos][()]
+        return default
+
+    def __getitem__(self, i: int):
+        val = self.get(i)
+        if val is None:
+            raise KeyError(f"no entry at position {i}")
+        return val
+
+    def __setitem__(self, i: int, value) -> None:
+        """GrB_Vector_setElement."""
+        i = check_in_range(i, self._size, "index")
+        pos = int(np.searchsorted(self._indices, i))
+        cast = self.dtype.np_dtype.type(value)
+        if pos < self._indices.size and self._indices[pos] == i:
+            self._values = self._values.copy()
+            self._values[pos] = cast
+        else:
+            self._indices = np.insert(self._indices, pos, i)
+            self._values = np.insert(self._values, pos, cast)
+
+    def remove_element(self, i: int) -> None:
+        """GrB_Vector_removeElement."""
+        i = check_in_range(i, self._size, "index")
+        pos = np.searchsorted(self._indices, i)
+        if pos < self._indices.size and self._indices[pos] == i:
+            self._indices = np.delete(self._indices, pos)
+            self._values = np.delete(self._values, pos)
+
+    def remove_coo(self, indices) -> "Vector":
+        """Batch element removal: drop any stored entry at ``indices``.
+
+        Positions with no stored entry are ignored (idempotent), matching a
+        batched ``GrB_Vector_removeElement``.  Mutates and returns ``self``.
+        """
+        indices = check_index_array(indices, self._size, "indices")
+        if indices.size == 0 or self.nvals == 0:
+            return self
+        keep = ~np.isin(self._indices, indices)
+        self._set(self._indices[keep], self._values[keep])
+        return self
+
+    def __contains__(self, i: int) -> bool:
+        return self.get(i) is not None
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        for i, v in zip(self._indices.tolist(), self._values.tolist()):
+            yield i, v
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray]:
+        """GrB_Vector_extractTuples."""
+        return self._indices.copy(), self._values.copy()
+
+    def to_dense(self, fill=0) -> np.ndarray:
+        out = np.full(self._size, fill, dtype=self.dtype.np_dtype)
+        out[self._indices] = self._values
+        return out
+
+    def dup(self, dtype=None) -> "Vector":
+        """Deep copy, optionally retyped."""
+        dtype = self.dtype if dtype is None else _types.lookup(dtype)
+        v = Vector(dtype, self._size)
+        v._set(self._indices.copy(), dtype.cast(self._values).copy())
+        return v
+
+    def clear(self) -> None:
+        self._set(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=self.dtype.np_dtype)
+        )
+
+    def resize(self, size: int) -> None:
+        """GrB_Vector_resize: grow or shrink; shrinking drops entries."""
+        size = check_positive(size, "size")
+        if size < self._size:
+            keep = self._indices < size
+            self._set(self._indices[keep], self._values[keep])
+        self._size = size
+
+    # ------------------------------------------------------------------
+    # the write phase shared by all operations
+    # ------------------------------------------------------------------
+
+    def _finalize(self, t_idx, t_vals, out, mask, accum, desc, result_dtype):
+        desc = desc or _NULL_DESC
+        if out is None:
+            out = Vector(result_dtype, self._size)
+        if out.size != self._size:
+            raise DimensionMismatch(
+                f"out has size {out.size}, expected {self._size}"
+            )
+        minfo = resolve_mask(mask, desc)
+        mask_keys = None
+        comp = False
+        if minfo is not None:
+            parent, comp, struct = minfo
+            if not isinstance(parent, Vector) or parent.size != out.size:
+                raise DimensionMismatch("mask must be a Vector of matching size")
+            mask_keys = mask_true_keys(parent, struct)
+        keys, vals = write_mask_accum(
+            out._indices,
+            out._values,
+            t_idx,
+            t_vals,
+            mask_keys=mask_keys,
+            mask_complement=comp,
+            replace=desc.replace,
+            accum=accum,
+        )
+        out._set(keys, out.dtype.cast(vals))
+        return out
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def ewise_add(self, other: "Vector", op, *, out=None, mask=None, accum=None, desc=None) -> "Vector":
+        """Set-union elementwise combine (GrB_eWiseAdd)."""
+        self._check_same_size(other)
+        t_idx, t_vals = union_merge(
+            self._indices, self._values, other._indices, other._values, op
+        )
+        return self._finalize(
+            t_idx, t_vals, out, mask, accum, desc, self._result_dtype(op, other)
+        )
+
+    def ewise_mult(self, other: "Vector", op, *, out=None, mask=None, accum=None, desc=None) -> "Vector":
+        """Set-intersection elementwise combine (GrB_eWiseMult)."""
+        self._check_same_size(other)
+        t_idx, t_vals = intersect_merge(
+            self._indices, self._values, other._indices, other._values, op
+        )
+        return self._finalize(
+            t_idx, t_vals, out, mask, accum, desc, self._result_dtype(op, other)
+        )
+
+    def apply(self, op, *, out=None, mask=None, accum=None, desc=None, dtype=None) -> "Vector":
+        """Elementwise unary map over stored values (GrB_apply)."""
+        vals = np.asarray(op(self._values))
+        if dtype is None:
+            dtype = _types.BOOL if op.bool_result else self.dtype
+        else:
+            dtype = _types.lookup(dtype)
+        return self._finalize(self._indices.copy(), vals, out, mask, accum, desc, dtype)
+
+    def select(self, op, thunk=None, *, out=None, mask=None, accum=None, desc=None) -> "Vector":
+        """Keep entries passing an index-unary predicate (GxB_select)."""
+        keep = op(self._values, self._indices, np.zeros_like(self._indices), thunk)
+        return self._finalize(
+            self._indices[keep], self._values[keep], out, mask, accum, desc, self.dtype
+        )
+
+    def apply_index(self, op, thunk=None, *, out=None, mask=None, accum=None, desc=None, dtype=None) -> "Vector":
+        """Positional apply (GrB_apply with a value-producing IndexUnaryOp).
+
+        The col argument of the op is passed as zeros, matching the C API's
+        treatment of vectors in ``GrB_Vector_apply_IndexOp``.
+        """
+        vals = op(self._values, self._indices, np.zeros_like(self._indices), thunk)
+        if dtype is None:
+            dtype = _types.from_numpy(vals.dtype)
+        else:
+            dtype = _types.lookup(dtype)
+        return self._finalize(self._indices.copy(), vals, out, mask, accum, desc, dtype)
+
+    def reduce(self, monoid, *, dtype=None):
+        """Reduce all stored values to a scalar (GrB_reduce).
+
+        ``dtype`` selects the typed monoid (cast first, then reduce), e.g.
+        counting the True entries of a BOOL vector with ``plus`` at INT64.
+        """
+        rdtype = self.dtype if dtype is None else _types.lookup(dtype)
+        return monoid.reduce_array(rdtype.cast(self._values), rdtype)
+
+    def vxm(self, matrix, semiring, *, out=None, mask=None, accum=None, desc=None) -> "Vector":
+        """Row-vector times matrix: ``w' = u' ⊕.⊗ A`` (GrB_vxm).
+
+        Implemented as ``mxv`` on the (cached) transpose, with the multiply's
+        operand order restored via :func:`semiring.swapped` because the
+        semantic order is ``u(i) ⊗ A(i, j)``.
+        """
+        from repro.graphblas import semiring as _semiring_mod
+
+        desc = desc or _NULL_DESC
+        # u' A == (A')u ; honour the INP1 transpose flag.
+        mat = matrix if desc.transpose_b else matrix.T
+        # The kernel computes mult(A_val, u_val); vxm semantics need
+        # mult(u_val, A_val), so swap the multiply.
+        t_idx, t_vals = _mxv_kernel(
+            mat._coo_tuple(),
+            (self._indices, self._values, self._size),
+            _semiring_mod.swapped(semiring),
+        )
+        res = Vector(semiring.output_dtype(self.dtype, matrix.dtype), mat.nrows)
+        res._set(t_idx, res.dtype.cast(t_vals))
+        return res._finalize(t_idx, res._values, out, mask, accum, desc, res.dtype)
+
+    def extract(self, indices, *, out=None, mask=None, accum=None, desc=None) -> "Vector":
+        """``w = u(I)`` (GrB_extract); duplicates in I are allowed."""
+        idx = check_index_array(indices, self._size, "indices")
+        dense = np.zeros(self._size, dtype=self._values.dtype)
+        present = np.zeros(self._size, dtype=np.bool_)
+        dense[self._indices] = self._values
+        present[self._indices] = True
+        hit = present[idx]
+        t_idx = np.flatnonzero(hit).astype(np.int64)
+        t_vals = dense[idx[hit]]
+        res = Vector(self.dtype, idx.size)
+        return res._finalize(t_idx, t_vals, out, mask, accum, desc, self.dtype)
+
+    def assign(self, u, indices=None, *, out=None, mask=None, accum=None, desc=None) -> "Vector":
+        """``w(I)<mask> accum= u`` (GrB_assign).
+
+        ``u`` may be a Vector over the index space ``I`` or a scalar
+        (broadcast to every position of ``I``).  ``indices=None`` means
+        GrB_ALL.  Duplicate indices in ``I`` are combined with ``accum`` when
+        given (well-defined scatter-accumulate; the C spec leaves this
+        undefined, we tighten it).  The mask is over the *full* vector, as in
+        GrB_Vector_assign.  Mutates and returns ``self``.
+        """
+        desc = desc or _NULL_DESC
+        if indices is None:
+            idx = np.arange(self._size, dtype=np.int64)
+        else:
+            idx = check_index_array(indices, self._size, "indices")
+
+        if isinstance(u, Vector):
+            if u.size != idx.size:
+                raise DimensionMismatch(
+                    f"assign: u has size {u.size}, I has {idx.size} indices"
+                )
+            t_idx_global = idx[u._indices]
+            t_vals = u._values
+        else:  # scalar broadcast
+            t_idx_global = idx
+            t_vals = np.full(idx.size, u, dtype=self.dtype.np_dtype)
+
+        dup = accum if accum is not None else _ops.second
+        t_idx_global, t_vals = canonicalize_vector(
+            t_idx_global, t_vals, self._size, dup_op=dup
+        )
+
+        if accum is None:
+            # Pattern of C inside I is replaced by T's pattern.
+            in_i = np.zeros(self._size, dtype=np.bool_)
+            in_i[idx] = True
+            keep = ~in_i[self._indices]
+            base_idx = self._indices[keep]
+            base_vals = self._values[keep]
+            merged_idx = np.concatenate([base_idx, t_idx_global])
+            merged_vals = np.concatenate(
+                [base_vals, self.dtype.cast(t_vals)]
+            )
+            order = np.argsort(merged_idx, kind="stable")
+            z_idx, z_vals = merged_idx[order], merged_vals[order]
+        else:
+            z_idx, z_vals = union_merge(
+                self._indices, self._values, t_idx_global, self.dtype.cast(t_vals), accum
+            )
+
+        # Mask/replace phase over the full vector.
+        minfo = resolve_mask(mask, desc)
+        if minfo is None:
+            self._set(z_idx, self.dtype.cast(z_vals))
+            return self
+        parent, comp, struct = minfo
+        if not isinstance(parent, Vector) or parent.size != self._size:
+            raise DimensionMismatch("assign mask must be a Vector of matching size")
+        mask_keys = mask_true_keys(parent, struct)
+        keys, vals = write_mask_accum(
+            self._indices,
+            self._values,
+            z_idx,
+            z_vals,
+            mask_keys=mask_keys,
+            mask_complement=comp,
+            replace=desc.replace,
+            accum=None,
+        )
+        self._set(keys, self.dtype.cast(vals))
+        return self
+
+    def scatter_min(self, indices: np.ndarray, values: np.ndarray) -> "Vector":
+        """In-place ``w[I] = min(w[I], vals)`` with duplicate-friendly scatter.
+
+        FastSV's hooking step (``f[f[u]] = min(f[f[u]], mngp[u])``) needs a
+        scatter-combine where the same target index appears many times.  This
+        is ``np.minimum.at`` on the dense view -- only valid for *full*
+        vectors, which parent vectors in FastSV always are.
+        """
+        if self.nvals != self._size:
+            raise ReproError("scatter_min requires a full vector")
+        dense = self.to_dense()
+        np.minimum.at(dense, np.asarray(indices, dtype=np.int64), values)
+        self._set(self._indices, dense.astype(self.dtype.np_dtype, copy=False))
+        return self
+
+    # ------------------------------------------------------------------
+    # comparison / repr
+    # ------------------------------------------------------------------
+
+    def isequal(self, other: "Vector") -> bool:
+        """Same size, same structure, same values (dtype-insensitive compare)."""
+        return (
+            isinstance(other, Vector)
+            and self._size == other._size
+            and np.array_equal(self._indices, other._indices)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def _check_same_size(self, other: "Vector") -> None:
+        if not isinstance(other, Vector):
+            raise TypeError(f"expected Vector, got {type(other)}")
+        if other.size != self._size:
+            raise DimensionMismatch(
+                f"vector sizes differ: {self._size} vs {other.size}"
+            )
+
+    def _result_dtype(self, op, other: "Vector"):
+        if op.bool_result:
+            return _types.BOOL
+        if op.name == "first":
+            return self.dtype
+        if op.name == "second":
+            return other.dtype
+        if op.name == "pair":
+            return _types.INT64
+        return _types.promote(self.dtype, other.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(
+            f"{i}:{v}" for i, v in list(self.items())[:6]
+        )
+        more = ", ..." if self.nvals > 6 else ""
+        return f"Vector<{self.dtype.name}, size={self._size}, nvals={self.nvals}>[{head}{more}]"

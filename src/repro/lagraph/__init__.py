@@ -1,0 +1,48 @@
+"""LAGraph-style graph algorithms built on the GraphBLAS substrate.
+
+This package stands in for the LAGraph library [Mattson et al., GrAPL 2019]
+the paper links against.  The case study needs exactly one algorithm --
+connected components via FastSV [Zhang, Azad, Hu, PP 2020] -- but a graph
+algorithm library with a single entry would be a poor library, so the usual
+LAGraph staples are included and tested: BFS, PageRank and triangle counting.
+
+:mod:`repro.lagraph.incremental_cc` implements the paper's future-work item
+(2): maintaining connected components incrementally instead of re-running
+FastSV per affected comment (Ediger et al., IPDPS 2011 style).
+"""
+
+from repro.lagraph.fastsv import fastsv
+from repro.lagraph.cc_numpy import connected_components_numpy, component_sizes
+from repro.lagraph.incremental_cc import IncrementalCC
+from repro.lagraph.bfs import bfs_levels, bfs_parents
+from repro.lagraph.pagerank import pagerank
+from repro.lagraph.triangles import triangle_count
+from repro.lagraph.sssp import sssp_bellman_ford
+from repro.lagraph.cdlp import cdlp
+from repro.lagraph.kcore import kcore_decompose, kcore_subgraph
+from repro.lagraph.lcc import local_clustering_coefficient, triangles_per_vertex
+from repro.lagraph.betweenness import betweenness_centrality
+from repro.lagraph.ktruss import ktruss
+from repro.lagraph.msf import minimum_spanning_forest
+from repro.lagraph.scc import scc
+
+__all__ = [
+    "fastsv",
+    "connected_components_numpy",
+    "component_sizes",
+    "IncrementalCC",
+    "bfs_levels",
+    "bfs_parents",
+    "pagerank",
+    "triangle_count",
+    "sssp_bellman_ford",
+    "cdlp",
+    "kcore_decompose",
+    "kcore_subgraph",
+    "local_clustering_coefficient",
+    "triangles_per_vertex",
+    "betweenness_centrality",
+    "ktruss",
+    "scc",
+    "minimum_spanning_forest",
+]

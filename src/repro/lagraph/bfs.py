@@ -1,0 +1,77 @@
+"""Breadth-first search in the language of linear algebra.
+
+Classic GraphBLAS push BFS: the frontier is a sparse vector, each level is
+one ``vxm`` on a structural semiring, and visited vertices are masked out
+with a complemented mask -- the canonical demonstration of why masks exist.
+"""
+
+from __future__ import annotations
+
+from repro.graphblas import ops as _ops
+from repro.graphblas import semiring as _semiring
+from repro.graphblas.descriptor import Descriptor
+from repro.graphblas.mask import Mask
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+from repro.graphblas.types import INT64
+from repro.util.validation import DimensionMismatch, check_in_range
+
+__all__ = ["bfs_levels", "bfs_parents"]
+
+
+def bfs_levels(adjacency: Matrix, source: int) -> Vector:
+    """Level (hop distance) of every reachable vertex; source has level 0."""
+    n = adjacency.nrows
+    if adjacency.ncols != n:
+        raise DimensionMismatch("adjacency must be square")
+    check_in_range(source, n, "source")
+
+    levels = Vector.sparse(INT64, n)
+    frontier = Vector.from_coo([source], [True], n, dtype="BOOL")
+    lor_land = _semiring.get("lor_land")
+    depth = 0
+    while frontier.nvals:
+        levels.assign(depth, indices=frontier.to_coo()[0])
+        # next frontier: reachable in one hop, not yet visited
+        frontier = frontier.vxm(
+            adjacency,
+            lor_land,
+            mask=Mask(levels, complement=True, structure=True),
+            desc=Descriptor(replace=True),
+        )
+        depth += 1
+    return levels
+
+
+def bfs_parents(adjacency: Matrix, source: int) -> Vector:
+    """BFS tree: parent id per reachable vertex (source is its own parent).
+
+    Uses the min-first semiring so each discovered vertex records the
+    smallest-id parent in the previous frontier, making output deterministic.
+    """
+    n = adjacency.nrows
+    if adjacency.ncols != n:
+        raise DimensionMismatch("adjacency must be square")
+    check_in_range(source, n, "source")
+
+    parents = Vector.sparse(INT64, n)
+    parents[source] = source
+    # frontier carries the *id* of the frontier vertex as its value
+    frontier = Vector.from_coo([source], [source], n, dtype=INT64)
+    min_first = _semiring.get("min_first")
+    while frontier.nvals:
+        nxt = frontier.vxm(
+            adjacency,
+            min_first,
+            mask=Mask(parents, complement=True, structure=True),
+            desc=Descriptor(replace=True),
+        )
+        if nxt.nvals == 0:
+            break
+        idx, vals = nxt.to_coo()
+        # merge the new discoveries into parents (GrB_assign with no accum
+        # would *replace* the whole vector and unmask visited vertices)
+        parents.assign(Vector.from_coo(idx, vals, n, dtype=INT64), accum=_ops.second)
+        # re-seed the frontier with the newly discovered vertex ids
+        frontier = Vector.from_coo(idx, idx, n, dtype=INT64)
+    return parents

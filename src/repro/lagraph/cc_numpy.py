@@ -1,0 +1,60 @@
+"""Union-find connected components on raw edge lists.
+
+A path-halving, union-by-index union-find.  This serves three roles:
+
+* oracle for FastSV in the test-suite;
+* the fast path for Q2's many *tiny* induced subgraphs, where FastSV's
+  vector-at-a-time constant factors dominate (see
+  ``benchmarks/bench_ablation_inc_cc.py``);
+* the building block of :class:`repro.lagraph.incremental_cc.IncrementalCC`.
+
+The loop is per-edge Python, but Q2's subgraphs have a handful of edges each;
+for large graphs use :func:`repro.lagraph.fastsv.fastsv`, which is fully
+vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["connected_components_numpy", "component_sizes", "sum_squared_component_sizes"]
+
+
+def connected_components_numpy(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Component labels (smallest member id) for an n-vertex edge list."""
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    for a, b in zip(src.tolist(), dst.tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            if ra < rb:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+
+    # Flatten: every vertex points at its root; roots are component minima
+    # because unions always keep the smaller id as root.
+    out = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        out[v] = find(v)
+    return out
+
+
+def component_sizes(labels: np.ndarray) -> np.ndarray:
+    """Sizes of the components named by a label vector."""
+    if labels.size == 0:
+        return labels.copy()
+    _, counts = np.unique(labels, return_counts=True)
+    return counts
+
+
+def sum_squared_component_sizes(labels: np.ndarray) -> int:
+    """The Q2 score kernel: ``Σ_i size(component_i)²``."""
+    counts = component_sizes(labels)
+    return int(np.sum(counts.astype(np.int64) ** 2))

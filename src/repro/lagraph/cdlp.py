@@ -1,0 +1,77 @@
+"""Community detection by label propagation (CDLP).
+
+The LDBC Graphalytics formulation: every vertex starts with its own id as
+label; each round every vertex adopts the *most frequent* label among its
+neighbours, breaking ties toward the smallest label.  The mode-of-neighbour-
+labels step has no semiring, so (exactly like LAGraph's implementation) it
+drops to a sort: gather each edge's target label, lexsort by (vertex, label),
+and run-length count -- all O(m log m) NumPy, no Python loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import INT64
+from repro.graphblas.vector import Vector
+from repro.util.validation import DimensionMismatch
+
+__all__ = ["cdlp"]
+
+
+def _mode_per_segment(seg: np.ndarray, labels: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Most frequent label per segment id, ties to the smallest label.
+
+    ``seg`` (segment owner per element) and ``labels`` are parallel arrays.
+    Returns (segment ids present, winning label per segment).
+    """
+    if seg.size == 0:
+        return seg, labels
+    order = np.lexsort((labels, seg))
+    s, l = seg[order], labels[order]
+    # Run-length encode (segment, label) pairs.
+    new_pair = np.empty(s.size, dtype=np.bool_)
+    new_pair[0] = True
+    new_pair[1:] = (s[1:] != s[:-1]) | (l[1:] != l[:-1])
+    starts = np.flatnonzero(new_pair)
+    counts = np.diff(np.append(starts, s.size))
+    pair_seg = s[starts]
+    pair_label = l[starts]
+    # Within one segment the pairs are label-ascending, so a *stable* argsort
+    # on -counts would pick the smallest label among maxima; np.maximum.reduceat
+    # per segment is cheaper: find segment boundaries among pairs.
+    seg_start = np.empty(pair_seg.size, dtype=np.bool_)
+    seg_start[0] = True
+    seg_start[1:] = pair_seg[1:] != pair_seg[:-1]
+    seg_first = np.flatnonzero(seg_start)
+    max_count = np.maximum.reduceat(counts, seg_first)
+    # Broadcast each segment's max back over its pairs.
+    seg_id_of_pair = np.cumsum(seg_start) - 1
+    is_winner = counts == max_count[seg_id_of_pair]
+    # First winning pair per segment == smallest label among maxima.
+    winner_pos = np.flatnonzero(is_winner)
+    first_winner = winner_pos[np.searchsorted(seg_id_of_pair[winner_pos], np.arange(seg_first.size))]
+    return pair_seg[seg_first], pair_label[first_winner]
+
+
+def cdlp(adjacency: Matrix, *, max_iter: int = 10) -> Vector:
+    """Label per vertex after ``max_iter`` synchronous propagation rounds.
+
+    ``adjacency`` is treated structurally (values ignored); for undirected
+    graphs pass a symmetric matrix.  Isolated vertices keep their own id.
+    Always returns a *full* vector.
+    """
+    n = adjacency.nrows
+    if adjacency.ncols != n:
+        raise DimensionMismatch("adjacency must be square")
+    rows, cols, _ = adjacency.to_coo()
+    labels = np.arange(n, dtype=np.int64)
+    for _ in range(max_iter):
+        seg_ids, winners = _mode_per_segment(rows, labels[cols], n)
+        new_labels = labels.copy()
+        new_labels[seg_ids] = winners
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+    return Vector.from_coo(np.arange(n, dtype=np.int64), labels, n, dtype=INT64)

@@ -1,0 +1,105 @@
+"""Incrementally-maintained connected components (edge insertions).
+
+The paper's future-work item (2) proposes replacing the per-update FastSV
+re-run inside Q2 with an incremental connected-components algorithm in the
+spirit of Ediger et al., *Tracking structure of streaming social networks*
+(IPDPS 2011).  For an insert-only stream -- exactly the TTC 2018 workload --
+components only ever merge, so a union-find with size tracking maintains the
+structure in near-O(α(n)) per inserted edge and O(1) per score read.
+
+:class:`IncrementalCC` additionally maintains the *sum of squared component
+sizes* online, which is precisely Q2's score function: when components of
+sizes ``a`` and ``b`` merge the score changes by ``(a+b)² - a² - b²``.
+The extended query variant in :mod:`repro.queries.q2` keeps one instance per
+comment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IncrementalCC"]
+
+
+class IncrementalCC:
+    """Dynamic connected components over a growing vertex/edge set.
+
+    Vertices are arbitrary hashable ids (the case study uses global user
+    ids); they are added lazily on first touch so a per-comment instance only
+    pays for the users actually liking that comment.
+    """
+
+    __slots__ = ("_parent", "_size", "_sum_sq")
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._size: dict = {}
+        self._sum_sq: int = 0
+
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v) -> None:
+        """Insert an isolated vertex (no-op if already present)."""
+        if v not in self._parent:
+            self._parent[v] = v
+            self._size[v] = 1
+            self._sum_sq += 1
+
+    def _find(self, v):
+        parent = self._parent
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        # Path compression.
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    def add_edge(self, u, v) -> bool:
+        """Insert an edge; returns True when two components merged."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        ru, rv = self._find(u), self._find(v)
+        if ru == rv:
+            return False
+        su, sv = self._size[ru], self._size[rv]
+        if su < sv:
+            ru, rv = rv, ru
+            su, sv = sv, su
+        self._parent[rv] = ru
+        self._size[ru] = su + sv
+        del self._size[rv]
+        self._sum_sq += (su + sv) ** 2 - su**2 - sv**2
+        return True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._parent)
+
+    @property
+    def num_components(self) -> int:
+        return len(self._size)
+
+    @property
+    def sum_squared_sizes(self) -> int:
+        """Q2's score: ``Σ size²`` over current components, maintained O(1)."""
+        return self._sum_sq
+
+    def component_of(self, v):
+        """Representative of v's component (v must be present)."""
+        return self._find(v)
+
+    def same_component(self, u, v) -> bool:
+        if u not in self._parent or v not in self._parent:
+            return False
+        return self._find(u) == self._find(v)
+
+    def sizes(self) -> list[int]:
+        """Current component sizes (unordered)."""
+        return list(self._size.values())
+
+    def labels(self, vertices) -> np.ndarray:
+        """Label array aligned with ``vertices`` (roots as labels)."""
+        return np.asarray([self._find(v) for v in vertices])

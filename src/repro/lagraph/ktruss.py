@@ -1,0 +1,45 @@
+"""k-truss: the maximal subgraph where every edge closes >= k-2 triangles.
+
+LAGraph's formulation: the *support* of edge (u, v) is the number of common
+neighbours of u and v, computed for all edges at once with the masked SpGEMM
+``S<A> = A +.& A``.  Edges with support < k-2 are dropped and the support is
+recomputed until a fixed point -- each round is one SpGEMM plus one select.
+"""
+
+from __future__ import annotations
+
+from repro.graphblas import ops as _ops
+from repro.graphblas import semiring as _semiring
+from repro.graphblas.matrix import Matrix
+from repro.util.validation import DimensionMismatch, ReproError
+
+__all__ = ["ktruss"]
+
+
+def ktruss(adjacency: Matrix, k: int, *, max_iter: int | None = None) -> Matrix:
+    """The k-truss of an undirected graph, as its (symmetric) adjacency.
+
+    Entry values of the result are edge supports (common-neighbour counts)
+    within the truss, matching LAGraph_KTruss.  ``k >= 3``.
+    """
+    if k < 3:
+        raise ReproError(f"k-truss needs k >= 3, got {k}")
+    n = adjacency.nrows
+    if adjacency.ncols != n:
+        raise DimensionMismatch("adjacency must be square")
+    plus_pair = _semiring.get("plus_pair")
+
+    current = adjacency
+    rounds = 0
+    while True:
+        # Support per edge; edges with zero common neighbours get *no* entry
+        # (the structural product is empty there), so they are dropped by the
+        # nvals comparison below just like sub-threshold ones.
+        support = current.mxm(current, plus_pair, mask=current)
+        trussy = support.select(_ops.valuege, k - 2)
+        if trussy.nvals == current.nvals:
+            return trussy
+        current = trussy  # values are supports (>= 1), truthy as a value mask
+        rounds += 1
+        if max_iter is not None and rounds >= max_iter:
+            return trussy

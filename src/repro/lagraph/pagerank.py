@@ -1,0 +1,53 @@
+"""PageRank via repeated vxm on the plus_times semiring (LAGraph staple)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphblas import monoid as _monoid
+from repro.graphblas import ops as _ops
+from repro.graphblas import semiring as _semiring
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.vector import Vector
+from repro.graphblas.types import FP64
+from repro.util.validation import DimensionMismatch
+
+__all__ = ["pagerank"]
+
+
+def pagerank(
+    adjacency: Matrix,
+    damping: float = 0.85,
+    tol: float = 1e-8,
+    max_iter: int = 100,
+) -> Vector:
+    """PageRank scores of a directed graph.
+
+    Dangling vertices (zero out-degree) redistribute their mass uniformly, so
+    scores always sum to 1 (standard teleporting random-surfer model).
+    """
+    n = adjacency.nrows
+    if adjacency.ncols != n:
+        raise DimensionMismatch("adjacency must be square")
+    if n == 0:
+        return Vector.sparse(FP64, 0)
+
+    out_deg = adjacency.reduce_vector(_monoid.plus_monoid, dtype=FP64)
+    deg_dense = out_deg.to_dense()
+    dangling = deg_dense == 0
+
+    rank = np.full(n, 1.0 / n)
+    plus_times = _semiring.get("plus_times")
+    inv_deg = np.where(dangling, 0.0, 1.0 / np.maximum(deg_dense, 1e-300))
+
+    for _ in range(max_iter):
+        # weight each vertex's rank by 1/outdegree, push along edges
+        w = Vector.from_dense(rank * inv_deg)
+        pushed = w.vxm(adjacency.dup(FP64), plus_times).to_dense()
+        dangling_mass = float(rank[dangling].sum())
+        new_rank = (1.0 - damping) / n + damping * (pushed + dangling_mass / n)
+        if np.abs(new_rank - rank).sum() < tol:
+            rank = new_rank
+            break
+        rank = new_rank
+    return Vector.from_dense(rank)

@@ -1,0 +1,92 @@
+"""Strongly connected components, LAGraph-style (forward-backward).
+
+The FW-BW algorithm expressed in GraphBLAS primitives: pick the smallest
+unassigned vertex as pivot, BFS its forward closure on ``A`` and backward
+closure on ``A``:sup:`T` (two ``vxm`` loops on the lor-land semiring with a
+complemented structural mask), and intersect them -- the intersection is the
+pivot's SCC (Fleischer/Hendrickson/Pinar style, with the trim-free worklist
+specialisation that repeatedly peels the pivot component).
+
+Labels are deterministic: every vertex receives the smallest vertex id of
+its SCC, matching the convention of :func:`repro.lagraph.fastsv.fastsv` so
+the two are interchangeable downstream (on a symmetric matrix they return
+identical vectors -- a property test asserts this).
+
+Worst case is O(n·(n+m)) when the graph is a long chain of singleton SCCs;
+on social-network-shaped inputs with a giant component the pivot peels most
+of the graph in the first round.
+"""
+
+from __future__ import annotations
+
+from repro.graphblas import monoid as _monoid
+from repro.graphblas import ops as _ops
+from repro.graphblas import semiring as _semiring
+from repro.graphblas.descriptor import Descriptor
+from repro.graphblas.mask import Mask
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import BOOL, INT64
+from repro.graphblas.vector import Vector
+from repro.util.validation import DimensionMismatch
+
+__all__ = ["scc"]
+
+
+def _closure(adjacency: Matrix, pivot: int, remaining: Vector) -> Vector:
+    """Vertices of ``remaining`` reachable from ``pivot`` (BOOL vector).
+
+    One ``vxm`` per BFS level on the lor-land semiring; the complemented
+    structural mask prunes revisits and the eWiseMult with ``remaining``
+    confines the search to unassigned vertices.
+    """
+    n = adjacency.nrows
+    lor_land = _semiring.get("lor_land")
+    visited = Vector.from_coo([pivot], [True], n, dtype=BOOL)
+    frontier = visited
+    replace = Descriptor(replace=True)
+    while frontier.nvals:
+        frontier = frontier.vxm(
+            adjacency,
+            lor_land,
+            mask=Mask(visited, complement=True, structure=True),
+            desc=replace,
+        )
+        frontier = frontier.ewise_mult(remaining, _ops.land)
+        if frontier.nvals == 0:
+            break
+        visited = visited.ewise_add(frontier, _ops.lor)
+    return visited
+
+
+def scc(adjacency: Matrix) -> Vector:
+    """SCC labels of a directed graph.
+
+    Parameters
+    ----------
+    adjacency:
+        Square boolean adjacency matrix; ``A[i, j]`` nonempty means an edge
+        i -> j.
+
+    Returns
+    -------
+    Vector (INT64) of length n: ``labels[v]`` = smallest vertex id in the
+    strongly connected component of v.
+    """
+    n = adjacency.nrows
+    if adjacency.ncols != n:
+        raise DimensionMismatch(f"adjacency must be square, got {adjacency.shape}")
+    labels = Vector.sparse(INT64, n)
+    if n == 0:
+        return labels
+    transpose = adjacency.transpose()
+    remaining = Vector.full(BOOL, n, True)
+
+    while remaining.nvals:
+        pivot = int(remaining.to_coo()[0][0])  # smallest unassigned vertex
+        forward = _closure(adjacency, pivot, remaining)
+        backward = _closure(transpose, pivot, remaining)
+        component = forward.ewise_mult(backward, _ops.land)
+        idx = component.to_coo()[0]
+        labels.assign(pivot, indices=idx)
+        remaining.remove_coo(idx)
+    return labels

@@ -1,0 +1,50 @@
+"""Single-source shortest paths on the min-plus (tropical) semiring.
+
+Bellman-Ford expressed as repeated ``w = min(w, w min.+ A)`` -- the textbook
+example of why GraphBLAS is parameterised over semirings.  Each relaxation
+round is one ``vxm``; convergence is detected structurally (no distance
+changed), giving early exit after ``diameter + 1`` rounds on non-negative
+weights and after at most ``n`` rounds in general, with negative-cycle
+detection if the n-th round still relaxes.
+"""
+
+from __future__ import annotations
+
+from repro.graphblas import ops as _ops
+from repro.graphblas import semiring as _semiring
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import FP64
+from repro.graphblas.vector import Vector
+from repro.util.validation import DimensionMismatch, ReproError, check_in_range
+
+__all__ = ["sssp_bellman_ford"]
+
+
+def sssp_bellman_ford(weights: Matrix, source: int, *, max_iter: int | None = None) -> Vector:
+    """Distances from ``source``; unreachable vertices have no entry.
+
+    ``weights`` is a square matrix whose stored entry ``(i, j)`` is the
+    length of edge i->j (explicit zeros are legal zero-length edges).
+    Negative weights are allowed; a negative cycle reachable from the source
+    raises :class:`ReproError`.
+    """
+    n = weights.nrows
+    if weights.ncols != n:
+        raise DimensionMismatch("weights must be square")
+    check_in_range(source, n, "source")
+    min_plus = _semiring.get("min_plus")
+    rounds = n if max_iter is None else max_iter
+
+    dist = Vector.from_coo([source], [0.0], n, dtype=FP64)
+    for _ in range(rounds):
+        relaxed = dist.vxm(weights, min_plus)
+        new = dist.ewise_add(relaxed, _ops.min)
+        if new.isequal(dist):
+            return dist
+        dist = new
+    # One extra probe: if relaxation still improves, a negative cycle exists.
+    probe = dist.ewise_add(dist.vxm(weights, min_plus), _ops.min)
+    if not probe.isequal(dist):
+        if max_iter is None:
+            raise ReproError("negative cycle reachable from source")
+    return dist

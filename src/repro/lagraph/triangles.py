@@ -1,0 +1,36 @@
+"""Triangle counting: the masked-SpGEMM showcase (Cohen's algorithm).
+
+``#triangles = Σ (L ⊕.⊗ L') inside the mask L`` where ``L`` is the strictly
+lower-triangular part of the symmetric adjacency matrix.  Exercises select
+(tril), masked mxm and full reduction in one line of algebra.
+"""
+
+from __future__ import annotations
+
+from repro.graphblas import monoid as _monoid
+from repro.graphblas import ops as _ops
+from repro.graphblas import semiring as _semiring
+from repro.graphblas.descriptor import Descriptor
+from repro.graphblas.mask import Mask
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import INT64
+from repro.util.validation import DimensionMismatch
+
+__all__ = ["triangle_count"]
+
+
+def triangle_count(adjacency: Matrix) -> int:
+    """Number of triangles in an undirected (symmetric) graph."""
+    n = adjacency.nrows
+    if adjacency.ncols != n:
+        raise DimensionMismatch("adjacency must be square")
+    # strictly lower triangle, as 0/1 INT64
+    low = adjacency.select(_ops.tril, -1).apply(_ops.one, dtype=INT64)
+    # C<L> = L · L'   counts, per edge (i,j), the common neighbours k<j<i
+    c = low.mxm(
+        low,
+        _semiring.get("plus_times"),
+        mask=Mask(low, structure=True),
+        desc=Descriptor(transpose_b=True, replace=True),
+    )
+    return int(c.reduce_scalar(_monoid.plus_monoid))

@@ -1,0 +1,65 @@
+"""The TTC 2018 "Social Media" data model.
+
+Users write Submissions; every submission tree is rooted in a Post, the other
+nodes are Comments.  Users *like* Comments and maintain symmetric *friends*
+relations.  Comments carry a direct ``rootPost`` pointer (part of the case
+model, derived automatically here from the parent chain).
+
+:class:`~repro.model.graph.SocialGraph` stores the relations as growable
+GraphBLAS matrices in the layout of the paper's Fig. 4:
+
+* ``root_post``  BOOL  |posts|    x |comments|
+* ``likes``      BOOL  |comments| x |users|
+* ``friends``    BOOL  |users|    x |users|   (symmetric)
+* ``commented``  BOOL  |comments| x |comments|  (reply edges, model-complete)
+"""
+
+from repro.model.entities import EntityKind, IdMap
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    Change,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
+from repro.model.graph import GraphDelta, SocialGraph
+from repro.model.loader import (
+    load_change_sets,
+    load_graph,
+    save_change_sets,
+    save_graph,
+)
+from repro.model.xmi import (
+    load_change_sets_xmi,
+    load_graph_xmi,
+    save_change_sets_xmi,
+    save_graph_xmi,
+)
+
+__all__ = [
+    "EntityKind",
+    "IdMap",
+    "SocialGraph",
+    "GraphDelta",
+    "Change",
+    "ChangeSet",
+    "AddUser",
+    "AddPost",
+    "AddComment",
+    "AddLike",
+    "AddFriendship",
+    "RemoveLike",
+    "RemoveFriendship",
+    "load_graph",
+    "save_graph",
+    "load_change_sets",
+    "save_change_sets",
+    "load_graph_xmi",
+    "save_graph_xmi",
+    "load_change_sets_xmi",
+    "save_change_sets_xmi",
+]

@@ -1,0 +1,141 @@
+"""Change (update) operations.
+
+The TTC 2018 benchmark repeatedly applies *change sequences* -- batches of
+element insertions -- and re-evaluates the queries after each batch.  The
+case study's update language is insert-only (the paper's future work notes
+that removals would be an interesting extension); the five insert kinds map
+1:1 onto the case model:
+
+* :class:`AddUser`        -- a new User node
+* :class:`AddPost`        -- a new Post with its submitter
+* :class:`AddComment`     -- a new Comment under a parent submission
+  (rootPost pointer derived from the parent chain)
+* :class:`AddLike`        -- a likes edge User -> Comment
+* :class:`AddFriendship`  -- a symmetric friends edge between two Users
+
+A :class:`ChangeSet` is an ordered list; later changes may reference entities
+introduced earlier in the same set (the example in the paper's Fig. 3b does
+exactly that: Comment c4 is inserted and immediately liked).
+
+**Extension (the paper's future work)**: "it would be interesting to
+investigate the performance of the solution in the presence of more
+realistic update operations, including both insertions and removals."
+:class:`RemoveLike` ("unlike") and :class:`RemoveFriendship` ("unfriend")
+implement the realistic edge removals; node removals are out of scope (the
+case model gives submissions no lifecycle).  Removals make scores
+non-monotone, which changes the top-k maintenance strategy -- see
+:mod:`repro.queries.topk`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+__all__ = [
+    "AddUser",
+    "AddPost",
+    "AddComment",
+    "AddLike",
+    "AddFriendship",
+    "RemoveLike",
+    "RemoveFriendship",
+    "Change",
+    "ChangeSet",
+]
+
+
+@dataclass(frozen=True)
+class AddUser:
+    user_id: int
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class AddPost:
+    post_id: int
+    timestamp: int
+    user_id: int
+
+
+@dataclass(frozen=True)
+class AddComment:
+    comment_id: int
+    timestamp: int
+    user_id: int
+    parent_id: int  # a Post id or a Comment id (submission namespace)
+
+
+@dataclass(frozen=True)
+class AddLike:
+    user_id: int
+    comment_id: int
+
+
+@dataclass(frozen=True)
+class AddFriendship:
+    user1_id: int
+    user2_id: int
+
+
+@dataclass(frozen=True)
+class RemoveLike:
+    """Extension: the user withdraws a like ("unlike")."""
+
+    user_id: int
+    comment_id: int
+
+
+@dataclass(frozen=True)
+class RemoveFriendship:
+    """Extension: the symmetric friends edge is removed ("unfriend")."""
+
+    user1_id: int
+    user2_id: int
+
+
+Change = Union[
+    AddUser, AddPost, AddComment, AddLike, AddFriendship, RemoveLike, RemoveFriendship
+]
+
+_KIND_ORDER = (
+    AddUser,
+    AddPost,
+    AddComment,
+    AddLike,
+    AddFriendship,
+    RemoveLike,
+    RemoveFriendship,
+)
+
+
+@dataclass
+class ChangeSet:
+    """An ordered batch of insertions applied atomically before re-evaluation."""
+
+    changes: list[Change] = field(default_factory=list)
+
+    def append(self, change: Change) -> "ChangeSet":
+        self.changes.append(change)
+        return self
+
+    def extend(self, changes) -> "ChangeSet":
+        self.changes.extend(changes)
+        return self
+
+    def __iter__(self) -> Iterator[Change]:
+        return iter(self.changes)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def count(self, kind: type) -> int:
+        return sum(1 for c in self.changes if isinstance(c, kind))
+
+    def summary(self) -> str:
+        parts = [
+            f"{kind.__name__}={self.count(kind)}"
+            for kind in _KIND_ORDER
+            if self.count(kind)
+        ]
+        return f"ChangeSet({len(self)} changes: {', '.join(parts) or 'empty'})"

@@ -1,0 +1,75 @@
+"""Entity kinds and external-id <-> internal-index mapping.
+
+GraphBLAS matrices address rows/columns by dense 0-based indices, while the
+case-study model uses sparse external ids (LDBC-style 64-bit ids).  An
+:class:`IdMap` is an append-only bijection between the two; internal indices
+are allocated in insertion order, which also makes matrix growth monotone --
+an index, once assigned, never moves, the invariant the incremental queries
+rely on.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.validation import ReproError
+
+__all__ = ["EntityKind", "IdMap"]
+
+
+class EntityKind(Enum):
+    USER = "user"
+    POST = "post"
+    COMMENT = "comment"
+
+
+class IdMap:
+    """Append-only external-id <-> internal-index bijection."""
+
+    __slots__ = ("_to_internal", "_to_external", "kind")
+
+    def __init__(self, kind: EntityKind):
+        self.kind = kind
+        self._to_internal: dict[int, int] = {}
+        self._to_external: list[int] = []
+
+    def add(self, external_id: int) -> int:
+        """Register a new external id; returns its internal index."""
+        if external_id in self._to_internal:
+            raise ReproError(
+                f"duplicate {self.kind.value} id {external_id}"
+            )
+        idx = len(self._to_external)
+        self._to_internal[external_id] = idx
+        self._to_external.append(external_id)
+        return idx
+
+    def index(self, external_id: int) -> int:
+        try:
+            return self._to_internal[external_id]
+        except KeyError:
+            raise ReproError(
+                f"unknown {self.kind.value} id {external_id}"
+            ) from None
+
+    def external(self, index: int) -> int:
+        return self._to_external[index]
+
+    def externals(self, indices: Iterable[int]) -> list[int]:
+        ext = self._to_external
+        return [ext[i] for i in indices]
+
+    def external_array(self) -> np.ndarray:
+        return np.asarray(self._to_external, dtype=np.int64)
+
+    def __contains__(self, external_id: int) -> bool:
+        return external_id in self._to_internal
+
+    def __len__(self) -> int:
+        return len(self._to_external)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IdMap<{self.kind.value}, n={len(self)}>"

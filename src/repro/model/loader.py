@@ -1,0 +1,185 @@
+"""CSV serialisation of graphs and change sequences.
+
+The TTC 2018 benchmark distributes models as files plus a numbered series of
+change sets.  We use a documented CSV dialect (the original uses EMF/XMI,
+which would add a model-framework dependency without exercising any paper
+behaviour):
+
+``users.csv``      ``id,name``
+``posts.csv``      ``id,timestamp,user_id``
+``comments.csv``   ``id,timestamp,user_id,parent_id``
+``friends.csv``    ``user1_id,user2_id``   (one row per undirected edge)
+``likes.csv``      ``user_id,comment_id``
+``change{NN}.csv`` one change per row, first column is the kind tag:
+    ``U,id,name`` / ``P,id,ts,user`` / ``C,id,ts,user,parent`` /
+    ``L,user,comment`` / ``F,user1,user2`` and the removal extension
+    ``-L,user,comment`` (unlike) / ``-F,user1,user2`` (unfriend)
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
+from repro.model.graph import SocialGraph
+from repro.util.validation import ReproError
+
+__all__ = ["save_graph", "load_graph", "save_change_sets", "load_change_sets"]
+
+
+def save_graph(directory, graph: SocialGraph) -> None:
+    """Write a SocialGraph to ``directory`` in the CSV dialect above."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+
+    with open(d / "users.csv", "w", newline="") as f:
+        w = csv.writer(f)
+        for idx in range(graph.num_users):
+            w.writerow([graph.users.external(idx), graph._user_names[idx]])
+
+    with open(d / "posts.csv", "w", newline="") as f:
+        w = csv.writer(f)
+        for idx in range(graph.num_posts):
+            w.writerow(
+                [
+                    graph.posts.external(idx),
+                    graph._post_ts[idx],
+                    graph.users.external(graph._post_author[idx]),
+                ]
+            )
+
+    with open(d / "comments.csv", "w", newline="") as f:
+        w = csv.writer(f)
+        for idx in range(graph.num_comments):
+            is_post, pidx = graph._comment_parent[idx]
+            parent_ext = (
+                graph.posts.external(pidx) if is_post else graph.comments.external(pidx)
+            )
+            w.writerow(
+                [
+                    graph.comments.external(idx),
+                    graph._comment_ts[idx],
+                    graph.users.external(graph._comment_author[idx]),
+                    parent_ext,
+                ]
+            )
+
+    with open(d / "friends.csv", "w", newline="") as f:
+        w = csv.writer(f)
+        for a, b in sorted(graph._friend_keys):
+            w.writerow([graph.users.external(a), graph.users.external(b)])
+
+    with open(d / "likes.csv", "w", newline="") as f:
+        w = csv.writer(f)
+        for c, u in sorted(graph._like_keys):
+            w.writerow([graph.users.external(u), graph.comments.external(c)])
+
+
+def load_graph(directory) -> SocialGraph:
+    """Read a SocialGraph from ``directory``.
+
+    Comments are loaded in file order; a comment's parent must precede it,
+    which :func:`save_graph` guarantees (insertion order) and generators
+    produce naturally.
+    """
+    d = Path(directory)
+    g = SocialGraph()
+
+    with open(d / "users.csv", newline="") as f:
+        for row in csv.reader(f):
+            if row:
+                g.add_user(int(row[0]), row[1] if len(row) > 1 else "")
+
+    with open(d / "posts.csv", newline="") as f:
+        for row in csv.reader(f):
+            if row:
+                g.add_post(int(row[0]), int(row[1]), int(row[2]))
+
+    with open(d / "comments.csv", newline="") as f:
+        for row in csv.reader(f):
+            if row:
+                g.add_comment(int(row[0]), int(row[1]), int(row[2]), int(row[3]))
+
+    with open(d / "friends.csv", newline="") as f:
+        for row in csv.reader(f):
+            if row:
+                g.add_friendship(int(row[0]), int(row[1]))
+
+    with open(d / "likes.csv", newline="") as f:
+        for row in csv.reader(f):
+            if row:
+                g.add_like(int(row[0]), int(row[1]))
+
+    return g
+
+
+_TAGS = {"U", "P", "C", "L", "F"}
+
+
+def save_change_sets(directory, change_sets: list[ChangeSet]) -> None:
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    for n, cs in enumerate(change_sets, start=1):
+        with open(d / f"change{n:02d}.csv", "w", newline="") as f:
+            w = csv.writer(f)
+            for ch in cs:
+                if isinstance(ch, AddUser):
+                    w.writerow(["U", ch.user_id, ch.name])
+                elif isinstance(ch, AddPost):
+                    w.writerow(["P", ch.post_id, ch.timestamp, ch.user_id])
+                elif isinstance(ch, AddComment):
+                    w.writerow(
+                        ["C", ch.comment_id, ch.timestamp, ch.user_id, ch.parent_id]
+                    )
+                elif isinstance(ch, AddLike):
+                    w.writerow(["L", ch.user_id, ch.comment_id])
+                elif isinstance(ch, AddFriendship):
+                    w.writerow(["F", ch.user1_id, ch.user2_id])
+                elif isinstance(ch, RemoveLike):
+                    w.writerow(["-L", ch.user_id, ch.comment_id])
+                elif isinstance(ch, RemoveFriendship):
+                    w.writerow(["-F", ch.user1_id, ch.user2_id])
+                else:  # pragma: no cover - defensive
+                    raise ReproError(f"unknown change type {type(ch)}")
+
+
+def load_change_sets(directory) -> list[ChangeSet]:
+    d = Path(directory)
+    out: list[ChangeSet] = []
+    for path in sorted(d.glob("change*.csv")):
+        cs = ChangeSet()
+        with open(path, newline="") as f:
+            for row in csv.reader(f):
+                if not row:
+                    continue
+                tag = row[0]
+                if tag == "U":
+                    cs.append(AddUser(int(row[1]), row[2] if len(row) > 2 else ""))
+                elif tag == "P":
+                    cs.append(AddPost(int(row[1]), int(row[2]), int(row[3])))
+                elif tag == "C":
+                    cs.append(
+                        AddComment(int(row[1]), int(row[2]), int(row[3]), int(row[4]))
+                    )
+                elif tag == "L":
+                    cs.append(AddLike(int(row[1]), int(row[2])))
+                elif tag == "F":
+                    cs.append(AddFriendship(int(row[1]), int(row[2])))
+                elif tag == "-L":
+                    cs.append(RemoveLike(int(row[1]), int(row[2])))
+                elif tag == "-F":
+                    cs.append(RemoveFriendship(int(row[1]), int(row[2])))
+                else:
+                    raise ReproError(f"unknown change tag {tag!r} in {path}")
+        out.append(cs)
+    return out

@@ -1,0 +1,351 @@
+"""XMI serialisation of the TTC 2018 Social Media models.
+
+The contest distributes its input models as EMF/XMI documents conforming to
+the Social Media metamodel, plus one XMI "change model" per update step.
+This module reads and writes that representation with the standard-library
+``xml.etree`` -- no EMF runtime required -- so the repository can exchange
+inputs with the original contest artefacts.
+
+Implemented subset (documented divergences from full EMF XMI):
+
+* References are **id-based** (``submitter="u101"``), not positional EMF
+  paths (``//@users.3``): id-based XMI is valid EMF output (``xmi:id``) and
+  keeps documents diff-able and order-insensitive.
+* Comment containment follows the metamodel: a Post element *contains* its
+  direct comments, which contain theirs, so the submission tree is the XML
+  tree and ``rootPost``/``parent`` references are implied by nesting.
+* ``friends`` and ``likedBy`` are space-separated IDREFS attributes, EMF's
+  encoding for multi-valued references.  Friendship is symmetric; both
+  directions are written (as EMF does for eOpposite references) and
+  deduplicated on load.
+* Change models use one element per change with an ``xsi:type`` drawn from
+  the contest's change vocabulary (``changes:ElementAdded`` for new nodes,
+  ``changes:ReferenceAdded``/``ReferenceRemoved`` for new and removed
+  edges -- the removal variants are this repo's insert+removal extension).
+
+Example document::
+
+    <socialmedia:SocialNetworkRoot xmi:version="2.0" xmlns:xmi="..."
+                                   xmlns:socialmedia="...">
+      <users xmi:id="u101" id="101" name="alice" friends="u102"/>
+      <users xmi:id="u102" id="102" name="bob" friends="u101"/>
+      <posts xmi:id="p11" id="11" timestamp="10" submitter="u101">
+        <comments xmi:id="c21" id="21" timestamp="20" submitter="u102"
+                  likedBy="u101 u102"/>
+      </posts>
+    </socialmedia:SocialNetworkRoot>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
+from repro.model.graph import SocialGraph
+from repro.util.validation import ReproError
+
+__all__ = [
+    "save_graph_xmi",
+    "load_graph_xmi",
+    "save_change_sets_xmi",
+    "load_change_sets_xmi",
+    "XMI_NS",
+    "MODEL_NS",
+    "CHANGES_NS",
+]
+
+XMI_NS = "http://www.omg.org/XMI"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+MODEL_NS = "https://www.transformation-tool-contest.eu/2018/socialmedia"
+CHANGES_NS = "https://www.transformation-tool-contest.eu/2018/changes"
+
+_Q_XMI_ID = f"{{{XMI_NS}}}id"
+_Q_XMI_VERSION = f"{{{XMI_NS}}}version"
+_Q_XSI_TYPE = f"{{{XSI_NS}}}type"
+
+
+def _register_namespaces() -> None:
+    ET.register_namespace("xmi", XMI_NS)
+    ET.register_namespace("xsi", XSI_NS)
+    ET.register_namespace("socialmedia", MODEL_NS)
+    ET.register_namespace("changes", CHANGES_NS)
+
+
+def _uid(ext_id: int) -> str:
+    return f"u{ext_id}"
+
+
+def _pid(ext_id: int) -> str:
+    return f"p{ext_id}"
+
+
+def _cid(ext_id: int) -> str:
+    return f"c{ext_id}"
+
+
+# ---------------------------------------------------------------------------
+# graph -> XMI
+# ---------------------------------------------------------------------------
+
+
+def save_graph_xmi(path, graph: SocialGraph) -> None:
+    """Write the graph as one XMI document at ``path``."""
+    _register_namespaces()
+    root = ET.Element(f"{{{MODEL_NS}}}SocialNetworkRoot", {_Q_XMI_VERSION: "2.0"})
+
+    friends_of: dict[int, list[int]] = {}
+    for a, b in sorted(graph._friend_keys):
+        friends_of.setdefault(a, []).append(b)
+        friends_of.setdefault(b, []).append(a)
+    likers_of: dict[int, list[int]] = {}
+    for c, u in sorted(graph._like_keys):
+        likers_of.setdefault(c, []).append(u)
+
+    for idx in range(graph.num_users):
+        ext = graph.users.external(idx)
+        attrs = {
+            _Q_XMI_ID: _uid(ext),
+            "id": str(ext),
+            "name": graph._user_names[idx],
+        }
+        nbrs = sorted(friends_of.get(idx, ()))
+        if nbrs:
+            attrs["friends"] = " ".join(_uid(graph.users.external(n)) for n in nbrs)
+        ET.SubElement(root, "users", attrs)
+
+    # submission tree: children per (is_post, idx) container
+    children: dict[tuple[bool, int], list[int]] = {}
+    for idx in range(graph.num_comments):
+        children.setdefault(graph._comment_parent[idx], []).append(idx)
+
+    def emit_comments(parent_el: ET.Element, key: tuple[bool, int]) -> None:
+        for cidx in children.get(key, ()):  # insertion order == timestamp order
+            ext = graph.comments.external(cidx)
+            attrs = {
+                _Q_XMI_ID: _cid(ext),
+                "id": str(ext),
+                "timestamp": str(graph._comment_ts[cidx]),
+                "submitter": _uid(graph.users.external(graph._comment_author[cidx])),
+            }
+            likers = sorted(likers_of.get(cidx, ()))
+            if likers:
+                attrs["likedBy"] = " ".join(
+                    _uid(graph.users.external(u)) for u in likers
+                )
+            el = ET.SubElement(parent_el, "comments", attrs)
+            emit_comments(el, (False, cidx))
+
+    for pidx in range(graph.num_posts):
+        ext = graph.posts.external(pidx)
+        el = ET.SubElement(
+            root,
+            "posts",
+            {
+                _Q_XMI_ID: _pid(ext),
+                "id": str(ext),
+                "timestamp": str(graph._post_ts[pidx]),
+                "submitter": _uid(graph.users.external(graph._post_author[pidx])),
+            },
+        )
+        emit_comments(el, (True, pidx))
+
+    tree = ET.ElementTree(root)
+    ET.indent(tree)
+    tree.write(path, encoding="utf-8", xml_declaration=True)
+
+
+# ---------------------------------------------------------------------------
+# XMI -> graph
+# ---------------------------------------------------------------------------
+
+
+def _require(el: ET.Element, attr: str) -> str:
+    value = el.get(attr)
+    if value is None:
+        raise ReproError(f"XMI element <{el.tag}> missing required @{attr}")
+    return value
+
+
+def _ref_id(ref: str, *, kind: str) -> int:
+    """Decode an id-based reference like ``u101`` -> 101."""
+    if not ref or ref[0] != kind or not ref[1:].isdigit():
+        raise ReproError(f"malformed {kind!r}-reference {ref!r}")
+    return int(ref[1:])
+
+
+def load_graph_xmi(path) -> SocialGraph:
+    """Read an XMI document produced by :func:`save_graph_xmi`."""
+    tree = ET.parse(path)
+    root = tree.getroot()
+    if root.tag != f"{{{MODEL_NS}}}SocialNetworkRoot":
+        raise ReproError(f"not a SocialNetworkRoot document: {root.tag}")
+    g = SocialGraph()
+
+    user_els = root.findall("users")
+    for el in user_els:
+        g.add_user(int(_require(el, "id")), el.get("name", ""))
+
+    pending_likes: list[tuple[int, int]] = []  # (user ext, comment ext)
+
+    def load_comments(parent_el: ET.Element, parent_ext: int) -> None:
+        for el in parent_el.findall("comments"):
+            ext = int(_require(el, "id"))
+            g.add_comment(
+                ext,
+                int(_require(el, "timestamp")),
+                _ref_id(_require(el, "submitter"), kind="u"),
+                parent_ext,
+            )
+            for ref in el.get("likedBy", "").split():
+                pending_likes.append((_ref_id(ref, kind="u"), ext))
+            load_comments(el, ext)
+
+    for el in root.findall("posts"):
+        ext = int(_require(el, "id"))
+        g.add_post(
+            ext,
+            int(_require(el, "timestamp")),
+            _ref_id(_require(el, "submitter"), kind="u"),
+        )
+        load_comments(el, ext)
+
+    # friendships after all users exist; both directions present, dedup'd
+    for el in user_els:
+        uid = int(_require(el, "id"))
+        for ref in el.get("friends", "").split():
+            other = _ref_id(ref, kind="u")
+            if uid < other:
+                g.add_friendship(uid, other)
+
+    for user_ext, comment_ext in pending_likes:
+        g.add_like(user_ext, comment_ext)
+
+    return g
+
+
+# ---------------------------------------------------------------------------
+# change models
+# ---------------------------------------------------------------------------
+
+_CHANGE_RENDERERS = {
+    AddUser: lambda ch: ("changes:ElementAdded", {
+        "element": "User", "id": str(ch.user_id), "name": ch.name,
+    }),
+    AddPost: lambda ch: ("changes:ElementAdded", {
+        "element": "Post", "id": str(ch.post_id),
+        "timestamp": str(ch.timestamp), "submitter": _uid(ch.user_id),
+    }),
+    AddComment: lambda ch: ("changes:ElementAdded", {
+        "element": "Comment", "id": str(ch.comment_id),
+        "timestamp": str(ch.timestamp), "submitter": _uid(ch.user_id),
+        "parent": str(ch.parent_id),
+    }),
+    AddLike: lambda ch: ("changes:ReferenceAdded", {
+        "reference": "likedBy", "user": _uid(ch.user_id),
+        "comment": _cid(ch.comment_id),
+    }),
+    AddFriendship: lambda ch: ("changes:ReferenceAdded", {
+        "reference": "friends", "user": _uid(ch.user1_id),
+        "friend": _uid(ch.user2_id),
+    }),
+    RemoveLike: lambda ch: ("changes:ReferenceRemoved", {
+        "reference": "likedBy", "user": _uid(ch.user_id),
+        "comment": _cid(ch.comment_id),
+    }),
+    RemoveFriendship: lambda ch: ("changes:ReferenceRemoved", {
+        "reference": "friends", "user": _uid(ch.user1_id),
+        "friend": _uid(ch.user2_id),
+    }),
+}
+
+
+def save_change_sets_xmi(directory, change_sets) -> None:
+    """One ``change{NN}.xmi`` document per change set under ``directory``."""
+    _register_namespaces()
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    for n, cs in enumerate(change_sets, start=1):
+        root = ET.Element(
+            f"{{{CHANGES_NS}}}ModelChangeSet", {_Q_XMI_VERSION: "2.0"}
+        )
+        for ch in cs:
+            try:
+                xsi_type, attrs = _CHANGE_RENDERERS[type(ch)](ch)
+            except KeyError:  # pragma: no cover - defensive
+                raise ReproError(f"unknown change type {type(ch).__name__}")
+            el = ET.SubElement(root, "changes", {_Q_XSI_TYPE: xsi_type})
+            for k, v in attrs.items():
+                el.set(k, v)
+        tree = ET.ElementTree(root)
+        ET.indent(tree)
+        tree.write(d / f"change{n:02d}.xmi", encoding="utf-8", xml_declaration=True)
+
+
+def _parse_change(el: ET.Element, path) -> object:
+    xsi_type = el.get(_Q_XSI_TYPE, "")
+    reference = el.get("reference", "")
+    element = el.get("element", "")
+    if xsi_type == "changes:ElementAdded":
+        if element == "User":
+            return AddUser(int(_require(el, "id")), el.get("name", ""))
+        if element == "Post":
+            return AddPost(
+                int(_require(el, "id")),
+                int(_require(el, "timestamp")),
+                _ref_id(_require(el, "submitter"), kind="u"),
+            )
+        if element == "Comment":
+            return AddComment(
+                int(_require(el, "id")),
+                int(_require(el, "timestamp")),
+                _ref_id(_require(el, "submitter"), kind="u"),
+                int(_require(el, "parent")),
+            )
+        raise ReproError(f"{path}: unknown added element kind {element!r}")
+    if xsi_type == "changes:ReferenceAdded":
+        if reference == "likedBy":
+            return AddLike(
+                _ref_id(_require(el, "user"), kind="u"),
+                _ref_id(_require(el, "comment"), kind="c"),
+            )
+        if reference == "friends":
+            return AddFriendship(
+                _ref_id(_require(el, "user"), kind="u"),
+                _ref_id(_require(el, "friend"), kind="u"),
+            )
+        raise ReproError(f"{path}: unknown added reference {reference!r}")
+    if xsi_type == "changes:ReferenceRemoved":
+        if reference == "likedBy":
+            return RemoveLike(
+                _ref_id(_require(el, "user"), kind="u"),
+                _ref_id(_require(el, "comment"), kind="c"),
+            )
+        if reference == "friends":
+            return RemoveFriendship(
+                _ref_id(_require(el, "user"), kind="u"),
+                _ref_id(_require(el, "friend"), kind="u"),
+            )
+        raise ReproError(f"{path}: unknown removed reference {reference!r}")
+    raise ReproError(f"{path}: unknown change type {xsi_type!r}")
+
+
+def load_change_sets_xmi(directory) -> list[ChangeSet]:
+    """All ``change*.xmi`` documents under ``directory``, in numeric order."""
+    d = Path(directory)
+    out: list[ChangeSet] = []
+    for path in sorted(d.glob("change*.xmi")):
+        root = ET.parse(path).getroot()
+        if root.tag != f"{{{CHANGES_NS}}}ModelChangeSet":
+            raise ReproError(f"{path}: not a ModelChangeSet document")
+        out.append(ChangeSet([_parse_change(el, path) for el in root.findall("changes")]))
+    return out

@@ -1,0 +1,30 @@
+"""The reference baseline: a model-traversal solution in the NMF style.
+
+The paper benchmarks against the case study's reference implementation,
+written in the .NET Modeling Framework (NMF) [Hinkel, ICMT 2018], in two
+flavours:
+
+* **NMF Batch** re-runs the queries by traversing the object graph on every
+  evaluation -- :class:`~repro.nmf.batch.NmfBatchEngine`.
+* **NMF Incremental** builds a dependency (change-propagation) structure
+  during load -- which is why its load+initial phase is the slowest in
+  Fig. 5 -- and afterwards updates query results by propagating individual
+  model changes -- :class:`~repro.nmf.incremental.NmfIncrementalEngine`.
+
+Both operate on a plain-Python object model (:mod:`repro.nmf.objects`),
+deliberately *not* using the GraphBLAS substrate: the baseline's point is to
+represent the conventional object-graph programming model.
+"""
+
+from repro.nmf.objects import Comment, ObjectModel, Post, User
+from repro.nmf.batch import NmfBatchEngine
+from repro.nmf.incremental import NmfIncrementalEngine
+
+__all__ = [
+    "User",
+    "Post",
+    "Comment",
+    "ObjectModel",
+    "NmfBatchEngine",
+    "NmfIncrementalEngine",
+]

@@ -1,0 +1,93 @@
+"""NMF Batch: recompute both queries by object-graph traversal.
+
+This mirrors the reference solution's batch mode: every evaluation walks the
+comment trees (Q1) and runs a BFS over liker-induced friend subgraphs (Q2)
+from scratch.  No indexes survive between evaluations -- that is the point
+of the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.model.changes import ChangeSet
+from repro.model.graph import SocialGraph
+from repro.nmf.objects import Comment, ObjectModel, Post, User
+from repro.queries.topk import _sort_key
+from repro.util.validation import ReproError
+
+__all__ = ["q1_score", "q2_score", "NmfBatchEngine"]
+
+
+def q1_score(post: Post) -> int:
+    """10 x #comments + #likes-on-those-comments, by tree traversal."""
+    score = 0
+    stack: list = [post]
+    while stack:
+        node = stack.pop()
+        for child in node.comments:
+            score += 10 + len(child.liked_by)
+            stack.append(child)
+    return score
+
+
+def q2_score(comment: Comment) -> int:
+    """Σ component-size² over the liker-induced friends subgraph (BFS)."""
+    likers = comment.liked_by
+    unvisited = set(likers)
+    score = 0
+    while unvisited:
+        seed = unvisited.pop()
+        size = 1
+        frontier = [seed]
+        while frontier:
+            nxt: list[User] = []
+            for u in frontier:
+                for f in u.friends:
+                    if f in unvisited:
+                        unvisited.discard(f)
+                        size += 1
+                        nxt.append(f)
+            frontier = nxt
+        score += size * size
+    return score
+
+
+def _top3(entries: list[tuple[int, int, int]], k: int) -> list[tuple[int, int]]:
+    """(score, ts, id) triples -> contest-ordered (id, score) top-k."""
+    entries.sort(key=_sort_key)
+    return [(ext, score) for score, _ts, ext in entries[:k]]
+
+
+class NmfBatchEngine:
+    """The Fig. 5 "NMF Batch" tool: full traversal per evaluation."""
+
+    tool = "nmf-batch"
+
+    def __init__(self, query: str, k: int = 3):
+        if query not in ("Q1", "Q2"):
+            raise ReproError(f"unknown query {query!r}")
+        self.query = query
+        self.k = k
+        self.model: ObjectModel | None = None
+
+    def load(self, graph: SocialGraph) -> None:
+        self.model = ObjectModel.from_social_graph(graph)
+
+    def _evaluate(self) -> list[tuple[int, int]]:
+        m = self.model
+        if m is None:
+            raise ReproError("engine not loaded; call load(graph) first")
+        if self.query == "Q1":
+            entries = [(q1_score(p), p.timestamp, p.id) for p in m.posts.values()]
+        else:
+            entries = [(q2_score(c), c.timestamp, c.id) for c in m.comments.values()]
+        return _top3(entries, self.k)
+
+    def initial(self) -> str:
+        return "|".join(str(ext) for ext, _ in self._evaluate())
+
+    def update(self, change_set: ChangeSet) -> str:
+        self.model.apply(change_set)
+        return "|".join(str(ext) for ext, _ in self._evaluate())
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,207 @@
+"""A dynamic dependency graph (DDG) engine -- the NMF execution model.
+
+The .NET Modeling Framework's incremental mode [Hinkel, ICMT 2018] does not
+hand-write incremental algorithms per query.  It instruments the query
+expression once, records which model elements each sub-expression *read*,
+and when the model changes it re-evaluates exactly the dirty
+sub-expressions, pruning propagation where a recomputed value is unchanged.
+The price is generic machinery: a graph of dependency nodes built at load
+time (the paper: NMF Incremental has the slowest load+initial phase
+"as it initially builds a dependency graph from the query") and re-running
+whole sub-expressions instead of applying algebraic deltas.
+
+This module implements that execution model concretely so the repository's
+"NMF Incremental" baseline has the *architecture* of the original rather
+than an idealised hand-specialised propagator:
+
+* :class:`Source` -- a leaf standing for one observable model fragment
+  (a collection or attribute).  Marking it changed dirties its dependents.
+* :class:`Computed` -- a node with a ``compute(tracker)`` function.  During
+  (re)computation the node *dynamically re-registers* its dependencies:
+  every Source it reads through :meth:`DependencyTracker.read` becomes an
+  incoming edge, exactly like NMF's (and Adapton's/Incremental's) dynamic
+  dependence discovery.
+* :class:`DependencyGraph.propagate` -- recomputes the dirty closure in
+  topological (height) order with value-change pruning: if a node
+  recomputes to an equal value its dependents stay clean.
+
+The conservative over-approximation this produces is characteristic:
+adding the friendship (a, b) dirties *every* comment-score node that reads
+``friends[a]`` or ``friends[b]`` -- a superset of the truly affected
+comments -- and the superfluous nodes recompute to unchanged values and
+prune there.  Hand-written delta engines (the GraphBLAS solution!) skip
+that work, which is precisely the performance gap the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+__all__ = ["Source", "Computed", "DependencyTracker", "DependencyGraph"]
+
+
+class Source:
+    """A leaf node: one observable fragment of the model."""
+
+    __slots__ = ("graph", "key", "dependents")
+
+    def __init__(self, graph: "DependencyGraph", key):
+        self.graph = graph
+        self.key = key
+        self.dependents: set[Computed] = set()
+
+    def changed(self) -> None:
+        """Mark every dependent dirty (the model mutated this fragment)."""
+        for node in self.dependents:
+            self.graph._dirty(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Source {self.key!r} deps={len(self.dependents)}>"
+
+
+class DependencyTracker:
+    """Passed to ``compute``; records which sources the expression reads."""
+
+    __slots__ = ("graph", "reads")
+
+    def __init__(self, graph: "DependencyGraph"):
+        self.graph = graph
+        self.reads: set[Source] = set()
+
+    def read(self, key):
+        """Declare a read of the model fragment ``key``; returns nothing.
+
+        The value itself is read straight from the model object graph --
+        the DDG only tracks *that* the read happened, as NMF's
+        instrumentation does.
+        """
+        self.reads.add(self.graph.source(key))
+
+
+class Computed:
+    """An incremental sub-expression with dynamically discovered deps."""
+
+    __slots__ = ("graph", "key", "compute", "value", "sources", "on_change", "_height")
+
+    def __init__(
+        self,
+        graph: "DependencyGraph",
+        key,
+        compute: Callable[[DependencyTracker], object],
+        on_change: Optional[Callable[[object], None]],
+    ):
+        self.graph = graph
+        self.key = key
+        self.compute = compute
+        self.value: object = None
+        self.sources: set[Source] = set()
+        self.on_change = on_change
+        self._height = 0  # all current nodes read sources directly
+
+    def _recompute(self) -> bool:
+        """Re-evaluate; re-register dependencies; True if the value changed."""
+        tracker = DependencyTracker(self.graph)
+        new_value = self.compute(tracker)
+        # dynamic dependency maintenance: drop stale edges, add fresh ones
+        for src in self.sources - tracker.reads:
+            src.dependents.discard(self)
+        for src in tracker.reads - self.sources:
+            src.dependents.add(self)
+        self.sources = tracker.reads
+        if new_value == self.value:
+            return False
+        self.value = new_value
+        if self.on_change is not None:
+            self.on_change(new_value)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Computed {self.key!r} value={self.value!r}>"
+
+
+class DependencyGraph:
+    """The propagation engine: sources, computed nodes, a dirty set."""
+
+    def __init__(self) -> None:
+        self._sources: dict = {}
+        self._nodes: dict = {}
+        self._dirty_set: set[Computed] = set()
+        #: instrumentation: recomputations whose value was unchanged
+        #: (the cost of conservative over-approximation; see module doc)
+        self.pruned_recomputations = 0
+        self.total_recomputations = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def source(self, key) -> Source:
+        """The (interned) source node for a model fragment key."""
+        src = self._sources.get(key)
+        if src is None:
+            src = self._sources[key] = Source(self, key)
+        return src
+
+    def define(
+        self,
+        key,
+        compute: Callable[[DependencyTracker], object],
+        *,
+        on_change: Optional[Callable[[object], None]] = None,
+    ) -> Computed:
+        """Install a computed node and evaluate it once (load phase)."""
+        if key in self._nodes:
+            raise KeyError(f"node {key!r} already defined")
+        node = Computed(self, key, compute, on_change)
+        self._nodes[key] = node
+        node._recompute()
+        return node
+
+    def node(self, key) -> Computed:
+        return self._nodes[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_sources(self) -> int:
+        return len(self._sources)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s.dependents) for s in self._sources.values())
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def _dirty(self, node: Computed) -> None:
+        self._dirty_set.add(node)
+
+    def changed(self, key) -> None:
+        """Notify: the model fragment behind ``key`` mutated."""
+        src = self._sources.get(key)
+        if src is not None:
+            src.changed()
+
+    def propagate(self) -> list[Computed]:
+        """Recompute the dirty closure; returns nodes whose value changed.
+
+        All current queries are depth-1 (computed nodes read sources only),
+        so a single pass suffices; the height sort keeps the engine correct
+        if deeper expressions are ever defined.
+        """
+        changed_nodes: list[Computed] = []
+        while self._dirty_set:
+            batch = sorted(self._dirty_set, key=lambda n: n._height)
+            self._dirty_set.clear()
+            for node in batch:
+                self.total_recomputations += 1
+                if node._recompute():
+                    changed_nodes.append(node)
+                else:
+                    self.pruned_recomputations += 1
+        return changed_nodes

@@ -1,0 +1,229 @@
+"""The object model: Users, Posts and Comments as linked Python objects.
+
+This mirrors how the NMF reference solution represents the case model --
+an in-memory object graph with bidirectional references -- as opposed to the
+paper's matrix representation.  The :class:`ObjectModel` can be built from a
+:class:`~repro.model.graph.SocialGraph` (so both tools load identical data)
+and mutated by :class:`~repro.model.changes.ChangeSet` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
+from repro.model.graph import SocialGraph
+from repro.util.validation import ReproError
+
+__all__ = ["User", "Post", "Comment", "ObjectModel"]
+
+
+@dataclass(eq=False)
+class User:
+    id: int
+    name: str = ""
+    friends: set["User"] = field(default_factory=set)
+    likes: set["Comment"] = field(default_factory=set)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass(eq=False)
+class Post:
+    id: int
+    timestamp: int
+    submitter: User
+    comments: list["Comment"] = field(default_factory=list)  # direct replies
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass(eq=False)
+class Comment:
+    id: int
+    timestamp: int
+    submitter: User
+    parent: Union[Post, "Comment"]
+    post: Post  # the rootPost pointer of the case model
+    comments: list["Comment"] = field(default_factory=list)  # direct replies
+    liked_by: set[User] = field(default_factory=set)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class ObjectModel:
+    """The full object graph plus id lookup tables."""
+
+    def __init__(self) -> None:
+        self.users: dict[int, User] = {}
+        self.posts: dict[int, Post] = {}
+        self.comments: dict[int, Comment] = {}
+        #: subscribers notified of each applied element insertion
+        self._listeners: list[Callable] = []
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_social_graph(cls, graph: SocialGraph) -> "ObjectModel":
+        """Materialise the object graph from the matrix representation."""
+        m = cls()
+        for idx in range(graph.num_users):
+            m.add_user(graph.users.external(idx), graph._user_names[idx])
+        for idx in range(graph.num_posts):
+            m.add_post(
+                graph.posts.external(idx),
+                int(graph._post_ts[idx]),
+                graph.users.external(graph._post_author[idx]),
+            )
+        for idx in range(graph.num_comments):
+            is_post, pidx = graph._comment_parent[idx]
+            parent_ext = (
+                graph.posts.external(pidx)
+                if is_post
+                else graph.comments.external(pidx)
+            )
+            m.add_comment(
+                graph.comments.external(idx),
+                int(graph._comment_ts[idx]),
+                graph.users.external(graph._comment_author[idx]),
+                parent_ext,
+            )
+        for a, b in sorted(graph._friend_keys):
+            m.add_friendship(graph.users.external(a), graph.users.external(b))
+        for c, u in sorted(graph._like_keys):
+            m.add_like(graph.users.external(u), graph.comments.external(c))
+        return m
+
+    # ------------------------------------------------------------------
+    # element mutators (fire change notifications)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable) -> None:
+        """Register a change listener: ``listener(kind, payload)``."""
+        self._listeners.append(listener)
+
+    def _notify(self, kind: str, payload) -> None:
+        for listener in self._listeners:
+            listener(kind, payload)
+
+    def add_user(self, user_id: int, name: str = "") -> User:
+        if user_id in self.users:
+            raise ReproError(f"duplicate user id {user_id}")
+        u = self.users[user_id] = User(user_id, name)
+        self._notify("user", u)
+        return u
+
+    def add_post(self, post_id: int, timestamp: int, user_id: int) -> Post:
+        if post_id in self.posts or post_id in self.comments:
+            raise ReproError(f"duplicate submission id {post_id}")
+        p = self.posts[post_id] = Post(post_id, timestamp, self.users[user_id])
+        self._notify("post", p)
+        return p
+
+    def add_comment(
+        self, comment_id: int, timestamp: int, user_id: int, parent_id: int
+    ) -> Comment:
+        if comment_id in self.posts or comment_id in self.comments:
+            raise ReproError(f"duplicate submission id {comment_id}")
+        if parent_id in self.posts:
+            parent: Union[Post, Comment] = self.posts[parent_id]
+            root = parent
+        elif parent_id in self.comments:
+            parent = self.comments[parent_id]
+            root = parent.post
+        else:
+            raise ReproError(f"unknown parent {parent_id}")
+        c = Comment(comment_id, timestamp, self.users[user_id], parent, root)
+        self.comments[comment_id] = c
+        parent.comments.append(c)
+        self._notify("comment", c)
+        return c
+
+    def add_like(self, user_id: int, comment_id: int) -> Optional[tuple]:
+        u = self.users[user_id]
+        c = self.comments[comment_id]
+        if u in c.liked_by:
+            return None
+        c.liked_by.add(u)
+        u.likes.add(c)
+        self._notify("like", (u, c))
+        return (u, c)
+
+    def add_friendship(self, user1_id: int, user2_id: int) -> Optional[tuple]:
+        a = self.users[user1_id]
+        b = self.users[user2_id]
+        if a is b:
+            raise ReproError(f"self-friendship for user {user1_id}")
+        if b in a.friends:
+            return None
+        a.friends.add(b)
+        b.friends.add(a)
+        self._notify("friendship", (a, b))
+        return (a, b)
+
+    def remove_like(self, user_id: int, comment_id: int) -> Optional[tuple]:
+        """Extension: withdraw a like; no-op when absent."""
+        u = self.users[user_id]
+        c = self.comments[comment_id]
+        if u not in c.liked_by:
+            return None
+        c.liked_by.discard(u)
+        u.likes.discard(c)
+        self._notify("unlike", (u, c))
+        return (u, c)
+
+    def remove_friendship(self, user1_id: int, user2_id: int) -> Optional[tuple]:
+        """Extension: remove a friends edge; no-op when absent."""
+        a = self.users[user1_id]
+        b = self.users[user2_id]
+        if b not in a.friends:
+            return None
+        a.friends.discard(b)
+        b.friends.discard(a)
+        self._notify("unfriend", (a, b))
+        return (a, b)
+
+    # ------------------------------------------------------------------
+
+    def apply(self, change_set: ChangeSet) -> None:
+        for ch in change_set:
+            if isinstance(ch, AddUser):
+                self.add_user(ch.user_id, ch.name)
+            elif isinstance(ch, AddPost):
+                self.add_post(ch.post_id, ch.timestamp, ch.user_id)
+            elif isinstance(ch, AddComment):
+                self.add_comment(ch.comment_id, ch.timestamp, ch.user_id, ch.parent_id)
+            elif isinstance(ch, AddLike):
+                self.add_like(ch.user_id, ch.comment_id)
+            elif isinstance(ch, AddFriendship):
+                self.add_friendship(ch.user1_id, ch.user2_id)
+            elif isinstance(ch, RemoveLike):
+                self.remove_like(ch.user_id, ch.comment_id)
+            elif isinstance(ch, RemoveFriendship):
+                self.remove_friendship(ch.user1_id, ch.user2_id)
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"unknown change type {type(ch)}")
+
+    def all_comments_of(self, post: Post) -> list[Comment]:
+        """Direct and indirect comments via tree traversal (no rootPost use)."""
+        out: list[Comment] = []
+        stack: list[Union[Post, Comment]] = [post]
+        while stack:
+            node = stack.pop()
+            for child in node.comments:
+                out.append(child)
+                stack.append(child)
+        return out

@@ -1,0 +1,275 @@
+"""A persistent fork-based worker pool with shared-memory state shipping.
+
+OpenMP's cost model -- the one the paper's "8 threads" configuration lives
+in -- is: worker threads are spawned once per process and *share* the
+parent's memory, so a parallel region costs microseconds to enter.  Neither
+of Python's stock answers matches that on this workload:
+
+* threads share memory but serialise on the GIL (the per-comment kernel is
+  Python-heavy);
+* a ``multiprocessing.Pool`` per region pays ~250 ms of spawn machinery,
+  and even a raw ``os.fork`` fan-out costs ~25 ms *per child* once the
+  parent owns a benchmark-sized heap (fork copies page tables).
+
+:class:`PersistentWorkerPool` forks its workers **once**, at the first
+parallel region, and afterwards only ships *state changes*: the primed
+read-only arrays (the Likes/Friends CSR of the current evaluation) are
+written to ``.npy`` files under ``/dev/shm`` and workers ``mmap`` them --
+one memcpy in the parent, zero copies in the workers, all sharing the same
+page-cache pages.  A version counter lets workers skip re-priming when the
+state has not changed between regions.
+
+Protocol (length-prefixed pickles over two pipes per worker):
+
+    parent -> worker:  (fn, initializer, version, array_paths, chunks)
+    worker -> parent:  ("ok", results) | ("err", traceback_text)
+
+The pool is deliberately not a general task queue: one ``map_chunks`` is
+one synchronous fork-join region, matching OpenMP semantics (and the
+profile of Q2's per-comment loop).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import struct
+import tempfile
+import traceback
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.parallel.executor import Executor
+from repro.util.validation import ReproError
+
+__all__ = ["PersistentWorkerPool"]
+
+_LEN = struct.Struct("<Q")
+
+
+def _send(fd: int, obj) -> None:
+    payload = pickle.dumps(obj, protocol=5)
+    os.write(fd, _LEN.pack(len(payload)))
+    # os.write may write partially for large payloads on a pipe
+    view = memoryview(payload)
+    while view:
+        n = os.write(fd, view)
+        view = view[n:]
+
+
+def _recv_exact(fd: int, n: int) -> bytes:
+    parts = []
+    while n:
+        chunk = os.read(fd, min(n, 1 << 20))
+        if not chunk:
+            raise EOFError("worker pipe closed")
+        parts.append(chunk)
+        n -= len(chunk)
+    return b"".join(parts)
+
+
+def _recv(fd: int):
+    (length,) = _LEN.unpack(_recv_exact(fd, _LEN.size))
+    return pickle.loads(_recv_exact(fd, length))
+
+
+def _shm_root() -> str:
+    return "/dev/shm" if os.path.isdir("/dev/shm") else tempfile.gettempdir()
+
+
+def _worker_loop(cmd_fd: int, res_fd: int) -> None:
+    """Run in the child: serve fork-join regions until the None sentinel."""
+    primed_version = -1
+    while True:
+        try:
+            msg = _recv(cmd_fd)
+        except EOFError:
+            break
+        if msg is None:
+            break
+        fn, initializer, version, array_paths, chunks = msg
+        try:
+            if initializer is not None and version != primed_version:
+                arrays = [np.load(p, mmap_mode="r") for p in array_paths]
+                initializer(*arrays)
+                primed_version = version
+            _send(res_fd, ("ok", [fn(chunk) for chunk in chunks]))
+        except BaseException:
+            try:
+                _send(res_fd, ("err", traceback.format_exc()))
+            except BaseException:  # pragma: no cover - pipe gone
+                break
+
+
+class PersistentWorkerPool(Executor):
+    """Fork-once workers + shared-memory priming (see module docstring).
+
+    Use as a context manager or call :meth:`close`; an unclosed pool's
+    workers exit on their own when the parent's pipes close at interpreter
+    shutdown.
+    """
+
+    MIN_PARALLEL_ITEMS = 256
+
+    def __init__(self, workers: int = 8):
+        if workers < 1:
+            raise ReproError("workers must be >= 1")
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX
+            raise ReproError("PersistentWorkerPool requires os.fork")
+        self.workers = workers
+        self._children: list[tuple[int, int, int]] = []  # (pid, cmd_w, res_r)
+        self._dir: Optional[str] = None
+        self._version = 0
+        self._primed_key: Optional[tuple] = None
+        self._paths: list[str] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "PersistentWorkerPool":
+        """Fork the workers now (idempotent).
+
+        Engines call this during the TTC Initialization phase so the
+        one-time fork cost lands where OpenMP's thread-spawn cost does --
+        outside the measured evaluation phases.
+        """
+        if self._children:
+            return self
+        self._dir = tempfile.mkdtemp(prefix="repro-pool-", dir=_shm_root())
+        for _ in range(min(self.workers, os.cpu_count() or 1)):
+            cmd_r, cmd_w = os.pipe()
+            res_r, res_w = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # child
+                os.close(cmd_w)
+                os.close(res_r)
+                status = 0
+                try:
+                    _worker_loop(cmd_r, res_w)
+                except BaseException:  # pragma: no cover - child-side
+                    status = 1
+                finally:
+                    os._exit(status)
+            os.close(cmd_r)
+            os.close(res_w)
+            self._children.append((pid, cmd_w, res_r))
+        return self
+
+    def close(self) -> None:
+        for pid, cmd_w, res_r in self._children:
+            try:
+                _send(cmd_w, None)
+            except OSError:  # pragma: no cover - worker already gone
+                pass
+            os.close(cmd_w)
+            os.close(res_r)
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:  # pragma: no cover
+                pass
+        self._children.clear()
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None
+        self._primed_key = None
+
+    # ------------------------------------------------------------------
+    # state shipping
+    # ------------------------------------------------------------------
+
+    def _prime(self, initargs: tuple) -> list[str]:
+        """Write changed state arrays to shared memory; bump the version.
+
+        The identity key is (id, shape, nnz-ish) per array: the engines
+        rebuild the CSR arrays on every graph flush, so object identity is
+        a reliable change signal, and the cheap extra fields guard against
+        id reuse after garbage collection.
+        """
+        arrays = [np.ascontiguousarray(a) for a in initargs if isinstance(a, np.ndarray)]
+        if len(arrays) != len(initargs):
+            raise ReproError(
+                "PersistentWorkerPool initargs must all be numpy arrays "
+                "(scalars can be shipped as 0-d arrays)"
+            )
+        key = tuple((id(a), a.shape, a.dtype.str) for a in initargs)
+        if key == self._primed_key:
+            return self._paths
+        for path in self._paths:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover
+                pass
+        self._version += 1
+        self._paths = []
+        for i, a in enumerate(arrays):
+            path = os.path.join(self._dir, f"state_v{self._version}_{i}.npy")
+            np.save(path, a)
+            self._paths.append(path)
+        self._primed_key = key
+        return self._paths
+
+    # ------------------------------------------------------------------
+    # the fork-join region
+    # ------------------------------------------------------------------
+
+    def map_chunks(
+        self,
+        fn: Callable,
+        chunks,
+        *,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+    ) -> list:
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        self.start()
+        n = min(len(self._children), len(chunks))
+        if n == 1 or len(chunks) == 1:
+            if initializer is not None:
+                initializer(*initargs)
+            return [fn(chunk) for chunk in chunks]
+
+        # non-array initargs (e.g. the algorithm name) ride along as 0-d
+        # object arrays would be unpicklable via np.save; ship them inline
+        array_args = tuple(a for a in initargs if isinstance(a, np.ndarray))
+        extra_args = tuple(a for a in initargs if not isinstance(a, np.ndarray))
+        paths = self._prime(array_args)
+        version = self._version
+
+        init = None
+        if initializer is not None:
+            init = _Reprime(initializer, extra_args)
+
+        assignments = [list(range(w, len(chunks), n)) for w in range(n)]
+        for (pid, cmd_w, _res_r), idxs in zip(self._children, assignments):
+            _send(cmd_w, (fn, init, version, paths, [chunks[i] for i in idxs]))
+
+        results: list = [None] * len(chunks)
+        errors: list[str] = []
+        for (_pid, _cmd_w, res_r), idxs in zip(self._children, assignments):
+            status, payload = _recv(res_r)
+            if status == "err":
+                errors.append(payload)
+                continue
+            for i, value in zip(idxs, payload):
+                results[i] = value
+        if errors:
+            raise ReproError("worker failure(s):\n" + "\n".join(errors))
+        return results
+
+
+class _Reprime:
+    """Picklable shim: re-orders mmap'd arrays and inline extras back into
+    the initializer's original signature (arrays first is the convention of
+    the Q2 kernel; extras are appended)."""
+
+    def __init__(self, initializer: Callable, extra_args: tuple):
+        self.initializer = initializer
+        self.extra_args = extra_args
+
+    def __call__(self, *arrays) -> None:
+        self.initializer(*arrays, *self.extra_args)

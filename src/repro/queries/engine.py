@@ -1,0 +1,146 @@
+"""QueryEngine: the tool facade the benchmark harness drives.
+
+One engine = one (query, variant) configuration of Fig. 5:
+
+* ``graphblas-batch``        -- full re-evaluation every step (Alg. 1 / Q2 batch)
+* ``graphblas-incremental``  -- initial full evaluation, then incremental
+  maintenance (Alg. 2 / Q2 steps 1-9)
+
+with an optional executor for the paper's "8 threads" configurations, plus
+the NMF reference variants (constructed by :func:`make_engine`, implemented
+in :mod:`repro.nmf`).
+
+The TTC phase protocol:
+
+=================  =====================================================
+``load(graph)``    adopt the initial model
+``initial()``      first evaluation; returns the top-3 result string
+``update(cs)``     apply one change set and re-evaluate; returns top-3
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.changes import ChangeSet
+from repro.model.graph import SocialGraph
+from repro.parallel.executor import Executor
+from repro.queries.q1 import Q1Batch, Q1Incremental
+from repro.queries.q2 import Q2Batch, Q2Incremental
+from repro.util.validation import ReproError
+
+__all__ = ["QueryEngine", "make_engine", "TOOL_NAMES"]
+
+#: the Fig. 5 tool names (NMF variants are created through make_engine too)
+TOOL_NAMES = (
+    "graphblas-batch",
+    "graphblas-incremental",
+    "nmf-batch",
+    "nmf-incremental",
+)
+
+
+class QueryEngine:
+    """Drives one query in either batch or incremental mode."""
+
+    def __init__(
+        self,
+        query: str,
+        variant: str,
+        *,
+        k: int = 3,
+        q2_algorithm: str = "fastsv",
+        executor: Optional[Executor] = None,
+    ):
+        if query not in ("Q1", "Q2"):
+            raise ReproError(f"unknown query {query!r}")
+        if variant not in ("batch", "incremental"):
+            raise ReproError(f"unknown variant {variant!r}")
+        self.query = query
+        self.variant = variant
+        self.k = k
+        self.q2_algorithm = q2_algorithm
+        self.executor = executor
+        if executor is not None and hasattr(executor, "start"):
+            # persistent pools fork their workers here, in the TTC
+            # Initialization phase -- where OpenMP pays its thread spawn
+            executor.start()
+        self.graph: Optional[SocialGraph] = None
+        self._impl = None
+
+    # -- TTC phases -------------------------------------------------------
+
+    def load(self, graph: SocialGraph) -> None:
+        self.graph = graph
+        if self.query == "Q1":
+            self._impl = (
+                Q1Batch(graph, self.k)
+                if self.variant == "batch"
+                else Q1Incremental(graph, self.k)
+            )
+        else:
+            if self.variant == "batch":
+                self._impl = Q2Batch(
+                    graph, self.k, algorithm=self._batch_algorithm(), executor=self.executor
+                )
+            else:
+                self._impl = Q2Incremental(
+                    graph, self.k, algorithm=self.q2_algorithm, executor=self.executor
+                )
+
+    def _batch_algorithm(self) -> str:
+        # "incremental" is only meaningful for the incremental variant.
+        return "fastsv" if self.q2_algorithm == "incremental" else self.q2_algorithm
+
+    def initial(self) -> str:
+        self._require_loaded()
+        if self.variant == "incremental":
+            top = self._impl.initial()
+        else:
+            top = self._impl.evaluate()
+        return "|".join(str(ext) for ext, _ in top)
+
+    def update(self, change_set: ChangeSet) -> str:
+        self._require_loaded()
+        delta = self.graph.apply(change_set)
+        if self.variant == "incremental":
+            top = self._impl.update(delta)
+        else:
+            top = self._impl.evaluate()
+        return "|".join(str(ext) for ext, _ in top)
+
+    # ----------------------------------------------------------------------
+
+    def _require_loaded(self) -> None:
+        if self._impl is None:
+            raise ReproError("engine not loaded; call load(graph) first")
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.close()
+
+
+def make_engine(
+    tool: str,
+    query: str,
+    *,
+    executor: Optional[Executor] = None,
+    q2_algorithm: str = "fastsv",
+):
+    """Factory covering every Fig. 5 tool (GraphBLAS and NMF variants)."""
+    if tool == "graphblas-batch":
+        return QueryEngine(query, "batch", executor=executor, q2_algorithm=q2_algorithm)
+    if tool == "graphblas-incremental":
+        return QueryEngine(
+            query, "incremental", executor=executor, q2_algorithm=q2_algorithm
+        )
+    if tool == "nmf-batch":
+        from repro.nmf.batch import NmfBatchEngine
+
+        return NmfBatchEngine(query)
+    if tool == "nmf-incremental":
+        from repro.nmf.incremental import NmfIncrementalEngine
+
+        return NmfIncrementalEngine(query)
+    raise ReproError(f"unknown tool {tool!r}; expected one of {TOOL_NAMES}")

@@ -1,0 +1,162 @@
+"""Q1 -- "influential posts" (paper Sec. III, Alg. 1 and Alg. 2).
+
+Score of a Post = 10 x (number of direct or indirect Comments)
+                 + (number of likes on those Comments).
+
+Because every Comment carries a ``rootPost`` pointer, the comment tree never
+has to be traversed: the ``RootPost`` matrix (|posts| x |comments|) already
+links each post to *all* its comments, and the whole query is two reductions
+and one sparse matrix-vector product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphblas import monoid as _monoid
+from repro.graphblas import ops as _ops
+from repro.graphblas import semiring as _semiring
+from repro.graphblas.types import INT64
+from repro.graphblas.vector import Vector
+from repro.model.graph import GraphDelta, SocialGraph
+from repro.queries.topk import TopKTracker, top_k
+
+__all__ = ["Q1Batch", "Q1Incremental"]
+
+_PLUS = _monoid.plus_monoid
+_PLUS_TIMES = _semiring.get("plus_times")
+_MUL10 = _ops.times.bind_second(np.int64(10))
+
+
+def _likes_count(graph: SocialGraph) -> Vector:
+    """likesCount ∈ N^{|comments|}: incoming likes per comment (row-wise sum)."""
+    return graph.likes.reduce_vector(_PLUS, dtype=INT64)
+
+
+def _scores_from(root_post, likes_count: Vector) -> Vector:
+    """Alg. 1 lines 6-9 on an arbitrary RootPost matrix and likes vector."""
+    # line 6: sum <- [⊕_j RootPost(:, j)]          (# comments per post)
+    total = root_post.reduce_vector(_PLUS, dtype=INT64)
+    # line 7: repliesScores <- 10 x sum            (GrB_apply, mul-by-10)
+    replies_scores = total.apply(_MUL10)
+    # line 8: likesScore <- RootPost ⊕.⊗ likesCount
+    likes_score = root_post.mxv(likes_count, _PLUS_TIMES)
+    # line 9: scores <- repliesScores ⊕ likesScore
+    return replies_scores.ewise_add(likes_score, _ops.plus)
+
+
+class Q1Batch:
+    """Alg. 1: full evaluation of every post's score, then top-3."""
+
+    name = "Q1"
+
+    def __init__(self, graph: SocialGraph, k: int = 3):
+        self.graph = graph
+        self.k = k
+
+    def scores(self) -> Vector:
+        """The complete scores vector (sparse; absent = score 0)."""
+        return _scores_from(self.graph.root_post, _likes_count(self.graph))
+
+    def evaluate(self) -> list[tuple[int, int]]:
+        """Top-k (post_id, score) under the contest ordering."""
+        g = self.graph
+        dense = self.scores().to_dense()
+        return top_k(dense, g.post_timestamps, g.posts.external_array(), self.k)
+
+    def result_string(self) -> str:
+        return "|".join(str(ext) for ext, _ in self.evaluate())
+
+
+class Q1Incremental:
+    """Alg. 2: maintain the scores vector and top-3 across updates.
+
+    ``initial()`` performs one batch evaluation (the paper's GraphBLAS
+    Incremental variant does the same on the first step); each ``update()``
+    then costs O(|Δ|) matrix work instead of a full recomputation.
+    """
+
+    name = "Q1"
+
+    def __init__(self, graph: SocialGraph, k: int = 3):
+        self.graph = graph
+        self.k = k
+        self.scores: Vector | None = None
+        self.tracker = TopKTracker(k)
+
+    # -- phase 1: initial full evaluation --------------------------------
+
+    def initial(self) -> list[tuple[int, int]]:
+        g = self.graph
+        self.scores = _scores_from(g.root_post, _likes_count(g))
+        dense = self.scores.to_dense()
+        ts = g.post_timestamps
+        ext = g.posts.external_array()
+        self.tracker.offer_many(
+            (int(ext[i]), int(dense[i]), int(ts[i])) for i in range(g.num_posts)
+        )
+        return self.tracker.top()
+
+    # -- phase 2: incremental maintenance (Alg. 2) -----------------------
+
+    def update(self, delta: GraphDelta) -> list[tuple[int, int]]:
+        """Lines 9-14 of Alg. 2, then the top-3 merge.
+
+        Extension: with edge *removals* in the delta (see
+        :mod:`repro.model.changes`) the like-count increment vector simply
+        carries negative entries -- the algebra of Alg. 2 is signed and
+        needs no other change -- but scores are no longer monotone, so the
+        top-3 is re-derived from the maintained scores vector instead of
+        merged (O(|posts|) reselect vs O(|E|) batch recompute).
+        """
+        if self.scores is None:
+            raise RuntimeError("call initial() before update()")
+        g = self.graph
+        n_posts = delta.n_posts_after
+        n_comments = delta.n_comments_after
+        # dimensions grow: posts' x comments'
+        self.scores.resize(n_posts)
+
+        # ΔRootPost and likesCount+ from the applied change set; removed
+        # likes contribute -1 (the extension's signed increment).
+        delta_rp = delta.delta_root_post()
+        like_c, _like_u = delta.new_likes
+        counts = np.bincount(like_c, minlength=n_comments).astype(np.int64)
+        unlike_c, _ = delta.removed_likes
+        if unlike_c.size:
+            counts -= np.bincount(unlike_c, minlength=n_comments).astype(np.int64)
+        nz = np.flatnonzero(counts)
+        likes_count_plus = Vector.from_coo(nz, counts[nz], n_comments, dtype=INT64)
+
+        # line 9-10: repliesScores+ <- 10 x [⊕_j ΔRootPost(:, j)]
+        new_comment_counts = delta_rp.reduce_vector(_PLUS, dtype=INT64)
+        replies_plus = new_comment_counts.apply(_MUL10)
+        # line 11: likesScore+ <- RootPost' ⊕.⊗ likesCount+
+        likes_plus = g.root_post.mxv(likes_count_plus, _PLUS_TIMES)
+        # line 12: scores+ <- repliesScores+ ⊕ likesScore+
+        scores_plus = replies_plus.ewise_add(likes_plus, _ops.plus)
+        # line 13: scores' <- scores ⊕ scores+
+        self.scores = self.scores.ewise_add(scores_plus, _ops.plus)
+        # line 14: Δscores<scores+> <- scores'   (changed scores only)
+        delta_scores = Vector.sparse(INT64, n_posts)
+        delta_scores.assign(self.scores, mask=scores_plus)
+
+        ts = g.post_timestamps
+        ext = g.posts.external_array()
+        if delta.has_removals:
+            # Non-monotone: reselect the top-3 over the maintained vector.
+            dense = self.scores.to_dense()
+            best = top_k(dense, ts, ext, self.k)
+            ts_of = {int(e): int(t) for e, t in zip(ext.tolist(), ts.tolist())}
+            self.tracker.reseed((e, s, ts_of[e]) for e, s in best)
+        else:
+            # merge with previous top-3 (monotone => candidates suffice);
+            # brand-new posts with no comments score 0 but may still place.
+            for i, s in delta_scores.items():
+                self.tracker.offer(int(ext[i]), int(s), int(ts[i]))
+            for i in delta.new_post_idx.tolist():
+                self.tracker.offer(int(ext[i]), int(self.scores.get(i, 0)), int(ts[i]))
+        return self.tracker.top()
+
+    def result_string(self) -> str:
+        return self.tracker.result_string()

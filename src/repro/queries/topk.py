@@ -1,0 +1,94 @@
+"""Top-k selection and incremental top-k maintenance.
+
+The case study orders both queries' results by score (descending), breaking
+ties by timestamp (descending: newer wins) and finally by external id
+(ascending) for full determinism.  ``k = 3`` throughout the contest.
+
+:class:`TopKTracker` implements the paper's merge rule for incremental
+evaluation: because the update language is insert-only, both queries' scores
+are monotonically non-decreasing, so the new top-k is always contained in
+``previous top-k ∪ entities whose score changed``.  Feeding the tracker the
+changed scores per update therefore maintains the exact top-k in
+O(|changed| log k) instead of a full rescan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["top_k", "TopKTracker"]
+
+
+def _sort_key(entry: tuple[int, int, int]):
+    score, ts, ext_id = entry
+    return (-score, -ts, ext_id)
+
+
+def top_k(
+    scores: np.ndarray, timestamps: np.ndarray, external_ids: np.ndarray, k: int = 3
+) -> list[tuple[int, int]]:
+    """Top-k (external_id, score) pairs under the contest ordering.
+
+    ``scores`` is a *dense* array over all entities (absent scores are 0 --
+    a post with no comments still has a well-defined score of zero and may
+    appear in the top-k of a small graph, as in the paper's Fig. 3 example
+    where only two posts exist).
+    """
+    n = scores.size
+    if n == 0:
+        return []
+    k = min(k, n)
+    entries = list(zip(scores.tolist(), timestamps.tolist(), external_ids.tolist()))
+    entries.sort(key=_sort_key)
+    return [(ext, score) for score, ts, ext in entries[:k]]
+
+
+class TopKTracker:
+    """Maintains top-k under monotonically non-decreasing score updates."""
+
+    def __init__(self, k: int = 3):
+        self.k = k
+        #: best known (score, ts, ext_id) per candidate currently in the pool
+        self._pool: dict[int, tuple[int, int, int]] = {}
+
+    def offer(self, ext_id: int, score: int, timestamp: int) -> None:
+        """Report a (possibly new) score for an entity."""
+        prev = self._pool.get(ext_id)
+        entry = (int(score), int(timestamp), int(ext_id))
+        if prev is None or prev[0] < entry[0]:
+            self._pool[ext_id] = entry
+
+    def offer_many(self, items: Iterable[tuple[int, int, int]]) -> None:
+        """Bulk :meth:`offer`; items are (ext_id, score, timestamp)."""
+        for ext_id, score, ts in items:
+            self.offer(ext_id, score, ts)
+
+    def reseed(self, entries: Iterable[tuple[int, int, int]]) -> None:
+        """Replace the pool outright; items are (ext_id, score, timestamp).
+
+        Used after *non-monotone* updates (the removal extension): a score
+        decrease can evict a pooled entity and promote one pruned earlier,
+        so the merge rule no longer applies and the caller re-derives the
+        candidate set from the full scores vector.
+        """
+        self._pool = {
+            int(ext): (int(score), int(ts), int(ext)) for ext, score, ts in entries
+        }
+
+    def top(self) -> list[tuple[int, int]]:
+        """Current top-k (external_id, score), contest ordering.
+
+        Also prunes the pool to the k survivors: under monotone updates no
+        pruned entity can re-enter without its score changing again, in
+        which case it will be re-offered.
+        """
+        entries = sorted(self._pool.values(), key=_sort_key)[: self.k]
+        self._pool = {e[2]: e for e in entries}
+        return [(ext, score) for score, ts, ext in entries]
+
+    def result_string(self) -> str:
+        """The TTC framework's result format: ids joined by ``|``."""
+        return "|".join(str(ext) for ext, _ in self.top())

@@ -1,0 +1,22 @@
+"""Small shared utilities: validation, timing, RNG plumbing."""
+
+from repro.util.validation import (
+    check_index_array,
+    check_in_range,
+    check_positive,
+    ReproError,
+    DimensionMismatch,
+    IndexOutOfBounds,
+)
+from repro.util.timer import Timer, WallClock
+
+__all__ = [
+    "check_index_array",
+    "check_in_range",
+    "check_positive",
+    "ReproError",
+    "DimensionMismatch",
+    "IndexOutOfBounds",
+    "Timer",
+    "WallClock",
+]

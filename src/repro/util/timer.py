@@ -1,0 +1,57 @@
+"""Monotonic wall-clock timing used by the benchmark harness.
+
+The TTC benchmark framework reports per-phase wall times; these helpers keep
+the timing discipline in one place (perf_counter, explicit start/stop, and a
+context-manager form for one-shot measurement).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallClock:
+    """Thin, patchable wrapper around :func:`time.perf_counter`."""
+
+    @staticmethod
+    def now() -> float:
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        if self._started is not None:
+            raise RuntimeError("Timer already running")
+        self._started = WallClock.now()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Timer is not running")
+        self.elapsed += WallClock.now() - self._started
+        self._started = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,63 @@
+"""Validation helpers and the library's exception hierarchy.
+
+All user-facing errors raised by :mod:`repro` derive from :class:`ReproError`
+so downstream code can catch one base class.  The two most common failure
+modes in a GraphBLAS-style API -- mismatched object dimensions and
+out-of-bounds indices -- get dedicated subclasses mirroring the C API's
+``GrB_DIMENSION_MISMATCH`` and ``GrB_INDEX_OUT_OF_BOUNDS`` error codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionMismatch(ReproError):
+    """Operands have incompatible shapes (GrB_DIMENSION_MISMATCH)."""
+
+
+class IndexOutOfBounds(ReproError):
+    """An index is outside the object's dimensions (GrB_INDEX_OUT_OF_BOUNDS)."""
+
+
+class NotCanonical(ReproError):
+    """Internal arrays violate the canonical sorted/unique invariant."""
+
+
+def check_positive(value: int, what: str) -> int:
+    """Return ``value`` if it is a non-negative int, else raise."""
+    v = int(value)
+    if v < 0:
+        raise ReproError(f"{what} must be non-negative, got {value}")
+    return v
+
+
+def check_in_range(value: int, limit: int, what: str) -> int:
+    """Return ``value`` if ``0 <= value < limit``, else raise IndexOutOfBounds."""
+    v = int(value)
+    if not 0 <= v < limit:
+        raise IndexOutOfBounds(f"{what}={value} out of range [0, {limit})")
+    return v
+
+
+def check_index_array(idx, limit: int, what: str) -> np.ndarray:
+    """Validate and normalise an index array.
+
+    Accepts any integer sequence; returns a contiguous int64 ndarray and
+    verifies every element lies in ``[0, limit)``.
+    """
+    arr = np.ascontiguousarray(idx, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ReproError(f"{what} must be one-dimensional, got shape {arr.shape}")
+    if arr.size:
+        lo = int(arr.min())
+        hi = int(arr.max())
+        if lo < 0 or hi >= limit:
+            raise IndexOutOfBounds(
+                f"{what} contains index outside [0, {limit}): min={lo}, max={hi}"
+            )
+    return arr

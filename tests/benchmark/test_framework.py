@@ -1,0 +1,194 @@
+"""Benchmark framework: phases, aggregation, reporting, the runner sweep."""
+
+import io
+
+import pytest
+
+from repro.benchmark import (
+    BenchmarkConfig,
+    PhaseTimes,
+    ascii_loglog_chart,
+    format_fig5_table,
+    format_table2,
+    geometric_mean,
+    results_to_csv,
+    run_benchmark,
+    run_once,
+)
+from repro.benchmark.runner import FIG5_TOOLS, BenchmarkResult, ToolSpec, main
+from repro.datagen.table2 import TABLE2
+from repro.queries.engine import make_engine
+from repro.util.validation import ReproError
+
+from tests.conftest import build_paper_graph, paper_update
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert abs(geometric_mean([1.0, 4.0]) - 2.0) < 1e-12
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_zero_clamped(self):
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+
+class TestPhases:
+    def test_run_once_collects_everything(self):
+        pt = run_once(
+            lambda: make_engine("graphblas-incremental", "Q1"),
+            build_paper_graph(),
+            [paper_update()],
+        )
+        assert pt.initialization >= 0
+        assert pt.load >= 0
+        assert pt.initial >= 0
+        assert len(pt.updates) == 1
+        assert pt.results == ["11|12", "11|12"]
+
+    def test_aggregates(self):
+        pt = PhaseTimes(initialization=1, load=2, initial=3, updates=[4, 5])
+        assert pt.load_and_initial == 5
+        assert pt.update_and_reevaluation == 9
+
+
+class TestToolSpec:
+    def test_all_fig5_tools_constructible(self):
+        for spec in FIG5_TOOLS:
+            e = spec.make("Q1")
+            e.close()
+
+    def test_fig5_has_six_lines(self):
+        assert len(FIG5_TOOLS) == 6
+        labels = [t.label for t in FIG5_TOOLS]
+        assert "GraphBLAS Batch" in labels and "NMF Incremental" in labels
+
+
+class TestRunBenchmark:
+    def _tiny_config(self, **kw):
+        defaults = dict(
+            queries=("Q1",),
+            tools=(
+                ToolSpec("GrB Batch", "graphblas-batch"),
+                ToolSpec("GrB Incr", "graphblas-incremental"),
+                ToolSpec("NMF Batch", "nmf-batch"),
+            ),
+            scale_factors=(1,),
+            runs=2,
+            seed=42,
+            num_change_sets=3,
+        )
+        defaults.update(kw)
+        return BenchmarkConfig(**defaults)
+
+    def test_sweep_shape(self):
+        results = run_benchmark(self._tiny_config())
+        assert len(results) == 3  # 1 query x 1 sf x 3 tools
+        for r in results:
+            assert r.runs == 2
+            assert r.load_and_initial > 0
+            assert r.update_and_reevaluation > 0
+
+    def test_cross_tool_verification_runs(self):
+        """All tools must produce identical result strings (verified inside)."""
+        run_benchmark(self._tiny_config(queries=("Q1", "Q2")))
+
+    def test_verification_catches_mismatch(self):
+        class LyingEngine:
+            def __init__(self):
+                self.n = 0
+
+            def load(self, graph):
+                pass
+
+            def initial(self):
+                return "lie"
+
+            def update(self, cs):
+                return "lie"
+
+            def close(self):
+                pass
+
+        class LyingSpec(ToolSpec):
+            def make(self, query):
+                return LyingEngine()
+
+        cfg = self._tiny_config(
+            tools=(
+                ToolSpec("GrB Batch", "graphblas-batch"),
+                LyingSpec("Liar", "graphblas-batch"),
+            )
+        )
+        with pytest.raises(ReproError):
+            run_benchmark(cfg)
+
+    def test_progress_callback(self):
+        seen = []
+        run_benchmark(self._tiny_config(runs=1), progress=seen.append)
+        assert len(seen) == 3
+
+
+class TestReporting:
+    def _results(self):
+        return [
+            BenchmarkResult("ToolA", "Q1", 1, 2, 0.5, 0.1),
+            BenchmarkResult("ToolA", "Q1", 2, 2, 1.0, 0.2),
+            BenchmarkResult("ToolB", "Q1", 1, 2, 0.25, 0.4),
+            BenchmarkResult("ToolB", "Q1", 2, 2, 0.5, 0.8),
+        ]
+
+    def test_fig5_table(self):
+        out = format_fig5_table(self._results(), "Q1", "load_and_initial")
+        assert "ToolA" in out and "ToolB" in out
+        assert "0.5000" in out
+
+    def test_chart_renders_all_series(self):
+        series = {
+            "ToolA": [(1.0, 0.5), (2.0, 1.0)],
+            "ToolB": [(1.0, 0.25), (2.0, 0.5)],
+        }
+        chart = ascii_loglog_chart(series, title="t")
+        assert "ToolA" in chart and "log scale" in chart
+
+    def test_chart_empty(self):
+        assert "(no data)" in ascii_loglog_chart({}, title="x")
+
+    def test_csv(self):
+        csv = results_to_csv(self._results())
+        lines = csv.splitlines()
+        assert lines[0].startswith("tool,query")
+        assert len(lines) == 5
+
+    def test_table2_format(self):
+        achieved = {1: {"nodes": 1274, "edges": 2520, "inserts": 67}}
+        out = format_table2(achieved, TABLE2)
+        assert "1274" in out and "2533" in out
+
+
+class TestCli:
+    def test_table2_report(self, capsys):
+        assert main(["--report", "table2", "--max-sf", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_fig5_small(self, capsys, tmp_path):
+        csv_path = tmp_path / "r.csv"
+        rc = main(
+            [
+                "--report", "fig5",
+                "--max-sf", "1",
+                "--runs", "1",
+                "--queries", "Q1",
+                "--serial-only",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Load and initial evaluation" in out
+        assert csv_path.exists()

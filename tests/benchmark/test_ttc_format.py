@@ -1,0 +1,166 @@
+"""TTC 2018 contest log format: render, parse, aggregate, verify."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmark.phases import PhaseTimes
+from repro.benchmark.ttc_format import (
+    TTC_HEADER,
+    TTCRecord,
+    aggregate_times,
+    parse,
+    render_run,
+    verify_elements,
+)
+from repro.util.validation import ReproError
+
+
+def sample_times() -> PhaseTimes:
+    return PhaseTimes(
+        initialization=0.001,
+        load=0.25,
+        initial=0.5,
+        updates=[0.01, 0.02],
+        results=["1|2|3", "4|2|3", "4|5|3"],
+    )
+
+
+class TestRender:
+    def test_header_fields(self):
+        assert TTC_HEADER.count(";") == 7
+
+    def test_phase_lines_in_order(self):
+        lines = render_run("GrB", "Q1", "sf4", 0, sample_times())
+        phases = [l.split(";")[5] for l in lines]
+        assert phases == [
+            "Initialization",
+            "Load",
+            "Initial",
+            "Initial",  # Elements record
+            "Update",
+            "Update",
+            "Update",
+            "Update",
+        ]
+
+    def test_time_is_nanoseconds(self):
+        lines = render_run("GrB", "Q1", "sf4", 0, sample_times())
+        load = next(l for l in lines if ";Load;" in l)
+        assert load.endswith(";Time;250000000")
+
+    def test_iteration_numbers(self):
+        lines = render_run("GrB", "Q2", "sf1", 3, sample_times())
+        updates = [l.split(";") for l in lines if l.split(";")[5] == "Update"]
+        assert [u[4] for u in updates] == ["1", "1", "2", "2"]
+        assert all(u[3] == "3" for u in updates)
+
+    def test_elements_carry_result_strings(self):
+        lines = render_run("GrB", "Q1", "sf4", 0, sample_times())
+        elems = [l.split(";")[7] for l in lines if ";Elements;" in l]
+        assert elems == ["1|2|3", "4|2|3", "4|5|3"]
+
+    def test_without_results(self):
+        lines = render_run("GrB", "Q1", "sf4", 0, sample_times(), with_results=False)
+        assert not any(";Elements;" in l for l in lines)
+
+
+class TestParse:
+    def test_roundtrip(self):
+        lines = render_run("GrB", "Q1", "sf4", 0, sample_times())
+        records = parse("\n".join([TTC_HEADER] + lines))
+        assert len(records) == len(lines)
+        assert records[0].phase == "Initialization"
+        assert records[1].time_seconds == pytest.approx(0.25)
+
+    def test_header_optional(self):
+        lines = render_run("GrB", "Q1", "sf4", 0, sample_times())
+        assert len(parse("\n".join(lines))) == len(lines)
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(ReproError, match="line 1"):
+            parse("a;b;c")
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(ReproError, match="unknown phase"):
+            parse("T;Q1;sf1;0;0;Teardown;Time;5")
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ReproError, match="unknown metric"):
+            parse("T;Q1;sf1;0;0;Load;Watts;5")
+
+    def test_non_integer_run_raises(self):
+        with pytest.raises(ReproError, match="line 1"):
+            parse("T;Q1;sf1;x;0;Load;Time;5")
+
+    def test_time_seconds_guard(self):
+        rec = TTCRecord("T", "Q1", "sf1", 0, 0, "Initial", "Elements", "1|2")
+        with pytest.raises(ReproError):
+            rec.time_seconds
+
+
+class TestAggregate:
+    def test_fig5_groups(self):
+        lines = []
+        for run in range(3):
+            lines += render_run("GrB", "Q1", "sf4", run, sample_times())
+        agg = aggregate_times(parse("\n".join(lines)))
+        assert agg[("GrB", "Q1", "sf4", "load_and_initial")] == pytest.approx(0.75)
+        assert agg[("GrB", "Q1", "sf4", "update_and_reevaluation")] == pytest.approx(
+            0.03, rel=1e-6
+        )
+
+    def test_initialization_excluded(self):
+        """Fig. 5 excludes the Initialization phase from both panels."""
+        t = PhaseTimes(initialization=100.0, load=0.1, initial=0.1, updates=[0.1])
+        agg = aggregate_times(parse("\n".join(render_run("T", "Q1", "sf1", 0, t))))
+        assert agg[("T", "Q1", "sf1", "load_and_initial")] == pytest.approx(0.2)
+
+    def test_geometric_mean_across_runs(self):
+        a = PhaseTimes(load=0.1, initial=0.0, updates=[])
+        b = PhaseTimes(load=0.4, initial=0.0, updates=[])
+        lines = render_run("T", "Q1", "sf1", 0, a) + render_run("T", "Q1", "sf1", 1, b)
+        agg = aggregate_times(parse("\n".join(lines)))
+        # geomean(0.1, 0.4) = 0.2
+        assert agg[("T", "Q1", "sf1", "load_and_initial")] == pytest.approx(0.2)
+
+
+class TestVerifyElements:
+    def test_accepts_matching_tools(self):
+        lines = render_run("A", "Q1", "sf1", 0, sample_times()) + render_run(
+            "B", "Q1", "sf1", 0, sample_times()
+        )
+        verify_elements(parse("\n".join(lines)))  # no raise
+
+    def test_rejects_mismatch(self):
+        bad = sample_times()
+        bad.results = ["9|9|9", "4|2|3", "4|5|3"]
+        lines = render_run("A", "Q1", "sf1", 0, sample_times()) + render_run(
+            "B", "Q1", "sf1", 0, bad
+        )
+        with pytest.raises(ReproError, match="result mismatch"):
+            verify_elements(parse("\n".join(lines)))
+
+    def test_different_views_do_not_clash(self):
+        q1 = sample_times()
+        q2 = sample_times()
+        q2.results = ["7|8|9", "7|8|9", "7|8|9"]
+        lines = render_run("A", "Q1", "sf1", 0, q1) + render_run("A", "Q2", "sf1", 0, q2)
+        verify_elements(parse("\n".join(lines)))
+
+
+class TestPropertyRoundtrip:
+    @given(
+        load=st.floats(0, 10),
+        initial=st.floats(0, 10),
+        updates=st.lists(st.floats(0, 1), max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_times_to_ns(self, load, initial, updates):
+        t = PhaseTimes(load=load, initial=initial, updates=updates)
+        records = parse("\n".join(render_run("T", "Q1", "sf1", 0, t)))
+        times = [r for r in records if r.metric == "Time"]
+        assert times[1].time_seconds == pytest.approx(load, abs=1e-9)
+        assert times[2].time_seconds == pytest.approx(initial, abs=1e-9)
+        for rec, u in zip(times[3:], updates):
+            assert rec.time_seconds == pytest.approx(u, abs=1e-9)

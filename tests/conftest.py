@@ -1,0 +1,88 @@
+"""Shared fixtures: the paper's Fig. 3 example graph and hypothesis profiles."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.model import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    SocialGraph,
+)
+
+settings.register_profile(
+    "ci",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+# External ids of the paper's example entities.
+U1, U2, U3, U4 = 101, 102, 103, 104
+P1, P2 = 11, 12
+C1, C2, C3, C4 = 21, 22, 23, 24
+
+
+def build_paper_graph() -> SocialGraph:
+    """Fig. 3a: the initial example graph.
+
+    Posts p1 (comments c1, c2) and p2 (comment c3); friendships u2-u3 and
+    u3-u4; likes: c1 <- {u2, u3}, c2 <- {u1, u3, u4}.
+    """
+    g = SocialGraph()
+    for uid, name in ((U1, "u1"), (U2, "u2"), (U3, "u3"), (U4, "u4")):
+        g.add_user(uid, name)
+    g.add_post(P1, 10, U1)
+    g.add_post(P2, 11, U2)
+    g.add_comment(C1, 20, U2, P1)
+    g.add_comment(C2, 21, U1, C1)
+    g.add_comment(C3, 22, U3, P2)
+    g.add_friendship(U2, U3)
+    g.add_friendship(U3, U4)
+    g.add_like(U2, C1)
+    g.add_like(U3, C1)
+    g.add_like(U1, C2)
+    g.add_like(U3, C2)
+    g.add_like(U4, C2)
+    return g
+
+
+def paper_update() -> ChangeSet:
+    """Fig. 3b: the six-element update.
+
+    (1) friends u1-u4, (2) like u2 -> c2, (3)-(5) comment c4 under c1
+    (rootPost p1 derived), (6) like u4 -> c4.
+    """
+    return ChangeSet(
+        [
+            AddFriendship(U1, U4),
+            AddLike(U2, C2),
+            AddComment(C4, 30, U3, C1),
+            AddLike(U4, C4),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_graph() -> SocialGraph:
+    return build_paper_graph()
+
+
+@pytest.fixture
+def paper_change_set() -> ChangeSet:
+    return paper_update()

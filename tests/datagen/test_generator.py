@@ -1,0 +1,146 @@
+"""Generator: Table II conformance, determinism, distribution shape."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import TABLE2, generate_benchmark_input, generate_graph, scale_factors
+from repro.datagen.distributions import (
+    sample_pairs_without_replacement,
+    sample_zipf,
+    zipf_weights,
+)
+from repro.datagen.table2 import row_for
+
+
+class TestTable2Constants:
+    def test_paper_values(self):
+        assert TABLE2[1].nodes == 1274
+        assert TABLE2[1].edges == 2533
+        assert TABLE2[1].inserts == 67
+        assert TABLE2[1024].nodes == 859_000
+
+    def test_scale_factors(self):
+        assert scale_factors() == [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+
+    def test_row_for_interpolates(self):
+        r = row_for(3)
+        assert r.scale_factor == 3 and r.nodes > TABLE2[2].nodes
+
+
+class TestDistributions:
+    def test_zipf_weights_normalised(self):
+        w = zipf_weights(100, 0.8)
+        assert abs(w.sum() - 1.0) < 1e-12
+        assert w[0] > w[50] > w[99]
+
+    def test_zipf_empty(self):
+        assert zipf_weights(0, 1.0).size == 0
+        assert sample_zipf(np.random.default_rng(0), 0, 5, 1.0).size == 0
+
+    def test_sample_zipf_range(self):
+        s = sample_zipf(np.random.default_rng(0), 10, 1000, 0.9)
+        assert s.min() >= 0 and s.max() < 10
+        # heavy tail: index 0 should be the most frequent
+        counts = np.bincount(s, minlength=10)
+        assert counts[0] == counts.max()
+
+    def test_pairs_unique(self):
+        l, r = sample_pairs_without_replacement(
+            np.random.default_rng(1), 50, 50, 200, 0.7, 0.7
+        )
+        keys = set(zip(l.tolist(), r.tolist()))
+        assert len(keys) == l.size
+
+    def test_pairs_symmetric_no_self(self):
+        a, b = sample_pairs_without_replacement(
+            np.random.default_rng(2), 30, 30, 100, 0.7, 0.7, symmetric=True
+        )
+        assert (a < b).all()
+
+    def test_pairs_dense_corner_returns_fewer(self):
+        # only 3 possible symmetric pairs among 3 users
+        a, b = sample_pairs_without_replacement(
+            np.random.default_rng(3), 3, 3, 100, 0.5, 0.5, symmetric=True
+        )
+        assert a.size <= 3
+
+
+class TestGeneratedGraphs:
+    @pytest.mark.parametrize("sf", [1, 2, 4])
+    def test_node_count_exact(self, sf):
+        g = generate_graph(sf, seed=42)
+        assert g.stats()["nodes"] == TABLE2[sf].nodes
+
+    @pytest.mark.parametrize("sf", [1, 2, 4])
+    def test_edge_count_close(self, sf):
+        g = generate_graph(sf, seed=42)
+        achieved = g.stats()["edges"]
+        target = TABLE2[sf].edges
+        assert abs(achieved - target) / target < 0.02
+
+    def test_insert_count_exact(self):
+        for sf in (1, 2):
+            _, css = generate_benchmark_input(sf, seed=42)
+            assert sum(len(cs) for cs in css) == TABLE2[sf].inserts
+
+    def test_deterministic(self):
+        g1, c1 = generate_benchmark_input(1, seed=5)
+        g2, c2 = generate_benchmark_input(1, seed=5)
+        assert g1.stats() == g2.stats()
+        assert g1.likes.isequal(g2.likes)
+        assert g1.friends.isequal(g2.friends)
+        assert all(a.changes == b.changes for a, b in zip(c1, c2))
+
+    def test_seed_changes_output(self):
+        g1 = generate_graph(1, seed=5)
+        g2 = generate_graph(1, seed=6)
+        assert not g1.likes.isequal(g2.likes)
+
+    def test_heavy_tail_likes(self):
+        """A few comments must be much more liked than the median (Q2 load)."""
+        g = generate_graph(4, seed=42)
+        from repro.graphblas import INT64, monoid
+
+        counts = g.likes.reduce_vector(monoid.plus_monoid, dtype=INT64).to_dense()
+        liked = counts[counts > 0]
+        assert liked.max() >= 10 * max(1, int(np.median(liked)))
+
+    def test_timestamps_strictly_increasing(self):
+        g = generate_graph(1, seed=42)
+        ts = g.comment_timestamps
+        assert (np.diff(ts) > 0).all()
+
+    def test_change_sets_apply_cleanly(self):
+        g, css = generate_benchmark_input(1, seed=42)
+        for cs in css:
+            g.apply(cs)  # raises on dangling references
+
+    def test_updates_reference_existing_hot_entities(self):
+        from repro.model.changes import AddLike
+
+        g, css = generate_benchmark_input(2, seed=42)
+        likes = [c for cs in css for c in cs if isinstance(c, AddLike)]
+        assert likes, "expected like inserts in the update mix"
+
+
+class TestCli:
+    def test_main_writes_csvs(self, tmp_path, capsys):
+        from repro.datagen.generator import main
+
+        rc = main(["--scale", "1", "--out", str(tmp_path / "sf1"), "--seed", "1"])
+        assert rc == 0
+        assert (tmp_path / "sf1" / "users.csv").exists()
+        assert (tmp_path / "sf1" / "change01.csv").exists()
+        out = capsys.readouterr().out
+        assert "SF1" in out
+
+    def test_cli_roundtrip_queries(self, tmp_path):
+        from repro.datagen.generator import main
+        from repro.model import load_change_sets, load_graph
+        from repro.queries import Q1Batch
+
+        main(["--scale", "1", "--out", str(tmp_path / "d"), "--seed", "3"])
+        g = load_graph(tmp_path / "d")
+        css = load_change_sets(tmp_path / "d")
+        assert len(css) == 10
+        assert len(Q1Batch(g).evaluate()) == 3

@@ -1,0 +1,154 @@
+"""GrB_assign semantics: submatrix assign with region overwrite, accum, masks.
+
+Hand-built examples pin the tricky spec corners (region deletion, whole-C
+mask, replace) and hypothesis cross-checks the kernel against the naive
+dict oracle on random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphblas import INT64, Mask, Matrix, Vector, ops
+from repro.graphblas import reference as ref
+from repro.graphblas.descriptor import Descriptor
+from repro.util.validation import DimensionMismatch, ReproError
+
+from tests.graphblas.test_property_oracle import (
+    mat_dict,
+    mat_of,
+    sparse_matrix,
+)
+
+
+def _mat(entries: dict, r: int, c: int) -> Matrix:
+    return mat_of(r, c, entries)
+
+
+class TestAssignBasics:
+    def test_region_overwrite_deletes_stale_entries(self):
+        # C(0,2) lies inside the assigned region {0,2} x {0,2} but A has no
+        # entry there, so it must be deleted.
+        c = _mat({(0, 0): 1, (0, 2): 2, (1, 1): 3, (2, 2): 4}, 3, 3)
+        a = _mat({(0, 0): 9, (1, 1): 8}, 2, 2)
+        c.assign(a, [0, 2], [0, 2])
+        assert mat_dict(c) == {(0, 0): 9, (1, 1): 3, (2, 2): 8}
+
+    def test_entries_outside_region_survive(self):
+        c = _mat({(2, 0): 7}, 3, 3)
+        a = _mat({(0, 0): 1}, 1, 1)
+        c.assign(a, [0], [0])
+        assert mat_dict(c) == {(0, 0): 1, (2, 0): 7}
+
+    def test_assign_all_replaces_everything(self):
+        c = _mat({(0, 0): 1, (1, 1): 2}, 2, 2)
+        a = _mat({(0, 1): 5}, 2, 2)
+        c.assign(a)
+        assert mat_dict(c) == {(0, 1): 5}
+
+    def test_accum_merges_instead_of_deleting(self):
+        c = _mat({(0, 0): 1, (0, 2): 2}, 3, 3)
+        a = _mat({(0, 0): 9, (1, 1): 8}, 2, 2)
+        c.assign(a, [0, 2], [0, 2], accum=ops.plus)
+        assert mat_dict(c) == {(0, 0): 10, (0, 2): 2, (2, 2): 8}
+
+    def test_unsorted_index_maps(self):
+        # I = [2, 0]: A's row 0 lands on C's row 2.
+        c = Matrix.sparse(INT64, 3, 3)
+        a = _mat({(0, 0): 5, (1, 1): 6}, 2, 2)
+        c.assign(a, [2, 0], [2, 0])
+        assert mat_dict(c) == {(2, 2): 5, (0, 0): 6}
+
+    def test_returns_self(self):
+        c = Matrix.sparse(INT64, 2, 2)
+        a = _mat({(0, 0): 1}, 2, 2)
+        assert c.assign(a) is c
+
+
+class TestAssignValidation:
+    def test_shape_mismatch_raises(self):
+        c = Matrix.sparse(INT64, 3, 3)
+        a = Matrix.sparse(INT64, 2, 2)
+        with pytest.raises(DimensionMismatch):
+            c.assign(a, [0], [0, 1])
+
+    def test_duplicate_indices_raise(self):
+        c = Matrix.sparse(INT64, 3, 3)
+        a = Matrix.sparse(INT64, 2, 2)
+        with pytest.raises(ReproError):
+            c.assign(a, [0, 0], [0, 1])
+
+    def test_out_of_range_indices_raise(self):
+        c = Matrix.sparse(INT64, 3, 3)
+        a = Matrix.sparse(INT64, 1, 1)
+        with pytest.raises(Exception):
+            c.assign(a, [3], [0])
+
+
+class TestAssignMask:
+    def test_mask_blocks_writes_outside_mask(self):
+        c = _mat({(0, 0): 1, (1, 1): 2}, 2, 2)
+        a = _mat({(0, 0): 9, (1, 1): 8}, 2, 2)
+        m = _mat({(0, 0): 1}, 2, 2)  # only (0,0) writable
+        c.assign(a, mask=m)
+        # (0,0) updated; (1,1) kept old value because the mask is false there.
+        assert mat_dict(c) == {(0, 0): 9, (1, 1): 2}
+
+    def test_mask_with_replace_clears_unmasked(self):
+        c = _mat({(0, 0): 1, (1, 1): 2}, 2, 2)
+        a = _mat({(0, 0): 9, (1, 1): 8}, 2, 2)
+        m = _mat({(0, 0): 1}, 2, 2)
+        c.assign(a, mask=m, desc=Descriptor(replace=True))
+        assert mat_dict(c) == {(0, 0): 9}
+
+    def test_complemented_structural_mask(self):
+        c = _mat({(0, 0): 1}, 2, 2)
+        a = _mat({(0, 0): 9, (1, 1): 8}, 2, 2)
+        m = _mat({(0, 0): 0}, 2, 2)  # structure: (0,0) present
+        c.assign(a, mask=Mask(m, complement=True, structure=True))
+        # (0,0) masked out -> old value survives; (1,1) written.
+        assert mat_dict(c) == {(0, 0): 1, (1, 1): 8}
+
+
+class TestAssignPropertyOracle:
+    @given(st.data(), st.sampled_from([None, "plus", "second", "max"]))
+    def test_matches_oracle(self, data, accum_name):
+        r, c, dc = data.draw(sparse_matrix())
+        # Draw index subsets of C's rows / cols (non-empty, unique).
+        rows = data.draw(
+            st.lists(st.integers(0, r - 1), min_size=1, max_size=r, unique=True)
+        )
+        cols = data.draw(
+            st.lists(st.integers(0, c - 1), min_size=1, max_size=c, unique=True)
+        )
+        _, _, da = data.draw(
+            sparse_matrix(nrows=len(rows), ncols=len(cols))
+        )
+        accum = None if accum_name is None else getattr(ops, accum_name)
+        pyaccum = {
+            None: None,
+            "plus": lambda a, b: a + b,
+            "second": lambda a, b: b,
+            "max": max,
+        }[accum_name]
+
+        got_m = mat_of(r, c, dc)
+        got_m.assign(mat_of(len(rows), len(cols), da), rows, cols, accum=accum)
+        want = ref.assign_matrix(dc, da, rows, cols, accum=pyaccum)
+        assert mat_dict(got_m) == want
+
+
+class TestVectorAssignRegion:
+    def test_scalar_broadcast(self):
+        w = Vector.from_coo([0, 2], [1, 3], 4, dtype=INT64)
+        w.assign(7, [1, 2])
+        assert {int(i): int(v) for i, v in w.items()} == {0: 1, 1: 7, 2: 7}
+
+    def test_vector_into_indices(self):
+        w = Vector.sparse(INT64, 5)
+        u = Vector.from_coo([0, 1], [10, 20], 2, dtype=INT64)
+        w.assign(u, [3, 1])
+        assert {int(i): int(v) for i, v in w.items()} == {3: 10, 1: 20}

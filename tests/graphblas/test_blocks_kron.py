@@ -1,0 +1,224 @@
+"""Block operations (concat/split/stack/diag) and the Kronecker product."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphblas import FP64, INT64, Matrix, Vector, concat, diag, hstack, ops, split, vstack
+from repro.graphblas import reference as ref
+from repro.util.validation import DimensionMismatch, ReproError
+
+from tests.graphblas.test_property_oracle import mat_dict, mat_of, sparse_matrix
+
+
+def _eye(n: int) -> Matrix:
+    return Matrix.from_dense(np.eye(n, dtype=np.int64))
+
+
+class TestConcat:
+    def test_two_by_two_grid(self):
+        a = _eye(2)
+        b = mat_of(2, 3, {(0, 2): 5})
+        c = mat_of(1, 2, {(0, 0): 7})
+        d = mat_of(1, 3, {(0, 1): 9})
+        g = concat([[a, b], [c, d]])
+        assert g.shape == (3, 5)
+        assert mat_dict(g) == {
+            (0, 0): 1,
+            (1, 1): 1,
+            (0, 4): 5,
+            (2, 0): 7,
+            (2, 3): 9,
+        }
+
+    def test_dtype_promotion(self):
+        a = mat_of(1, 1, {(0, 0): 1})
+        b = Matrix.from_dense(np.array([[0.5]]))
+        g = concat([[a, b]])
+        assert g.dtype is FP64
+
+    def test_ragged_grid_rejected(self):
+        a = _eye(1)
+        with pytest.raises(ReproError):
+            concat([[a, a], [a]])
+
+    def test_mismatched_tile_heights_rejected(self):
+        with pytest.raises(DimensionMismatch):
+            concat([[_eye(2), _eye(3)]])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ReproError):
+            concat([])
+
+
+class TestSplit:
+    def test_roundtrip_identity(self):
+        g = mat_of(4, 6, {(0, 0): 1, (1, 5): 2, (3, 2): 3, (2, 2): 4})
+        tiles = split(g, [1, 3], [2, 2, 2])
+        assert len(tiles) == 2 and len(tiles[0]) == 3
+        assert concat(tiles).isequal(g)
+
+    def test_bad_sizes_rejected(self):
+        g = _eye(3)
+        with pytest.raises(DimensionMismatch):
+            split(g, [2, 2], [3])
+        with pytest.raises(ReproError):
+            split(g, [3, 0], [3])
+
+    @given(st.data())
+    def test_split_concat_roundtrip_property(self, data):
+        r, c, d = data.draw(sparse_matrix())
+        m = mat_of(r, c, d)
+        # Random partition of each dimension.
+        def partition(n):
+            cuts = data.draw(
+                st.lists(st.integers(1, n), min_size=1, max_size=3)
+            )
+            sizes, left = [], n
+            for s in cuts:
+                if left == 0:
+                    break
+                s = min(s, left)
+                sizes.append(s)
+                left -= s
+            if left:
+                sizes.append(left)
+            return sizes
+
+        rs, cs = partition(r), partition(c)
+        assert concat(split(m, rs, cs)).isequal(m)
+
+
+class TestStacks:
+    def test_hstack(self):
+        g = hstack([_eye(2), _eye(2)])
+        assert g.shape == (2, 4)
+        assert g.nvals == 4
+
+    def test_vstack(self):
+        g = vstack([_eye(2), _eye(2)])
+        assert g.shape == (4, 2)
+        assert g.nvals == 4
+
+
+class TestDiag:
+    def test_main_diagonal_roundtrip(self):
+        v = Vector.from_coo([0, 2], [5, 7], 3, dtype=INT64)
+        d = diag(v)
+        assert d.shape == (3, 3)
+        assert mat_dict(d) == {(0, 0): 5, (2, 2): 7}
+        assert d.diagonal().isequal(v)
+
+    def test_super_and_sub_diagonal(self):
+        v = Vector.from_coo([1], [4], 2, dtype=INT64)
+        up = diag(v, 1)
+        assert mat_dict(up) == {(1, 2): 4}
+        down = diag(v, -1)
+        assert mat_dict(down) == {(2, 1): 4}
+
+    def test_diagonal_extraction_offsets(self):
+        m = mat_of(3, 4, {(0, 1): 1, (1, 2): 2, (2, 0): 9})
+        d1 = m.diagonal(1)
+        assert {int(i): int(x) for i, x in d1.items()} == {0: 1, 1: 2}
+        dm2 = m.diagonal(-2)
+        assert {int(i): int(x) for i, x in dm2.items()} == {0: 9}
+
+    def test_empty_diagonal_rejected(self):
+        m = Matrix.sparse(INT64, 2, 2)
+        with pytest.raises(DimensionMismatch):
+            m.diagonal(5)
+
+
+class TestKronecker:
+    def test_eye_kron_shifts_blocks(self):
+        b = mat_of(2, 2, {(0, 1): 3, (1, 0): 4})
+        k = _eye(2).kronecker(b, ops.times)
+        assert k.shape == (4, 4)
+        assert mat_dict(k) == {(0, 1): 3, (1, 0): 4, (2, 3): 3, (3, 2): 4}
+
+    def test_empty_operand_gives_empty(self):
+        a = Matrix.sparse(INT64, 2, 2)
+        b = _eye(2)
+        assert a.kronecker(b, ops.times).nvals == 0
+
+    @given(st.data(), st.sampled_from(["times", "plus", "first"]))
+    def test_matches_oracle(self, data, opname):
+        ra, ca, da = data.draw(sparse_matrix())
+        rb, cb, db = data.draw(sparse_matrix())
+        op = getattr(ops, opname)
+        pyop = {
+            "times": lambda a, b: a * b,
+            "plus": lambda a, b: a + b,
+            "first": lambda a, b: a,
+        }[opname]
+        got = mat_dict(mat_of(ra, ca, da).kronecker(mat_of(rb, cb, db), op))
+        assert got == ref.kron(da, db, pyop, rb, cb)
+
+
+class TestApplyIndex:
+    def test_rowindex_colindex(self):
+        m = mat_of(2, 3, {(0, 1): 10, (1, 2): 20})
+        assert mat_dict(m.apply_index(ops.rowindex)) == {(0, 1): 0, (1, 2): 1}
+        assert mat_dict(m.apply_index(ops.colindex, 1)) == {(0, 1): 2, (1, 2): 3}
+
+    def test_diagindex(self):
+        m = mat_of(2, 2, {(0, 1): 1, (1, 0): 1})
+        assert mat_dict(m.apply_index(ops.diagindex)) == {(0, 1): 1, (1, 0): -1}
+
+    def test_vector_apply_index(self):
+        v = Vector.from_coo([2, 4], [7, 7], 5, dtype=INT64)
+        out = v.apply_index(ops.rowindex)
+        assert {int(i): int(x) for i, x in out.items()} == {2: 2, 4: 4}
+
+    @given(st.data())
+    def test_matches_oracle(self, data):
+        r, c, d = data.draw(sparse_matrix())
+        got = mat_dict(mat_of(r, c, d).apply_index(ops.rowindex, 3))
+        assert got == ref.apply_index_matrix(d, lambda v, i, j, k: i + k, 3)
+
+
+class TestPower:
+    def test_adjacency_power_counts_paths(self):
+        # Path graph 0->1->2: A^2 has exactly the length-2 path.
+        a = mat_of(3, 3, {(0, 1): 1, (1, 2): 1})
+        from repro.graphblas import semiring
+
+        a2 = a.power(2, semiring.plus_times)
+        assert mat_dict(a2) == {(0, 2): 1}
+
+    def test_power_one_is_copy(self):
+        from repro.graphblas import semiring
+
+        a = mat_of(2, 2, {(0, 0): 2})
+        p = a.power(1, semiring.plus_times)
+        assert p.isequal(a) and p is not a
+
+    def test_non_square_rejected(self):
+        from repro.graphblas import semiring
+
+        with pytest.raises(DimensionMismatch):
+            mat_of(2, 3, {}).power(2, semiring.plus_times)
+
+    def test_zero_power_rejected(self):
+        from repro.graphblas import semiring
+
+        with pytest.raises(ValueError):
+            mat_of(2, 2, {}).power(0, semiring.plus_times)
+
+
+class TestNewUnaryOps:
+    def test_sqrt_exp_log_sign(self):
+        v = Vector.from_coo([0, 1], [4.0, 9.0], 2, dtype=FP64)
+        got = v.apply(ops.sqrt)
+        assert [float(x) for _, x in got.items()] == [2.0, 3.0]
+        w = Vector.from_coo([0], [-3.0], 1, dtype=FP64)
+        assert [float(x) for _, x in w.apply(ops.sign).items()] == [-1.0]
+        assert [round(float(x), 6) for _, x in w.apply(ops.abs_).items()] == [3.0]
+
+    def test_floor_ceil(self):
+        v = Vector.from_coo([0], [1.5], 1, dtype=FP64)
+        assert [float(x) for _, x in v.apply(ops.floor).items()] == [1.0]
+        assert [float(x) for _, x in v.apply(ops.ceil).items()] == [2.0]

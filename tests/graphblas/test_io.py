@@ -1,0 +1,76 @@
+"""Matrix Market / text serialisation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import BOOL, FP64, INT64, Matrix, Vector
+from repro.graphblas.io import mmread, mmwrite, vector_from_text, vector_to_text
+from repro.util.validation import ReproError
+
+
+class TestMatrixMarket:
+    def test_roundtrip_int(self, tmp_path):
+        m = Matrix.from_coo([0, 1, 2], [1, 0, 2], [5, -3, 7], 3, 3)
+        path = tmp_path / "m.mtx"
+        mmwrite(path, m)
+        back = mmread(path)
+        assert back.isequal(m) and back.dtype is INT64
+
+    def test_roundtrip_float(self, tmp_path):
+        m = Matrix.from_coo([0], [0], [1.5], 2, 2, dtype=FP64)
+        path = tmp_path / "m.mtx"
+        mmwrite(path, m)
+        back = mmread(path)
+        assert back.dtype is FP64 and back[0, 0] == 1.5
+
+    def test_roundtrip_bool(self, tmp_path):
+        m = Matrix.from_coo([0, 1], [1, 0], True, 2, 2, dtype=BOOL)
+        path = tmp_path / "m.mtx"
+        mmwrite(path, m)
+        back = mmread(path)
+        assert back.dtype is BOOL and back.nvals == 2
+
+    def test_explicit_zero_preserved(self, tmp_path):
+        m = Matrix.from_coo([0], [0], [0], 1, 1)
+        path = tmp_path / "z.mtx"
+        mmwrite(path, m)
+        assert mmread(path).nvals == 1
+
+    def test_empty_matrix(self, tmp_path):
+        m = Matrix.sparse(INT64, 4, 5)
+        path = tmp_path / "e.mtx"
+        mmwrite(path, m)
+        back = mmread(path)
+        assert back.shape == (4, 5) and back.nvals == 0
+
+    def test_foreign_file_without_dtype_comment(self, tmp_path):
+        path = tmp_path / "f.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 1 1.5\n2 2 -2.0\n"
+        )
+        m = mmread(path)
+        assert m.dtype is FP64 and m[1, 1] == -2.0
+
+    def test_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n")
+        with pytest.raises(ReproError):
+            mmread(path)
+
+
+class TestVectorText:
+    def test_roundtrip(self):
+        v = Vector.from_coo([1, 4], [10, 40], 6)
+        back = vector_from_text(vector_to_text(v))
+        assert back.isequal(v)
+
+    def test_roundtrip_float(self):
+        v = Vector.from_coo([0], [2.5], 2, dtype=FP64)
+        back = vector_from_text(vector_to_text(v))
+        assert back.dtype is FP64 and back[0] == 2.5
+
+    def test_empty(self):
+        v = Vector.sparse(INT64, 3)
+        back = vector_from_text(vector_to_text(v))
+        assert back.size == 3 and back.nvals == 0

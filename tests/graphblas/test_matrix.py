@@ -1,0 +1,329 @@
+"""Unit tests for the Matrix class: all Table-I operations of the paper."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphblas import BOOL, FP64, INT64, Mask, Matrix, Vector, monoid, ops, semiring
+from repro.graphblas.descriptor import Descriptor
+from repro.util.validation import DimensionMismatch, IndexOutOfBounds, ReproError
+
+
+@pytest.fixture
+def a23():
+    """[[1, 2, .], [., ., 3]]"""
+    return Matrix.from_coo([0, 0, 1], [0, 1, 2], [1, 2, 3], 2, 3)
+
+
+class TestConstruction:
+    def test_sparse_empty(self):
+        m = Matrix.sparse(INT64, 3, 4)
+        assert m.shape == (3, 4) and m.nvals == 0
+
+    def test_from_coo(self, a23):
+        assert a23.to_dense().tolist() == [[1, 2, 0], [0, 0, 3]]
+
+    def test_from_coo_scalar_broadcast(self):
+        m = Matrix.from_coo([0, 1], [1, 0], True, 2, 2, dtype=BOOL)
+        assert m.nvals == 2
+
+    def test_duplicates_need_dup_op(self):
+        with pytest.raises(ReproError):
+            Matrix.from_coo([0, 0], [0, 0], [1, 2], 1, 1)
+        m = Matrix.from_coo([0, 0], [0, 0], [1, 2], 1, 1, dup_op=ops.plus)
+        assert m[0, 0] == 3
+
+    def test_index_validation(self):
+        with pytest.raises(IndexOutOfBounds):
+            Matrix.from_coo([2], [0], [1], 2, 3)
+        with pytest.raises(IndexOutOfBounds):
+            Matrix.from_coo([0], [3], [1], 2, 3)
+
+    def test_from_dense(self):
+        m = Matrix.from_dense(np.array([[0, 5], [6, 0]]))
+        assert m.nvals == 2 and m[0, 1] == 5
+
+    def test_from_scipy_roundtrip(self, a23):
+        s = a23.to_scipy()
+        assert isinstance(s, sp.csr_matrix)
+        back = Matrix.from_scipy(s)
+        assert back.isequal(a23)
+
+    def test_explicit_zeros_preserved(self):
+        m = Matrix.from_coo([0], [0], [0], 1, 1)
+        assert m.nvals == 1 and m[0, 0] == 0
+
+
+class TestElementAccess:
+    def test_set_get_remove(self):
+        m = Matrix.sparse(INT64, 2, 2)
+        m[1, 0] = 7
+        assert m[1, 0] == 7 and m.nvals == 1
+        m[1, 0] = 8
+        assert m[1, 0] == 8 and m.nvals == 1
+        m.remove_element(1, 0)
+        assert m.nvals == 0
+        m.remove_element(1, 0)  # no-op
+
+    def test_get_default(self):
+        m = Matrix.sparse(INT64, 2, 2)
+        assert m.get(0, 0) is None
+        assert m.get(0, 0, default=0) == 0
+
+    def test_getitem_missing(self):
+        with pytest.raises(KeyError):
+            Matrix.sparse(INT64, 2, 2)[0, 0]
+
+    def test_items(self, a23):
+        assert list(a23.items()) == [(0, 0, 1), (0, 1, 2), (1, 2, 3)]
+
+
+class TestLifecycle:
+    def test_dup_deep(self, a23):
+        b = a23.dup()
+        b[0, 0] = 99
+        assert a23[0, 0] == 1
+
+    def test_clear(self, a23):
+        a23.clear()
+        assert a23.nvals == 0 and a23.shape == (2, 3)
+
+    def test_resize_grow_cheap(self, a23):
+        a23.resize(5, 7)
+        assert a23.shape == (5, 7) and a23.nvals == 3
+
+    def test_resize_shrink_drops(self, a23):
+        a23.resize(1, 2)
+        assert a23.nvals == 2  # only row 0, cols 0..1 survive
+
+    def test_indptr(self, a23):
+        assert a23.indptr.tolist() == [0, 2, 3]
+
+
+class TestMxM:
+    def test_plus_times_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            ad = (rng.random((4, 5)) < 0.4) * rng.integers(1, 5, (4, 5))
+            bd = (rng.random((5, 3)) < 0.4) * rng.integers(1, 5, (5, 3))
+            a = Matrix.from_dense(ad)
+            b = Matrix.from_dense(bd)
+            c = a.mxm(b, semiring.plus_times)
+            np.testing.assert_array_equal(c.to_dense(), ad @ bd)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            Matrix.sparse(INT64, 2, 3).mxm(Matrix.sparse(INT64, 2, 3), semiring.plus_times)
+
+    def test_min_plus(self):
+        # shortest-path-style semiring
+        a = Matrix.from_coo([0, 0], [0, 1], [1, 5], 1, 2)
+        b = Matrix.from_coo([0, 1], [0, 0], [10, 2], 2, 1)
+        c = a.mxm(b, semiring.get("min_plus"))
+        assert c[0, 0] == 7  # min(1+10, 5+2)
+
+    def test_transpose_descriptors(self, a23):
+        at = a23.transpose()
+        c1 = at.mxm(a23, semiring.plus_times)
+        c2 = a23.mxm(a23, semiring.plus_times, desc=Descriptor(transpose_a=True))
+        assert c1.isequal(c2)
+        c3 = a23.mxm(a23, semiring.plus_times, desc=Descriptor(transpose_b=True))
+        c4 = a23.mxm(at, semiring.plus_times)
+        assert c3.isequal(c4)
+
+    def test_annihilation_entry_kept(self):
+        # GraphBLAS keeps entries whose dot product sums to exactly zero
+        a = Matrix.from_coo([0, 0], [0, 1], [1, -1], 1, 2)
+        b = Matrix.from_coo([0, 1], [0, 0], [1, 1], 2, 1)
+        c = a.mxm(b, semiring.plus_times)
+        assert c.nvals == 1 and c[0, 0] == 0
+
+    def test_masked_mxm(self):
+        a = Matrix.from_dense(np.ones((2, 2), dtype=np.int64))
+        m = Matrix.from_coo([0], [0], [True], 2, 2, dtype=BOOL)
+        c = a.mxm(a, semiring.plus_times, mask=m)
+        assert c.nvals == 1 and c[0, 0] == 2
+
+    def test_plus_pair_counts(self):
+        a = Matrix.from_dense(np.array([[1, 1], [0, 1]]))
+        c = a.mxm(a, semiring.get("plus_pair"), desc=Descriptor(transpose_b=True))
+        # row0·row0 = 2 common entries
+        assert c[0, 0] == 2
+
+
+class TestMxV:
+    def test_plus_times(self, a23):
+        u = Vector.from_coo([0, 2], [10, 100], 3)
+        w = a23.mxv(u, semiring.plus_times)
+        assert dict(w.items()) == {0: 10, 1: 300}
+
+    def test_empty_vector(self, a23):
+        w = a23.mxv(Vector.sparse(INT64, 3), semiring.plus_times)
+        assert w.nvals == 0
+
+    def test_min_second_fastsv_pattern(self):
+        a = Matrix.from_coo([0, 1, 1, 2], [1, 0, 2, 1], True, 3, 3, dtype=BOOL)
+        f = Vector.iota(3)
+        w = a.mxv(f, semiring.get("min_second"))
+        assert w.to_dense().tolist() == [1, 0, 1]
+
+    def test_size_mismatch(self, a23):
+        with pytest.raises(ReproError):
+            a23.mxv(Vector.sparse(INT64, 2), semiring.plus_times)
+
+
+class TestEwise:
+    def test_add(self, a23):
+        b = Matrix.from_coo([0, 1], [0, 0], [5, 5], 2, 3)
+        c = a23.ewise_add(b, ops.plus)
+        assert c.to_dense().tolist() == [[6, 2, 0], [5, 0, 3]]
+
+    def test_mult(self, a23):
+        b = Matrix.from_coo([0, 1], [0, 0], [5, 5], 2, 3)
+        c = a23.ewise_mult(b, ops.times)
+        assert c.nvals == 1 and c[0, 0] == 5
+
+    def test_shape_mismatch(self, a23):
+        with pytest.raises(DimensionMismatch):
+            a23.ewise_add(Matrix.sparse(INT64, 3, 2), ops.plus)
+
+
+class TestApplySelect:
+    def test_apply(self, a23):
+        c = a23.apply(ops.times.bind_second(10))
+        assert c[1, 2] == 30
+
+    def test_apply_one_retype(self, a23):
+        c = a23.apply(ops.one, dtype=INT64)
+        assert sorted(v for _, _, v in c.items()) == [1, 1, 1]
+
+    def test_select_value(self, a23):
+        c = a23.select(ops.valuegt, 1)
+        assert c.nvals == 2
+
+    def test_select_valueeq_q2_pattern(self):
+        ac = Matrix.from_coo([0, 1, 1], [0, 0, 1], [1, 2, 2], 2, 2)
+        kept = ac.select(ops.valueeq, 2)
+        assert set((r, c) for r, c, _ in kept.items()) == {(1, 0), (1, 1)}
+
+    def test_select_tril(self):
+        m = Matrix.from_dense(np.ones((3, 3), dtype=np.int64))
+        low = m.select(ops.tril, -1)
+        assert all(c < r for r, c, _ in low.items())
+        assert low.nvals == 3
+
+
+class TestReduce:
+    def test_rowwise(self, a23):
+        w = a23.reduce_vector(monoid.plus_monoid)
+        assert w.to_dense().tolist() == [3, 3]
+
+    def test_colwise_via_transpose_desc(self, a23):
+        w = a23.reduce_vector(monoid.plus_monoid, desc=Descriptor(transpose_a=True))
+        assert w.to_dense().tolist() == [1, 2, 3]
+
+    def test_empty_rows_absent(self):
+        m = Matrix.from_coo([0], [0], [5], 3, 2)
+        w = m.reduce_vector(monoid.plus_monoid)
+        assert w.nvals == 1
+
+    def test_typed_reduce_counts_bool(self):
+        m = Matrix.from_coo([0, 0, 1], [0, 1, 0], True, 2, 2, dtype=BOOL)
+        w = m.reduce_vector(monoid.plus_monoid, dtype=INT64)
+        assert w.to_dense().tolist() == [2, 1]
+
+    def test_scalar(self, a23):
+        assert a23.reduce_scalar(monoid.plus_monoid) == 6
+        assert a23.reduce_scalar(monoid.max_monoid) == 3
+
+    def test_scalar_empty_identity(self):
+        assert Matrix.sparse(INT64, 2, 2).reduce_scalar(monoid.plus_monoid) == 0
+
+
+class TestTransposeExtract:
+    def test_transpose(self, a23):
+        t = a23.transpose()
+        assert t.shape == (3, 2)
+        np.testing.assert_array_equal(t.to_dense(), a23.to_dense().T)
+
+    def test_transpose_involution(self, a23):
+        assert a23.transpose().transpose().isequal(a23)
+
+    def test_T_cached(self, a23):
+        t1 = a23.T
+        assert a23.T is t1
+        a23[0, 2] = 9  # mutation invalidates
+        assert a23.T is not t1
+
+    def test_extract_rows_cols(self, a23):
+        c = a23.extract([1, 0], [2, 0])
+        assert c.to_dense().tolist() == [[3, 0], [0, 1]]
+
+    def test_extract_all(self, a23):
+        assert a23.extract(None, None).isequal(a23)
+
+    def test_extract_row_duplicates(self, a23):
+        c = a23.extract([0, 0], [0])
+        assert c.to_dense().tolist() == [[1], [1]]
+
+    def test_extract_dup_cols_rejected(self, a23):
+        with pytest.raises(ReproError):
+            a23.extract([0], [0, 0])
+
+    def test_extract_row_col_vectors(self, a23):
+        r = a23.extract_row(0)
+        assert dict(r.items()) == {0: 1, 1: 2}
+        c = a23.extract_col(2)
+        assert dict(c.items()) == {1: 3}
+
+    def test_extract_induced_subgraph(self):
+        # the Q2 pattern: Friends submatrix on liker set
+        friends = Matrix.from_coo(
+            [0, 1, 1, 2, 2, 3], [1, 0, 2, 1, 3, 2], True, 4, 4, dtype=BOOL
+        )
+        sub = friends.extract([0, 1, 3], [0, 1, 3])
+        assert set((r, c) for r, c, _ in sub.items()) == {(0, 1), (1, 0)}
+
+
+class TestAssignCoo:
+    def test_insert_new(self):
+        m = Matrix.sparse(BOOL, 2, 2)
+        m.assign_coo([0, 1], [1, 0], True)
+        assert m.nvals == 2
+
+    def test_overwrite_default_second(self):
+        m = Matrix.from_coo([0], [0], [1], 1, 1)
+        m.assign_coo([0], [0], [9])
+        assert m[0, 0] == 9 and m.nvals == 1
+
+    def test_accum(self):
+        m = Matrix.from_coo([0], [0], [1], 1, 2)
+        m.assign_coo([0, 0], [0, 1], [5, 5], accum=ops.plus)
+        assert m[0, 0] == 6 and m[0, 1] == 5
+
+
+class TestMaskWriteSemantics:
+    def test_structural_vs_value_mask(self):
+        a = Matrix.from_dense(np.array([[1, 2]]))
+        m = Matrix.from_coo([0, 0], [0, 1], [False, True], 1, 2, dtype=BOOL)
+        out_v = a.apply(ops.identity, mask=m)
+        assert out_v.nvals == 1
+        out_s = a.apply(ops.identity, mask=Mask(m, structure=True))
+        assert out_s.nvals == 2
+
+    def test_complement_replace(self):
+        a = Matrix.from_dense(np.array([[1, 2]]))
+        out = Matrix.from_coo([0, 0], [0, 1], [7, 7], 1, 2)
+        m = Matrix.from_coo([0], [0], [True], 1, 2, dtype=BOOL)
+        a.apply(
+            ops.identity,
+            out=out,
+            mask=Mask(m, complement=True),
+            desc=Descriptor(replace=True),
+        )
+        assert dict(((r, c), v) for r, c, v in out.items()) == {(0, 1): 2}
+
+    def test_mask_shape_checked(self):
+        a = Matrix.from_dense(np.array([[1]]))
+        with pytest.raises(DimensionMismatch):
+            a.apply(ops.identity, mask=Matrix.sparse(BOOL, 2, 2))

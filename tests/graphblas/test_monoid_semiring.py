@@ -1,0 +1,106 @@
+"""Unit tests for monoids and the generated semiring registry."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import monoid as m
+from repro.graphblas import ops
+from repro.graphblas import semiring as sr
+from repro.graphblas import types as t
+
+
+class TestMonoidIdentities:
+    @pytest.mark.parametrize(
+        "mon,dtype,expected",
+        [
+            (m.plus_monoid, t.INT64, 0),
+            (m.times_monoid, t.INT64, 1),
+            (m.min_monoid, t.INT64, np.iinfo(np.int64).max),
+            (m.max_monoid, t.INT64, np.iinfo(np.int64).min),
+            (m.min_monoid, t.FP64, np.inf),
+            (m.max_monoid, t.FP64, -np.inf),
+            (m.lor_monoid, t.BOOL, False),
+            (m.land_monoid, t.BOOL, True),
+            (m.lxor_monoid, t.BOOL, False),
+        ],
+    )
+    def test_identity(self, mon, dtype, expected):
+        assert mon.identity(dtype) == expected
+
+    def test_identity_is_neutral(self):
+        for mon in (m.plus_monoid, m.times_monoid, m.min_monoid, m.max_monoid):
+            ident = mon.identity(t.INT64)
+            vals = np.array([7], dtype=np.int64)
+            assert mon.op(vals, np.array([ident]))[0] == 7
+
+    def test_terminal(self):
+        assert m.times_monoid.terminal(t.INT64) == 0
+        assert m.lor_monoid.terminal(t.BOOL) == True  # noqa: E712
+        assert m.plus_monoid.terminal(t.INT64) is None
+
+    def test_non_associative_op_rejected(self):
+        with pytest.raises(ValueError):
+            m.Monoid("bad", ops.minus, lambda dt: 0)
+
+
+class TestReduceArray:
+    def test_empty_returns_identity(self):
+        assert m.plus_monoid.reduce_array(np.zeros(0, np.int64), t.INT64) == 0
+        assert m.min_monoid.reduce_array(np.zeros(0, np.int64), t.INT64) == np.iinfo(np.int64).max
+
+    def test_plus(self):
+        assert m.plus_monoid.reduce_array(np.array([1, 2, 3]), t.INT64) == 6
+
+    def test_min(self):
+        assert m.min_monoid.reduce_array(np.array([5, 1, 9]), t.INT64) == 1
+
+    def test_nonufunc_monoid_fallback(self):
+        out = m.any_monoid.reduce_array(np.array([4, 5, 6]), t.INT64)
+        assert out in (4, 5, 6)
+
+
+class TestSemiringRegistry:
+    def test_well_known_present(self):
+        for name in ("plus_times", "min_second", "lor_land", "plus_pair", "max_first"):
+            assert name in sr.SEMIRINGS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            sr.get("nope_nope")
+
+    def test_attribute_access(self):
+        assert sr.plus_times is sr.get("plus_times")
+        with pytest.raises(AttributeError):
+            sr.this_does_not_exist
+
+    def test_count(self):
+        # 8 monoids x 14 multiply ops
+        assert len(sr.SEMIRINGS) == 8 * 14
+
+
+class TestOutputDtype:
+    def test_plus_times_promotes(self):
+        assert sr.plus_times.output_dtype(t.INT32, t.FP32) is t.FP64
+
+    def test_bool_mult(self):
+        assert sr.get("plus_eq").output_dtype(t.INT64, t.INT64) is t.BOOL
+
+    def test_pair_is_int64(self):
+        assert sr.get("plus_pair").output_dtype(t.BOOL, t.BOOL) is t.INT64
+
+    def test_first_second(self):
+        assert sr.get("min_first").output_dtype(t.INT32, t.FP64) is t.INT32
+        assert sr.get("min_second").output_dtype(t.INT32, t.FP64) is t.FP64
+
+
+class TestSwapped:
+    def test_commutative_unchanged(self):
+        assert sr.swapped(sr.plus_times) is sr.plus_times
+
+    def test_first_second_swap(self):
+        assert sr.swapped(sr.get("min_first")).mult.name == "second"
+        assert sr.swapped(sr.get("min_second")).mult.name == "first"
+
+    def test_general_swap(self):
+        s = sr.swapped(sr.get("plus_minus"))
+        assert s.mult(np.array([5]), np.array([3])).tolist() == [-2]

@@ -1,0 +1,137 @@
+"""Unit tests for unary / binary / index-unary operators."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import ops
+
+
+class TestUnary:
+    def test_identity(self):
+        a = np.array([1, 2, 3])
+        assert ops.identity(a) is a
+
+    def test_ainv(self):
+        assert ops.ainv(np.array([1, -2])).tolist() == [-1, 2]
+
+    def test_abs(self):
+        assert ops.abs_(np.array([-3, 4])).tolist() == [3, 4]
+
+    def test_lnot(self):
+        out = ops.lnot(np.array([0, 1, 7]))
+        assert out.dtype == np.bool_
+        assert out.tolist() == [True, False, False]
+
+    def test_one(self):
+        assert ops.one(np.array([5, -2])).tolist() == [1, 1]
+
+    def test_minv(self):
+        out = ops.minv(np.array([2.0, 4.0]))
+        assert out.tolist() == [0.5, 0.25]
+
+    def test_minv_zero_no_raise(self):
+        out = ops.minv(np.array([0.0]))
+        assert np.isinf(out[0])
+
+
+class TestBinary:
+    def test_plus(self):
+        assert ops.plus(np.array([1, 2]), np.array([3, 4])).tolist() == [4, 6]
+
+    def test_minus_order(self):
+        assert ops.minus(np.array([5]), np.array([3])).tolist() == [2]
+
+    def test_times(self):
+        assert ops.times(np.array([2, 3]), np.array([4, 5])).tolist() == [8, 15]
+
+    def test_div_by_zero_no_raise(self):
+        out = ops.div(np.array([1.0]), np.array([0.0]))
+        assert np.isinf(out[0])
+
+    def test_min_max(self):
+        a, b = np.array([1, 9]), np.array([5, 2])
+        assert ops.min(a, b).tolist() == [1, 2]
+        assert ops.max(a, b).tolist() == [5, 9]
+
+    def test_first_second(self):
+        a, b = np.array([1]), np.array([2])
+        assert ops.first(a, b).tolist() == [1]
+        assert ops.second(a, b).tolist() == [2]
+
+    def test_pair_is_one(self):
+        out = ops.pair(np.array([7, 8]), np.array([9, 10]))
+        assert out.tolist() == [1, 1]
+
+    def test_logical_coerce(self):
+        out = ops.lor(np.array([0, 2]), np.array([0, 0]))
+        assert out.tolist() == [False, True]
+        out = ops.land(np.array([1, 2]), np.array([1, 0]))
+        assert out.tolist() == [True, False]
+        out = ops.lxor(np.array([1, 1]), np.array([1, 0]))
+        assert out.tolist() == [False, True]
+
+    def test_comparisons_bool_result_flag(self):
+        for op in (ops.eq, ops.ne, ops.gt, ops.lt, ops.ge, ops.le):
+            assert op.bool_result
+
+    def test_eq(self):
+        assert ops.eq(np.array([1, 2]), np.array([1, 3])).tolist() == [True, False]
+
+    def test_associative_flags(self):
+        assert ops.plus.associative
+        assert ops.min.associative
+        assert not ops.minus.associative
+
+    def test_ufunc_presence(self):
+        assert ops.plus.ufunc is np.add
+        assert ops.first.ufunc is None
+
+
+class TestBinding:
+    def test_bind_second(self):
+        mul10 = ops.times.bind_second(10)
+        assert mul10(np.array([3])).tolist() == [30]
+
+    def test_bind_first(self):
+        sub_from_10 = ops.minus.bind_first(10)
+        assert sub_from_10(np.array([3])).tolist() == [7]
+
+    def test_bound_bool_result(self):
+        gt5 = ops.gt.bind_second(5)
+        assert gt5.bool_result
+        assert gt5(np.array([3, 7])).tolist() == [False, True]
+
+
+class TestSelectOps:
+    def setup_method(self):
+        self.vals = np.array([1, 2, 2, 5])
+        self.rows = np.array([0, 0, 1, 2])
+        self.cols = np.array([0, 2, 1, 2])
+
+    def test_valueeq(self):
+        keep = ops.valueeq(self.vals, self.rows, self.cols, 2)
+        assert keep.tolist() == [False, True, True, False]
+
+    def test_valuegt_ge_lt_le_ne(self):
+        assert ops.valuegt(self.vals, self.rows, self.cols, 2).tolist() == [False, False, False, True]
+        assert ops.valuege(self.vals, self.rows, self.cols, 2).tolist() == [False, True, True, True]
+        assert ops.valuelt(self.vals, self.rows, self.cols, 2).tolist() == [True, False, False, False]
+        assert ops.valuele(self.vals, self.rows, self.cols, 2).tolist() == [True, True, True, False]
+        assert ops.valuene(self.vals, self.rows, self.cols, 2).tolist() == [True, False, False, True]
+
+    def test_tril_triu(self):
+        assert ops.tril(self.vals, self.rows, self.cols, None).tolist() == [True, False, True, True]
+        assert ops.triu(self.vals, self.rows, self.cols, None).tolist() == [True, True, True, True]
+
+    def test_diag_offdiag(self):
+        # positions: (0,0) (0,2) (1,1) (2,2) -> diagonal at 0, 2, 3
+        assert ops.diag(self.vals, self.rows, self.cols, None).tolist() == [True, False, True, True]
+        assert ops.offdiag(self.vals, self.rows, self.cols, None).tolist() == [False, True, False, False]
+
+    def test_rowcol_le(self):
+        assert ops.rowindex_le(self.vals, self.rows, self.cols, 0).tolist() == [True, True, False, False]
+        assert ops.colindex_le(self.vals, self.rows, self.cols, 1).tolist() == [True, False, True, False]
+
+    def test_returns_bool_dtype(self):
+        out = ops.valueeq(self.vals, self.rows, self.cols, 1)
+        assert out.dtype == np.bool_

@@ -1,0 +1,343 @@
+"""Property-based tests: vectorised kernels vs the dict-of-keys oracle.
+
+Every core operation is checked for *exact* structural and value agreement
+with :mod:`repro.graphblas.reference` on randomly generated sparse objects,
+including the full masked/accumulated/replace write semantics -- the part of
+the GraphBLAS spec that is easiest to get subtly wrong.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import BOOL, INT64, Mask, Matrix, Vector, monoid, ops, semiring
+from repro.graphblas import reference as ref
+from repro.graphblas.descriptor import Descriptor
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+DIM = st.integers(min_value=1, max_value=7)
+VAL = st.integers(min_value=-4, max_value=4)
+
+
+@st.composite
+def sparse_vector(draw, size=None):
+    n = size if size is not None else draw(DIM)
+    entries = draw(
+        st.dictionaries(st.integers(0, n - 1), VAL, max_size=n)
+    )
+    return n, entries
+
+
+@st.composite
+def sparse_matrix(draw, nrows=None, ncols=None):
+    r = nrows if nrows is not None else draw(DIM)
+    c = ncols if ncols is not None else draw(DIM)
+    entries = draw(
+        st.dictionaries(
+            st.tuples(st.integers(0, r - 1), st.integers(0, c - 1)),
+            VAL,
+            max_size=r * c,
+        )
+    )
+    return r, c, entries
+
+
+def vec_of(n: int, d: dict) -> Vector:
+    idx = np.fromiter(d.keys(), dtype=np.int64, count=len(d))
+    vals = np.fromiter(d.values(), dtype=np.int64, count=len(d))
+    return Vector.from_coo(idx, vals, n, dtype=INT64)
+
+
+def mat_of(r: int, c: int, d: dict) -> Matrix:
+    rows = np.asarray([k[0] for k in d], dtype=np.int64)
+    cols = np.asarray([k[1] for k in d], dtype=np.int64)
+    vals = np.asarray(list(d.values()), dtype=np.int64)
+    return Matrix.from_coo(rows, cols, vals, r, c, dtype=INT64)
+
+
+def vec_dict(v: Vector) -> dict:
+    return {int(i): int(x) for i, x in v.items()}
+
+
+def mat_dict(m: Matrix) -> dict:
+    return {(int(r), int(c)): int(x) for r, c, x in m.items()}
+
+
+# ---------------------------------------------------------------------------
+# elementwise
+# ---------------------------------------------------------------------------
+
+BINOPS = {
+    "plus": (ops.plus, lambda a, b: a + b),
+    "minus": (ops.minus, lambda a, b: a - b),
+    "times": (ops.times, lambda a, b: a * b),
+    "min": (ops.min, min),
+    "max": (ops.max, max),
+    "first": (ops.first, lambda a, b: a),
+    "second": (ops.second, lambda a, b: b),
+}
+
+
+@given(st.data(), st.sampled_from(sorted(BINOPS)))
+def test_vector_ewise_add_matches_oracle(data, opname):
+    n, da = data.draw(sparse_vector())
+    _, db = data.draw(sparse_vector(size=n))
+    op, pyop = BINOPS[opname]
+    got = vec_dict(vec_of(n, da).ewise_add(vec_of(n, db), op))
+    assert got == ref.ewise_add(da, db, pyop)
+
+
+@given(st.data(), st.sampled_from(sorted(BINOPS)))
+def test_vector_ewise_mult_matches_oracle(data, opname):
+    n, da = data.draw(sparse_vector())
+    _, db = data.draw(sparse_vector(size=n))
+    op, pyop = BINOPS[opname]
+    got = vec_dict(vec_of(n, da).ewise_mult(vec_of(n, db), op))
+    assert got == ref.ewise_mult(da, db, pyop)
+
+
+@given(st.data(), st.sampled_from(sorted(BINOPS)))
+def test_matrix_ewise_add_matches_oracle(data, opname):
+    r, c, da = data.draw(sparse_matrix())
+    _, _, db = data.draw(sparse_matrix(nrows=r, ncols=c))
+    op, pyop = BINOPS[opname]
+    got = mat_dict(mat_of(r, c, da).ewise_add(mat_of(r, c, db), op))
+    assert got == ref.ewise_add(da, db, pyop)
+
+
+@given(st.data(), st.sampled_from(sorted(BINOPS)))
+def test_matrix_ewise_mult_matches_oracle(data, opname):
+    r, c, da = data.draw(sparse_matrix())
+    _, _, db = data.draw(sparse_matrix(nrows=r, ncols=c))
+    op, pyop = BINOPS[opname]
+    got = mat_dict(mat_of(r, c, da).ewise_mult(mat_of(r, c, db), op))
+    assert got == ref.ewise_mult(da, db, pyop)
+
+
+# ---------------------------------------------------------------------------
+# products
+# ---------------------------------------------------------------------------
+
+SEMIRINGS = {
+    "plus_times": (lambda a, b: a + b, lambda a, b: a * b),
+    "min_plus": (min, lambda a, b: a + b),
+    "max_times": (max, lambda a, b: a * b),
+    "min_second": (min, lambda a, b: b),
+    "min_first": (min, lambda a, b: a),
+    "plus_pair": (lambda a, b: a + b, lambda a, b: 1),
+}
+
+
+@given(st.data(), st.sampled_from(sorted(SEMIRINGS)))
+def test_mxm_matches_oracle(data, srname):
+    r, k, da = data.draw(sparse_matrix())
+    _, c, db = data.draw(sparse_matrix(nrows=k))
+    add, mult = SEMIRINGS[srname]
+    got = mat_dict(mat_of(r, k, da).mxm(mat_of(k, c, db), semiring.get(srname)))
+    assert got == ref.mxm(da, db, add, mult)
+
+
+@given(st.data(), st.sampled_from(sorted(SEMIRINGS)))
+def test_mxv_matches_oracle(data, srname):
+    r, k, da = data.draw(sparse_matrix())
+    _, du = data.draw(sparse_vector(size=k))
+    add, mult = SEMIRINGS[srname]
+    got = vec_dict(mat_of(r, k, da).mxv(vec_of(k, du), semiring.get(srname)))
+    assert got == ref.mxv(da, du, add, mult)
+
+
+@given(st.data(), st.sampled_from(sorted(SEMIRINGS)))
+def test_vxm_matches_oracle(data, srname):
+    r, c, da = data.draw(sparse_matrix())
+    _, du = data.draw(sparse_vector(size=r))
+    add, mult = SEMIRINGS[srname]
+    got = vec_dict(vec_of(r, du).vxm(mat_of(r, c, da), semiring.get(srname)))
+    assert got == ref.vxm(du, da, add, mult)
+
+
+@given(st.data())
+def test_mxm_scipy_fastpath_equals_generic(data):
+    """The SciPy plus_times fast path agrees with the generic kernel."""
+    from repro.graphblas._kernels import spgemm
+
+    r, k, da = data.draw(sparse_matrix())
+    _, c, db = data.draw(sparse_matrix(nrows=k))
+    a = mat_of(r, k, da)
+    b = mat_of(k, c, db)
+    fast = spgemm.scipy_plus_times_mxm(a._coo_tuple(), b._coo_tuple())
+    gen = spgemm.generic_mxm(a._coo_tuple(), b._coo_tuple(), semiring.plus_times)
+    assert np.array_equal(fast[0], gen[0])
+    assert np.array_equal(fast[1], gen[1])
+    assert np.array_equal(fast[2].astype(np.int64), gen[2].astype(np.int64))
+
+
+# ---------------------------------------------------------------------------
+# reduce / transpose / extract
+# ---------------------------------------------------------------------------
+
+
+@given(sparse_matrix())
+def test_reduce_rowwise_matches_oracle(mat):
+    r, c, da = mat
+    got = vec_dict(mat_of(r, c, da).reduce_vector(monoid.plus_monoid))
+    assert got == ref.reduce_rowwise(da, lambda a, b: a + b)
+
+
+@given(sparse_matrix())
+def test_reduce_scalar_matches_oracle(mat):
+    r, c, da = mat
+    got = int(mat_of(r, c, da).reduce_scalar(monoid.plus_monoid))
+    assert got == ref.reduce_all(da, lambda a, b: a + b, 0)
+
+
+@given(sparse_matrix())
+def test_transpose_matches_oracle(mat):
+    r, c, da = mat
+    got = mat_dict(mat_of(r, c, da).transpose())
+    assert got == {(j, i): v for (i, j), v in da.items()}
+
+
+@given(st.data())
+def test_extract_matches_oracle(data):
+    r, c, da = data.draw(sparse_matrix())
+    rows = data.draw(st.lists(st.integers(0, r - 1), min_size=1, max_size=r))
+    cols = data.draw(st.lists(st.integers(0, c - 1), min_size=1, max_size=c, unique=True))
+    got = mat_dict(mat_of(r, c, da).extract(rows, cols))
+    assert got == ref.extract_matrix(da, rows, cols)
+
+
+@given(st.data())
+def test_select_matches_oracle(data):
+    r, c, da = data.draw(sparse_matrix())
+    thunk = data.draw(VAL)
+    got = mat_dict(mat_of(r, c, da).select(ops.valuegt, thunk))
+    assert got == ref.select_matrix(da, lambda v, i, j, k: v > k, thunk)
+
+
+@given(st.data())
+def test_apply_matches_oracle(data):
+    n, du = data.draw(sparse_vector())
+    got = vec_dict(vec_of(n, du).apply(ops.times.bind_second(3)))
+    assert got == ref.apply(du, lambda v: v * 3)
+
+
+# ---------------------------------------------------------------------------
+# the write semantics (mask x accum x replace), on vectors
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.data(),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+)
+def test_write_semantics_matches_oracle(data, use_accum, complement, structure, replace):
+    n, dc = data.draw(sparse_vector())
+    _, dt = data.draw(sparse_vector(size=n))
+    _, dm = data.draw(sparse_vector(size=n))
+
+    c = vec_of(n, dc)
+    t = vec_of(n, dt)
+    m = vec_of(n, dm)
+
+    mask_set = {i for i, v in dm.items() if structure or v != 0}
+
+    # drive the identity apply of T into C under the configured modifiers
+    got_vec = t.apply(
+        ops.identity,
+        out=c,
+        mask=Mask(m, complement=complement, structure=structure),
+        accum=ops.plus if use_accum else None,
+        desc=Descriptor(replace=replace),
+    )
+    expected = ref.write(
+        dc,
+        dt,
+        mask=mask_set,
+        mask_complement=complement,
+        replace=replace,
+        accum=(lambda a, b: a + b) if use_accum else None,
+    )
+    assert vec_dict(got_vec) == expected
+
+
+@given(st.data(), st.booleans(), st.booleans())
+def test_matrix_write_semantics_matches_oracle(data, use_accum, replace):
+    r, c_, dc = data.draw(sparse_matrix())
+    _, _, dt = data.draw(sparse_matrix(nrows=r, ncols=c_))
+    _, _, dm = data.draw(sparse_matrix(nrows=r, ncols=c_))
+
+    cm = mat_of(r, c_, dc)
+    tm = mat_of(r, c_, dt)
+    mm = mat_of(r, c_, dm)
+    mask_set = {k for k, v in dm.items() if v != 0}
+
+    got = tm.apply(
+        ops.identity,
+        out=cm,
+        mask=mm,
+        accum=ops.plus if use_accum else None,
+        desc=Descriptor(replace=replace),
+    )
+    expected = ref.write(
+        dc,
+        dt,
+        mask=mask_set,
+        mask_complement=False,
+        replace=replace,
+        accum=(lambda a, b: a + b) if use_accum else None,
+    )
+    assert mat_dict(got) == expected
+
+
+# ---------------------------------------------------------------------------
+# algebraic invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+def test_ewise_add_commutative(data):
+    n, da = data.draw(sparse_vector())
+    _, db = data.draw(sparse_vector(size=n))
+    a, b = vec_of(n, da), vec_of(n, db)
+    assert a.ewise_add(b, ops.plus).isequal(b.ewise_add(a, ops.plus))
+
+
+@given(st.data())
+def test_mxm_associative_plus_times(data):
+    r, k, da = data.draw(sparse_matrix())
+    _, c, db = data.draw(sparse_matrix(nrows=k))
+    _, w, dd = data.draw(sparse_matrix(nrows=c))
+    a, b, d = mat_of(r, k, da), mat_of(k, c, db), mat_of(c, w, dd)
+    s = semiring.plus_times
+    left = a.mxm(b, s).mxm(d, s)
+    right = a.mxm(b.mxm(d, s), s)
+    # structures may differ by annihilation-produced zeros; compare densely
+    np.testing.assert_array_equal(left.to_dense(), right.to_dense())
+
+
+@given(sparse_matrix())
+def test_transpose_involution(mat):
+    r, c, da = mat
+    m = mat_of(r, c, da)
+    assert m.transpose().transpose().isequal(m)
+
+
+@given(st.data())
+def test_mxv_distributes_over_ewise_add(data):
+    r, k, da = data.draw(sparse_matrix())
+    _, du = data.draw(sparse_vector(size=k))
+    _, dv = data.draw(sparse_vector(size=k))
+    a = mat_of(r, k, da)
+    u, v = vec_of(k, du), vec_of(k, dv)
+    s = semiring.plus_times
+    left = a.mxv(u.ewise_add(v, ops.plus), s)
+    right = a.mxv(u, s).ewise_add(a.mxv(v, s), s.add.op)
+    np.testing.assert_array_equal(left.to_dense(), right.to_dense())

@@ -1,0 +1,72 @@
+"""Batch element removal on Vector and Matrix (GrB_removeElement, batched)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import Matrix, Vector, ops
+from repro.graphblas.types import INT64
+from repro.util.validation import IndexOutOfBounds
+
+
+class TestVectorRemoveCoo:
+    def test_removes_existing(self):
+        v = Vector.from_coo([0, 2, 4], [1, 2, 3], 6, dtype=INT64)
+        v.remove_coo([2, 4])
+        assert [(i, x) for i, x in v.items()] == [(0, 1)]
+
+    def test_absent_positions_ignored(self):
+        v = Vector.from_coo([1], [9], 4, dtype=INT64)
+        v.remove_coo([0, 2, 3])
+        assert v.nvals == 1
+
+    def test_empty_indices_noop(self):
+        v = Vector.from_coo([1], [9], 4, dtype=INT64)
+        assert v.remove_coo([]) is v
+        assert v.nvals == 1
+
+    def test_on_empty_vector(self):
+        v = Vector.sparse(INT64, 4)
+        v.remove_coo([0, 1])
+        assert v.nvals == 0
+
+    def test_duplicate_indices(self):
+        v = Vector.from_coo([0, 1], [5, 6], 3, dtype=INT64)
+        v.remove_coo([1, 1, 1])
+        assert v.nvals == 1
+
+    def test_out_of_range_rejected(self):
+        v = Vector.from_coo([0], [1], 3, dtype=INT64)
+        with pytest.raises(IndexOutOfBounds):
+            v.remove_coo([5])
+
+    @given(
+        present=st.sets(st.integers(0, 15), max_size=12),
+        doomed=st.sets(st.integers(0, 15), max_size=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_set_difference(self, present, doomed):
+        idx = np.array(sorted(present), dtype=np.int64)
+        v = Vector.from_coo(idx, np.ones(idx.size), 16, dtype=INT64)
+        v.remove_coo(np.array(sorted(doomed), dtype=np.int64))
+        assert {i for i, _ in v.items()} == present - doomed
+
+
+class TestMatrixRemoveCoo:
+    def test_removes_existing(self):
+        m = Matrix.from_coo([0, 0, 1], [0, 1, 1], [1, 2, 3], 2, 2, dtype=INT64)
+        m.remove_coo([0], [1])
+        assert [(r, c) for r, c, _ in m.items()] == [(0, 0), (1, 1)]
+
+    def test_equivalent_to_elementwise(self):
+        rng = np.random.default_rng(5)
+        r = rng.integers(0, 6, 20)
+        c = rng.integers(0, 6, 20)
+        m1 = Matrix.from_coo(r, c, 1, 6, 6, dtype=INT64, dup_op=ops.plus)
+        m2 = m1.dup()
+        kill = list({(int(a), int(b)) for a, b in zip(r[:8], c[:8])})
+        m1.remove_coo([k[0] for k in kill], [k[1] for k in kill])
+        for i, j in kill:
+            m2.remove_element(i, j)
+        assert m1.isequal(m2)

@@ -1,0 +1,93 @@
+"""Unit tests for the GraphBLAS type system."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import types as t
+
+
+class TestRegistry:
+    def test_all_types_registered(self):
+        assert len(t.ALL_TYPES) == 11
+
+    def test_from_numpy_roundtrip(self):
+        for dt in t.ALL_TYPES:
+            assert t.from_numpy(dt.np_dtype) is dt
+
+    def test_from_numpy_unknown(self):
+        with pytest.raises(TypeError):
+            t.from_numpy(np.complex128)
+
+    def test_lookup_by_name(self):
+        assert t.lookup("INT64") is t.INT64
+        assert t.lookup("int64") is t.INT64
+        assert t.lookup("fp32") is t.FP32
+
+    def test_lookup_passthrough(self):
+        assert t.lookup(t.BOOL) is t.BOOL
+
+    def test_lookup_numpy(self):
+        assert t.lookup(np.float64) is t.FP64
+
+
+class TestProperties:
+    def test_bool_flags(self):
+        assert t.BOOL.is_bool
+        assert not t.BOOL.is_float
+        assert not t.INT8.is_bool
+
+    def test_integer_flags(self):
+        assert t.INT32.is_integer and t.INT32.is_signed
+        assert t.UINT32.is_integer and not t.UINT32.is_signed
+        assert not t.FP32.is_integer
+
+    def test_float_flags(self):
+        assert t.FP32.is_float and t.FP64.is_float
+
+    def test_zero_one(self):
+        assert t.INT64.zero() == 0
+        assert t.FP32.one() == 1.0
+        assert t.BOOL.zero() == False  # noqa: E712
+
+    def test_min_max_int(self):
+        assert t.INT8.min_value() == -128
+        assert t.INT8.max_value() == 127
+        assert t.UINT8.min_value() == 0
+        assert t.UINT8.max_value() == 255
+
+    def test_min_max_float(self):
+        assert t.FP64.min_value() == -np.inf
+        assert t.FP64.max_value() == np.inf
+
+    def test_min_max_bool(self):
+        assert t.BOOL.min_value() == False  # noqa: E712
+        assert t.BOOL.max_value() == True  # noqa: E712
+
+
+class TestCast:
+    def test_int_to_bool_is_nonzero_test(self):
+        out = t.BOOL.cast(np.array([0, 1, 5, -2]))
+        assert out.dtype == np.bool_
+        assert out.tolist() == [False, True, True, True]
+
+    def test_float_to_int_truncates(self):
+        out = t.INT64.cast(np.array([1.9, -1.9]))
+        assert out.tolist() == [1, -1]
+
+    def test_cast_preserves_when_same(self):
+        arr = np.array([1, 2], dtype=np.int64)
+        assert t.INT64.cast(arr) is arr
+
+
+class TestPromote:
+    def test_same(self):
+        assert t.promote(t.INT64, t.INT64) is t.INT64
+
+    def test_int_widths(self):
+        assert t.promote(t.INT8, t.INT32) is t.INT32
+
+    def test_bool_int(self):
+        assert t.promote(t.BOOL, t.INT64) is t.INT64
+
+    def test_int_float(self):
+        assert t.promote(t.INT64, t.FP32) is t.FP64

@@ -1,0 +1,316 @@
+"""Unit tests for the Vector class: construction, element access, operations."""
+
+import numpy as np
+import pytest
+
+from repro.graphblas import BOOL, FP64, INT64, Mask, Vector, monoid, ops, semiring
+from repro.graphblas.descriptor import Descriptor
+from repro.util.validation import DimensionMismatch, IndexOutOfBounds, ReproError
+
+
+class TestConstruction:
+    def test_sparse_empty(self):
+        v = Vector.sparse(INT64, 5)
+        assert v.size == 5 and v.nvals == 0 and v.dtype is INT64
+
+    def test_from_coo(self):
+        v = Vector.from_coo([3, 1], [30, 10], 5)
+        assert dict(v.items()) == {1: 10, 3: 30}
+
+    def test_from_coo_scalar_broadcast(self):
+        v = Vector.from_coo([0, 2], True, 3, dtype=BOOL)
+        assert dict(v.items()) == {0: True, 2: True}
+
+    def test_from_coo_duplicates_require_dup_op(self):
+        with pytest.raises(ReproError):
+            Vector.from_coo([1, 1], [1, 2], 3)
+
+    def test_from_coo_dup_op(self):
+        v = Vector.from_coo([1, 1], [1, 2], 3, dup_op=ops.plus)
+        assert v[1] == 3
+
+    def test_from_coo_out_of_range(self):
+        with pytest.raises(IndexOutOfBounds):
+            Vector.from_coo([5], [1], 5)
+
+    def test_from_dense_full(self):
+        v = Vector.from_dense(np.array([1, 0, 2]))
+        assert v.nvals == 3  # explicit zero kept!
+        assert v[1] == 0
+
+    def test_full(self):
+        v = Vector.full(INT64, 4, 7)
+        assert v.to_dense().tolist() == [7, 7, 7, 7]
+
+    def test_iota(self):
+        assert Vector.iota(4).to_dense().tolist() == [0, 1, 2, 3]
+
+
+class TestElementAccess:
+    def test_set_get(self):
+        v = Vector.sparse(INT64, 4)
+        v[2] = 9
+        assert v[2] == 9 and v.nvals == 1
+
+    def test_set_overwrites(self):
+        v = Vector.from_coo([1], [5], 3)
+        v[1] = 6
+        assert v[1] == 6 and v.nvals == 1
+
+    def test_get_default(self):
+        v = Vector.sparse(INT64, 3)
+        assert v.get(0) is None
+        assert v.get(0, -1) == -1
+
+    def test_getitem_missing_raises(self):
+        v = Vector.sparse(INT64, 3)
+        with pytest.raises(KeyError):
+            v[0]
+
+    def test_contains(self):
+        v = Vector.from_coo([1], [0], 3)  # explicit zero is present
+        assert 1 in v and 0 not in v
+
+    def test_remove_element(self):
+        v = Vector.from_coo([1, 2], [5, 6], 4)
+        v.remove_element(1)
+        assert v.nvals == 1 and v.get(1) is None
+        v.remove_element(3)  # absent: no-op
+        assert v.nvals == 1
+
+    def test_out_of_range(self):
+        v = Vector.sparse(INT64, 3)
+        with pytest.raises(IndexOutOfBounds):
+            v[5] = 1
+
+
+class TestConversionLifecycle:
+    def test_to_coo_copies(self):
+        v = Vector.from_coo([0], [1], 2)
+        idx, vals = v.to_coo()
+        idx[0] = 1
+        assert v.get(0) == 1  # unchanged
+
+    def test_to_dense_fill(self):
+        v = Vector.from_coo([1], [5], 3)
+        assert v.to_dense(fill=-1).tolist() == [-1, 5, -1]
+
+    def test_dup_retype(self):
+        v = Vector.from_coo([0], [2], 2)
+        w = v.dup(FP64)
+        assert w.dtype is FP64 and w[0] == 2.0
+        w[0] = 3.0
+        assert v[0] == 2  # deep copy
+
+    def test_clear(self):
+        v = Vector.from_coo([0], [1], 2)
+        v.clear()
+        assert v.nvals == 0 and v.size == 2
+
+    def test_resize_grow(self):
+        v = Vector.from_coo([1], [5], 2)
+        v.resize(10)
+        assert v.size == 10 and v[1] == 5
+
+    def test_resize_shrink_drops(self):
+        v = Vector.from_coo([0, 4], [1, 2], 5)
+        v.resize(2)
+        assert v.size == 2 and v.nvals == 1
+
+
+class TestEwise:
+    def test_add_union(self):
+        u = Vector.from_coo([0, 1], [1, 2], 3)
+        v = Vector.from_coo([1, 2], [10, 20], 3)
+        w = u.ewise_add(v, ops.plus)
+        assert dict(w.items()) == {0: 1, 1: 12, 2: 20}
+
+    def test_mult_intersection(self):
+        u = Vector.from_coo([0, 1], [1, 2], 3)
+        v = Vector.from_coo([1, 2], [10, 20], 3)
+        w = u.ewise_mult(v, ops.times)
+        assert dict(w.items()) == {1: 20}
+
+    def test_noncommutative_order(self):
+        u = Vector.from_coo([0], [10], 1)
+        v = Vector.from_coo([0], [3], 1)
+        assert u.ewise_mult(v, ops.minus)[0] == 7
+
+    def test_size_mismatch(self):
+        with pytest.raises(DimensionMismatch):
+            Vector.sparse(INT64, 2).ewise_add(Vector.sparse(INT64, 3), ops.plus)
+
+    def test_bool_result_dtype(self):
+        u = Vector.from_coo([0], [1], 1)
+        w = u.ewise_mult(u, ops.eq)
+        assert w.dtype is BOOL and w[0] == True  # noqa: E712
+
+
+class TestApplySelectReduce:
+    def test_apply(self):
+        v = Vector.from_coo([0, 2], [1, 3], 3)
+        w = v.apply(ops.times.bind_second(10))
+        assert dict(w.items()) == {0: 10, 2: 30}
+
+    def test_apply_dtype_override(self):
+        v = Vector.from_coo([0], [1], 1)
+        assert v.apply(ops.identity, dtype=FP64).dtype is FP64
+
+    def test_select(self):
+        v = Vector.from_coo([0, 1, 2], [1, 2, 3], 3)
+        w = v.select(ops.valuegt, 1)
+        assert dict(w.items()) == {1: 2, 2: 3}
+
+    def test_reduce(self):
+        v = Vector.from_coo([0, 2], [4, 6], 3)
+        assert v.reduce(monoid.plus_monoid) == 10
+        assert v.reduce(monoid.min_monoid) == 4
+
+    def test_reduce_typed(self):
+        v = Vector.from_coo([0, 1], [True, True], 3, dtype=BOOL)
+        assert v.reduce(monoid.plus_monoid, dtype=INT64) == 2
+
+    def test_reduce_empty_is_identity(self):
+        assert Vector.sparse(INT64, 3).reduce(monoid.plus_monoid) == 0
+
+
+class TestExtract:
+    def test_basic(self):
+        v = Vector.from_coo([1, 3], [10, 30], 4)
+        w = v.extract([3, 0, 1])
+        assert w.size == 3
+        assert dict(w.items()) == {0: 30, 2: 10}
+
+    def test_duplicates_allowed(self):
+        v = Vector.from_coo([1], [10], 2)
+        w = v.extract([1, 1])
+        assert dict(w.items()) == {0: 10, 1: 10}
+
+
+class TestAssign:
+    def test_scalar_all(self):
+        v = Vector.sparse(INT64, 3)
+        v.assign(7)
+        assert v.to_dense().tolist() == [7, 7, 7]
+
+    def test_scalar_indices(self):
+        v = Vector.sparse(INT64, 4)
+        v.assign(5, indices=[1, 3])
+        assert dict(v.items()) == {1: 5, 3: 5}
+
+    def test_vector_into_indices(self):
+        v = Vector.from_coo([0], [1], 4)
+        u = Vector.from_coo([0, 1], [8, 9], 2)
+        v.assign(u, indices=[2, 3])
+        assert dict(v.items()) == {0: 1, 2: 8, 3: 9}
+
+    def test_no_accum_replaces_pattern_inside_indices(self):
+        # C(I) = u: positions of I where u is empty are *deleted*
+        v = Vector.from_coo([0, 1], [1, 2], 3)
+        u = Vector.sparse(INT64, 2)
+        v.assign(u, indices=[0, 1])
+        assert v.nvals == 0
+
+    def test_accum_union(self):
+        v = Vector.from_coo([0], [1], 2)
+        u = Vector.from_coo([0, 1], [10, 20], 2)
+        v.assign(u, accum=ops.plus)
+        assert dict(v.items()) == {0: 11, 1: 20}
+
+    def test_accum_duplicate_indices_combined(self):
+        v = Vector.full(INT64, 3, 100)
+        u = Vector.from_coo([0, 1], [5, 7], 2)
+        v.assign(u, indices=[1, 1], accum=ops.min)
+        assert dict(v.items()) == {0: 100, 1: 5, 2: 100}
+
+    def test_masked_assign(self):
+        # the paper's Alg. 2 line 14: Δscores<scores+> = scores'
+        scores_new = Vector.from_coo([0, 1], [37, 10], 2)
+        scores_plus = Vector.from_coo([0], [12], 2)
+        delta = Vector.sparse(INT64, 2)
+        delta.assign(scores_new, mask=scores_plus)
+        assert dict(delta.items()) == {0: 37}
+
+    def test_size_mismatch(self):
+        v = Vector.sparse(INT64, 3)
+        with pytest.raises(DimensionMismatch):
+            v.assign(Vector.sparse(INT64, 2), indices=[0, 1, 2])
+
+
+class TestScatterMin:
+    def test_duplicates_resolved_by_min(self):
+        v = Vector.from_dense(np.array([5, 5, 5], dtype=np.int64))
+        v.scatter_min(np.array([1, 1, 2]), np.array([4, 2, 9]))
+        assert v.to_dense().tolist() == [5, 2, 5]
+
+    def test_requires_full(self):
+        v = Vector.from_coo([0], [1], 3)
+        with pytest.raises(ReproError):
+            v.scatter_min(np.array([0]), np.array([0]))
+
+
+class TestVxm:
+    def test_plus_times(self):
+        from repro.graphblas import Matrix
+
+        a = Matrix.from_coo([0, 1, 2], [0, 0, 1], [1, 2, 3], 3, 2)
+        u = Vector.from_coo([0, 2], [5, 7], 3)
+        w = u.vxm(a, semiring.plus_times)
+        assert w.to_dense().tolist() == [5, 21]
+
+    def test_operand_order_first(self):
+        from repro.graphblas import Matrix
+
+        a = Matrix.from_coo([0], [0], [99], 1, 1)
+        u = Vector.from_coo([0], [5], 1)
+        # min_first semiring: value should come from u, not A
+        w = u.vxm(a, semiring.get("min_first"))
+        assert w[0] == 5
+
+
+class TestWriteSemantics:
+    def test_mask_value_vs_structure(self):
+        u = Vector.from_coo([0, 1], [1, 2], 2)
+        m = Vector.from_coo([0, 1], [False, True], 2, dtype=BOOL)
+        out_val = u.apply(ops.identity, mask=m)
+        assert dict(out_val.items()) == {1: 2}
+        out_struct = u.apply(ops.identity, mask=Mask(m, structure=True))
+        assert dict(out_struct.items()) == {0: 1, 1: 2}
+
+    def test_complement_mask(self):
+        u = Vector.from_coo([0, 1], [1, 2], 2)
+        m = Vector.from_coo([0], [True], 2, dtype=BOOL)
+        out = u.apply(ops.identity, mask=Mask(m, complement=True))
+        assert dict(out.items()) == {1: 2}
+
+    def test_replace_clears_outside_mask(self):
+        out = Vector.from_coo([0, 1], [100, 200], 2)
+        u = Vector.from_coo([0], [1], 2)
+        m = Vector.from_coo([0], [True], 2, dtype=BOOL)
+        u.apply(ops.identity, out=out, mask=m, desc=Descriptor(replace=True))
+        assert dict(out.items()) == {0: 1}
+
+    def test_no_replace_keeps_outside_mask(self):
+        out = Vector.from_coo([0, 1], [100, 200], 2)
+        u = Vector.from_coo([0], [1], 2)
+        m = Vector.from_coo([0], [True], 2, dtype=BOOL)
+        u.apply(ops.identity, out=out, mask=m)
+        assert dict(out.items()) == {0: 1, 1: 200}
+
+    def test_accum_into_out(self):
+        out = Vector.from_coo([0], [10], 2)
+        u = Vector.from_coo([0, 1], [1, 2], 2)
+        u.apply(ops.identity, out=out, accum=ops.plus)
+        assert dict(out.items()) == {0: 11, 1: 2}
+
+    def test_without_accum_out_pattern_replaced(self):
+        out = Vector.from_coo([1], [99], 2)
+        u = Vector.from_coo([0], [1], 2)
+        u.apply(ops.identity, out=out)
+        assert dict(out.items()) == {0: 1}
+
+    def test_isequal(self):
+        u = Vector.from_coo([0], [1], 2)
+        assert u.isequal(Vector.from_coo([0], [1], 2))
+        assert not u.isequal(Vector.from_coo([0], [2], 2))
+        assert not u.isequal(Vector.from_coo([0], [1], 3))

@@ -1,0 +1,103 @@
+"""BFS, PageRank and triangle counting vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphblas import BOOL, Matrix
+from repro.lagraph import bfs_levels, bfs_parents, pagerank, triangle_count
+from repro.util.validation import DimensionMismatch, IndexOutOfBounds
+
+
+def sym_matrix(g: nx.Graph, n: int) -> Matrix:
+    edges = list(g.edges)
+    if not edges:
+        return Matrix.sparse(BOOL, n, n)
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    from repro.graphblas import ops
+
+    return Matrix.from_coo(
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        True,
+        n,
+        n,
+        dtype=BOOL,
+        dup_op=ops.lor,
+    )
+
+
+class TestBfs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_levels_match_networkx(self, seed):
+        n = 35
+        g = nx.gnp_random_graph(n, 0.08, seed=seed)
+        lv = bfs_levels(sym_matrix(g, n), 0).to_dense(fill=-1)
+        expected = nx.single_source_shortest_path_length(g, 0)
+        for v in range(n):
+            assert lv[v] == expected.get(v, -1)
+
+    def test_parents_consistent_with_levels(self):
+        g = nx.path_graph(6)
+        a = sym_matrix(g, 6)
+        lv = bfs_levels(a, 0)
+        pa = bfs_parents(a, 0)
+        assert pa[0] == 0
+        for v in range(1, 6):
+            # parent is one level closer to the source
+            assert lv[int(pa[v])] == lv[v] - 1
+
+    def test_unreachable_absent(self):
+        a = sym_matrix(nx.Graph([(0, 1)]), 4)
+        lv = bfs_levels(a, 0)
+        assert 2 not in lv and 3 not in lv
+
+    def test_source_validated(self):
+        with pytest.raises(IndexOutOfBounds):
+            bfs_levels(Matrix.sparse(BOOL, 3, 3), 5)
+
+    def test_non_square(self):
+        with pytest.raises(DimensionMismatch):
+            bfs_levels(Matrix.sparse(BOOL, 2, 3), 0)
+
+
+class TestPagerank:
+    def test_matches_networkx_directed(self):
+        n = 40
+        g = nx.gnp_random_graph(n, 0.1, seed=9, directed=True)
+        edges = list(g.edges)
+        src = np.array([e[0] for e in edges], dtype=np.int64)
+        dst = np.array([e[1] for e in edges], dtype=np.int64)
+        a = Matrix.from_coo(src, dst, True, n, n, dtype=BOOL)
+        pr = pagerank(a, tol=1e-12).to_dense()
+        expected = nx.pagerank(g, alpha=0.85, tol=1e-12)
+        assert max(abs(pr[v] - expected[v]) for v in range(n)) < 1e-8
+
+    def test_sums_to_one(self):
+        a = sym_matrix(nx.path_graph(5), 5)
+        assert abs(pagerank(a).to_dense().sum() - 1.0) < 1e-9
+
+    def test_dangling_mass_redistributed(self):
+        # 0 -> 1, 1 dangles
+        a = Matrix.from_coo([0], [1], True, 2, 2, dtype=BOOL)
+        pr = pagerank(a, tol=1e-14).to_dense()
+        assert abs(pr.sum() - 1.0) < 1e-9
+        assert pr[1] > pr[0]
+
+    def test_empty(self):
+        assert pagerank(Matrix.sparse(BOOL, 0, 0)).size == 0
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        n = 30
+        g = nx.gnp_random_graph(n, 0.15, seed=seed)
+        assert triangle_count(sym_matrix(g, n)) == sum(nx.triangles(g).values()) // 3
+
+    def test_k4(self):
+        assert triangle_count(sym_matrix(nx.complete_graph(4), 4)) == 4
+
+    def test_triangle_free(self):
+        assert triangle_count(sym_matrix(nx.cycle_graph(4), 4)) == 0

@@ -1,0 +1,307 @@
+"""Extended LAGraph algorithms, each cross-checked against networkx.
+
+networkx is installed offline and is used purely as a *test oracle*: the
+library under test never imports it.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import BOOL, FP64, Matrix
+from repro.lagraph import (
+    betweenness_centrality,
+    cdlp,
+    kcore_decompose,
+    kcore_subgraph,
+    ktruss,
+    local_clustering_coefficient,
+    sssp_bellman_ford,
+    triangles_per_vertex,
+)
+from repro.util.validation import DimensionMismatch, ReproError
+
+
+def undirected_matrix(g: nx.Graph, n: int) -> Matrix:
+    rows, cols = [], []
+    for u, v in g.edges():
+        rows += [u, v]
+        cols += [v, u]
+    if not rows:
+        return Matrix.sparse(BOOL, n, n)
+    return Matrix.from_coo(rows, cols, True, n, n, dtype=BOOL)
+
+
+def weighted_matrix(edges, n: int) -> Matrix:
+    rows = [e[0] for e in edges]
+    cols = [e[1] for e in edges]
+    vals = [e[2] for e in edges]
+    return Matrix.from_coo(rows, cols, vals, n, n, dtype=FP64)
+
+
+@st.composite
+def random_graph(draw, max_n=10):
+    n = draw(st.integers(2, max_n))
+    edges = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=2 * n,
+        )
+    )
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    return n, g
+
+
+# ---------------------------------------------------------------------------
+# SSSP
+# ---------------------------------------------------------------------------
+
+
+class TestSSSP:
+    def test_line_graph(self):
+        w = weighted_matrix([(0, 1, 2.0), (1, 2, 3.0)], 3)
+        d = sssp_bellman_ford(w, 0)
+        assert {int(i): float(x) for i, x in d.items()} == {0: 0.0, 1: 2.0, 2: 5.0}
+
+    def test_unreachable_has_no_entry(self):
+        w = weighted_matrix([(0, 1, 1.0)], 3)
+        d = sssp_bellman_ford(w, 0)
+        assert d.get(2) is None
+
+    def test_shorter_path_wins(self):
+        w = weighted_matrix([(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0)], 3)
+        d = sssp_bellman_ford(w, 0)
+        assert float(d[1]) == 2.0
+
+    def test_negative_edge_ok(self):
+        w = weighted_matrix([(0, 1, 5.0), (1, 2, -3.0)], 3)
+        d = sssp_bellman_ford(w, 0)
+        assert float(d[2]) == 2.0
+
+    def test_negative_cycle_raises(self):
+        w = weighted_matrix([(0, 1, 1.0), (1, 0, -2.0)], 2)
+        with pytest.raises(ReproError):
+            sssp_bellman_ford(w, 0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionMismatch):
+            sssp_bellman_ford(Matrix.sparse(FP64, 2, 3), 0)
+
+    @given(random_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx_unit_weights(self, ng):
+        n, g = ng
+        rows, cols, vals = [], [], []
+        for u, v in g.edges():
+            rows += [u, v]
+            cols += [v, u]
+            vals += [1.0, 1.0]
+        w = (
+            Matrix.from_coo(rows, cols, vals, n, n, dtype=FP64)
+            if rows
+            else Matrix.sparse(FP64, n, n)
+        )
+        got = {int(i): float(x) for i, x in sssp_bellman_ford(w, 0).items()}
+        want = nx.single_source_shortest_path_length(g, 0)
+        assert got == {k: float(v) for k, v in want.items()}
+
+
+# ---------------------------------------------------------------------------
+# CDLP
+# ---------------------------------------------------------------------------
+
+
+class TestCDLP:
+    def test_two_cliques_get_two_labels(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        a = undirected_matrix(g, 6)
+        labels = cdlp(a)
+        lab = {int(i): int(v) for i, v in labels.items()}
+        assert lab[0] == lab[1] == lab[2]
+        assert lab[3] == lab[4] == lab[5]
+        assert lab[0] != lab[3]
+
+    def test_isolated_vertex_keeps_own_label(self):
+        a = Matrix.sparse(BOOL, 3, 3)
+        lab = {int(i): int(v) for i, v in cdlp(a).items()}
+        assert lab == {0: 0, 1: 1, 2: 2}
+
+    def test_full_vector_returned(self):
+        g = nx.path_graph(5)
+        labels = cdlp(undirected_matrix(g, 5))
+        assert labels.nvals == 5
+
+    def test_star_converges_to_smallest(self):
+        # Star centred on 0: leaves adopt 0's label via the frequency tie
+        # rule (single neighbour), centre adopts the smallest leaf label.
+        g = nx.star_graph(4)
+        lab = {int(i): int(v) for i, v in cdlp(undirected_matrix(g, 5)).items()}
+        # All leaves see only the centre; they must share the centre's label
+        # trajectory, and the graph stabilises to <= 2 distinct labels.
+        assert len(set(lab[i] for i in (1, 2, 3, 4))) == 1
+
+
+# ---------------------------------------------------------------------------
+# k-core
+# ---------------------------------------------------------------------------
+
+
+class TestKCore:
+    def test_triangle_with_tail(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        core = {int(i): int(v) for i, v in kcore_decompose(undirected_matrix(g, 4)).items()}
+        assert core == {0: 2, 1: 2, 2: 2, 3: 1}
+
+    def test_isolated_vertices_core_zero(self):
+        a = Matrix.sparse(BOOL, 3, 3)
+        core = {int(i): int(v) for i, v in kcore_decompose(a).items()}
+        assert core == {0: 0, 1: 0, 2: 0}
+
+    def test_subgraph_extraction(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        sub, kept = kcore_subgraph(undirected_matrix(g, 4), 2)
+        assert sorted(kept.tolist()) == [0, 1, 2]
+        assert sub.nvals == 6  # the triangle, both directions
+
+    def test_empty_kcore(self):
+        g = nx.path_graph(3)
+        _, kept = kcore_subgraph(undirected_matrix(g, 3), 5)
+        assert kept.size == 0
+
+    @given(random_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, ng):
+        n, g = ng
+        got = {int(i): int(v) for i, v in kcore_decompose(undirected_matrix(g, n)).items()}
+        want = nx.core_number(g)
+        assert got == {k: int(v) for k, v in want.items()}
+
+
+# ---------------------------------------------------------------------------
+# LCC / triangles per vertex
+# ---------------------------------------------------------------------------
+
+
+class TestLCC:
+    def test_triangle_graph(self):
+        g = nx.complete_graph(3)
+        a = undirected_matrix(g, 3)
+        tri = {int(i): int(v) for i, v in triangles_per_vertex(a).items()}
+        assert tri == {0: 1, 1: 1, 2: 1}
+        lcc = {int(i): float(v) for i, v in local_clustering_coefficient(a).items()}
+        assert lcc == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_path_has_zero_lcc(self):
+        g = nx.path_graph(4)
+        lcc = local_clustering_coefficient(undirected_matrix(g, 4))
+        assert all(float(v) == 0.0 for _, v in lcc.items())
+
+    @given(random_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_networkx(self, ng):
+        n, g = ng
+        a = undirected_matrix(g, n)
+        got = {int(i): float(v) for i, v in local_clustering_coefficient(a).items()}
+        want = nx.clustering(g)
+        for i in range(n):
+            assert got[i] == pytest.approx(want[i])
+
+    @given(random_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_counts_match_networkx(self, ng):
+        n, g = ng
+        a = undirected_matrix(g, n)
+        got = {int(i): int(v) for i, v in triangles_per_vertex(a).items()}
+        want = nx.triangles(g)
+        dense = {i: got.get(i, 0) for i in range(n)}
+        assert dense == want
+
+
+# ---------------------------------------------------------------------------
+# Betweenness
+# ---------------------------------------------------------------------------
+
+
+class TestBetweenness:
+    def test_path_centre_dominates(self):
+        g = nx.path_graph(5)
+        a = undirected_matrix(g, 5)
+        bc = {int(i): float(v) for i, v in betweenness_centrality(a).items()}
+        want = nx.betweenness_centrality(g, normalized=False)
+        # networkx halves undirected counts; our directed-sweep counts both
+        # orientations, so compare doubled.
+        for i in range(5):
+            assert bc[i] == pytest.approx(2.0 * want[i])
+
+    def test_star_centre(self):
+        g = nx.star_graph(4)
+        a = undirected_matrix(g, 5)
+        bc = {int(i): float(v) for i, v in betweenness_centrality(a).items()}
+        want = nx.betweenness_centrality(g, normalized=False)
+        for i in range(5):
+            assert bc[i] == pytest.approx(2.0 * want[i])
+
+    def test_sampled_sources_subset(self):
+        g = nx.path_graph(4)
+        a = undirected_matrix(g, 4)
+        bc = betweenness_centrality(a, sources=[0])
+        # From source 0 only, vertex 1 lies on paths to 2 and 3; vertex 2 on
+        # the path to 3.
+        vals = {int(i): float(v) for i, v in bc.items()}
+        assert vals[1] == pytest.approx(2.0)
+        assert vals[2] == pytest.approx(1.0)
+
+    @given(random_graph(max_n=8))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx(self, ng):
+        n, g = ng
+        a = undirected_matrix(g, n)
+        got = {int(i): float(v) for i, v in betweenness_centrality(a).items()}
+        want = nx.betweenness_centrality(g, normalized=False)
+        for i in range(n):
+            assert got[i] == pytest.approx(2.0 * want[i], abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# k-truss
+# ---------------------------------------------------------------------------
+
+
+class TestKTruss:
+    def test_triangle_survives_3truss(self):
+        g = nx.Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        t = ktruss(undirected_matrix(g, 4), 3)
+        # The tail edge (2,3) closes no triangle and must be gone.
+        kept = {(int(r), int(c)) for r, c, _ in t.items()}
+        assert kept == {(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)}
+
+    def test_k4_survives_4truss(self):
+        g = nx.complete_graph(4)
+        t = ktruss(undirected_matrix(g, 4), 4)
+        assert t.nvals == 12  # all 6 edges, both directions
+
+    def test_cascading_removal(self):
+        # Two triangles sharing an edge: 4-truss demands every edge in >= 2
+        # triangles, only the shared edge qualifies initially -> cascade to
+        # empty.
+        g = nx.Graph([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+        t = ktruss(undirected_matrix(g, 4), 4)
+        assert t.nvals == 0
+
+    def test_k_below_3_rejected(self):
+        with pytest.raises(ReproError):
+            ktruss(Matrix.sparse(BOOL, 2, 2), 2)
+
+    def test_supports_recorded(self):
+        g = nx.complete_graph(4)
+        t = ktruss(undirected_matrix(g, 4), 3)
+        assert all(int(v) == 2 for _, _, v in t.items())

@@ -1,0 +1,116 @@
+"""FastSV connected components: unit tests plus networkx cross-validation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphblas import BOOL, Matrix, ops
+from repro.lagraph import connected_components_numpy, fastsv
+from repro.lagraph.cc_numpy import component_sizes, sum_squared_component_sizes
+from repro.util.validation import DimensionMismatch
+
+
+def adjacency_from_edges(n: int, edges) -> Matrix:
+    if not edges:
+        return Matrix.sparse(BOOL, n, n)
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return Matrix.from_coo(
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        True,
+        n,
+        n,
+        dtype=BOOL,
+        dup_op=ops.lor,
+    )
+
+
+class TestFastSVBasics:
+    def test_empty_graph(self):
+        f = fastsv(Matrix.sparse(BOOL, 5, 5))
+        assert f.to_dense().tolist() == [0, 1, 2, 3, 4]
+
+    def test_zero_vertices(self):
+        assert fastsv(Matrix.sparse(BOOL, 0, 0)).size == 0
+
+    def test_single_edge(self):
+        f = fastsv(adjacency_from_edges(3, [(0, 2)]))
+        assert f.to_dense().tolist() == [0, 1, 0]
+
+    def test_path_graph(self):
+        f = fastsv(adjacency_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]))
+        assert f.to_dense().tolist() == [0] * 5
+
+    def test_two_components(self):
+        f = fastsv(adjacency_from_edges(5, [(0, 1), (3, 4)]))
+        assert f.to_dense().tolist() == [0, 0, 2, 3, 3]
+
+    def test_labels_are_component_minimum(self):
+        f = fastsv(adjacency_from_edges(4, [(2, 3), (1, 3)]))
+        assert f.to_dense().tolist() == [0, 1, 1, 1]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionMismatch):
+            fastsv(Matrix.sparse(BOOL, 2, 3))
+
+    def test_self_loop_harmless(self):
+        f = fastsv(adjacency_from_edges(2, [(0, 0), (0, 1)]))
+        assert f.to_dense().tolist() == [0, 0]
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        n = 40
+        g = nx.gnp_random_graph(n, 0.05, seed=seed)
+        edges = list(g.edges)
+        f = fastsv(adjacency_from_edges(n, edges)).to_dense()
+        groups: dict[int, set[int]] = {}
+        for v in range(n):
+            groups.setdefault(int(f[v]), set()).add(v)
+        assert {frozenset(s) for s in groups.values()} == {
+            frozenset(c) for c in nx.connected_components(g)
+        }
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_union_find(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        m = 50
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        keep = src != dst
+        edges = list(zip(src[keep].tolist(), dst[keep].tolist()))
+        f1 = fastsv(adjacency_from_edges(n, edges)).to_dense()
+        f2 = connected_components_numpy(n, src[keep], dst[keep])
+        assert np.array_equal(f1, f2)
+
+
+@given(
+    st.integers(2, 25),
+    st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=40),
+)
+def test_fastsv_equals_unionfind_property(n, raw_edges):
+    edges = [(a % n, b % n) for a, b in raw_edges if a % n != b % n]
+    f1 = fastsv(adjacency_from_edges(n, edges)).to_dense()
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    f2 = connected_components_numpy(n, src, dst)
+    assert np.array_equal(f1, f2)
+
+
+class TestComponentSizes:
+    def test_sizes(self):
+        labels = np.array([0, 0, 2, 2, 2, 5])
+        assert sorted(component_sizes(labels).tolist()) == [1, 2, 3]
+
+    def test_sum_squared(self):
+        labels = np.array([0, 0, 2, 2, 2, 5])
+        assert sum_squared_component_sizes(labels) == 4 + 9 + 1
+
+    def test_empty(self):
+        assert component_sizes(np.zeros(0, np.int64)).size == 0
+        assert sum_squared_component_sizes(np.zeros(0, np.int64)) == 0

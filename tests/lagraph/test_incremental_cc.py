@@ -1,0 +1,104 @@
+"""IncrementalCC: dynamic connected components with Σ size² maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lagraph import IncrementalCC
+from repro.lagraph.cc_numpy import connected_components_numpy, sum_squared_component_sizes
+
+
+class TestBasics:
+    def test_empty(self):
+        cc = IncrementalCC()
+        assert cc.num_vertices == 0
+        assert cc.num_components == 0
+        assert cc.sum_squared_sizes == 0
+
+    def test_isolated_vertices(self):
+        cc = IncrementalCC()
+        for v in range(4):
+            cc.add_vertex(v)
+        assert cc.num_components == 4
+        assert cc.sum_squared_sizes == 4
+
+    def test_add_vertex_idempotent(self):
+        cc = IncrementalCC()
+        cc.add_vertex(1)
+        cc.add_vertex(1)
+        assert cc.num_vertices == 1
+
+    def test_merge_updates_score(self):
+        cc = IncrementalCC()
+        cc.add_edge(0, 1)
+        assert cc.sum_squared_sizes == 4
+        cc.add_edge(2, 3)
+        assert cc.sum_squared_sizes == 8
+        assert cc.add_edge(1, 2)  # merge -> 16
+        assert cc.sum_squared_sizes == 16
+
+    def test_redundant_edge_no_change(self):
+        cc = IncrementalCC()
+        cc.add_edge(0, 1)
+        assert not cc.add_edge(0, 1)
+        assert not cc.add_edge(1, 0)
+        assert cc.sum_squared_sizes == 4
+
+    def test_same_component_queries(self):
+        cc = IncrementalCC()
+        cc.add_edge(0, 1)
+        cc.add_vertex(2)
+        assert cc.same_component(0, 1)
+        assert not cc.same_component(0, 2)
+        assert not cc.same_component(0, 99)  # unknown vertex
+
+    def test_sizes(self):
+        cc = IncrementalCC()
+        cc.add_edge(0, 1)
+        cc.add_vertex(5)
+        assert sorted(cc.sizes()) == [1, 2]
+
+    def test_arbitrary_hashable_ids(self):
+        cc = IncrementalCC()
+        cc.add_edge("alice", "bob")
+        assert cc.same_component("alice", "bob")
+
+    def test_labels(self):
+        cc = IncrementalCC()
+        cc.add_edge(3, 7)
+        labels = cc.labels([3, 7])
+        assert labels[0] == labels[1]
+
+
+@given(
+    st.integers(1, 20),
+    st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60),
+)
+def test_matches_batch_union_find(n, raw_edges):
+    """After any insertion sequence, Σ size² equals the batch recomputation."""
+    edges = [(a % n, b % n) for a, b in raw_edges if a % n != b % n]
+    cc = IncrementalCC()
+    for v in range(n):
+        cc.add_vertex(v)
+    for a, b in edges:
+        cc.add_edge(a, b)
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    labels = connected_components_numpy(n, src, dst)
+    assert cc.sum_squared_sizes == sum_squared_component_sizes(labels)
+    assert cc.num_components == len(set(labels.tolist()))
+
+
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40))
+def test_score_monotone_under_inserts(raw_edges):
+    """Σ size² never decreases under edge insertion (the top-k invariant)."""
+    cc = IncrementalCC()
+    for v in range(10):
+        cc.add_vertex(v)
+    prev = cc.sum_squared_sizes
+    for a, b in raw_edges:
+        if a != b:
+            cc.add_edge(a, b)
+            assert cc.sum_squared_sizes >= prev
+            prev = cc.sum_squared_sizes

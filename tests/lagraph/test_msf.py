@@ -1,0 +1,127 @@
+"""Minimum spanning forest vs networkx, plus invariants."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import FP64, Matrix, ops
+from repro.lagraph import minimum_spanning_forest
+from repro.util.validation import DimensionMismatch
+
+
+def weighted_matrix(g: nx.Graph, n: int) -> Matrix:
+    edges = list(g.edges(data="weight"))
+    if not edges:
+        return Matrix.sparse(FP64, n, n)
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges], dtype=np.float64)
+    return Matrix.from_coo(
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        np.concatenate([w, w]),
+        n, n, dtype=FP64, dup_op=ops.min,
+    )
+
+
+def random_weighted(n: int, p: float, seed: int) -> nx.Graph:
+    g = nx.gnp_random_graph(n, p, seed=seed)
+    rng = np.random.default_rng(seed)
+    for u, v in g.edges:
+        # distinct weights -> unique MSF, exact comparison possible
+        g[u][v]["weight"] = float(rng.permutation(10_000)[0] + (u * n + v) * 1e-6)
+    return g
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_total_weight_matches(self, seed):
+        n = 30
+        g = random_weighted(n, 0.1, seed)
+        ours = minimum_spanning_forest(weighted_matrix(g, n))
+        theirs = nx.minimum_spanning_edges(g, data=True)
+        assert sum(w for _, _, w in ours) == pytest.approx(
+            sum(d["weight"] for _, _, d in theirs)
+        )
+
+    def test_exact_edges_with_distinct_weights(self):
+        n = 20
+        g = random_weighted(n, 0.2, seed=3)
+        # force distinct weights
+        for i, (u, v) in enumerate(g.edges):
+            g[u][v]["weight"] = float(i * 7 % 97) + (u + v) * 1e-3
+        ours = {(u, v) for u, v, _ in minimum_spanning_forest(weighted_matrix(g, n))}
+        theirs = {
+            (min(u, v), max(u, v))
+            for u, v in nx.minimum_spanning_tree(g).edges
+        }
+        assert ours == theirs
+
+
+class TestInvariants:
+    def test_path_graph_keeps_all_edges(self):
+        g = nx.path_graph(6)
+        for u, v in g.edges:
+            g[u][v]["weight"] = 1.0
+        msf = minimum_spanning_forest(weighted_matrix(g, 6))
+        assert len(msf) == 5
+
+    def test_cycle_drops_heaviest(self):
+        g = nx.Graph()
+        g.add_weighted_edges_from([(0, 1, 1.0), (1, 2, 2.0), (2, 0, 9.0)])
+        msf = minimum_spanning_forest(weighted_matrix(g, 3))
+        assert msf == [(0, 1, 1.0), (1, 2, 2.0)]
+
+    def test_forest_of_components(self):
+        # two disjoint triangles -> 2 + 2 edges
+        g = nx.Graph()
+        g.add_weighted_edges_from(
+            [(0, 1, 1), (1, 2, 2), (2, 0, 3), (3, 4, 1), (4, 5, 2), (5, 3, 3)]
+        )
+        msf = minimum_spanning_forest(weighted_matrix(g, 6))
+        assert len(msf) == 4
+
+    def test_edge_count_is_n_minus_components(self):
+        n = 25
+        g = random_weighted(n, 0.08, seed=9)
+        msf = minimum_spanning_forest(weighted_matrix(g, n))
+        n_components = nx.number_connected_components(g)
+        assert len(msf) == n - n_components
+
+    def test_empty_and_edgeless(self):
+        assert minimum_spanning_forest(Matrix.sparse(FP64, 0, 0)) == []
+        assert minimum_spanning_forest(Matrix.sparse(FP64, 5, 5)) == []
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionMismatch):
+            minimum_spanning_forest(Matrix.sparse(FP64, 2, 3))
+
+    def test_deterministic_under_ties(self):
+        g = nx.complete_graph(8)
+        for u, v in g.edges:
+            g[u][v]["weight"] = 1.0  # all ties
+        a = minimum_spanning_forest(weighted_matrix(g, 8))
+        b = minimum_spanning_forest(weighted_matrix(g, 8))
+        assert a == b
+        assert len(a) == 7
+
+
+class TestProperty:
+    @given(
+        n=st.integers(2, 14),
+        density=st.floats(0.05, 0.5),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_matches_networkx_property(self, n, density, seed):
+        g = random_weighted(n, density, seed % 100)
+        msf = minimum_spanning_forest(weighted_matrix(g, n))
+        expected = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_edges(g, data=True)
+        )
+        assert sum(w for _, _, w in msf) == pytest.approx(expected)
+        # acyclicity: a forest has no repeated component closure
+        if msf:  # nx.is_forest raises on the empty graph
+            assert nx.is_forest(nx.Graph((u, v) for u, v, _ in msf))

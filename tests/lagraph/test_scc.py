@@ -1,0 +1,116 @@
+"""Strongly connected components vs networkx, plus invariants."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import BOOL, Matrix, ops
+from repro.lagraph import fastsv, scc
+from repro.util.validation import DimensionMismatch
+
+
+def digraph_matrix(g: nx.DiGraph, n: int) -> Matrix:
+    edges = list(g.edges)
+    if not edges:
+        return Matrix.sparse(BOOL, n, n)
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return Matrix.from_coo(src, dst, True, n, n, dtype=BOOL, dup_op=ops.lor)
+
+
+def grouping(labels: np.ndarray) -> set[frozenset[int]]:
+    groups: dict[int, set[int]] = {}
+    for v, lab in enumerate(labels.tolist()):
+        groups.setdefault(lab, set()).add(v)
+    return {frozenset(s) for s in groups.values()}
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_digraphs(self, seed):
+        n = 25
+        g = nx.gnp_random_graph(n, 0.08, seed=seed, directed=True)
+        labels = scc(digraph_matrix(g, n)).to_dense()
+        expected = {frozenset(c) for c in nx.strongly_connected_components(g)}
+        assert grouping(labels) == expected
+
+    def test_two_cycles_and_bridge(self):
+        # 0->1->2->0 and 3->4->3, bridge 2->3: two SCCs
+        g = nx.DiGraph([(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)])
+        labels = scc(digraph_matrix(g, 5)).to_dense()
+        assert labels.tolist() == [0, 0, 0, 3, 3]
+
+    def test_dag_all_singletons(self):
+        g = nx.DiGraph([(0, 1), (1, 2), (0, 2)])
+        labels = scc(digraph_matrix(g, 4)).to_dense()
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    def test_full_cycle_single_component(self):
+        n = 12
+        g = nx.DiGraph([(i, (i + 1) % n) for i in range(n)])
+        labels = scc(digraph_matrix(g, n)).to_dense()
+        assert set(labels.tolist()) == {0}
+
+
+class TestLabelConvention:
+    def test_label_is_min_member(self):
+        g = nx.DiGraph([(5, 3), (3, 5), (1, 2), (2, 1)])
+        labels = scc(digraph_matrix(g, 6)).to_dense()
+        assert labels[5] == 3 and labels[3] == 3
+        assert labels[1] == 1 and labels[2] == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_symmetric_matrix_equals_fastsv(self, seed):
+        """On undirected (symmetric) inputs, SCC == connected components."""
+        n = 20
+        g = nx.gnp_random_graph(n, 0.1, seed=seed)
+        src = np.array([e[0] for e in g.edges], dtype=np.int64)
+        dst = np.array([e[1] for e in g.edges], dtype=np.int64)
+        if src.size == 0:
+            return
+        a = Matrix.from_coo(
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+            True, n, n, dtype=BOOL, dup_op=ops.lor,
+        )
+        assert scc(a).to_dense().tolist() == fastsv(a).to_dense().tolist()
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        assert scc(Matrix.sparse(BOOL, 0, 0)).size == 0
+
+    def test_no_edges(self):
+        labels = scc(Matrix.sparse(BOOL, 4, 4)).to_dense()
+        assert labels.tolist() == [0, 1, 2, 3]
+
+    def test_self_loops(self):
+        a = Matrix.from_coo([0, 1], [0, 1], True, 2, 2, dtype=BOOL)
+        assert scc(a).to_dense().tolist() == [0, 1]
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionMismatch):
+            scc(Matrix.sparse(BOOL, 2, 3))
+
+
+class TestProperty:
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11)),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_property(self, edges):
+        n = 12
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        labels = scc(digraph_matrix(g, n)).to_dense()
+        expected = {frozenset(c) for c in nx.strongly_connected_components(g)}
+        assert grouping(labels) == expected
+        # label convention: every label is its group's minimum
+        for group in grouping(labels):
+            assert labels[min(group)] == min(group)

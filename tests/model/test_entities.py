@@ -1,0 +1,43 @@
+"""IdMap and entity bookkeeping."""
+
+import pytest
+
+from repro.model import EntityKind, IdMap
+from repro.util.validation import ReproError
+
+
+class TestIdMap:
+    def test_add_sequential_indices(self):
+        m = IdMap(EntityKind.USER)
+        assert m.add(100) == 0
+        assert m.add(50) == 1
+        assert len(m) == 2
+
+    def test_duplicate_rejected(self):
+        m = IdMap(EntityKind.POST)
+        m.add(1)
+        with pytest.raises(ReproError):
+            m.add(1)
+
+    def test_lookup_roundtrip(self):
+        m = IdMap(EntityKind.COMMENT)
+        m.add(42)
+        assert m.index(42) == 0
+        assert m.external(0) == 42
+
+    def test_unknown_raises(self):
+        m = IdMap(EntityKind.USER)
+        with pytest.raises(ReproError):
+            m.index(7)
+
+    def test_contains(self):
+        m = IdMap(EntityKind.USER)
+        m.add(5)
+        assert 5 in m and 6 not in m
+
+    def test_externals_and_array(self):
+        m = IdMap(EntityKind.USER)
+        for ext in (9, 8, 7):
+            m.add(ext)
+        assert m.externals([2, 0]) == [7, 9]
+        assert m.external_array().tolist() == [9, 8, 7]

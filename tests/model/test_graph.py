@@ -1,0 +1,161 @@
+"""SocialGraph: matrices, growth, change application, delta contents."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    SocialGraph,
+)
+from repro.util.validation import ReproError
+
+from tests.conftest import C1, C2, C3, C4, P1, P2, U1, U2, U3, U4, build_paper_graph, paper_update
+
+
+class TestConstruction:
+    def test_counts(self, paper_graph):
+        assert paper_graph.num_users == 4
+        assert paper_graph.num_posts == 2
+        assert paper_graph.num_comments == 3
+
+    def test_root_post_matrix(self, paper_graph):
+        rp = paper_graph.root_post
+        assert rp.shape == (2, 3)
+        # p1 roots c1, c2; p2 roots c3 (internal idx order = insertion order)
+        assert rp.to_dense().tolist() == [[True, True, False], [False, False, True]]
+
+    def test_likes_matrix(self, paper_graph):
+        likes = paper_graph.likes
+        assert likes.shape == (3, 4)
+        assert likes.nvals == 5
+
+    def test_friends_symmetric(self, paper_graph):
+        f = paper_graph.friends
+        assert f.shape == (4, 4)
+        dense = f.to_dense()
+        assert np.array_equal(dense, dense.T)
+        assert f.nvals == 4  # two undirected edges
+
+    def test_commented_matrix(self, paper_graph):
+        # only c2 is a reply (to c1)
+        cm = paper_graph.commented
+        assert cm.nvals == 1
+        assert cm[1, 0] == True  # noqa: E712
+
+    def test_root_derivation_through_chain(self):
+        g = SocialGraph()
+        g.add_user(1)
+        g.add_post(10, 1, 1)
+        g.add_comment(20, 2, 1, 10)
+        g.add_comment(21, 3, 1, 20)
+        g.add_comment(22, 4, 1, 21)  # depth 3
+        assert g.comment_root_posts().tolist() == [0, 0, 0]
+
+    def test_timestamps(self, paper_graph):
+        assert paper_graph.post_timestamps.tolist() == [10, 11]
+        assert paper_graph.comment_timestamps.tolist() == [20, 21, 22]
+
+
+class TestValidation:
+    def test_unknown_parent(self):
+        g = SocialGraph()
+        g.add_user(1)
+        with pytest.raises(ReproError):
+            g.add_comment(20, 1, 1, 999)
+
+    def test_submission_namespace_shared(self):
+        g = SocialGraph()
+        g.add_user(1)
+        g.add_post(10, 1, 1)
+        with pytest.raises(ReproError):
+            g.add_comment(10, 2, 1, 10)  # id collides with post
+
+    def test_self_friendship_rejected(self):
+        g = SocialGraph()
+        g.add_user(1)
+        with pytest.raises(ReproError):
+            g.add_friendship(1, 1)
+
+    def test_duplicate_like_ignored(self, paper_graph):
+        assert paper_graph.add_like(U2, C1) is None
+        assert paper_graph.likes.nvals == 5
+
+    def test_duplicate_friendship_ignored(self, paper_graph):
+        assert paper_graph.add_friendship(U3, U2) is None  # reversed dup
+        assert paper_graph.friends.nvals == 4
+
+
+class TestApply:
+    def test_delta_counts(self, paper_graph, paper_change_set):
+        d = paper_graph.apply(paper_change_set)
+        assert d.n_comments_before == 3 and d.n_comments_after == 4
+        assert d.n_users_before == d.n_users_after == 4
+        assert d.new_comment_idx.tolist() == [3]
+        assert not d.is_empty
+
+    def test_delta_edges(self, paper_graph, paper_change_set):
+        d = paper_graph.apply(paper_change_set)
+        # new rootPost edge: p1 (idx 0) -> c4 (idx 3)
+        assert list(zip(*d.new_root_post_edges)) == [(0, 3)]
+        # new likes: u2 -> c2 and u4 -> c4
+        assert sorted(zip(*d.new_likes)) == [(1, 1), (3, 3)]
+        # new friendship: u1-u4 -> internal (0, 3)
+        assert list(zip(*d.new_friendships)) == [(0, 3)]
+
+    def test_delta_matrices(self, paper_graph, paper_change_set):
+        d = paper_graph.apply(paper_change_set)
+        drp = d.delta_root_post()
+        assert drp.shape == (2, 4) and drp.nvals == 1
+        inc = d.new_friends_incidence()
+        assert inc.shape == (4, 1) and inc.nvals == 2
+
+    def test_graph_matrices_updated(self, paper_graph, paper_change_set):
+        paper_graph.apply(paper_change_set)
+        assert paper_graph.root_post.shape == (2, 4)
+        assert paper_graph.likes.nvals == 7
+        assert paper_graph.friends.nvals == 6
+
+    def test_empty_change_set(self, paper_graph):
+        d = paper_graph.apply(ChangeSet())
+        assert d.is_empty
+
+    def test_intra_set_references(self):
+        """A change set may like a comment it just created (Fig. 3b)."""
+        g = SocialGraph()
+        g.add_user(1)
+        g.add_post(10, 1, 1)
+        cs = ChangeSet([AddComment(20, 2, 1, 10), AddLike(1, 20)])
+        d = g.apply(cs)
+        assert d.new_likes[0].tolist() == [1 - 1]  # comment idx 0
+
+    def test_duplicate_like_in_changeset_not_in_delta(self, paper_graph):
+        d = paper_graph.apply(ChangeSet([AddLike(U2, C1)]))  # already exists
+        assert d.new_likes[0].size == 0
+
+
+class TestStats:
+    def test_paper_example_counts(self, paper_graph):
+        s = paper_graph.stats()
+        assert s["nodes"] == 9
+        # 3 rootPost + 1 commented + 5 likes + 2 friendships
+        assert s["edges"] == 11
+
+    def test_repr(self, paper_graph):
+        assert "SocialGraph" in repr(paper_graph)
+
+
+class TestChangeSet:
+    def test_summary_and_count(self, paper_change_set):
+        assert paper_change_set.count(AddLike) == 2
+        assert "AddLike=2" in paper_change_set.summary()
+        assert len(paper_change_set) == 4
+
+    def test_append_extend_iter(self):
+        cs = ChangeSet()
+        cs.append(AddUser(1)).extend([AddUser(2)])
+        assert [c.user_id for c in cs] == [1, 2]

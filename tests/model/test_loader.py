@@ -1,0 +1,77 @@
+"""CSV round-trips for graphs and change sequences."""
+
+import pytest
+
+from repro.model import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    load_change_sets,
+    load_graph,
+    save_change_sets,
+    save_graph,
+)
+from repro.util.validation import ReproError
+
+from tests.conftest import build_paper_graph, paper_update
+
+
+class TestGraphRoundtrip:
+    def test_counts_preserved(self, tmp_path):
+        g = build_paper_graph()
+        save_graph(tmp_path, g)
+        back = load_graph(tmp_path)
+        assert back.stats() == g.stats()
+
+    def test_matrices_preserved(self, tmp_path):
+        g = build_paper_graph()
+        save_graph(tmp_path, g)
+        back = load_graph(tmp_path)
+        assert back.root_post.isequal(g.root_post)
+        assert back.likes.isequal(g.likes)
+        assert back.friends.isequal(g.friends)
+        assert back.commented.isequal(g.commented)
+
+    def test_attributes_preserved(self, tmp_path):
+        g = build_paper_graph()
+        save_graph(tmp_path, g)
+        back = load_graph(tmp_path)
+        assert back.post_timestamps.tolist() == g.post_timestamps.tolist()
+        assert back.comment_timestamps.tolist() == g.comment_timestamps.tolist()
+        assert back._user_names == g._user_names
+
+    def test_queries_identical_after_roundtrip(self, tmp_path):
+        from repro.queries import Q1Batch, Q2Batch
+
+        g = build_paper_graph()
+        save_graph(tmp_path, g)
+        back = load_graph(tmp_path)
+        assert Q1Batch(back).evaluate() == Q1Batch(g).evaluate()
+        assert Q2Batch(back).evaluate() == Q2Batch(g).evaluate()
+
+
+class TestChangeSetRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        sets = [paper_update(), ChangeSet([AddUser(999, "x"), AddPost(888, 5, 999)])]
+        save_change_sets(tmp_path, sets)
+        back = load_change_sets(tmp_path)
+        assert len(back) == 2
+        assert back[0].changes == sets[0].changes
+        assert back[1].changes == sets[1].changes
+
+    def test_file_ordering(self, tmp_path):
+        sets = [ChangeSet([AddUser(i)]) for i in range(12)]
+        save_change_sets(tmp_path, sets)
+        back = load_change_sets(tmp_path)
+        assert [cs.changes[0].user_id for cs in back] == list(range(12))
+
+    def test_unknown_tag_raises(self, tmp_path):
+        (tmp_path / "change01.csv").write_text("Z,1,2\n")
+        with pytest.raises(ReproError):
+            load_change_sets(tmp_path)
+
+    def test_empty_directory(self, tmp_path):
+        assert load_change_sets(tmp_path) == []

@@ -1,0 +1,238 @@
+"""XMI serialisation: roundtrips, contest-artefact structure, error paths."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.model import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+    SocialGraph,
+)
+from repro.model.xmi import (
+    CHANGES_NS,
+    MODEL_NS,
+    load_change_sets_xmi,
+    load_graph_xmi,
+    save_change_sets_xmi,
+    save_graph_xmi,
+)
+from repro.queries import Q1Batch, Q2Batch
+from repro.util.validation import ReproError
+
+from tests.conftest import build_paper_graph, paper_update
+
+
+def graphs_equal(a: SocialGraph, b: SocialGraph) -> bool:
+    if a.stats() != b.stats():
+        return False
+    for attr in ("root_post", "likes", "friends", "commented"):
+        if not getattr(a, attr).isequal(getattr(b, attr)):
+            return False
+    return True
+
+
+class TestGraphRoundtrip:
+    def test_paper_graph(self, tmp_path, paper_graph):
+        path = tmp_path / "initial.xmi"
+        save_graph_xmi(path, paper_graph)
+        assert graphs_equal(load_graph_xmi(path), paper_graph)
+
+    def test_queries_agree_after_roundtrip(self, tmp_path, paper_graph):
+        path = tmp_path / "initial.xmi"
+        save_graph_xmi(path, paper_graph)
+        loaded = load_graph_xmi(path)
+        assert Q1Batch(loaded).result_string() == Q1Batch(paper_graph).result_string()
+        assert Q2Batch(loaded).result_string() == Q2Batch(paper_graph).result_string()
+
+    def test_generated_graph(self, tmp_path):
+        """A realistic graph survives the roundtrip *semantically*.
+
+        XMI nests comments under their submission, so interleaved insertion
+        order (and with it the internal index assignment) is not preserved;
+        the model itself -- and therefore every query answer -- must be.
+        """
+        from repro.datagen import generate_benchmark_input
+
+        graph, _ = generate_benchmark_input(1, seed=42)
+        path = tmp_path / "sf1.xmi"
+        save_graph_xmi(path, graph)
+        loaded = load_graph_xmi(path)
+        assert loaded.stats() == graph.stats()
+        assert Q1Batch(loaded).result_string() == Q1Batch(graph).result_string()
+        assert Q2Batch(loaded).result_string() == Q2Batch(graph).result_string()
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.xmi"
+        save_graph_xmi(path, SocialGraph())
+        loaded = load_graph_xmi(path)
+        assert loaded.num_users == 0
+        assert loaded.num_posts == 0
+
+
+class TestDocumentStructure:
+    def test_root_element_namespaced(self, tmp_path, paper_graph):
+        path = tmp_path / "g.xmi"
+        save_graph_xmi(path, paper_graph)
+        root = ET.parse(path).getroot()
+        assert root.tag == f"{{{MODEL_NS}}}SocialNetworkRoot"
+        assert root.get("{http://www.omg.org/XMI}version") == "2.0"
+
+    def test_comments_nested_under_posts(self, tmp_path, paper_graph):
+        path = tmp_path / "g.xmi"
+        save_graph_xmi(path, paper_graph)
+        root = ET.parse(path).getroot()
+        posts = root.findall("posts")
+        assert len(posts) == 2
+        # p1 contains c1, which contains c2 (the reply tree is the XML tree)
+        p1 = next(p for p in posts if p.get("id") == "11")
+        c1 = p1.findall("comments")
+        assert [c.get("id") for c in c1] == ["21"]
+        assert [c.get("id") for c in c1[0].findall("comments")] == ["22"]
+
+    def test_friends_written_both_directions(self, tmp_path, paper_graph):
+        path = tmp_path / "g.xmi"
+        save_graph_xmi(path, paper_graph)
+        root = ET.parse(path).getroot()
+        by_id = {u.get("id"): u.get("friends", "") for u in root.findall("users")}
+        assert "u103" in by_id["102"].split()
+        assert "u102" in by_id["103"].split()
+
+    def test_liked_by_idrefs(self, tmp_path, paper_graph):
+        path = tmp_path / "g.xmi"
+        save_graph_xmi(path, paper_graph)
+        root = ET.parse(path).getroot()
+        c2 = root.find("posts/comments/comments")
+        assert sorted(c2.get("likedBy").split()) == ["u101", "u103", "u104"]
+
+
+class TestGraphErrors:
+    def test_wrong_root_tag(self, tmp_path):
+        bad = tmp_path / "bad.xmi"
+        bad.write_text("<wrong/>")
+        with pytest.raises(ReproError, match="SocialNetworkRoot"):
+            load_graph_xmi(bad)
+
+    def test_missing_required_attribute(self, tmp_path):
+        bad = tmp_path / "bad.xmi"
+        bad.write_text(
+            f'<socialmedia:SocialNetworkRoot xmlns:socialmedia="{MODEL_NS}">'
+            "<users name='x'/></socialmedia:SocialNetworkRoot>"
+        )
+        with pytest.raises(ReproError, match="missing required @id"):
+            load_graph_xmi(bad)
+
+    def test_malformed_reference(self, tmp_path):
+        bad = tmp_path / "bad.xmi"
+        bad.write_text(
+            f'<socialmedia:SocialNetworkRoot xmlns:socialmedia="{MODEL_NS}">'
+            "<users id='1' name='x'/>"
+            "<posts id='2' timestamp='0' submitter='user-one'/>"
+            "</socialmedia:SocialNetworkRoot>"
+        )
+        with pytest.raises(ReproError, match="malformed"):
+            load_graph_xmi(bad)
+
+
+class TestChangeSetRoundtrip:
+    def test_paper_update(self, tmp_path):
+        save_change_sets_xmi(tmp_path, [paper_update()])
+        loaded = load_change_sets_xmi(tmp_path)
+        assert len(loaded) == 1
+        assert list(loaded[0]) == list(paper_update())
+
+    def test_all_change_kinds(self, tmp_path):
+        cs = ChangeSet(
+            [
+                AddUser(7, "grace"),
+                AddPost(8, 100, 7),
+                AddComment(9, 101, 7, 8),
+                AddLike(7, 9),
+                AddFriendship(7, 1),
+                RemoveLike(7, 9),
+                RemoveFriendship(7, 1),
+            ]
+        )
+        save_change_sets_xmi(tmp_path, [cs])
+        (loaded,) = load_change_sets_xmi(tmp_path)
+        assert list(loaded) == list(cs)
+
+    def test_multiple_files_numeric_order(self, tmp_path):
+        sets = [ChangeSet([AddUser(i, f"u{i}")]) for i in range(1, 12)]
+        save_change_sets_xmi(tmp_path, sets)
+        loaded = load_change_sets_xmi(tmp_path)
+        assert len(loaded) == 11
+        assert [list(cs)[0].user_id for cs in loaded] == list(range(1, 12))
+
+    def test_replay_equals_original(self, tmp_path):
+        """Applying XMI-roundtripped changes reproduces the updated graph."""
+        g1, g2 = build_paper_graph(), build_paper_graph()
+        save_change_sets_xmi(tmp_path, [paper_update()])
+        g1.apply(paper_update())
+        for cs in load_change_sets_xmi(tmp_path):
+            g2.apply(cs)
+        assert graphs_equal(g1, g2)
+
+
+class TestChangeSetErrors:
+    def _write(self, tmp_path, body: str):
+        p = tmp_path / "change01.xmi"
+        p.write_text(
+            f'<changes:ModelChangeSet xmlns:changes="{CHANGES_NS}" '
+            f'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">'
+            f"{body}</changes:ModelChangeSet>"
+        )
+        return tmp_path
+
+    def test_unknown_change_type(self, tmp_path):
+        d = self._write(tmp_path, "<changes xsi:type='changes:Exploded'/>")
+        with pytest.raises(ReproError, match="unknown change type"):
+            load_change_sets_xmi(d)
+
+    def test_unknown_element_kind(self, tmp_path):
+        d = self._write(
+            tmp_path, "<changes xsi:type='changes:ElementAdded' element='Blob'/>"
+        )
+        with pytest.raises(ReproError, match="unknown added element"):
+            load_change_sets_xmi(d)
+
+    def test_unknown_reference(self, tmp_path):
+        d = self._write(
+            tmp_path,
+            "<changes xsi:type='changes:ReferenceAdded' reference='follows'/>",
+        )
+        with pytest.raises(ReproError, match="unknown added reference"):
+            load_change_sets_xmi(d)
+
+    def test_wrong_root(self, tmp_path):
+        p = tmp_path / "change01.xmi"
+        p.write_text("<nope/>")
+        with pytest.raises(ReproError, match="ModelChangeSet"):
+            load_change_sets_xmi(tmp_path)
+
+
+class TestCsvXmiEquivalence:
+    """The CSV and XMI loaders are interchangeable representations."""
+
+    def test_same_graph_both_formats(self, tmp_path, paper_graph):
+        from repro.model.loader import load_graph, save_graph
+
+        save_graph(tmp_path / "csv", paper_graph)
+        save_graph_xmi(tmp_path / "g.xmi", paper_graph)
+        assert graphs_equal(load_graph(tmp_path / "csv"), load_graph_xmi(tmp_path / "g.xmi"))
+
+    def test_same_changes_both_formats(self, tmp_path):
+        from repro.model.loader import load_change_sets, save_change_sets
+
+        sets = [paper_update(), ChangeSet([AddUser(500, "eve"), AddFriendship(500, 101)])]
+        save_change_sets(tmp_path / "csv", sets)
+        save_change_sets_xmi(tmp_path / "xmi", sets)
+        assert [list(cs) for cs in load_change_sets(tmp_path / "csv")] == [
+            list(cs) for cs in load_change_sets_xmi(tmp_path / "xmi")
+        ]

@@ -1,0 +1,204 @@
+"""The dynamic dependency graph engine: dirtying, pruning, dynamic deps."""
+
+import pytest
+
+from repro.nmf.ddg import DependencyGraph
+
+
+class TestBasics:
+    def test_define_computes_once(self):
+        g = DependencyGraph()
+        calls = []
+        node = g.define("n", lambda t: calls.append(1) or 42)
+        assert node.value == 42
+        assert calls == [1]
+
+    def test_duplicate_key_rejected(self):
+        g = DependencyGraph()
+        g.define("n", lambda t: 1)
+        with pytest.raises(KeyError):
+            g.define("n", lambda t: 2)
+
+    def test_node_lookup_and_contains(self):
+        g = DependencyGraph()
+        g.define("n", lambda t: 1)
+        assert "n" in g and g.node("n").value == 1
+        assert "m" not in g
+        assert len(g) == 1
+
+    def test_source_interning(self):
+        g = DependencyGraph()
+        assert g.source("s") is g.source("s")
+        assert g.num_sources == 1
+
+
+class TestPropagation:
+    def test_changed_source_recomputes_dependent(self):
+        g = DependencyGraph()
+        state = {"x": 1}
+
+        def compute(t):
+            t.read("x")
+            return state["x"]
+
+        node = g.define("n", compute)
+        state["x"] = 5
+        g.changed("x")
+        changed = g.propagate()
+        assert node.value == 5
+        assert changed == [node]
+
+    def test_unrelated_source_does_not_recompute(self):
+        g = DependencyGraph()
+        calls = []
+
+        def compute(t):
+            t.read("x")
+            calls.append(1)
+            return 0
+
+        g.define("n", compute)
+        g.changed("y")  # never read by anyone
+        assert g.propagate() == []
+        assert calls == [1]  # only the define-time evaluation
+
+    def test_value_change_pruning(self):
+        """Recomputing to an equal value must not report the node changed."""
+        g = DependencyGraph()
+        state = {"x": 1}
+
+        def compute(t):
+            t.read("x")
+            return state["x"] // 10  # 1 -> 0, 5 -> 0: unchanged
+
+        node = g.define("n", compute)
+        state["x"] = 5
+        g.changed("x")
+        assert g.propagate() == []
+        assert node.value == 0
+        assert g.pruned_recomputations == 1
+
+    def test_on_change_callback_fires_only_on_change(self):
+        g = DependencyGraph()
+        state = {"x": 1}
+        seen = []
+
+        def compute(t):
+            t.read("x")
+            return state["x"] % 2
+
+        g.define("n", compute, on_change=seen.append)
+        assert seen == [1]  # define: None -> 1
+        state["x"] = 3  # still odd: value unchanged
+        g.changed("x")
+        g.propagate()
+        assert seen == [1]
+        state["x"] = 2
+        g.changed("x")
+        g.propagate()
+        assert seen == [1, 0]
+
+    def test_propagate_idempotent_when_clean(self):
+        g = DependencyGraph()
+        g.define("n", lambda t: 1)
+        assert g.propagate() == []
+        assert g.propagate() == []
+
+    def test_multiple_dependents_all_recompute(self):
+        g = DependencyGraph()
+        state = {"x": 1}
+        nodes = [
+            g.define(f"n{i}", lambda t, i=i: (t.read("x"), state["x"] + i)[1])
+            for i in range(5)
+        ]
+        state["x"] = 10
+        g.changed("x")
+        changed = g.propagate()
+        assert {n.key for n in changed} == {f"n{i}" for i in range(5)}
+        assert [n.value for n in nodes] == [10, 11, 12, 13, 14]
+
+
+class TestDynamicDependencies:
+    def test_deps_reregistered_on_recompute(self):
+        """A node that stops reading a source must stop reacting to it."""
+        g = DependencyGraph()
+        state = {"which": "a", "a": 1, "b": 100}
+
+        def compute(t):
+            t.read("which")
+            key = state["which"]
+            t.read(key)
+            return state[key]
+
+        node = g.define("n", compute)
+        assert node.value == 1
+        # switch the read set from {which, a} to {which, b}
+        state["which"] = "b"
+        g.changed("which")
+        g.propagate()
+        assert node.value == 100
+        # 'a' is no longer a dependency: changing it must do nothing
+        state["a"] = -1
+        g.changed("a")
+        assert g.propagate() == []
+        # 'b' is: changing it must propagate
+        state["b"] = 200
+        g.changed("b")
+        g.propagate()
+        assert node.value == 200
+
+    def test_edge_count_tracks_registrations(self):
+        g = DependencyGraph()
+        state = {"n_reads": 3}
+
+        def compute(t):
+            for i in range(state["n_reads"]):
+                t.read(("s", i))
+            return state["n_reads"]
+
+        g.define("n", compute)
+        assert g.num_edges == 3
+        state["n_reads"] = 1
+        g.changed(("s", 0))
+        g.propagate()
+        assert g.num_edges == 1
+
+
+class TestConservativeOverapproximation:
+    def test_superset_dirtying_prunes(self):
+        """The NMF cost model: a friends[] change dirties every comment-score
+        node reading it; unaffected ones recompute to equal values and prune.
+        """
+        g = DependencyGraph()
+        likers = {"c1": {"u1", "u2"}, "c2": {"u1"}}
+        friends = {"u1": set(), "u2": set()}
+
+        def score(comment):
+            def compute(t):
+                t.read(("likes", comment))
+                total_pairs = 0
+                for u in likers[comment]:
+                    t.read(("friends", u))
+                    total_pairs += sum(f in likers[comment] for f in friends[u])
+                return total_pairs
+
+            return compute
+
+        n1 = g.define("c1", score("c1"))
+        n2 = g.define("c2", score("c2"))
+        # u1-u3 friendship: u3 likes nothing, so neither score changes,
+        # but both nodes read friends[u1] and must recompute
+        friends["u1"].add("u3")
+        g.changed(("friends", "u1"))
+        before = g.total_recomputations
+        assert g.propagate() == []
+        assert g.total_recomputations - before == 2
+        assert g.pruned_recomputations >= 2
+        # u1-u2 friendship changes c1 (both like it) but not c2
+        friends["u1"].add("u2")
+        friends["u2"].add("u1")
+        g.changed(("friends", "u1"))
+        g.changed(("friends", "u2"))
+        changed = g.propagate()
+        assert [n.key for n in changed] == ["c1"]
+        assert n1.value == 2 and n2.value == 0

@@ -1,0 +1,115 @@
+"""NmfIncrementalEngine on the DDG: fidelity and the NMF cost model."""
+
+import pytest
+
+from repro.model import AddFriendship, AddLike, AddUser, ChangeSet
+from repro.nmf.batch import NmfBatchEngine
+from repro.nmf.incremental import NmfIncrementalEngine
+from repro.queries import Q1Batch, Q2Batch
+
+from tests.conftest import U1, U2, U3, build_paper_graph, paper_update
+
+
+def run_engine(engine, graph, change_sets):
+    engine.load(graph)
+    results = [engine.initial()]
+    for cs in change_sets:
+        results.append(engine.update(cs))
+    return results
+
+
+class TestResultsMatchGraphBLAS:
+    @pytest.mark.parametrize("query", ["Q1", "Q2"])
+    def test_paper_example(self, query):
+        g = build_paper_graph()
+        engine = NmfIncrementalEngine(query)
+        engine.load(g)
+        initial = engine.initial()
+        gb = Q1Batch(g) if query == "Q1" else Q2Batch(g)
+        assert initial == gb.result_string()
+        updated = engine.update(paper_update())
+        g.apply(paper_update())
+        gb2 = Q1Batch(g) if query == "Q1" else Q2Batch(g)
+        assert updated == gb2.result_string()
+
+    @pytest.mark.parametrize("query", ["Q1", "Q2"])
+    def test_generated_stream_matches_batch(self, query):
+        from repro.datagen import generate_benchmark_input
+
+        graph_inc, change_sets = generate_benchmark_input(1, seed=11)
+        graph_batch, _ = generate_benchmark_input(1, seed=11)
+        inc = NmfIncrementalEngine(query)
+        batch = NmfBatchEngine(query)
+        assert run_engine(inc, graph_inc, change_sets) == run_engine(
+            batch, graph_batch, change_sets
+        )
+
+
+class TestDdgStructure:
+    def test_q2_builds_node_per_comment(self):
+        g = build_paper_graph()
+        engine = NmfIncrementalEngine("Q2")
+        engine.load(g)
+        assert len(engine.ddg) == 3  # c1, c2, c3
+        # dependency edges: likes[c] per comment + friends[u] per liker
+        # c1: likes + 2 likers; c2: likes + 3 likers; c3: likes only
+        assert engine.ddg.num_edges == (1 + 2) + (1 + 3) + 1
+
+    def test_q1_builds_node_per_post(self):
+        g = build_paper_graph()
+        engine = NmfIncrementalEngine("Q1")
+        engine.load(g)
+        assert len(engine.ddg) == 2  # p1, p2
+
+    def test_new_comment_defines_new_node(self):
+        g = build_paper_graph()
+        engine = NmfIncrementalEngine("Q2")
+        engine.load(g)
+        engine.update(paper_update())
+        assert len(engine.ddg) == 4  # + c4
+
+
+class TestNmfCostModel:
+    def test_friendship_dirties_conservatively(self):
+        """A friends edge recomputes every comment either user likes --
+        including comments where the score cannot change (pruned)."""
+        g = build_paper_graph()
+        engine = NmfIncrementalEngine("Q2")
+        engine.load(g)
+        before = engine.ddg.total_recomputations
+        # u1-u2: u1 likes {c2}, u2 likes {c1}; neither score changes
+        # (u1 and u2 do not co-like any comment)
+        engine.update(ChangeSet([AddFriendship(U1, U2)]))
+        recomputed = engine.ddg.total_recomputations - before
+        assert recomputed == 2  # c1 and c2 both re-evaluated...
+        assert engine.ddg.pruned_recomputations >= 2  # ...and both pruned
+
+    def test_like_recomputes_only_that_comment(self):
+        g = build_paper_graph()
+        engine = NmfIncrementalEngine("Q2")
+        engine.load(g)
+        before = engine.ddg.total_recomputations
+        engine.update(ChangeSet([AddLike(U2, 23)]))  # u2 likes c3
+        assert engine.ddg.total_recomputations - before == 1
+
+    def test_user_event_touches_nothing(self):
+        g = build_paper_graph()
+        engine = NmfIncrementalEngine("Q2")
+        engine.load(g)
+        before = engine.ddg.total_recomputations
+        engine.update(ChangeSet([AddUser(999, "zoe")]))
+        assert engine.ddg.total_recomputations == before
+
+
+class TestErrors:
+    def test_update_before_load(self):
+        from repro.util.validation import ReproError
+
+        with pytest.raises(ReproError, match="not loaded"):
+            NmfIncrementalEngine("Q1").update(ChangeSet())
+
+    def test_unknown_query(self):
+        from repro.util.validation import ReproError
+
+        with pytest.raises(ReproError):
+            NmfIncrementalEngine("Q3")

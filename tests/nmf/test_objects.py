@@ -1,0 +1,88 @@
+"""Object model: construction, change application, notifications."""
+
+import pytest
+
+from repro.nmf import ObjectModel
+from repro.util.validation import ReproError
+
+from tests.conftest import C1, C2, C3, P1, P2, U1, U2, U3, U4, build_paper_graph, paper_update
+
+
+@pytest.fixture
+def model():
+    return ObjectModel.from_social_graph(build_paper_graph())
+
+
+class TestFromSocialGraph:
+    def test_counts(self, model):
+        assert len(model.users) == 4
+        assert len(model.posts) == 2
+        assert len(model.comments) == 3
+
+    def test_references(self, model):
+        c2 = model.comments[C2]
+        assert c2.post is model.posts[P1]  # rootPost pointer
+        assert c2.parent is model.comments[C1]
+        assert model.comments[C1].parent is model.posts[P1]
+
+    def test_likes_bidirectional(self, model):
+        u3 = model.users[U3]
+        c1 = model.comments[C1]
+        assert u3 in c1.liked_by
+        assert c1 in u3.likes
+
+    def test_friends_symmetric(self, model):
+        u2, u3 = model.users[U2], model.users[U3]
+        assert u3 in u2.friends and u2 in u3.friends
+
+    def test_comment_tree(self, model):
+        p1 = model.posts[P1]
+        assert [c.id for c in p1.comments] == [C1]
+        assert [c.id for c in model.comments[C1].comments] == [C2]
+
+
+class TestMutation:
+    def test_apply_change_set(self, model):
+        model.apply(paper_update())
+        assert 24 in model.comments
+        c4 = model.comments[24]
+        assert c4.post is model.posts[P1]
+        assert model.users[U1] in model.users[U4].friends
+
+    def test_duplicate_like_noop(self, model):
+        assert model.add_like(U2, C1) is None
+
+    def test_duplicate_friendship_noop(self, model):
+        assert model.add_friendship(U3, U2) is None
+
+    def test_duplicate_ids_rejected(self, model):
+        with pytest.raises(ReproError):
+            model.add_user(U1)
+        with pytest.raises(ReproError):
+            model.add_post(P1, 0, U1)
+        with pytest.raises(ReproError):
+            model.add_comment(C1, 0, U1, P1)
+
+    def test_self_friendship_rejected(self, model):
+        with pytest.raises(ReproError):
+            model.add_friendship(U1, U1)
+
+    def test_unknown_parent(self, model):
+        with pytest.raises(ReproError):
+            model.add_comment(99, 0, U1, 12345)
+
+
+class TestNotifications:
+    def test_listener_sees_all_inserts(self, model):
+        events = []
+        model.subscribe(lambda kind, payload: events.append(kind))
+        model.apply(paper_update())
+        assert events == ["friendship", "like", "comment", "like"]
+
+
+class TestTraversal:
+    def test_all_comments_of(self, model):
+        p1 = model.posts[P1]
+        assert {c.id for c in model.all_comments_of(p1)} == {C1, C2}
+        p2 = model.posts[P2]
+        assert {c.id for c in model.all_comments_of(p2)} == {C3}

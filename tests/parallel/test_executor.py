@@ -1,0 +1,123 @@
+"""Executors: chunking, the three execution vehicles, initializer plumbing."""
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_evenly,
+    make_executor,
+)
+from repro.util.validation import ReproError
+
+# module-level functions so the process pool can pickle them
+_STATE = {}
+
+
+def _init(value):
+    _STATE["v"] = value
+
+
+def _work(chunk):
+    return [x * _STATE.get("v", 1) for x in chunk]
+
+
+def _square(chunk):
+    return [x * x for x in chunk]
+
+
+class TestChunking:
+    def test_even_split(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert [len(c) for c in chunks] in ([4, 3, 3], [3, 3, 4], [3, 4, 3])
+        assert sum(chunks, []) == list(range(10))
+
+    def test_fewer_items_than_chunks(self):
+        chunks = chunk_evenly([1, 2], 8)
+        assert chunks == [[1], [2]]
+
+    def test_empty(self):
+        assert chunk_evenly([], 4) == []
+
+    def test_single_chunk(self):
+        assert chunk_evenly([1, 2, 3], 1) == [[1, 2, 3]]
+
+
+class TestSerial:
+    def test_map(self):
+        ex = SerialExecutor()
+        assert ex.map_chunks(_square, [[1, 2], [3]]) == [[1, 4], [9]]
+
+    def test_initializer_runs_inline(self):
+        ex = SerialExecutor()
+        out = ex.map_chunks(_work, [[1, 2]], initializer=_init, initargs=(10,))
+        assert out == [[10, 20]]
+
+
+class TestThread:
+    def test_map(self):
+        with ThreadExecutor(4) as ex:
+            assert ex.map_chunks(_square, [[1], [2], [3]]) == [[1], [4], [9]]
+
+    def test_empty_chunks(self):
+        assert ThreadExecutor(2).map_chunks(_square, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            ThreadExecutor(0)
+
+
+class TestProcess:
+    def test_map_with_initializer(self):
+        with ProcessExecutor(2) as ex:
+            out = ex.map_chunks(_work, [[1, 2], [3]], initializer=_init, initargs=(7,))
+        assert out == [[7, 14], [21]]
+
+    def test_results_ordered(self):
+        with ProcessExecutor(4) as ex:
+            out = ex.map_chunks(_square, [[i] for i in range(8)])
+        assert out == [[i * i] for i in range(8)]
+
+    def test_empty(self):
+        assert ProcessExecutor(2).map_chunks(_square, []) == []
+
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            ProcessExecutor(0)
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread", 2), ThreadExecutor)
+        assert isinstance(make_executor("process", 2), ProcessExecutor)
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            make_executor("gpu")
+
+
+class TestParallelQ2Agreement:
+    def test_q2_same_scores_parallel_and_serial(self):
+        from repro.datagen import generate_graph
+        from repro.queries import Q2Batch
+
+        g = generate_graph(1, seed=42)
+        serial = Q2Batch(g, algorithm="unionfind").scores()
+        with ProcessExecutor(4) as ex:
+            ex.MIN_PARALLEL_ITEMS = 0  # force the parallel path
+            parallel = Q2Batch(g, algorithm="unionfind", executor=ex).scores()
+        assert serial.isequal(parallel)
+
+    def test_q2_thread_executor_agreement(self):
+        from repro.datagen import generate_graph
+        from repro.queries import Q2Batch
+
+        g = generate_graph(1, seed=42)
+        serial = Q2Batch(g, algorithm="unionfind").scores()
+        with ThreadExecutor(4) as ex:
+            threaded = Q2Batch(g, algorithm="unionfind", executor=ex).scores()
+        assert serial.isequal(threaded)

@@ -1,0 +1,181 @@
+"""ForkJoinExecutor and PersistentWorkerPool: correctness and lifecycle.
+
+These are the OpenMP-substitution executors (see repro.parallel.pool); the
+Q2-agreement tests are the load-bearing ones -- every executor must compute
+identical scores.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ForkJoinExecutor,
+    PersistentWorkerPool,
+    make_executor,
+)
+from repro.util.validation import ReproError
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-based executors are POSIX-only"
+)
+
+_STATE = {}
+
+
+def _init_arrays(a, b, label):
+    _STATE["a"] = a
+    _STATE["b"] = b
+    _STATE["label"] = label
+
+
+def _sum_indexed(chunk):
+    # touches the primed (possibly mmap'd) arrays
+    return int(_STATE["a"][chunk].sum() + _STATE["b"][chunk].sum())
+
+
+def _square(chunk):
+    return [x * x for x in chunk]
+
+
+def _boom(chunk):
+    raise ValueError("worker exploded")
+
+
+class TestForkJoin:
+    def test_map(self):
+        ex = ForkJoinExecutor(4)
+        assert ex.map_chunks(_square, [[1, 2], [3], [4, 5]]) == [[1, 4], [9], [16, 25]]
+
+    def test_order_preserved_many_chunks(self):
+        ex = ForkJoinExecutor(3)
+        chunks = [[i] for i in range(20)]
+        assert ex.map_chunks(_square, chunks) == [[i * i] for i in range(20)]
+
+    def test_initializer_in_parent_inherited(self):
+        a = np.arange(10, dtype=np.int64)
+        b = np.ones(10, dtype=np.int64)
+        ex = ForkJoinExecutor(2)
+        out = ex.map_chunks(
+            _sum_indexed,
+            [np.array([0, 1]), np.array([9])],
+            initializer=_init_arrays,
+            initargs=(a, b, "x"),
+        )
+        assert out == [0 + 1 + 2, 9 + 1]
+
+    def test_empty(self):
+        assert ForkJoinExecutor(2).map_chunks(_square, []) == []
+
+    def test_worker_exception_raises(self):
+        with pytest.raises(ReproError, match="died"):
+            ForkJoinExecutor(2).map_chunks(_boom, [[1], [2]])
+
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            ForkJoinExecutor(0)
+
+    def test_large_results_no_pipe_deadlock(self):
+        """Results far beyond the 64 KiB pipe buffer must stream through."""
+        ex = ForkJoinExecutor(4)
+        chunks = [list(range(20_000)) for _ in range(8)]
+        out = ex.map_chunks(_square, chunks)
+        assert len(out) == 8
+        assert out[0][:3] == [0, 1, 4]
+
+
+class TestPersistentPool:
+    def test_map_with_array_state(self):
+        a = np.arange(1000, dtype=np.int64)
+        b = np.zeros(1000, dtype=np.int64)
+        with PersistentWorkerPool(4) as pool:
+            chunks = [np.arange(i, i + 10) for i in range(0, 1000, 10)]
+            out = pool.map_chunks(
+                _sum_indexed, chunks, initializer=_init_arrays, initargs=(a, b, "q")
+            )
+            expected = [int(a[c].sum()) for c in chunks]
+            assert out == expected
+
+    def test_reprime_on_state_change(self):
+        with PersistentWorkerPool(2) as pool:
+            for scale in (1, 2, 3):
+                a = np.full(100, scale, dtype=np.int64)
+                b = np.zeros(100, dtype=np.int64)
+                chunks = [np.arange(0, 50), np.arange(50, 100)]
+                out = pool.map_chunks(
+                    _sum_indexed, chunks, initializer=_init_arrays, initargs=(a, b, "")
+                )
+                assert out == [50 * scale, 50 * scale]
+
+    def test_same_state_not_reprimed(self):
+        a = np.ones(10, dtype=np.int64)
+        b = np.zeros(10, dtype=np.int64)
+        with PersistentWorkerPool(2) as pool:
+            chunks = [np.array([0, 1]), np.array([2, 3])]
+            pool.map_chunks(_sum_indexed, chunks, initializer=_init_arrays, initargs=(a, b, ""))
+            v1 = pool._version
+            pool.map_chunks(_sum_indexed, chunks, initializer=_init_arrays, initargs=(a, b, ""))
+            assert pool._version == v1
+
+    def test_worker_exception_raises(self):
+        with PersistentWorkerPool(2) as pool:
+            with pytest.raises(ReproError, match="worker failure"):
+                pool.map_chunks(_boom, [[1], [2]])
+            # the pool survives a failed region and stays usable
+            assert pool.map_chunks(_square, [[2], [3]]) == [[4], [9]]
+
+    def test_start_idempotent(self):
+        pool = PersistentWorkerPool(2).start()
+        pids = [pid for pid, _, _ in pool._children]
+        pool.start()
+        assert [pid for pid, _, _ in pool._children] == pids
+        pool.close()
+
+    def test_close_then_restart(self):
+        pool = PersistentWorkerPool(2)
+        assert pool.map_chunks(_square, [[1]]) == [[1]]
+        pool.close()
+        assert pool._children == []
+        assert pool.map_chunks(_square, [[5]]) == [[25]]
+        pool.close()
+
+    def test_non_array_initargs_ride_inline(self):
+        a = np.arange(4, dtype=np.int64)
+        b = np.zeros(4, dtype=np.int64)
+        with PersistentWorkerPool(2) as pool:
+            pool.map_chunks(
+                _sum_indexed,
+                [np.array([0]), np.array([1])],
+                initializer=_init_arrays,
+                initargs=(a, b, "tag"),
+            )  # "tag" must reach the initializer (no np.save of strings)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            PersistentWorkerPool(0)
+
+    def test_factory(self):
+        pool = make_executor("persistent", 2)
+        assert isinstance(pool, PersistentWorkerPool)
+        pool.close()
+
+
+class TestQ2AgreementAllExecutors:
+    @pytest.mark.parametrize("kind", ["forkjoin", "persistent"])
+    def test_q2_scores_match_serial(self, kind):
+        from repro.datagen import generate_benchmark_input
+        from repro.queries.q2 import score_comments
+
+        graph, _ = generate_benchmark_input(1, seed=42)
+        comments = list(range(graph.num_comments))
+        serial = score_comments(graph, comments, algorithm="unionfind")
+        ex = make_executor(kind, 4)
+        ex.MIN_PARALLEL_ITEMS = 0  # force the parallel path at this size
+        try:
+            parallel = score_comments(
+                graph, comments, algorithm="unionfind", executor=ex
+            )
+        finally:
+            ex.close()
+        assert parallel == serial

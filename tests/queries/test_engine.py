@@ -1,0 +1,63 @@
+"""QueryEngine facade and the tool factory."""
+
+import pytest
+
+from repro.model import ChangeSet
+from repro.queries import QueryEngine, make_engine, TOOL_NAMES
+from repro.util.validation import ReproError
+
+from tests.conftest import build_paper_graph, paper_update
+
+
+class TestFactory:
+    @pytest.mark.parametrize("tool", TOOL_NAMES)
+    @pytest.mark.parametrize("query", ["Q1", "Q2"])
+    def test_all_tools(self, tool, query):
+        e = make_engine(tool, query)
+        e.load(build_paper_graph())
+        first = e.initial()
+        assert isinstance(first, str) and "|" in first
+        e.close()
+
+    def test_unknown_tool(self):
+        with pytest.raises(ReproError):
+            make_engine("magic", "Q1")
+
+    def test_unknown_query(self):
+        with pytest.raises(ReproError):
+            QueryEngine("Q9", "batch")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ReproError):
+            QueryEngine("Q1", "lazy")
+
+
+class TestPhaseProtocol:
+    def test_initial_before_load_raises(self):
+        e = QueryEngine("Q1", "batch")
+        with pytest.raises(ReproError):
+            e.initial()
+
+    def test_update_before_load_raises(self):
+        e = QueryEngine("Q1", "incremental")
+        with pytest.raises(ReproError):
+            e.update(ChangeSet())
+
+    def test_update_applies_to_graph(self):
+        e = QueryEngine("Q2", "batch")
+        g = build_paper_graph()
+        e.load(g)
+        e.initial()
+        e.update(paper_update())
+        assert g.num_comments == 4
+
+    def test_incremental_engine_sequence(self):
+        e = QueryEngine("Q2", "incremental", q2_algorithm="incremental")
+        e.load(build_paper_graph())
+        assert e.initial() == "22|21|23"
+        assert e.update(paper_update()) == "22|21|24"
+
+    def test_batch_algorithm_coerced(self):
+        # "incremental" is meaningless for the batch variant -> fastsv
+        e = QueryEngine("Q2", "batch", q2_algorithm="incremental")
+        assert e._batch_algorithm() == "fastsv"

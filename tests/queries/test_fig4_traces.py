@@ -1,0 +1,228 @@
+"""Fig. 4 algorithm traces: every intermediate the paper draws, asserted.
+
+Fig. 4 of the paper walks Alg. 1, Alg. 2 and the Q2 batch/incremental
+pipelines through the Fig. 3 example graph, showing each intermediate
+vector and matrix.  These tests recompute every one of those intermediates
+through the public GraphBLAS API and assert the exact values printed in the
+figure, panel by panel.
+
+Index conventions (insertion order of :func:`tests.conftest.build_paper_graph`):
+users u1..u4 -> 0..3, posts p1,p2 -> 0,1, comments c1,c2,c3 -> 0,1,2 and the
+inserted c4 -> 3.
+"""
+
+import numpy as np
+
+from repro.graphblas import monoid, ops, semiring
+from repro.graphblas.types import BOOL, INT64
+from repro.graphblas.vector import Vector
+from repro.lagraph.fastsv import fastsv
+from repro.queries import Q1Incremental, Q2Incremental
+from repro.queries.q1 import _likes_count, _scores_from
+
+from tests.conftest import build_paper_graph, paper_update
+
+PLUS = monoid.plus_monoid
+PLUS_TIMES = semiring.get("plus_times")
+LOR = monoid.lor_monoid
+
+
+class TestFig4aInitial:
+    """Upper half of Fig. 4a: Alg. 1 on the initial graph."""
+
+    def test_rootpost_matrix(self, paper_graph):
+        # p1 roots c1 and c2; p2 roots c3 (2 x 3 boolean matrix)
+        assert paper_graph.root_post.to_dense().tolist() == [[1, 1, 0], [0, 0, 1]]
+
+    def test_likes_count_vector(self, paper_graph):
+        # c1 <- {u2, u3}; c2 <- {u1, u3, u4}; c3 <- {}
+        lc = _likes_count(paper_graph)
+        assert lc.to_dense().tolist() == [2, 3, 0]
+        # c3 has no likes: the sparse vector must not store it
+        assert lc.nvals == 2
+
+    def test_line6_row_wise_sum(self, paper_graph):
+        total = paper_graph.root_post.reduce_vector(PLUS, dtype=INT64)
+        assert total.to_dense().tolist() == [2, 1]
+
+    def test_line7_mul10(self, paper_graph):
+        total = paper_graph.root_post.reduce_vector(PLUS, dtype=INT64)
+        replies = total.apply(ops.times.bind_second(np.int64(10)))
+        assert replies.to_dense().tolist() == [20, 10]
+
+    def test_line8_likes_score(self, paper_graph):
+        likes_score = paper_graph.root_post.mxv(_likes_count(paper_graph), PLUS_TIMES)
+        # p1 collects c1's 2 likes + c2's 3 likes = 5; p2 collects 0
+        assert likes_score.get(0) == 5
+        assert likes_score.get(1, 0) == 0
+
+    def test_line9_total_scores(self, paper_graph):
+        scores = _scores_from(paper_graph.root_post, _likes_count(paper_graph))
+        assert scores.to_dense().tolist() == [25, 10]
+
+
+class TestFig4aUpdate:
+    """Lower half of Fig. 4a: Alg. 2 on the six-element update."""
+
+    def _delta(self):
+        g = build_paper_graph()
+        q = Q1Incremental(g)
+        q.initial()
+        delta = g.apply(paper_update())
+        return g, q, delta
+
+    def test_delta_rootpost(self):
+        g, _, delta = self._delta()
+        # exactly one new rootPost edge: p1 -> c4 (internal (0, 3))
+        drp = delta.delta_root_post()
+        assert drp.shape == (2, 4)
+        assert [(r, c) for r, c, _ in drp.items()] == [(0, 3)]
+
+    def test_line9_10_replies_increment(self):
+        _, _, delta = self._delta()
+        total = delta.delta_root_post().reduce_vector(PLUS, dtype=INT64)
+        replies_plus = total.apply(ops.times.bind_second(np.int64(10)))
+        # sum = [1, .], mul10 = [10, .] -- p2 stays structurally absent
+        assert replies_plus.get(0) == 10
+        assert replies_plus.get(1) is None
+
+    def test_likes_count_plus(self):
+        _, _, delta = self._delta()
+        like_c, like_u = delta.new_likes
+        # Fig. 4b Δlikes: (c2, u2) and (c4, u4) -> internal (1, 1), (3, 3)
+        assert sorted(zip(like_c.tolist(), like_u.tolist())) == [(1, 1), (3, 3)]
+
+    def test_line11_likes_score_increment(self):
+        g, _, delta = self._delta()
+        like_c, _ = delta.new_likes
+        counts = np.bincount(like_c, minlength=4)
+        lcp = Vector.from_coo(
+            np.flatnonzero(counts), counts[np.flatnonzero(counts)], 4, dtype=INT64
+        )
+        likes_plus = g.root_post.mxv(lcp, PLUS_TIMES)
+        # p1 gains 1 like via c2 and 1 via c4 = 2; p2 gains nothing
+        assert likes_plus.get(0) == 2
+        assert likes_plus.get(1) is None
+
+    def test_line12_13_score_increment_and_total(self):
+        _, q, delta = self._delta()
+        q.update(delta)
+        # scores+ = [12, .]; scores' = scores ⊕ scores+ = [37, 10]
+        assert q.scores.to_dense().tolist() == [37, 10]
+
+    def test_line14_delta_scores_masked(self):
+        """Δscores<scores+> keeps only the changed entry (p1 -> 37)."""
+        g, q, delta = self._delta()
+        q.update(delta)
+        # recompute the masked assignment exactly as Alg. 2 line 14 does
+        scores_plus = Vector.from_coo([0], [12], 2, dtype=INT64)
+        delta_scores = Vector.sparse(INT64, 2)
+        delta_scores.assign(q.scores, mask=scores_plus)
+        assert [(i, v) for i, v in delta_scores.items()] == [(0, 37)]
+
+    def test_top3_after_update(self):
+        _, q, delta = self._delta()
+        from tests.conftest import P1, P2
+
+        assert q.update(delta) == [(P1, 37), (P2, 10)]
+
+
+class TestFig4bInitial:
+    """Upper half of Fig. 4b: Q2 batch trace."""
+
+    def test_likes_matrix_layout(self, paper_graph):
+        # rows = comments, cols = users; c1 <- {u2,u3}, c2 <- {u1,u3,u4}
+        expected = [
+            [0, 1, 1, 0],
+            [1, 0, 1, 1],
+            [0, 0, 0, 0],
+        ]
+        assert paper_graph.likes.to_dense().tolist() == expected
+
+    def test_friends_matrix_symmetric(self, paper_graph):
+        f = paper_graph.friends.to_dense()
+        # u2-u3 and u3-u4, stored in both directions
+        expected = np.zeros((4, 4), dtype=f.dtype)
+        for a, b in ((1, 2), (2, 3)):
+            expected[a, b] = expected[b, a] = 1
+        assert (f == expected).all()
+
+    def test_step1_extract_tuples_groups_likers(self, paper_graph):
+        rows, cols, _ = paper_graph.likes.to_coo()
+        per_comment = {}
+        for c, u in zip(rows.tolist(), cols.tolist()):
+            per_comment.setdefault(c, set()).add(u)
+        assert per_comment == {0: {1, 2}, 1: {0, 2, 3}}
+
+    def test_step2_3_c1_subgraph_single_component(self, paper_graph):
+        # c1's likers {u2, u3} with the u2-u3 edge: one component of size 2
+        sub = paper_graph.friends.extract([1, 2], [1, 2])
+        labels = fastsv(sub).to_dense()
+        assert labels[0] == labels[1]
+
+    def test_step2_3_c2_subgraph_two_components(self, paper_graph):
+        # c2's likers {u1, u3, u4}: u1 alone, u3-u4 joined -> sizes 1 and 2
+        sub = paper_graph.friends.extract([0, 2, 3], [0, 2, 3])
+        labels = fastsv(sub).to_dense()
+        assert labels[0] != labels[1]
+        assert labels[1] == labels[2]
+
+    def test_step4_squared_component_sizes(self, paper_graph):
+        sub = paper_graph.friends.extract([0, 2, 3], [0, 2, 3])
+        _, counts = np.unique(fastsv(sub).to_dense(), return_counts=True)
+        assert int(np.sum(counts**2)) == 5  # 1² + 2²
+
+
+class TestFig4bUpdate:
+    """Lower half of Fig. 4b: the nine incremental steps."""
+
+    def _updated(self):
+        g = build_paper_graph()
+        q = Q2Incremental(g)
+        q.initial()
+        delta = g.apply(paper_update())
+        return g, q, delta
+
+    def test_new_friends_incidence_shape(self):
+        g, _, delta = self._updated()
+        inc = delta.new_friends_incidence()
+        # one new friendship (u1-u4): a |users'| x 1 incidence column
+        assert inc.shape == (4, 1)
+        assert sorted(r for r, _, _ in inc.items()) == [0, 3]
+
+    def test_step1_ac_matrix(self):
+        """AC = Likes' ⊕.⊗ NewFriends counts likers among the pair."""
+        g, _, delta = self._updated()
+        ac = g.likes.mxm(delta.new_friends_incidence(), PLUS_TIMES)
+        vals = {(r, c): v for r, c, v in ac.items()}
+        # c2: both u1 and u4 like it -> 2; c4: only u4 -> 1; c1, c3: absent
+        assert vals == {(1, 0): 2, (3, 0): 1}
+
+    def test_step2_select_eq2(self):
+        g, _, delta = self._updated()
+        ac = g.likes.mxm(delta.new_friends_incidence(), PLUS_TIMES)
+        ac2 = ac.select(ops.valueeq, 2)
+        assert [(r, c) for r, c, _ in ac2.items()] == [(1, 0)]
+
+    def test_step3_4_row_wise_or_extract(self):
+        g, _, delta = self._updated()
+        ac = g.likes.mxm(delta.new_friends_incidence(), PLUS_TIMES)
+        hit = ac.select(ops.valueeq, 2).reduce_vector(LOR, dtype=BOOL)
+        assert hit.to_coo()[0].tolist() == [1]
+
+    def test_step5_ac_set_is_union(self):
+        _, q, delta = self._updated()
+        # ac = Δcomments {c4} ∪ Δlikes {c2, c4} ∪ friends-hits {c2}
+        assert q._affected_comments(delta).tolist() == [1, 3]
+
+    def test_step6_9_rescored_values(self):
+        g, q, delta = self._updated()
+        q.update(delta)
+        # c2 -> 4² = 16 (one merged component), c4 -> 1² = 1
+        assert q.scores.to_dense().tolist() == [4, 16, 0, 1]
+
+    def test_friends_prime_component_of_four(self):
+        """Fig. 4b: Friends' CC yields a single component {u1..u4}."""
+        g, _, _ = self._updated()
+        labels = fastsv(g.friends).to_dense()
+        assert len(set(labels.tolist())) == 1

@@ -1,0 +1,336 @@
+"""The removal extension (paper future work): unlike / unfriend support.
+
+Covers exact hand-computed scenarios on the paper's example graph plus the
+central property: incremental ≡ batch under *mixed* insert/remove streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+    SocialGraph,
+)
+from repro.queries import Q1Batch, Q1Incremental, Q2Batch, Q2Incremental
+
+from tests.conftest import C1, C2, C3, C4, P1, P2, U1, U2, U3, U4, build_paper_graph, paper_update
+
+
+class TestModelRemovals:
+    def test_remove_like(self, paper_graph):
+        assert paper_graph.remove_like(U2, C1) == (0, 1)
+        assert paper_graph.likes.nvals == 4
+        assert paper_graph.remove_like(U2, C1) is None  # idempotent
+
+    def test_remove_friendship_symmetric(self, paper_graph):
+        assert paper_graph.remove_friendship(U3, U2) == (1, 2)
+        assert paper_graph.friends.nvals == 2
+        dense = paper_graph.friends.to_dense()
+        assert np.array_equal(dense, dense.T)
+
+    def test_remove_absent_friendship(self, paper_graph):
+        assert paper_graph.remove_friendship(U1, U2) is None
+
+    def test_delta_removed_fields(self, paper_graph):
+        d = paper_graph.apply(
+            ChangeSet([RemoveLike(U2, C1), RemoveFriendship(U3, U4)])
+        )
+        assert d.has_removals and not d.is_empty
+        assert list(zip(*d.removed_likes)) == [(0, 1)]
+        assert list(zip(*d.removed_friendships)) == [(2, 3)]
+
+    def test_add_then_remove_cancels(self, paper_graph):
+        d = paper_graph.apply(
+            ChangeSet([AddLike(U2, C2), RemoveLike(U2, C2)])
+        )
+        assert d.new_likes[0].size == 0
+        assert d.removed_likes[0].size == 0
+        assert paper_graph.likes.nvals == 5  # unchanged
+
+    def test_remove_then_readd_cancels(self, paper_graph):
+        d = paper_graph.apply(
+            ChangeSet([RemoveLike(U2, C1), AddLike(U2, C1)])
+        )
+        assert not d.has_removals
+        assert d.new_likes[0].size == 0
+        assert paper_graph.likes.nvals == 5
+
+    def test_removed_friends_incidence(self, paper_graph):
+        d = paper_graph.apply(ChangeSet([RemoveFriendship(U2, U3)]))
+        inc = d.removed_friends_incidence()
+        assert inc.shape == (4, 1) and inc.nvals == 2
+
+
+class TestMatrixRemoveCoo:
+    def test_batch_removal(self):
+        from repro.graphblas import INT64, Matrix
+
+        m = Matrix.from_coo([0, 0, 1], [0, 1, 1], [1, 2, 3], 2, 2)
+        m.remove_coo([0, 1, 1], [1, 0, 1])  # (1,0) absent -> ignored
+        assert dict(((r, c), v) for r, c, v in m.items()) == {(0, 0): 1}
+
+    def test_remove_on_empty(self):
+        from repro.graphblas import INT64, Matrix
+
+        m = Matrix.sparse(INT64, 2, 2)
+        m.remove_coo([0], [0])
+        assert m.nvals == 0
+
+
+class TestQ1Removals:
+    def test_unlike_decrements_score(self, paper_graph):
+        q = Q1Incremental(paper_graph)
+        q.initial()
+        d = paper_graph.apply(ChangeSet([RemoveLike(U3, C1)]))
+        top = q.update(d)
+        # p1 loses one like: 25 -> 24
+        assert top == [(P1, 24), (P2, 10)]
+        assert Q1Batch(paper_graph).scores().to_dense().tolist() == [24, 10]
+
+    def test_removal_can_change_leader(self):
+        g = SocialGraph()
+        g.add_user(1)
+        g.add_post(10, 0, 1)
+        g.add_post(11, 1, 1)
+        g.add_comment(20, 2, 1, 10)
+        g.add_comment(21, 3, 1, 11)
+        g.add_like(1, 20)  # post 10: 11 points, post 11: 10 points
+        q = Q1Incremental(g)
+        assert q.initial()[0] == (10, 11)
+        d = g.apply(ChangeSet([RemoveLike(1, 20)]))
+        top = q.update(d)
+        # tie at 10; newer post (11, ts=1) wins the tie-break
+        assert top == [(11, 10), (10, 10)]
+
+
+class TestQ2Removals:
+    def test_unfriend_splits_component(self):
+        """After the Fig. 3b update c2 is one 4-component (16); removing the
+        u3-u4 friendship splits it into {u1, u4} and {u2, u3} -> 4 + 4 = 8."""
+        g = build_paper_graph()
+        g.apply(paper_update())
+        q = Q2Incremental(g)
+        q.initial()
+        assert q.scores.get(1) == 16
+        d = g.apply(ChangeSet([RemoveFriendship(U3, U4)]))
+        q.update(d)
+        assert q.scores.get(1) == 8
+        assert Q2Batch(g).scores().get(1) == 8
+
+    def test_unlike_shrinks_subgraph(self):
+        g = build_paper_graph()
+        q = Q2Incremental(g)
+        q.initial()
+        # c2 = {u1} + {u3, u4} = 5; removing u3's like leaves {u1} + {u4} = 2
+        d = g.apply(ChangeSet([RemoveLike(U3, C2)]))
+        q.update(d)
+        assert q.scores.get(1) == 2
+        assert Q2Batch(g).scores().get(1) == 2
+
+    @pytest.mark.parametrize("algorithm", ["fastsv", "unionfind", "incremental"])
+    def test_topk_after_removal(self, algorithm):
+        g = build_paper_graph()
+        q = Q2Incremental(g, algorithm=algorithm)
+        assert q.initial() == [(C2, 5), (C1, 4), (C3, 0)]
+        # drop c2 to 2: leadership flips to c1
+        d = g.apply(ChangeSet([RemoveLike(U3, C2)]))
+        assert q.update(d) == [(C1, 4), (C2, 2), (C3, 0)]
+
+    def test_removal_affects_only_shared_comments(self):
+        g = build_paper_graph()
+        q = Q2Incremental(g)
+        q.initial()
+        d = g.apply(ChangeSet([RemoveFriendship(U2, U3)]))
+        affected = q._affected_comments(d)
+        # u2 and u3 both like only c1
+        assert affected.tolist() == [0]
+
+
+# ---------------------------------------------------------------------------
+# the central property, now with removals in the stream
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def mixed_stream_case(draw):
+    seed = draw(st.integers(0, 2**16))
+    n_sets = draw(st.integers(1, 3))
+    return seed, n_sets
+
+
+def _random_mixed_case(seed: int, n_sets: int):
+    rng = np.random.default_rng(seed)
+    g = SocialGraph()
+    users = [100 + i for i in range(int(rng.integers(2, 7)))]
+    for u in users:
+        g.add_user(u)
+    posts = [200 + i for i in range(int(rng.integers(1, 4)))]
+    for i, p in enumerate(posts):
+        g.add_post(p, i, users[0])
+    comments = []
+    submissions = list(posts)
+    ts = 50
+    for i in range(int(rng.integers(1, 8))):
+        cid = 300 + i
+        g.add_comment(cid, ts, users[int(rng.integers(len(users)))],
+                      submissions[int(rng.integers(len(submissions)))])
+        comments.append(cid)
+        submissions.append(cid)
+        ts += 1
+    likes = set()
+    for _ in range(int(rng.integers(0, 12))):
+        u = users[int(rng.integers(len(users)))]
+        c = comments[int(rng.integers(len(comments)))]
+        if g.add_like(u, c) is not None:
+            likes.add((u, c))
+    friends = set()
+    for _ in range(int(rng.integers(0, 8))):
+        a, b = rng.integers(0, len(users), 2)
+        if a != b and g.add_friendship(users[int(a)], users[int(b)]) is not None:
+            friends.add((min(users[int(a)], users[int(b)]), max(users[int(a)], users[int(b)])))
+
+    change_sets = []
+    for _ in range(n_sets):
+        cs = ChangeSet()
+        for _ in range(int(rng.integers(1, 7))):
+            kind = int(rng.integers(0, 6))
+            if kind == 0 and likes:
+                u, c = sorted(likes)[int(rng.integers(len(likes)))]
+                likes.discard((u, c))
+                cs.append(RemoveLike(u, c))
+            elif kind == 1 and friends:
+                a, b = sorted(friends)[int(rng.integers(len(friends)))]
+                friends.discard((a, b))
+                cs.append(RemoveFriendship(a, b))
+            elif kind == 2:
+                u = users[int(rng.integers(len(users)))]
+                c = comments[int(rng.integers(len(comments)))]
+                if (u, c) not in likes:
+                    likes.add((u, c))
+                    cs.append(AddLike(u, c))
+            elif kind == 3 and len(users) >= 2:
+                a, b = rng.integers(0, len(users), 2)
+                if a != b:
+                    key = (min(users[int(a)], users[int(b)]), max(users[int(a)], users[int(b)]))
+                    if key not in friends:
+                        friends.add(key)
+                        cs.append(AddFriendship(*key))
+            elif kind == 4:
+                cid = 400 + len(comments)
+                cs.append(AddComment(cid, ts, users[int(rng.integers(len(users)))],
+                                     submissions[int(rng.integers(len(submissions)))]))
+                comments.append(cid)
+                submissions.append(cid)
+                ts += 1
+            else:
+                uid = 500 + len(users)
+                cs.append(AddUser(uid))
+                users.append(uid)
+        change_sets.append(cs)
+    return g, change_sets
+
+
+@given(mixed_stream_case())
+@settings(max_examples=30, deadline=None)
+def test_q1_incremental_equals_batch_with_removals(case):
+    seed, n_sets = case
+    g, change_sets = _random_mixed_case(seed, n_sets)
+    q = Q1Incremental(g)
+    inc = [q.initial()]
+    batch = [Q1Batch(g).evaluate()]
+    for cs in change_sets:
+        delta = g.apply(cs)
+        inc.append(q.update(delta))
+        batch.append(Q1Batch(g).evaluate())
+    assert inc == batch
+
+
+@given(mixed_stream_case())
+@settings(max_examples=25, deadline=None)
+@pytest.mark.parametrize("algorithm", ["unionfind", "incremental"])
+def test_q2_incremental_equals_batch_with_removals(algorithm, case):
+    seed, n_sets = case
+    g, change_sets = _random_mixed_case(seed, n_sets)
+    q = Q2Incremental(g, algorithm=algorithm)
+    inc = [q.initial()]
+    batch = [Q2Batch(g, algorithm="unionfind").evaluate()]
+    for cs in change_sets:
+        delta = g.apply(cs)
+        inc.append(q.update(delta))
+        batch.append(Q2Batch(g, algorithm="unionfind").evaluate())
+    assert inc == batch
+
+
+@given(mixed_stream_case())
+@settings(max_examples=15, deadline=None)
+def test_scores_vectors_exact_with_removals(case):
+    seed, n_sets = case
+    g, change_sets = _random_mixed_case(seed, n_sets)
+    q1 = Q1Incremental(g)
+    q2 = Q2Incremental(g, algorithm="unionfind")
+    q1.initial()
+    q2.initial()
+    for cs in change_sets:
+        delta = g.apply(cs)
+        q1.update(delta)
+        q2.update(delta)
+    np.testing.assert_array_equal(
+        q1.scores.to_dense(), Q1Batch(g).scores().to_dense()
+    )
+    np.testing.assert_array_equal(
+        q2.scores.to_dense(), Q2Batch(g, algorithm="unionfind").scores().to_dense()
+    )
+
+
+class TestNmfRemovals:
+    def test_nmf_tools_agree_with_graphblas_under_removals(self):
+        from repro.queries.engine import make_engine
+
+        for query in ("Q1", "Q2"):
+            outputs = {}
+            for tool in ("graphblas-incremental", "nmf-batch", "nmf-incremental"):
+                g, change_sets = _random_mixed_case(seed=99, n_sets=3)
+                e = make_engine(tool, query)
+                e.load(g)
+                seq = [e.initial()] + [e.update(cs) for cs in change_sets]
+                outputs[tool] = seq
+            vals = list(outputs.values())
+            assert vals[0] == vals[1] == vals[2], (query, outputs)
+
+
+class TestDatagenRemovals:
+    def test_removal_fraction_generates_removals(self):
+        from repro.datagen import generate_benchmark_input
+        from repro.model.changes import RemoveFriendship as RF, RemoveLike as RL
+
+        g, css = generate_benchmark_input(1, seed=42, removal_fraction=0.5)
+        removals = [c for cs in css for c in cs if isinstance(c, (RL, RF))]
+        assert removals, "expected removal operations in the stream"
+        for cs in css:
+            g.apply(cs)  # all removals reference existing edges
+
+    def test_zero_fraction_is_insert_only(self):
+        from repro.datagen import generate_benchmark_input
+        from repro.model.changes import RemoveFriendship as RF, RemoveLike as RL
+
+        _, css = generate_benchmark_input(1, seed=42, removal_fraction=0.0)
+        assert not [c for cs in css for c in cs if isinstance(c, (RL, RF))]
+
+    def test_loader_roundtrip_with_removals(self, tmp_path):
+        from repro.model import load_change_sets, save_change_sets
+
+        sets = [ChangeSet([RemoveLike(1, 2), RemoveFriendship(3, 4), AddUser(9)])]
+        save_change_sets(tmp_path, sets)
+        back = load_change_sets(tmp_path)
+        assert back[0].changes == sets[0].changes

@@ -1,0 +1,95 @@
+"""Top-k selection and the monotone incremental tracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.queries.topk import TopKTracker, top_k
+
+
+class TestTopK:
+    def test_orders_by_score_desc(self):
+        out = top_k(np.array([1, 5, 3]), np.array([0, 0, 0]), np.array([10, 11, 12]))
+        assert out == [(11, 5), (12, 3), (10, 1)]
+
+    def test_ties_broken_by_timestamp_desc(self):
+        out = top_k(np.array([5, 5]), np.array([1, 2]), np.array([10, 11]))
+        assert out == [(11, 5), (10, 5)]
+
+    def test_full_ties_broken_by_id_asc(self):
+        out = top_k(np.array([5, 5]), np.array([1, 1]), np.array([11, 10]))
+        assert out == [(10, 5), (11, 5)]
+
+    def test_k_larger_than_n(self):
+        out = top_k(np.array([1]), np.array([0]), np.array([9]), k=3)
+        assert out == [(9, 1)]
+
+    def test_zero_scores_included(self):
+        out = top_k(np.array([0, 0]), np.array([1, 2]), np.array([5, 6]))
+        assert out == [(6, 0), (5, 0)]
+
+    def test_empty(self):
+        assert top_k(np.zeros(0), np.zeros(0), np.zeros(0)) == []
+
+
+class TestTracker:
+    def test_initial_offers(self):
+        t = TopKTracker(2)
+        t.offer_many([(1, 10, 0), (2, 20, 0), (3, 5, 0)])
+        assert t.top() == [(2, 20), (1, 10)]
+
+    def test_monotone_update_promotes(self):
+        t = TopKTracker(2)
+        t.offer_many([(1, 10, 0), (2, 20, 0), (3, 5, 0)])
+        t.top()
+        t.offer(3, 30, 0)
+        assert t.top() == [(3, 30), (2, 20)]
+
+    def test_lower_offer_ignored(self):
+        t = TopKTracker(1)
+        t.offer(1, 10, 0)
+        t.offer(1, 5, 0)  # scores never decrease; stale offer dropped
+        assert t.top() == [(1, 10)]
+
+    def test_result_string(self):
+        t = TopKTracker(3)
+        t.offer_many([(7, 1, 0), (8, 3, 0), (9, 2, 0)])
+        assert t.result_string() == "8|9|7"
+
+    def test_tie_break_in_tracker(self):
+        t = TopKTracker(2)
+        t.offer(1, 5, 100)
+        t.offer(2, 5, 200)  # newer wins
+        assert t.top() == [(2, 5), (1, 5)]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 30), st.integers(0, 5)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_tracker_equals_batch_under_monotone_stream(stream):
+    """Feeding monotone score updates gives the same top-3 as a full sort.
+
+    Build per-entity max score (scores only grow), then compare the
+    tracker's result with the batch top_k over the final state.
+    """
+    # make the stream monotone per entity: score = running max
+    best: dict[int, tuple[int, int]] = {}
+    t = TopKTracker(3)
+    for ext, score, ts in stream:
+        cur = best.get(ext)
+        ts = ext % 4  # fixed timestamp per entity (entities don't move in time)
+        if cur is None or score > cur[0]:
+            best[ext] = (score, ts)
+        t.offer(ext, best[ext][0], ts)
+        t.top()  # prune aggressively mid-stream: must never lose the answer
+
+    ids = sorted(best)
+    scores = np.array([best[i][0] for i in ids])
+    tss = np.array([best[i][1] for i in ids])
+    exts = np.array(ids)
+    assert t.top() == top_k(scores, tss, exts, k=3)
