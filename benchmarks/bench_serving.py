@@ -1,0 +1,217 @@
+"""Serving-path benchmark: sustained update throughput and read latency.
+
+The Fig. 5 benches measure isolated engine phases; this bench measures the
+*service*: a :class:`repro.serving.GraphService` under a sustained stream
+of single-change submits with interleaved reads -- the workload the
+ROADMAP's "heavy traffic" north star describes.  Two engine configurations
+are compared head-to-head:
+
+* ``batch``       -- the service re-evaluates with ``graphblas-batch``
+                     on every applied micro-batch;
+* ``incremental`` -- the service maintains results with
+                     ``graphblas-incremental``.
+
+Groups (pytest-benchmark, like the other benches):
+
+* ``serving-ingest-sf{N}`` -- wall time to drive the full change stream
+  through submit/apply (reported by pytest-benchmark; updates/sec =
+  stream size / time);
+* ``serving-read-sf{N}``   -- a read burst against the cached results
+  while updates flow.
+
+Script mode (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+
+drives a small persistent service end-to-end (WAL + snapshots + a
+recovery round-trip), prints updates/sec and p50/p99 latencies from the
+service's own metrics, and exits non-zero on any correctness mismatch --
+this is the CI guard that the serving path stays alive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+
+try:  # pytest-benchmark fixtures only exist under pytest
+    import pytest
+except ImportError:  # pragma: no cover - script mode
+    pytest = None
+
+from repro.datagen import generate_benchmark_input
+from repro.queries import Q1Batch, Q2Batch
+from repro.serving import GraphService
+
+CONFIGS = {
+    "batch": ("graphblas-batch",),
+    "incremental": ("graphblas-incremental",),
+}
+
+
+def _drive(service: GraphService, changes, read_every: int = 25) -> None:
+    """Submit every change singly, reading both queries periodically."""
+    for i, ch in enumerate(changes):
+        service.submit(ch)
+        if i % read_every == 0:
+            service.query("Q1")
+            service.query("Q2")
+    service.flush()
+
+
+if pytest is not None:
+    from conftest import fresh_input
+
+    @pytest.mark.parametrize("config", sorted(CONFIGS), ids=sorted(CONFIGS))
+    def test_serving_sustained_updates(benchmark, scale_factor, config):
+        benchmark.group = f"serving-ingest-sf{scale_factor}"
+
+        def setup():
+            graph, change_sets = fresh_input(scale_factor)
+            service = GraphService(
+                graph, tools=CONFIGS[config], max_batch=64, max_delay_ms=1e9
+            )
+            changes = [ch for cs in change_sets for ch in cs]
+            return (service, changes), {}
+
+        def phase(service, changes):
+            _drive(service, changes)
+            return service.version
+
+        applied = benchmark.pedantic(phase, setup=setup, rounds=3)
+        assert applied > 0
+
+    @pytest.mark.parametrize("config", sorted(CONFIGS), ids=sorted(CONFIGS))
+    def test_serving_read_latency(benchmark, scale_factor, config):
+        """Cached reads must stay O(1): time a pure read burst on a
+        service that has already ingested its stream."""
+        benchmark.group = f"serving-read-sf{scale_factor}"
+
+        graph, change_sets = fresh_input(scale_factor)
+        service = GraphService(
+            graph, tools=CONFIGS[config], max_batch=64, max_delay_ms=1e9
+        )
+        _drive(service, [ch for cs in change_sets for ch in cs])
+
+        def read_burst():
+            for _ in range(500):
+                service.query("Q1")
+                service.query("Q2")
+            return service.query("Q1").version
+
+        version = benchmark(read_burst)
+        assert version == service.version
+
+
+# ---------------------------------------------------------------------------
+# script mode
+# ---------------------------------------------------------------------------
+
+
+def run_stream(scale: int, config: str, data_dir=None, max_batch: int = 64) -> dict:
+    """Drive one configuration over one generated stream; return a report."""
+    graph, change_sets = generate_benchmark_input(scale, seed=42)
+    changes = [ch for cs in change_sets for ch in cs]
+    service = GraphService(
+        graph,
+        tools=CONFIGS[config],
+        max_batch=max_batch,
+        max_delay_ms=1e9,
+        data_dir=data_dir,
+        snapshot_every=4 if data_dir else 0,
+    )
+    _drive(service, changes)
+    stats = service.stats()
+    q1, q2 = service.query("Q1"), service.query("Q2")
+
+    # correctness guard: the served result must equal a cold batch run
+    expect_q1 = Q1Batch(service.graph).result_string()
+    expect_q2 = Q2Batch(service.graph, algorithm="unionfind").result_string()
+    ok = q1.result_string == expect_q1 and q2.result_string == expect_q2
+
+    report = {
+        "config": config,
+        "changes": len(changes),
+        "versions": stats["version"],
+        "apply_total_s": stats["ops"]["apply"]["total_s"],
+        "updates_per_s": (
+            len(changes) / stats["ops"]["apply"]["total_s"]
+            if stats["ops"]["apply"]["total_s"]
+            else float("inf")
+        ),
+        "read_p50_ms": stats["ops"]["query"]["p50_ms"],
+        "read_p99_ms": stats["ops"]["query"]["p99_ms"],
+        "q1": q1.result_string,
+        "q2": q2.result_string,
+        "ok": ok,
+        "service": service,
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fixed CI workload")
+    ap.add_argument("--scale", type=int, default=1, help="Table II scale factor")
+    ap.add_argument("--max-batch", type=int, default=64)
+    args = ap.parse_args(argv)
+    scale = 1 if args.smoke else args.scale
+
+    failures = 0
+    print(f"serving bench: scale factor {scale}, micro-batch {args.max_batch}")
+    print(
+        f"{'config':<12} {'changes':>8} {'batches':>8} {'upd/s':>10} "
+        f"{'read p50':>10} {'read p99':>10}  result"
+    )
+    reports = {}
+    for config in sorted(CONFIGS):
+        data_dir = tempfile.mkdtemp(prefix=f"repro-serve-{config}-")
+        try:
+            r = run_stream(scale, config, data_dir=data_dir, max_batch=args.max_batch)
+            reports[config] = r
+            print(
+                f"{config:<12} {r['changes']:>8} {r['versions']:>8} "
+                f"{r['updates_per_s']:>10.0f} {r['read_p50_ms']:>9.3f}m "
+                f"{r['read_p99_ms']:>9.3f}m  {'OK' if r['ok'] else 'MISMATCH'}"
+            )
+            if not r["ok"]:
+                failures += 1
+
+            # recovery round trip: kill the service, rebuild from disk
+            final_version = r["service"].version
+            final_q1 = r["q1"]
+            del r["service"]
+            recovered = GraphService.recover(
+                data_dir, tools=CONFIGS[config], max_delay_ms=1e9
+            )
+            rec_ok = (
+                recovered.version == final_version
+                and recovered.query("Q1").result_string == final_q1
+            )
+            snap, replayed = recovered._recovered_from
+            print(
+                f"{'':<12} recover: snapshot v{snap} + {replayed} replayed "
+                f"batch(es) -> v{recovered.version} {'OK' if rec_ok else 'MISMATCH'}"
+            )
+            recovered.close()
+            if not rec_ok:
+                failures += 1
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+    if len(reports) == len(CONFIGS):
+        a, b = reports["incremental"], reports["batch"]
+        if a["q1"] != b["q1"] or a["q2"] != b["q2"]:
+            print("CONFIG DISAGREEMENT between batch and incremental results")
+            failures += 1
+        elif b["apply_total_s"]:
+            speedup = b["apply_total_s"] / max(a["apply_total_s"], 1e-9)
+            print(f"\nincremental vs batch apply time: {speedup:.1f}x faster")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ Layer map (see DESIGN.md for the full inventory):
 ``repro.datagen``      LDBC-style synthetic graphs (Table II targets)
 ``repro.parallel``     executors; "8 threads" = fork-once pool + /dev/shm
 ``repro.benchmark``    TTC phase harness, Fig. 5 / Table II / contest logs
+``repro.serving``      GraphService: micro-batched streaming ingest, O(1)
+                       cached reads, snapshot + change-log crash recovery
 =====================  =====================================================
 
 Quick start::
@@ -39,8 +41,9 @@ from repro.queries import (
     QueryEngine,
     make_engine,
 )
+from repro.serving import GraphService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SocialGraph",
@@ -51,5 +54,6 @@ __all__ = [
     "Q2Incremental",
     "QueryEngine",
     "make_engine",
+    "GraphService",
     "__version__",
 ]

@@ -34,7 +34,14 @@ from repro.model.changes import (
 from repro.model.graph import SocialGraph
 from repro.util.validation import ReproError
 
-__all__ = ["save_graph", "load_graph", "save_change_sets", "load_change_sets"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_change_sets",
+    "load_change_sets",
+    "change_to_row",
+    "row_to_change",
+]
 
 
 def save_graph(directory, graph: SocialGraph) -> None:
@@ -126,6 +133,50 @@ def load_graph(directory) -> SocialGraph:
 _TAGS = {"U", "P", "C", "L", "F"}
 
 
+def change_to_row(ch) -> list:
+    """One change -> one CSV row in the tagged dialect above.
+
+    Shared by the change-set files and the serving layer's append-only
+    change log (:mod:`repro.serving.persistence`), so a log written by one
+    can always be replayed by the other.
+    """
+    if isinstance(ch, AddUser):
+        return ["U", ch.user_id, ch.name]
+    if isinstance(ch, AddPost):
+        return ["P", ch.post_id, ch.timestamp, ch.user_id]
+    if isinstance(ch, AddComment):
+        return ["C", ch.comment_id, ch.timestamp, ch.user_id, ch.parent_id]
+    if isinstance(ch, AddLike):
+        return ["L", ch.user_id, ch.comment_id]
+    if isinstance(ch, AddFriendship):
+        return ["F", ch.user1_id, ch.user2_id]
+    if isinstance(ch, RemoveLike):
+        return ["-L", ch.user_id, ch.comment_id]
+    if isinstance(ch, RemoveFriendship):
+        return ["-F", ch.user1_id, ch.user2_id]
+    raise ReproError(f"unknown change type {type(ch)}")
+
+
+def row_to_change(row: list):
+    """One tagged CSV row -> the change it encodes (inverse of the above)."""
+    tag = row[0]
+    if tag == "U":
+        return AddUser(int(row[1]), row[2] if len(row) > 2 else "")
+    if tag == "P":
+        return AddPost(int(row[1]), int(row[2]), int(row[3]))
+    if tag == "C":
+        return AddComment(int(row[1]), int(row[2]), int(row[3]), int(row[4]))
+    if tag == "L":
+        return AddLike(int(row[1]), int(row[2]))
+    if tag == "F":
+        return AddFriendship(int(row[1]), int(row[2]))
+    if tag == "-L":
+        return RemoveLike(int(row[1]), int(row[2]))
+    if tag == "-F":
+        return RemoveFriendship(int(row[1]), int(row[2]))
+    raise ReproError(f"unknown change tag {tag!r}")
+
+
 def save_change_sets(directory, change_sets: list[ChangeSet]) -> None:
     d = Path(directory)
     d.mkdir(parents=True, exist_ok=True)
@@ -133,24 +184,7 @@ def save_change_sets(directory, change_sets: list[ChangeSet]) -> None:
         with open(d / f"change{n:02d}.csv", "w", newline="") as f:
             w = csv.writer(f)
             for ch in cs:
-                if isinstance(ch, AddUser):
-                    w.writerow(["U", ch.user_id, ch.name])
-                elif isinstance(ch, AddPost):
-                    w.writerow(["P", ch.post_id, ch.timestamp, ch.user_id])
-                elif isinstance(ch, AddComment):
-                    w.writerow(
-                        ["C", ch.comment_id, ch.timestamp, ch.user_id, ch.parent_id]
-                    )
-                elif isinstance(ch, AddLike):
-                    w.writerow(["L", ch.user_id, ch.comment_id])
-                elif isinstance(ch, AddFriendship):
-                    w.writerow(["F", ch.user1_id, ch.user2_id])
-                elif isinstance(ch, RemoveLike):
-                    w.writerow(["-L", ch.user_id, ch.comment_id])
-                elif isinstance(ch, RemoveFriendship):
-                    w.writerow(["-F", ch.user1_id, ch.user2_id])
-                else:  # pragma: no cover - defensive
-                    raise ReproError(f"unknown change type {type(ch)}")
+                w.writerow(change_to_row(ch))
 
 
 def load_change_sets(directory) -> list[ChangeSet]:
@@ -162,24 +196,9 @@ def load_change_sets(directory) -> list[ChangeSet]:
             for row in csv.reader(f):
                 if not row:
                     continue
-                tag = row[0]
-                if tag == "U":
-                    cs.append(AddUser(int(row[1]), row[2] if len(row) > 2 else ""))
-                elif tag == "P":
-                    cs.append(AddPost(int(row[1]), int(row[2]), int(row[3])))
-                elif tag == "C":
-                    cs.append(
-                        AddComment(int(row[1]), int(row[2]), int(row[3]), int(row[4]))
-                    )
-                elif tag == "L":
-                    cs.append(AddLike(int(row[1]), int(row[2])))
-                elif tag == "F":
-                    cs.append(AddFriendship(int(row[1]), int(row[2])))
-                elif tag == "-L":
-                    cs.append(RemoveLike(int(row[1]), int(row[2])))
-                elif tag == "-F":
-                    cs.append(RemoveFriendship(int(row[1]), int(row[2])))
-                else:
-                    raise ReproError(f"unknown change tag {tag!r} in {path}")
+                try:
+                    cs.append(row_to_change(row))
+                except ReproError as exc:
+                    raise ReproError(f"{exc} in {path}") from None
         out.append(cs)
     return out

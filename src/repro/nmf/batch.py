@@ -68,6 +68,8 @@ class NmfBatchEngine:
         self.query = query
         self.k = k
         self.model: ObjectModel | None = None
+        #: most recent top-k (external_id, score) pairs, for the serving layer
+        self.last_top: list[tuple[int, int]] = []
 
     def load(self, graph: SocialGraph) -> None:
         self.model = ObjectModel.from_social_graph(graph)
@@ -83,11 +85,13 @@ class NmfBatchEngine:
         return _top3(entries, self.k)
 
     def initial(self) -> str:
-        return "|".join(str(ext) for ext, _ in self._evaluate())
+        self.last_top = self._evaluate()
+        return "|".join(str(ext) for ext, _ in self.last_top)
 
     def update(self, change_set: ChangeSet) -> str:
         self.model.apply(change_set)
-        return "|".join(str(ext) for ext, _ in self._evaluate())
+        self.last_top = self._evaluate()
+        return "|".join(str(ext) for ext, _ in self.last_top)
 
     def close(self) -> None:
         pass

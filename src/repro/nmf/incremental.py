@@ -54,6 +54,8 @@ class NmfIncrementalEngine:
         self.model: ObjectModel | None = None
         self.ddg = DependencyGraph()
         self.tracker = TopKTracker(k)
+        #: most recent top-k (external_id, score) pairs, for the serving layer
+        self.last_top: list[tuple[int, int]] = []
         #: rootPost index: all (direct or indirect) comments per post
         self._post_comments: dict[Post, list[Comment]] = {}
         #: set when a removal made scores non-monotone (extension); forces a
@@ -168,6 +170,7 @@ class NmfIncrementalEngine:
         self._require_loaded()
         # node definition during load already offered every value; the
         # initial evaluation is a read of the maintained top-k
+        self.last_top = self.tracker.top()
         return self.tracker.result_string()
 
     def update(self, change_set: ChangeSet) -> str:
@@ -186,6 +189,7 @@ class NmfIncrementalEngine:
                 (e.id, self.ddg.node((prefix, e.id)).value, e.timestamp)
                 for e in entities
             )
+        self.last_top = self.tracker.top()
         return self.tracker.result_string()
 
     def close(self) -> None:

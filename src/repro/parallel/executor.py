@@ -184,7 +184,17 @@ class ForkJoinExecutor(Executor):
             initializer(*initargs)
         n = min(self.workers, os.cpu_count() or 1, len(chunks))
         if n == 1:
-            return [fn(chunk) for chunk in chunks]
+            # serial fallback: fail exactly like a forked worker would, so
+            # callers see one exception type regardless of the path taken
+            try:
+                return [fn(chunk) for chunk in chunks]
+            except Exception:
+                import traceback
+
+                raise ReproError(
+                    "fork-join worker died (serial fallback):\n"
+                    + traceback.format_exc()
+                ) from None
         # round-robin assignment mirrors the strided chunking upstream
         assignments = [list(range(w, len(chunks), n)) for w in range(n)]
 

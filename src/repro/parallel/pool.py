@@ -231,7 +231,15 @@ class PersistentWorkerPool(Executor):
         if n == 1 or len(chunks) == 1:
             if initializer is not None:
                 initializer(*initargs)
-            return [fn(chunk) for chunk in chunks]
+            # serial fallback: wrap like the forked path so the pool's error
+            # contract is uniform (and the pool stays usable afterwards --
+            # nothing was shipped to the workers)
+            try:
+                return [fn(chunk) for chunk in chunks]
+            except Exception:
+                raise ReproError(
+                    "worker failure(s):\n" + traceback.format_exc()
+                ) from None
 
         # non-array initargs (e.g. the algorithm name) ride along as 0-d
         # object arrays would be unpicklable via np.save; ship them inline

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.model.changes import ChangeSet
-from repro.model.graph import SocialGraph
+from repro.model.graph import GraphDelta, SocialGraph
 from repro.parallel.executor import Executor
 from repro.queries.q1 import Q1Batch, Q1Incremental
 from repro.queries.q2 import Q2Batch, Q2Incremental
@@ -68,6 +68,9 @@ class QueryEngine:
             executor.start()
         self.graph: Optional[SocialGraph] = None
         self._impl = None
+        #: the most recent top-k as (external_id, score) pairs -- the
+        #: serving layer caches this instead of re-parsing result strings
+        self.last_top: list[tuple[int, int]] = []
 
     # -- TTC phases -------------------------------------------------------
 
@@ -99,15 +102,28 @@ class QueryEngine:
             top = self._impl.initial()
         else:
             top = self._impl.evaluate()
+        self.last_top = list(top)
         return "|".join(str(ext) for ext, _ in top)
 
     def update(self, change_set: ChangeSet) -> str:
         self._require_loaded()
-        delta = self.graph.apply(change_set)
+        return self.refresh(self.graph.apply(change_set))
+
+    def refresh(self, delta: GraphDelta) -> str:
+        """Re-evaluate against a delta the caller already applied.
+
+        The serving layer (:class:`repro.serving.GraphService`) owns one
+        graph shared by several engines, so it applies each change set
+        exactly once and hands every engine the resulting
+        :class:`~repro.model.graph.GraphDelta`; :meth:`update` is the
+        single-engine convenience that applies-then-refreshes.
+        """
+        self._require_loaded()
         if self.variant == "incremental":
             top = self._impl.update(delta)
         else:
             top = self._impl.evaluate()
+        self.last_top = list(top)
         return "|".join(str(ext) for ext, _ in top)
 
     # ----------------------------------------------------------------------
@@ -125,22 +141,25 @@ def make_engine(
     tool: str,
     query: str,
     *,
+    k: int = 3,
     executor: Optional[Executor] = None,
     q2_algorithm: str = "fastsv",
 ):
     """Factory covering every Fig. 5 tool (GraphBLAS and NMF variants)."""
     if tool == "graphblas-batch":
-        return QueryEngine(query, "batch", executor=executor, q2_algorithm=q2_algorithm)
+        return QueryEngine(
+            query, "batch", k=k, executor=executor, q2_algorithm=q2_algorithm
+        )
     if tool == "graphblas-incremental":
         return QueryEngine(
-            query, "incremental", executor=executor, q2_algorithm=q2_algorithm
+            query, "incremental", k=k, executor=executor, q2_algorithm=q2_algorithm
         )
     if tool == "nmf-batch":
         from repro.nmf.batch import NmfBatchEngine
 
-        return NmfBatchEngine(query)
+        return NmfBatchEngine(query, k=k)
     if tool == "nmf-incremental":
         from repro.nmf.incremental import NmfIncrementalEngine
 
-        return NmfIncrementalEngine(query)
+        return NmfIncrementalEngine(query, k=k)
     raise ReproError(f"unknown tool {tool!r}; expected one of {TOOL_NAMES}")

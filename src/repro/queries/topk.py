@@ -5,11 +5,20 @@ ties by timestamp (descending: newer wins) and finally by external id
 (ascending) for full determinism.  ``k = 3`` throughout the contest.
 
 :class:`TopKTracker` implements the paper's merge rule for incremental
-evaluation: because the update language is insert-only, both queries' scores
-are monotonically non-decreasing, so the new top-k is always contained in
-``previous top-k ∪ entities whose score changed``.  Feeding the tracker the
-changed scores per update therefore maintains the exact top-k in
-O(|changed| log k) instead of a full rescan.
+evaluation: under the contest's original insert-only update language both
+queries' scores are monotonically non-decreasing, so the new top-k is
+always contained in ``previous top-k ∪ entities whose score changed``, and
+feeding the tracker the changed scores per update maintains the exact
+top-k in O(|changed| log k) instead of a full rescan.
+
+**Removal extension** (``RemoveLike`` / ``RemoveFriendship``, see
+:mod:`repro.model.changes`): with removals in the update stream scores are
+no longer monotone -- a decrease can evict a pooled entity and promote one
+pruned earlier, so the merge rule alone is unsound for such change sets.
+Callers detect that case via ``GraphDelta.has_removals`` and call
+:meth:`TopKTracker.reseed` with a candidate set re-derived from the
+maintained scores vector: an O(|entities|) reselect, still far cheaper
+than the O(|E|) batch recompute, and exact for both regimes.
 """
 
 from __future__ import annotations

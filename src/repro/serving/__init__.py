@@ -1,0 +1,26 @@
+"""repro.serving -- the streaming query-serving subsystem.
+
+Turns the paper's engines into a long-running service: one shared
+:class:`~repro.model.graph.SocialGraph`, a registry of query engines,
+micro-batched ingest, versioned O(1) cached reads, per-operation latency
+accounting, and snapshot + write-ahead-change-log persistence with crash
+recovery.  See :mod:`repro.serving.service` for the consistency and
+durability model and ``DESIGN.md`` for where this layer sits.
+"""
+
+from repro.serving.cache import CachedResult, ResultCache
+from repro.serving.ingest import MicroBatcher
+from repro.serving.metrics import LatencyStats, OpMetrics
+from repro.serving.persistence import ChangeLog, SnapshotStore
+from repro.serving.service import GraphService
+
+__all__ = [
+    "GraphService",
+    "CachedResult",
+    "ResultCache",
+    "MicroBatcher",
+    "LatencyStats",
+    "OpMetrics",
+    "ChangeLog",
+    "SnapshotStore",
+]

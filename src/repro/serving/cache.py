@@ -1,0 +1,80 @@
+"""Versioned top-k result cache: reads are O(1) between updates.
+
+Every applied micro-batch bumps the service's version; each registered
+engine's fresh top-k is stored here as an immutable :class:`CachedResult`
+stamped with that version.  A read never touches the graph or an engine --
+it returns the cached object for the requested (query, tool) pair, so read
+latency is independent of graph size and update rate, exactly the
+read-heavy/write-batched split of the serving exemplars (Sabine's ADR-001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.validation import ReproError
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One query's top-k at one service version, under one tool."""
+
+    query: str
+    tool: str
+    #: service version (number of applied batches) this result reflects
+    version: int
+    #: (external_id, score) pairs in contest order
+    top: tuple
+    #: the TTC framework's ``id|id|id`` result format
+    result_string: str
+    #: seconds the engine spent producing this result
+    compute_seconds: float
+
+    @property
+    def ids(self) -> tuple:
+        return tuple(ext for ext, _ in self.top)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.query}@v{self.version}[{self.tool}]: {self.result_string}"
+
+
+class ResultCache:
+    """(query, tool) -> latest :class:`CachedResult`."""
+
+    def __init__(self) -> None:
+        self._results: dict[tuple[str, str], CachedResult] = {}
+
+    def put(self, result: CachedResult) -> None:
+        self._results[(result.query, result.tool)] = result
+
+    def get(self, query: str, tool: str) -> CachedResult:
+        try:
+            return self._results[(query, tool)]
+        except KeyError:
+            raise ReproError(
+                f"no cached result for query {query!r} under tool {tool!r}; "
+                f"known: {sorted(self._results)}"
+            ) from None
+
+    def has(self, query: str, tool: str) -> bool:
+        return (query, tool) in self._results
+
+    def tools(self, query: str) -> list[str]:
+        return sorted(t for q, t in self._results if q == query)
+
+    def version(self) -> Optional[int]:
+        """The common version of all cached results (None when empty).
+
+        The service refreshes every engine under one lock per applied
+        batch, so a mixed-version cache indicates a bug; surfacing it here
+        keeps the invariant checkable in tests.
+        """
+        versions = {r.version for r in self._results.values()}
+        if not versions:
+            return None
+        if len(versions) > 1:
+            raise ReproError(f"result cache is version-skewed: {sorted(versions)}")
+        return versions.pop()

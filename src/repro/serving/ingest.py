@@ -1,0 +1,110 @@
+"""Micro-batching ingest queue: coalesce N changes or T milliseconds.
+
+The paper's incremental algorithms amortise best over *batches* of changes
+(one ``GraphDelta``, one affected-comment detection, one top-k merge), but a
+serving workload delivers changes one at a time.  :class:`MicroBatcher`
+bridges the two: submitted changes accumulate until either ``max_changes``
+are pending or the oldest pending change is ``max_delay_ms`` old, whichever
+comes first -- the standard group-commit trade between write amplification
+and staleness.
+
+The batcher is deliberately clock-driven rather than thread-driven: it
+*reports* readiness (:meth:`offer` returns the coalesced batch when a
+threshold trips, :meth:`due` answers "has the oldest change expired?") and
+the caller decides when to drain.  That keeps every flush decision
+deterministic under a patched :class:`~repro.util.timer.WallClock`, which
+is how the serving tests freeze time.  :class:`repro.serving.service
+.GraphService` adds the optional background flusher thread on top.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.model.changes import Change, ChangeSet
+from repro.util.timer import WallClock
+from repro.util.validation import ReproError
+
+__all__ = ["MicroBatcher", "coerce_changes"]
+
+
+def coerce_changes(
+    changes: Union[Change, ChangeSet, Iterable[Change]]
+) -> list[Change]:
+    """Normalise a single change, a ChangeSet, or an iterable to a list."""
+    if isinstance(changes, ChangeSet):
+        return list(changes)
+    if isinstance(changes, list):
+        return changes
+    if isinstance(changes, tuple):
+        return list(changes)
+    return [changes]
+
+
+class MicroBatcher:
+    """Coalesces single changes (or pre-formed ChangeSets) into batches."""
+
+    def __init__(self, max_changes: int = 256, max_delay_ms: float = 50.0):
+        if max_changes < 1:
+            raise ReproError("max_changes must be >= 1")
+        if max_delay_ms < 0:
+            raise ReproError("max_delay_ms must be >= 0")
+        self.max_changes = max_changes
+        self.max_delay_ms = max_delay_ms
+        self._pending: list[Change] = []
+        self._oldest: Optional[float] = None  # arrival time of first pending
+        #: total changes that ever entered the queue (monotone counter)
+        self.submitted = 0
+        #: number of batches drained
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def age_ms(self) -> float:
+        """Age of the oldest pending change, 0 when empty."""
+        if self._oldest is None:
+            return 0.0
+        return (WallClock.now() - self._oldest) * 1e3
+
+    def due(self) -> bool:
+        """True when the oldest pending change has exceeded ``max_delay_ms``."""
+        return self._oldest is not None and self.age_ms() >= self.max_delay_ms
+
+    # ------------------------------------------------------------------
+
+    def offer(
+        self, changes: Union[Change, ChangeSet, Iterable[Change]]
+    ) -> Optional[ChangeSet]:
+        """Enqueue change(s); return the coalesced batch if a threshold trips.
+
+        A single oversized ChangeSet is *not* split -- changes within one
+        submitted set may reference each other (the paper's Fig. 3b inserts
+        a comment and immediately likes it), so set boundaries are only ever
+        merged, never cut.
+        """
+        items = coerce_changes(changes)
+        if items:
+            if self._oldest is None:
+                self._oldest = WallClock.now()
+            self._pending.extend(items)
+            self.submitted += len(items)
+        if self._pending and (len(self._pending) >= self.max_changes or self.due()):
+            return self.drain()
+        return None
+
+    def drain(self) -> Optional[ChangeSet]:
+        """Unconditionally take everything pending as one ChangeSet."""
+        if not self._pending:
+            return None
+        batch = ChangeSet(self._pending)
+        self._pending = []
+        self._oldest = None
+        self.batches += 1
+        return batch

@@ -1,0 +1,228 @@
+"""Durable state for the serving layer: snapshots + a write-ahead change log.
+
+Two complementary artefacts live in a service's data directory:
+
+``snapshot-<version>/``
+    A point-in-time copy of the :class:`~repro.model.graph.SocialGraph`,
+    written with :func:`repro.model.loader.save_graph` (the same CSV
+    dialect as benchmark inputs) plus a ``meta.json`` carrying the service
+    version.  Snapshots are committed atomically: the graph is written to a
+    ``.tmp`` directory and renamed into place, so a crash mid-snapshot
+    leaves at most an ignorable ``.tmp`` turd, never a half-readable
+    snapshot.
+
+``wal.csv``
+    An append-only change log.  Each applied micro-batch is framed as::
+
+        BEGIN,<version>,<n_changes>
+        <one change row per change, repro.model.loader codec>
+        COMMIT,<version>
+
+    The ``COMMIT`` line is the durability point: replay ignores a torn
+    trailing batch (crash mid-append), and the frame tags cannot collide
+    with change rows because change tags are single characters
+    (``U/P/C/L/F/-L/-F``).
+
+Recovery = load the newest snapshot, then replay every committed batch
+with ``version > snapshot.version``.  Because a batch's effect on the
+graph is deterministic (``SocialGraph.apply`` is a pure function of graph
+state and change list), snapshot + log tail provably converges to the
+same graph -- and therefore the same top-k -- as applying the full stream
+to the initial graph.  ``tests/serving/test_recovery_property.py`` checks
+exactly that, removals included.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.model.changes import ChangeSet
+from repro.model.graph import SocialGraph
+from repro.model.loader import change_to_row, load_graph, row_to_change, save_graph
+from repro.util.validation import ReproError
+
+__all__ = ["ChangeLog", "SnapshotStore"]
+
+_SNAP_PREFIX = "snapshot-"
+_META = "meta.json"
+_SCHEMA = 1
+
+
+class ChangeLog:
+    """Append-only write-ahead log of applied change batches."""
+
+    FILENAME = "wal.csv"
+
+    def __init__(self, directory, *, sync: bool = True):
+        self.path = Path(directory) / self.FILENAME
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self._fh: Optional[io.TextIOWrapper] = None
+
+    # -- writing --------------------------------------------------------
+
+    def _handle(self) -> io.TextIOWrapper:
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "a", newline="")
+        return self._fh
+
+    def append(self, version: int, change_set: ChangeSet) -> None:
+        """Durably append one batch as ``version`` (call *before* applying)."""
+        fh = self._handle()
+        w = csv.writer(fh)
+        w.writerow(["BEGIN", version, len(change_set)])
+        for ch in change_set:
+            w.writerow(change_to_row(ch))
+        w.writerow(["COMMIT", version])
+        fh.flush()
+        if self.sync:
+            os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self, after_version: int = 0) -> Iterator[tuple[int, ChangeSet]]:
+        """Yield committed (version, batch) pairs with version > ``after_version``.
+
+        A torn batch at the tail (``BEGIN`` without its ``COMMIT``) is the
+        signature of a crash mid-append and is silently dropped; a torn
+        batch *followed by more records* is corruption and raises.
+        """
+        if not self.path.exists():
+            return
+        open_version: Optional[int] = None
+        open_changes: list = []
+        torn_at: Optional[int] = None
+        with open(self.path, newline="") as fh:
+            for row in csv.reader(fh):
+                if not row:
+                    continue
+                if torn_at is not None:
+                    raise ReproError(
+                        f"corrupt change log {self.path}: batch v{torn_at} has "
+                        "no COMMIT but the log continues"
+                    )
+                tag = row[0]
+                if tag == "BEGIN":
+                    if open_version is not None:
+                        torn_at = open_version
+                        continue
+                    open_version = int(row[1])
+                    open_changes = []
+                elif tag == "COMMIT":
+                    if open_version is None or int(row[1]) != open_version:
+                        raise ReproError(
+                            f"corrupt change log {self.path}: stray COMMIT {row[1:]}"
+                        )
+                    if open_version > after_version:
+                        yield open_version, ChangeSet(open_changes)
+                    open_version = None
+                else:
+                    if open_version is None:
+                        raise ReproError(
+                            f"corrupt change log {self.path}: change row outside "
+                            f"a batch frame: {row}"
+                        )
+                    open_changes.append(row_to_change(row))
+        # a still-open batch at EOF is the torn tail: dropped by design
+
+    def last_version(self) -> int:
+        """Highest committed version in the log (0 when empty/missing)."""
+        last = 0
+        for version, _ in self.replay(0):
+            last = version
+        return last
+
+    def repair(self) -> bool:
+        """Truncate an uncommitted trailing frame; True if bytes were cut.
+
+        Recovery must call this before the log is appended to again:
+        replay merely *skips* a torn tail, but appending a new frame after
+        one would turn the recoverable crash artefact into mid-log
+        corruption on the next recovery.  Truncating at the last
+        ``COMMIT`` is tail-only by construction -- an interior torn frame
+        (real corruption) sits *before* a later COMMIT, survives the
+        truncation, and still raises in :meth:`replay`.
+        """
+        if not self.path.exists():
+            return False
+        good = 0
+        with open(self.path, "rb") as fh:
+            while True:
+                line = fh.readline()
+                if not line:
+                    break
+                if line.split(b",", 1)[0].strip() == b"COMMIT":
+                    good = fh.tell()
+        if good >= self.path.stat().st_size:
+            return False
+        self.close()  # never truncate under an open append handle
+        os.truncate(self.path, good)
+        return True
+
+
+class SnapshotStore:
+    """Atomic point-in-time graph snapshots under one directory."""
+
+    def __init__(self, directory):
+        self.root = Path(directory)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _dirname(self, version: int) -> Path:
+        return self.root / f"{_SNAP_PREFIX}{version:010d}"
+
+    def save(self, graph: SocialGraph, version: int) -> Path:
+        """Write a snapshot of ``graph`` at ``version``; atomic via rename."""
+        final = self._dirname(version)
+        if final.exists():
+            raise ReproError(f"snapshot for version {version} already exists")
+        tmp = final.with_suffix(".tmp")
+        if tmp.exists():  # leftover of a crashed attempt
+            shutil.rmtree(tmp)
+        save_graph(tmp, graph)
+        with open(tmp / _META, "w") as fh:
+            json.dump({"schema": _SCHEMA, "version": version}, fh)
+        os.rename(tmp, final)
+        return final
+
+    def versions(self) -> list[int]:
+        """Versions of all complete snapshots, ascending."""
+        out = []
+        for path in self.root.glob(f"{_SNAP_PREFIX}*"):
+            if path.suffix == ".tmp" or not (path / _META).exists():
+                continue
+            with open(path / _META) as fh:
+                meta = json.load(fh)
+            if meta.get("schema") != _SCHEMA:
+                raise ReproError(
+                    f"snapshot {path} has schema {meta.get('schema')}, "
+                    f"expected {_SCHEMA}"
+                )
+            out.append(int(meta["version"]))
+        return sorted(out)
+
+    def latest(self) -> Optional[int]:
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    def load(self, version: int) -> SocialGraph:
+        path = self._dirname(version)
+        if not (path / _META).exists():
+            raise ReproError(f"no snapshot for version {version} in {self.root}")
+        return load_graph(path)
+
+    def prune(self, keep: int = 2) -> list[int]:
+        """Drop all but the newest ``keep`` snapshots; returns dropped versions."""
+        victims = self.versions()[:-keep] if keep > 0 else self.versions()
+        for version in victims:
+            shutil.rmtree(self._dirname(version), ignore_errors=True)
+        return victims

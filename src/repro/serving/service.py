@@ -1,0 +1,490 @@
+"""GraphService: one shared graph, many engines, streamed updates, O(1) reads.
+
+This is the component the ROADMAP's "serve heavy traffic" north star asks
+for and the offline benchmark harness is not: a long-running owner of one
+:class:`~repro.model.graph.SocialGraph` plus a registry of query engines
+(all four Fig. 5 tool variants by default) that
+
+* ingests single :class:`~repro.model.changes.Change`\\ s or whole
+  :class:`~repro.model.changes.ChangeSet`\\ s through a micro-batching
+  queue (coalesce ``max_batch`` changes or ``max_delay_ms``, whichever
+  first -- see :mod:`repro.serving.ingest`);
+* applies each coalesced batch to the graph **exactly once** and fans the
+  resulting :class:`~repro.model.graph.GraphDelta` out to every engine
+  (the GraphBLAS engines consume the delta via
+  :meth:`~repro.queries.engine.QueryEngine.refresh`, the NMF engines
+  mirror the raw change set into their object model);
+* caches every engine's top-k per applied version, so
+  :meth:`query` never touches the graph and costs O(1) regardless of
+  graph size or update rate;
+* optionally persists: an append-only write-ahead change log written
+  *before* each batch is applied, plus periodic point-in-time snapshots,
+  so :meth:`recover` rebuilds an equivalent service after a crash
+  (see :mod:`repro.serving.persistence` for the convergence argument);
+* accounts per-operation latency (:mod:`repro.serving.metrics`), the
+  numbers ``benchmarks/bench_serving.py`` reports.
+
+Consistency model: reads serve the last *applied* version; changes
+pending in the micro-batcher are invisible until a flush, which is
+bounded by ``max_delay_ms`` (enforced at the next submit or read, or by
+the optional background flusher thread).  Durability boundary: an applied
+batch is durable (its WAL frame is fsynced before apply); pending
+changes are not.  Changes are validated at submit time against the graph
+plus earlier pending changes, so a malformed change is rejected at the
+edge instead of poisoning the log or a half-applied batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional, Union
+
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    Change,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
+from repro.model.graph import SocialGraph
+from repro.parallel.executor import Executor
+from repro.queries.engine import TOOL_NAMES, make_engine
+from repro.serving.cache import CachedResult, ResultCache
+from repro.serving.ingest import MicroBatcher, coerce_changes
+from repro.serving.metrics import OpMetrics
+from repro.serving.persistence import ChangeLog, SnapshotStore
+from repro.util.timer import WallClock
+from repro.util.validation import ReproError
+
+__all__ = ["GraphService"]
+
+_QUERIES = ("Q1", "Q2")
+
+
+class GraphService:
+    """Streaming query-serving facade over the paper's engines."""
+
+    def __init__(
+        self,
+        graph: Optional[SocialGraph] = None,
+        *,
+        queries: tuple = _QUERIES,
+        tools: tuple = TOOL_NAMES,
+        k: int = 3,
+        q2_algorithm: str = "fastsv",
+        executor: Optional[Executor] = None,
+        max_batch: int = 256,
+        max_delay_ms: float = 50.0,
+        data_dir=None,
+        snapshot_every: int = 0,
+        keep_snapshots: int = 2,
+        wal_sync: bool = True,
+        auto_flush: bool = False,
+        _start_version: int = 0,
+        _allow_existing: bool = False,
+    ):
+        for q in queries:
+            if q not in _QUERIES:
+                raise ReproError(f"unknown query {q!r}")
+        for t in tools:
+            if t not in TOOL_NAMES:
+                raise ReproError(f"unknown tool {t!r}; expected one of {TOOL_NAMES}")
+        if not queries or not tools:
+            raise ReproError("need at least one query and one tool")
+
+        self.graph = graph if graph is not None else SocialGraph()
+        self.queries = tuple(queries)
+        self.tools = tuple(tools)
+        #: the tool whose cached result :meth:`query` serves by default
+        self.primary_tool = self.tools[0]
+        self.version = _start_version
+        self.snapshot_every = snapshot_every
+        self.keep_snapshots = keep_snapshots
+
+        self._lock = threading.RLock()
+        self._batcher = MicroBatcher(max_changes=max_batch, max_delay_ms=max_delay_ms)
+        self._cache = ResultCache()
+        self._metrics = OpMetrics()
+        self._closed = False
+        self._failed = False
+        #: ids introduced by changes still pending in the batcher, so a
+        #: pending entity can be referenced by a later submit
+        self._pending_ids: dict[str, set] = {"user": set(), "post": set(), "comment": set()}
+        self._recovered_from: Optional[tuple[int, int]] = None
+
+        self._store: Optional[SnapshotStore] = None
+        self._wal: Optional[ChangeLog] = None
+        if data_dir is not None:
+            self._store = SnapshotStore(data_dir)
+            self._wal = ChangeLog(data_dir, sync=wal_sync)
+            if not _allow_existing and (
+                self._store.versions() or self._wal.path.exists()
+            ):
+                raise ReproError(
+                    f"{data_dir} already holds service state; use "
+                    "GraphService.recover(data_dir) to resume it"
+                )
+
+        self._engines: dict[tuple[str, str], object] = {}
+        for tool in self.tools:
+            for query in self.queries:
+                self._engines[(query, tool)] = make_engine(
+                    tool, query, k=k, executor=executor, q2_algorithm=q2_algorithm
+                )
+        self._load_engines()
+
+        # a fresh persistent service writes its baseline snapshot so a
+        # crash before the first periodic snapshot is still recoverable
+        if self._store is not None and not self._store.versions():
+            self.snapshot()
+
+        self._flusher: Optional[_Flusher] = None
+        if auto_flush:
+            self._flusher = _Flusher(self, max(max_delay_ms, 1.0) / 2e3)
+            self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _load_engines(self) -> None:
+        for (query, tool), engine in self._engines.items():
+            with self._metrics.timed(f"load[{tool}]"):
+                engine.load(self.graph)
+                t0 = WallClock.now()
+                result_string = engine.initial()
+                dt = WallClock.now() - t0
+            self._cache.put(
+                CachedResult(
+                    query=query,
+                    tool=tool,
+                    version=self.version,
+                    top=tuple(engine.last_top),
+                    result_string=result_string,
+                    compute_seconds=dt,
+                )
+            )
+
+    @classmethod
+    def recover(cls, data_dir, **kwargs) -> "GraphService":
+        """Rebuild a service from its data directory after a crash.
+
+        Loads the newest snapshot, replays the committed tail of the
+        change log onto it, and re-runs every engine's initial evaluation
+        on the recovered graph -- converging to the same top-k as a
+        service that never crashed (property-tested in
+        ``tests/serving/test_recovery_property.py``).  Keyword arguments
+        are the same as the constructor's and must name the same engine
+        configuration the original service ran with (the data directory
+        persists *state*, not configuration).
+        """
+        store = SnapshotStore(data_dir)
+        snap_version = store.latest()
+        if snap_version is None:
+            raise ReproError(f"no snapshot to recover from in {data_dir}")
+        graph = store.load(snap_version)
+        wal = ChangeLog(data_dir, sync=kwargs.get("wal_sync", True))
+        # drop a torn trailing frame now: the recovered service appends to
+        # this log, and writing after an unclosed frame would corrupt it
+        wal.repair()
+        version = snap_version
+        replayed = 0
+        for v, batch in wal.replay(after_version=snap_version):
+            if v != version + 1:
+                raise ReproError(
+                    f"change log gap: snapshot v{snap_version}, then batch "
+                    f"v{v} after v{version}"
+                )
+            graph.apply(batch)
+            version = v
+            replayed += 1
+        service = cls(
+            graph,
+            data_dir=data_dir,
+            _start_version=version,
+            _allow_existing=True,
+            **kwargs,
+        )
+        service._recovered_from = (snap_version, replayed)
+        return service
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, changes: Union[Change, ChangeSet, Iterable[Change]]
+    ) -> int:
+        """Enqueue change(s); returns the current applied version.
+
+        The batch is applied synchronously inside this call when it trips
+        a coalescing threshold; otherwise it stays pending until a later
+        submit, an expired read, :meth:`flush`, or the background flusher.
+        """
+        with self._lock:
+            self._check_open()
+            with self._metrics.timed("submit"):
+                items = coerce_changes(changes)
+                # validate and track in lockstep: a later change may
+                # reference an entity an earlier one in the same submitted
+                # set introduces (Fig. 3b inserts a comment and immediately
+                # likes it), and a duplicate id within one set must collide
+                # with its own predecessor.  On rejection, untrack what this
+                # call added -- all-or-nothing, nothing half-enqueued.
+                tracked: list[tuple[str, int]] = []
+                try:
+                    for ch in items:
+                        self._validate(ch)
+                        added = self._track_pending(ch)
+                        if added is not None:
+                            tracked.append(added)
+                except ReproError:
+                    for kind, ext in tracked:
+                        self._pending_ids[kind].discard(ext)
+                    raise
+                batch = self._batcher.offer(items)
+            if batch is not None:
+                self._apply(batch)
+            return self.version
+
+    def flush(self) -> int:
+        """Apply everything pending now; returns the new applied version."""
+        with self._lock:
+            self._check_open()
+            batch = self._batcher.drain()
+            if batch is not None:
+                self._apply(batch)
+            return self.version
+
+    def _apply(self, batch: ChangeSet) -> None:
+        """WAL-log, apply, and re-evaluate one coalesced batch.
+
+        Fail-stop: if the graph or an engine raises mid-apply, the
+        in-memory state (graph partially mutated, cache possibly
+        version-skewed) is unrecoverable, so the service marks itself
+        failed and every later operation raises -- in particular no later
+        batch can reuse this batch's WAL version number.  The durable
+        state stays sound: the frame is already committed, and
+        :meth:`recover` replays it in full.
+        """
+        next_version = self.version + 1
+        try:
+            if self._wal is not None:
+                with self._metrics.timed("wal"):
+                    self._wal.append(next_version, batch)
+            with self._metrics.timed("apply"):
+                delta = self.graph.apply(batch)
+                for (query, tool), engine in self._engines.items():
+                    t0 = WallClock.now()
+                    if hasattr(engine, "refresh"):
+                        result_string = engine.refresh(delta)
+                    else:
+                        # NMF engines mirror the change set into their own
+                        # object model; the shared graph is already updated
+                        result_string = engine.update(batch)
+                    dt = WallClock.now() - t0
+                    self._metrics.record(f"refresh[{tool}]", dt)
+                    self._cache.put(
+                        CachedResult(
+                            query=query,
+                            tool=tool,
+                            version=next_version,
+                            top=tuple(engine.last_top),
+                            result_string=result_string,
+                            compute_seconds=dt,
+                        )
+                    )
+        except BaseException:
+            self._failed = True
+            raise
+        self.version = next_version
+        for ids in self._pending_ids.values():
+            ids.clear()
+        if (
+            self._store is not None
+            and self.snapshot_every
+            and self.version % self.snapshot_every == 0
+        ):
+            self.snapshot()
+
+    # ------------------------------------------------------------------
+    # submit-time validation (keeps the WAL free of unappliable batches)
+    # ------------------------------------------------------------------
+
+    def _known(self, kind: str, external_id: int) -> bool:
+        idmap = {"user": self.graph.users, "post": self.graph.posts, "comment": self.graph.comments}[kind]
+        return external_id in idmap or external_id in self._pending_ids[kind]
+
+    def _validate(self, ch: Change) -> None:
+        if isinstance(ch, AddUser):
+            if self._known("user", ch.user_id):
+                raise ReproError(f"duplicate user id {ch.user_id}")
+        elif isinstance(ch, AddPost):
+            if self._known("post", ch.post_id) or self._known("comment", ch.post_id):
+                raise ReproError(f"submission id {ch.post_id} already in use")
+            if not self._known("user", ch.user_id):
+                raise ReproError(f"post {ch.post_id}: unknown user {ch.user_id}")
+        elif isinstance(ch, AddComment):
+            if self._known("post", ch.comment_id) or self._known("comment", ch.comment_id):
+                raise ReproError(f"submission id {ch.comment_id} already in use")
+            if not self._known("user", ch.user_id):
+                raise ReproError(f"comment {ch.comment_id}: unknown user {ch.user_id}")
+            if not (
+                self._known("post", ch.parent_id) or self._known("comment", ch.parent_id)
+            ):
+                raise ReproError(
+                    f"comment {ch.comment_id}: unknown parent {ch.parent_id}"
+                )
+        elif isinstance(ch, (AddLike, RemoveLike)):
+            if not self._known("user", ch.user_id):
+                raise ReproError(f"like: unknown user {ch.user_id}")
+            if not self._known("comment", ch.comment_id):
+                raise ReproError(f"like: unknown comment {ch.comment_id}")
+        elif isinstance(ch, (AddFriendship, RemoveFriendship)):
+            if ch.user1_id == ch.user2_id:
+                raise ReproError(f"self-friendship for user {ch.user1_id}")
+            for uid in (ch.user1_id, ch.user2_id):
+                if not self._known("user", uid):
+                    raise ReproError(f"friendship: unknown user {uid}")
+        else:
+            raise ReproError(f"unknown change type {type(ch)}")
+
+    def _track_pending(self, ch: Change) -> Optional[tuple[str, int]]:
+        """Record an id a pending change introduces; returns the (kind, id)
+        it added (for rollback) or None for non-introducing changes."""
+        if isinstance(ch, AddUser):
+            self._pending_ids["user"].add(ch.user_id)
+            return ("user", ch.user_id)
+        if isinstance(ch, AddPost):
+            self._pending_ids["post"].add(ch.post_id)
+            return ("post", ch.post_id)
+        if isinstance(ch, AddComment):
+            self._pending_ids["comment"].add(ch.comment_id)
+            return ("comment", ch.comment_id)
+        return None
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def query(self, query: str, tool: Optional[str] = None) -> CachedResult:
+        """The cached top-k for ``query`` at the current applied version.
+
+        O(1): a dict lookup plus one expired-deadline check (an overdue
+        pending batch is applied first, so staleness stays bounded by
+        ``max_delay_ms`` even on a submit-quiet service).
+        """
+        with self._lock:
+            self._check_open()
+            if self._batcher.due():
+                self._apply(self._batcher.drain())
+            with self._metrics.timed("query"):
+                return self._cache.get(query, tool or self.primary_tool)
+
+    def stats(self) -> dict:
+        """Operational snapshot: version, queue, graph, per-op latencies."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "pending": self._batcher.pending,
+                "submitted": self._batcher.submitted,
+                "applied_batches": self._batcher.batches,
+                "queries": list(self.queries),
+                "tools": list(self.tools),
+                "primary_tool": self.primary_tool,
+                "graph": self.graph.stats(),
+                "ops": self._metrics.summary(),
+                "persistent": self._store is not None,
+                "snapshots": self._store.versions() if self._store else [],
+                "recovered_from": self._recovered_from,
+            }
+
+    # ------------------------------------------------------------------
+    # persistence / lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Write a point-in-time snapshot at the current applied version.
+
+        Pending (unapplied) changes are not part of a snapshot -- the
+        durability boundary is the applied batch.  Returns the snapshot
+        version.  Older snapshots beyond ``keep_snapshots`` are pruned;
+        the change log is never truncated (replay always starts from the
+        newest snapshot, so the tail before it is merely dead weight).
+        """
+        with self._lock:
+            if self._store is None:
+                raise ReproError("service has no data_dir; snapshots are disabled")
+            with self._metrics.timed("snapshot"):
+                if self.version not in self._store.versions():
+                    self._store.save(self.graph, self.version)
+                self._store.prune(self.keep_snapshots)
+            return self.version
+
+    def close(self) -> None:
+        """Graceful shutdown: flush pending, stop the flusher, close files."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._batcher.pending and not self._failed:
+                self._apply(self._batcher.drain())
+            self._closed = True
+        if self._flusher is not None:
+            self._flusher.stop()
+            self._flusher = None
+        if self._wal is not None:
+            self._wal.close()
+        for engine in self._engines.values():
+            engine.close()
+
+    def _check_open(self) -> None:
+        if self._failed:
+            raise ReproError(
+                "service failed mid-apply and is fail-stopped; rebuild it "
+                "(persistent services: GraphService.recover(data_dir))"
+            )
+        if self._closed:
+            raise ReproError("service is closed")
+
+    def _tick(self) -> None:
+        """Background-flusher hook: apply an overdue pending batch."""
+        with self._lock:
+            if not self._closed and not self._failed and self._batcher.due():
+                self._apply(self._batcher.drain())
+
+    def __enter__(self) -> "GraphService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphService<v{self.version}, pending={self._batcher.pending}, "
+            f"tools={list(self.tools)}, persistent={self._store is not None}>"
+        )
+
+
+class _Flusher(threading.Thread):
+    """Daemon thread enforcing ``max_delay_ms`` on a submit-quiet service."""
+
+    def __init__(self, service: GraphService, interval_s: float):
+        super().__init__(name="graphservice-flusher", daemon=True)
+        self._service = service
+        self._interval = interval_s
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            try:
+                self._service._tick()
+            except Exception:  # pragma: no cover - keep the flusher alive
+                pass
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=5.0)

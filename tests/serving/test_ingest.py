@@ -1,0 +1,91 @@
+"""MicroBatcher: count/time coalescing under a frozen clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import AddUser, ChangeSet
+from repro.serving.ingest import MicroBatcher
+from repro.util.timer import WallClock
+from repro.util.validation import ReproError
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    """Patchable frozen clock; advance with clock.tick(seconds)."""
+
+    class _Clock:
+        t = 1000.0
+
+        @classmethod
+        def tick(cls, dt: float) -> None:
+            cls.t += dt
+
+    monkeypatch.setattr(WallClock, "now", staticmethod(lambda: _Clock.t))
+    return _Clock
+
+
+def _changes(n, start=0):
+    return [AddUser(start + i) for i in range(n)]
+
+
+class TestCountThreshold:
+    def test_batch_trips_at_max_changes(self, clock):
+        mb = MicroBatcher(max_changes=3, max_delay_ms=1e9)
+        assert mb.offer(_changes(1)) is None
+        assert mb.offer(_changes(1, 1)) is None
+        batch = mb.offer(_changes(1, 2))
+        assert batch is not None and len(batch) == 3
+        assert mb.pending == 0
+
+    def test_oversized_changeset_not_split(self, clock):
+        mb = MicroBatcher(max_changes=3, max_delay_ms=1e9)
+        batch = mb.offer(ChangeSet(_changes(10)))
+        assert len(batch) == 10
+
+    def test_counters(self, clock):
+        mb = MicroBatcher(max_changes=2, max_delay_ms=1e9)
+        mb.offer(_changes(1))
+        mb.offer(_changes(1, 1))
+        mb.offer(_changes(1, 2))
+        assert mb.submitted == 3
+        assert mb.batches == 1
+        assert mb.pending == 1
+
+
+class TestTimeThreshold:
+    def test_due_after_max_delay(self, clock):
+        mb = MicroBatcher(max_changes=100, max_delay_ms=50)
+        mb.offer(_changes(1))
+        assert not mb.due()
+        clock.tick(0.049)
+        assert not mb.due()
+        clock.tick(0.002)
+        assert mb.due()
+
+    def test_offer_drains_when_overdue(self, clock):
+        mb = MicroBatcher(max_changes=100, max_delay_ms=50)
+        mb.offer(_changes(1))
+        clock.tick(0.060)
+        batch = mb.offer(_changes(1, 1))
+        assert batch is not None and len(batch) == 2
+
+    def test_age_resets_after_drain(self, clock):
+        mb = MicroBatcher(max_changes=100, max_delay_ms=50)
+        mb.offer(_changes(1))
+        clock.tick(1.0)
+        assert mb.drain() is not None
+        assert mb.age_ms() == 0.0
+        assert not mb.due()
+
+    def test_empty_never_due(self, clock):
+        mb = MicroBatcher(max_changes=2, max_delay_ms=0)
+        assert not mb.due()
+        assert mb.drain() is None
+
+
+def test_invalid_config():
+    with pytest.raises(ReproError):
+        MicroBatcher(max_changes=0)
+    with pytest.raises(ReproError):
+        MicroBatcher(max_delay_ms=-1)

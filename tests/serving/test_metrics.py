@@ -1,0 +1,58 @@
+"""LatencyStats / OpMetrics: exact counters, deterministic reservoir."""
+
+from __future__ import annotations
+
+from repro.serving.metrics import LatencyStats, OpMetrics
+
+
+class TestLatencyStats:
+    def test_exact_count_and_total(self):
+        s = LatencyStats()
+        for v in (0.001, 0.002, 0.003):
+            s.record(v)
+        assert s.count == 3
+        assert abs(s.total - 0.006) < 1e-12
+        assert abs(s.mean - 0.002) < 1e-12
+        assert s.min == 0.001 and s.max == 0.003
+
+    def test_percentiles(self):
+        s = LatencyStats()
+        for i in range(1, 101):
+            s.record(i / 1000.0)
+        assert 0.045 <= s.percentile(50) <= 0.055
+        assert s.percentile(99) >= 0.098
+
+    def test_reservoir_bounded_and_deterministic(self):
+        a, b = LatencyStats(max_samples=64), LatencyStats(max_samples=64)
+        for i in range(10_000):
+            a.record(i * 1e-6)
+            b.record(i * 1e-6)
+        assert len(a._samples) < 64
+        assert a._samples == b._samples  # no RNG in the measurement path
+        assert a.count == 10_000  # count/total stay exact under decimation
+        assert a.max == 9999 * 1e-6
+
+    def test_empty_summary(self):
+        s = LatencyStats()
+        out = s.summary()
+        assert out["count"] == 0
+        assert out["p99_ms"] == 0.0
+        assert out["min_ms"] == 0.0
+
+
+class TestOpMetrics:
+    def test_timed_context(self):
+        m = OpMetrics()
+        with m.timed("query"):
+            pass
+        with m.timed("query"):
+            pass
+        assert m["query"].count == 2
+        assert m["query"].total >= 0.0
+
+    def test_summary_sorted_by_op(self):
+        m = OpMetrics()
+        m.record("b", 0.1)
+        m.record("a", 0.2)
+        assert list(m.summary()) == ["a", "b"]
+        assert m.summary()["a"]["count"] == 1
