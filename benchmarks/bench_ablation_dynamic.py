@@ -9,12 +9,17 @@ updatable compressed format (faimGraph / Hornet).  This bench measures the
 * ``logflush`` -- the repo's production scheme: append to a log, merge into
                   canonical form once per phase (Matrix.assign_coo);
 * ``dynamic``  -- DynamicMatrix (Hornet-style blocks + faimGraph free lists):
-                  amortised O(degree) per insert, one compaction at the end.
+                  amortised O(degree) per insert, one compaction at the end;
+* ``dynamic+freeze`` -- the serving path's full cycle: arena update *plus*
+                  a dirty-row freeze per change set (what ``SocialGraph``
+                  pays when a query reads the matrix after every batch).
 
-Expected shape: rebuild grows with graph size (each step is O(nnz)),
+Expected shape: rebuild grows with graph size (each step is O(nnz) *sort*),
 logflush and dynamic grow with change size; dynamic additionally avoids
 the per-flush sort, winning when change sets are many and small -- the
-regime the paper's future work targets.
+regime the paper's future work targets.  ``dynamic+freeze`` sits between:
+the splice is O(nnz) *memcpy* but sort-free, so its per-step cost stays
+flat in |E| far longer than either merge strategy.
 """
 
 from __future__ import annotations
@@ -101,10 +106,24 @@ def _run_dynamic(initial: Matrix, state: DynamicMatrix, batches) -> DynamicMatri
     return state
 
 
+def _setup_dynamic_freeze(initial: Matrix):
+    dm = DynamicMatrix.from_matrix(initial, slack=0.25)
+    dm.freeze()  # the steady state starts with a materialised view
+    return dm
+
+
+def _run_dynamic_freeze(initial: Matrix, state: DynamicMatrix, batches) -> DynamicMatrix:
+    for bc, bu in batches:
+        state.assign_coo(bc, bu, True, accum=ops.lor)
+        state.freeze()  # a reader consumes the view after every change set
+    return state
+
+
 STRATEGIES = {
     "rebuild": (_setup_rebuild, _run_rebuild),
     "logflush": (_setup_logflush, _run_logflush),
     "dynamic": (_setup_dynamic, _run_dynamic),
+    "dynamic+freeze": (_setup_dynamic_freeze, _run_dynamic_freeze),
 }
 
 

@@ -26,15 +26,22 @@ Script mode (no pytest needed)::
 drives a small persistent service end-to-end (WAL + snapshots + a
 recovery round-trip), prints updates/sec and p50/p99 latencies from the
 service's own metrics, and exits non-zero on any correctness mismatch --
-this is the CI guard that the serving path stays alive.
+this is the CI guard that the serving path stays alive.  The smoke also
+runs the *steady-state phase*: a larger graph under single-change
+micro-batches (the regime the rebuild-free storage PR targets), whose
+updates/sec and latency percentiles are written to ``BENCH_serving.json``
+and compared against the committed pre-/post-PR record in
+``benchmarks/BENCH_serving.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import shutil
 import sys
 import tempfile
+from pathlib import Path
 
 try:  # pytest-benchmark fixtures only exist under pytest
     import pytest
@@ -151,6 +158,92 @@ def run_stream(scale: int, config: str, data_dir=None, max_batch: int = 64) -> d
     return report
 
 
+# The steady-state perf phase: a moderately sized graph under single-change
+# micro-batches -- the workload where pre-PR flushes paid O(|E|) per change.
+STEADY_SCALE = 32
+STEADY_MAX_BATCH = 1
+STEADY_READ_EVERY = 10
+_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+
+def run_steady_state(scale: int = STEADY_SCALE) -> dict:
+    """One sustained single-change stream; returns the BENCH_serving record."""
+    graph, change_sets = generate_benchmark_input(scale, seed=42)
+    changes = [ch for cs in change_sets for ch in cs]
+    service = GraphService(
+        graph,
+        tools=("graphblas-incremental",),
+        max_batch=STEADY_MAX_BATCH,
+        max_delay_ms=1e9,
+        q2_algorithm="unionfind",
+    )
+    _drive(service, changes, read_every=STEADY_READ_EVERY)
+    ops = service.stats()["ops"]
+    q1, q2 = service.query("Q1"), service.query("Q2")
+    ok = (
+        q1.result_string == Q1Batch(service.graph).result_string()
+        and q2.result_string
+        == Q2Batch(service.graph, algorithm="unionfind").result_string()
+    )
+    return {
+        "scale": scale,
+        "max_batch": STEADY_MAX_BATCH,
+        "changes": len(changes),
+        "updates_per_s": round(len(changes) / ops["apply"]["total_s"], 1),
+        "apply_p50_ms": ops["apply"]["p50_ms"],
+        "apply_p99_ms": ops["apply"]["p99_ms"],
+        "read_p50_ms": ops["query"]["p50_ms"],
+        "read_p99_ms": ops["query"]["p99_ms"],
+        "ok": ok,
+    }
+
+
+def steady_state_phase() -> int:
+    """Run the steady-state stream, emit BENCH_serving.json, compare to the
+    committed pre-PR baseline.  Returns the number of failures (correctness
+    only -- CI must not flake on machine speed)."""
+    r = run_steady_state()
+    print(
+        f"\nsteady-state: sf{r['scale']} micro-batch={r['max_batch']} "
+        f"-> {r['updates_per_s']:.0f} upd/s, apply p50 {r['apply_p50_ms']:.3f}ms "
+        f"p99 {r['apply_p99_ms']:.3f}ms, read p99 {r['read_p99_ms']:.4f}ms "
+        f"{'OK' if r['ok'] else 'MISMATCH'}"
+    )
+    committed = (
+        json.loads(_BASELINE_PATH.read_text()) if _BASELINE_PATH.exists() else {}
+    )
+    pre = committed.get("pre")
+    # same {workload, pre, post} schema as the committed record, so the CI
+    # artifact can be copied over benchmarks/BENCH_serving.json verbatim to
+    # extend the perf trajectory
+    record = {
+        "workload": committed.get(
+            "workload",
+            {"scale": r["scale"], "max_batch": r["max_batch"], "seed": 42},
+        ),
+        "pre": pre,
+        "post": r,
+    }
+    if pre and pre.get("updates_per_s"):
+        record["speedup_updates_per_s"] = round(
+            r["updates_per_s"] / pre["updates_per_s"], 2
+        )
+        print(
+            f"steady-state vs committed pre-PR baseline "
+            f"({pre['updates_per_s']:.0f} upd/s): "
+            f"{record['speedup_updates_per_s']:.1f}x"
+        )
+    out_path = Path("BENCH_serving.json")
+    if out_path.resolve() == _BASELINE_PATH:
+        # never clobber the committed pre-/post-PR record when run from
+        # inside benchmarks/
+        out_path = Path("BENCH_serving.current.json")
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=1)
+        fh.write("\n")
+    return 0 if r["ok"] else 1
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     ap.add_argument("--smoke", action="store_true", help="small fixed CI workload")
@@ -209,6 +302,9 @@ def main(argv=None) -> int:
         elif b["apply_total_s"]:
             speedup = b["apply_total_s"] / max(a["apply_total_s"], 1e-9)
             print(f"\nincremental vs batch apply time: {speedup:.1f}x faster")
+
+    if args.smoke:
+        failures += steady_state_phase()
 
     return 1 if failures else 0
 

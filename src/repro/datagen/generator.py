@@ -78,13 +78,14 @@ def generate_graph(
     scale_factor: int,
     seed: int = 42,
     config: GeneratorConfig | None = None,
+    storage: str = "dynamic",
 ) -> SocialGraph:
     """Initial graph for one scale factor (deterministic in ``seed``)."""
     row = row_for(scale_factor)
     cfg = config or GeneratorConfig()
     plan = _plan_counts(row.nodes, row.edges, cfg)
     rng = np.random.default_rng(seed + scale_factor)
-    g = SocialGraph()
+    g = SocialGraph(storage=storage)
 
     n_users, n_posts, n_comments = plan["users"], plan["posts"], plan["comments"]
 

@@ -21,6 +21,51 @@ def _common_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
     return np.promote_types(a.dtype, b.dtype)
 
 
+def _union_small(big_keys, big_vals, small_keys, small_vals, op, small_is_b):
+    """Union-merge a tiny sorted side into a large one without sorting.
+
+    The serving steady state merges O(Δ) updates into O(n) state on every
+    micro-batch; concat + argsort pays O((n+Δ) log(n+Δ)) for what a
+    searchsorted + insert does in O(n + Δ log n).  ``small_is_b`` preserves
+    operand order for non-commutative ops.
+    """
+    vdt = _common_dtype(big_vals, small_vals)
+    pos = np.searchsorted(big_keys, small_keys)
+    pos_c = np.minimum(pos, big_keys.size - 1)
+    dup = big_keys[pos_c] == small_keys
+    big_vals = big_vals.astype(vdt, copy=False)
+    small_vals = small_vals.astype(vdt, copy=False)
+    combined = None
+    if dup.any():
+        idx = pos[dup]
+        if small_is_b:
+            combined = np.asarray(op(big_vals[idx], small_vals[dup]))
+        else:
+            combined = np.asarray(op(small_vals[dup], big_vals[idx]))
+    new = ~dup
+    if new.any():
+        where = pos[new]
+        # np.insert keeps insertion order for equal positions, and
+        # small_keys is sorted unique, so the result stays sorted unique --
+        # and this is the single O(n) copy of the big side
+        out_keys = np.insert(big_keys, where, small_keys[new])
+        out_vals = np.insert(big_vals, where, small_vals[new])
+    else:
+        out_keys = big_keys.copy()
+        out_vals = big_vals.copy()
+    if combined is not None:
+        if combined.dtype != out_vals.dtype:
+            out_vals = out_vals.astype(
+                np.promote_types(out_vals.dtype, combined.dtype)
+            )
+        idx = pos[dup]
+        if new.any():
+            # each combined value shifted by the inserts landing before it
+            idx = idx + np.searchsorted(where, idx, side="right")
+        out_vals[idx] = combined
+    return out_keys, out_vals
+
+
 def union_merge(keys_a, vals_a, keys_b, vals_b, op):
     """Set-union merge (GrB_eWiseAdd semantics).
 
@@ -31,6 +76,10 @@ def union_merge(keys_a, vals_a, keys_b, vals_b, op):
         return keys_b.copy(), vals_b.copy()
     if keys_b.size == 0:
         return keys_a.copy(), vals_a.copy()
+    if keys_b.size * 16 <= keys_a.size:
+        return _union_small(keys_a, vals_a, keys_b, vals_b, op, small_is_b=True)
+    if keys_a.size * 16 <= keys_b.size:
+        return _union_small(keys_b, vals_b, keys_a, vals_a, op, small_is_b=False)
     keys = np.concatenate([keys_a, keys_b])
     order = np.argsort(keys, kind="stable")
     keys = keys[order]

@@ -15,16 +15,25 @@ adapted from GPU memory pools to NumPy arenas:
 * **Swap-with-last deletion** (Hornet): rows are *unsorted*; removing an
   entry moves the row's last entry into the hole -- O(scan) to find, O(1)
   to delete, no tombstones.
+* **Dirty-row freeze** (this repo's addition): :meth:`DynamicMatrix.freeze`
+  maintains a canonical compute :class:`Matrix` view across mutations.
+  Rows touched since the last freeze are re-canonicalised and spliced into
+  the previous frozen arrays (:func:`.._kernels.freeze.merge_dirty_rows`)
+  -- O(nnz) copies, no global sort -- and when *nothing* changed the same
+  Matrix object is returned, so its cached ``indptr``/transpose survive.
 
 Amortised costs: ``set_element`` O(row degree) (membership scan dominates),
-``remove_element`` O(row degree), ``to_matrix`` O(nnz log nnz) (one sort).
+``remove_element`` O(row degree), ``to_matrix`` O(nnz log nnz) (one sort),
+``freeze`` O(nnz + Δ·degree·log) after changes and O(1) when clean.
 The ablation benchmark ``benchmarks/bench_ablation_dynamic.py`` compares
 this against rebuild-per-changeset CSR maintenance on the update phase.
 
 This storage is *not* a GraphBLAS object: computation stays in
-:class:`~repro.graphblas.matrix.Matrix`.  ``to_matrix``/``from_matrix``
-convert at phase boundaries, which is exactly how the paper's future-work
-deployment would slot a dynamic format under the existing algorithms.
+:class:`~repro.graphblas.matrix.Matrix`.  ``freeze``/``to_matrix``/
+``from_matrix`` convert at phase boundaries, which is exactly how the
+paper's future-work deployment would slot a dynamic format under the
+existing algorithms -- and how :class:`~repro.model.graph.SocialGraph`
+does since the rebuild-free update path landed.
 """
 
 from __future__ import annotations
@@ -33,7 +42,10 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.graphblas import ops as _ops
 from repro.graphblas import types as _types
+from repro.graphblas._kernels.coo import canonicalize_matrix
+from repro.graphblas._kernels.freeze import merge_dirty_rows
 from repro.graphblas.matrix import Matrix
 from repro.util.validation import (
     DimensionMismatch,
@@ -44,6 +56,17 @@ from repro.util.validation import (
 __all__ = ["DynamicMatrix"]
 
 _MIN_CAP = 4  # smallest block; everything is a power of two from here
+
+
+def _row_segments(rows: np.ndarray):
+    """Yield ``(row, lo, hi)`` for each run of equal values in a row-sorted
+    index array -- the shared grouping step of the bulk mutators."""
+    boundaries = np.flatnonzero(np.diff(rows)) + 1
+    for lo, hi in zip(
+        np.concatenate([[0], boundaries]),
+        np.concatenate([boundaries, [rows.size]]),
+    ):
+        yield int(rows[lo]), int(lo), int(hi)
 
 
 def _block_cap(n: int) -> int:
@@ -72,6 +95,8 @@ class DynamicMatrix:
         "_free",
         "_nvals",
         "_relocations",
+        "_dirty",
+        "_frozen",
     )
 
     def __init__(self, dtype, nrows: int, ncols: int):
@@ -87,6 +112,8 @@ class DynamicMatrix:
         self._free: dict[int, list[int]] = {}  # capacity -> block starts
         self._nvals = 0
         self._relocations = 0  # instrumentation for the ablation bench
+        self._dirty: set[int] = set()  # rows touched since the last freeze
+        self._frozen: Matrix | None = None  # the maintained canonical view
 
     # ------------------------------------------------------------------
     # construction
@@ -220,9 +247,16 @@ class DynamicMatrix:
         start = self._used
         need = start + cap
         if need > self._cols.size:
+            # Explicit allocate-and-copy of the live prefix.  (np.resize
+            # would *repeat* the old content into the new tail -- harmless
+            # while nothing reads unwritten slots, but a correctness trap --
+            # and pays an extra temporary copy.)
             new_size = max(need, 2 * self._cols.size, 64)
-            self._cols = np.resize(self._cols, new_size)
-            self._vals = np.resize(self._vals, new_size)
+            new_cols = np.zeros(new_size, dtype=np.int64)
+            new_cols[:start] = self._cols[:start]
+            new_vals = np.zeros(new_size, dtype=self._vals.dtype)
+            new_vals[:start] = self._vals[:start]
+            self._cols, self._vals = new_cols, new_vals
         self._used = need
         return start
 
@@ -255,6 +289,7 @@ class DynamicMatrix:
         value = self.dtype.np_dtype.type(value)
         sl = self._row_slice(i)
         hits = np.flatnonzero(self._cols[sl] == j)
+        self._dirty.add(int(i))
         if hits.size:
             self._vals[sl.start + hits[0]] = value
             return
@@ -280,6 +315,7 @@ class DynamicMatrix:
         self._vals[pos] = self._vals[last]
         self._len[i] -= 1
         self._nvals -= 1
+        self._dirty.add(int(i))
         return True
 
     def assign_coo(self, rows, cols, values, *, accum=None) -> None:
@@ -301,43 +337,55 @@ class DynamicMatrix:
             raise IndexOutOfBounds("row index out of range in assign_coo")
         if cols.min() < 0 or cols.max() >= self._ncols:
             raise IndexOutOfBounds("col index out of range in assign_coo")
-        # group by row so each row is touched once
-        order = np.argsort(rows, kind="stable")
-        rows, cols, values = rows[order], cols[order], values[order]
-        boundaries = np.flatnonzero(np.diff(rows)) + 1
-        for seg_start, seg_stop in zip(
-            np.concatenate([[0], boundaries]),
-            np.concatenate([boundaries, [rows.size]]),
-        ):
-            i = int(rows[seg_start])
-            self._assign_row(
-                i, cols[seg_start:seg_stop], values[seg_start:seg_stop], accum
-            )
+        # one canonicalisation for the whole batch: row-major sort plus
+        # in-batch dedup (last wins without accum), so each row segment
+        # arrives at _assign_row already sorted and unique
+        rows, cols, values = canonicalize_matrix(
+            rows, cols, values, self._nrows, self._ncols,
+            dup_op=accum if accum is not None else _ops.second,
+        )
+        for i, lo, hi in _row_segments(rows):
+            self._assign_row(i, cols[lo:hi], values[lo:hi], accum)
 
     def _assign_row(self, i: int, new_cols, new_vals, accum) -> None:
-        """Merge a batch of entries into one row."""
-        # combine duplicates inside the batch first
-        uniq, inverse = np.unique(new_cols, return_inverse=True)
-        if uniq.size != new_cols.size:
-            merged = np.empty(uniq.size, dtype=new_vals.dtype)
+        """Merge sorted, duplicate-free entries into one row (vectorised)."""
+        self._dirty.add(int(i))
+        n = int(self._len[i])
+        s = int(self._start[i])
+        if new_cols.size == 1:
+            # micro-batch fast path: one entry for this row
+            j = int(new_cols[0])
+            hits = np.flatnonzero(self._cols[s : s + n] == j)
+            if hits.size:
+                k = s + int(hits[0])
+                self._vals[k] = (
+                    accum(self._vals[k], new_vals[0]) if accum is not None
+                    else new_vals[0]
+                )
+                return
+            if n == self._cap[i]:
+                self._grow_row(i)
+                s = int(self._start[i])
+            self._cols[s + n] = j
+            self._vals[s + n] = new_vals[0]
+            self._len[i] += 1
+            self._nvals += 1
+            return
+        if n:
+            existing = self._cols[s : s + n]
+            order = np.argsort(existing, kind="stable")
+            sorted_exist = existing[order]
+            pos = np.minimum(np.searchsorted(sorted_exist, new_cols), n - 1)
+            hit = sorted_exist[pos] == new_cols
+        else:
+            hit = np.zeros(new_cols.shape, dtype=np.bool_)
+        if hit.any():
+            # overwrite / accumulate the hits in place
+            targets = s + order[pos[hit]]
             if accum is None:
-                merged[inverse] = new_vals  # last writer wins
+                self._vals[targets] = new_vals[hit]
             else:
-                for k in range(uniq.size):
-                    sel = new_vals[inverse == k]
-                    acc = sel[0]
-                    for v in sel[1:]:
-                        acc = accum(acc, v)
-                    merged[k] = acc
-            new_cols, new_vals = uniq, merged
-        sl = self._row_slice(i)
-        existing = self._cols[sl]
-        pos_in_row = {int(c): k for k, c in enumerate(existing.tolist())}
-        hit = np.array([int(c) in pos_in_row for c in new_cols.tolist()], dtype=bool)
-        # overwrite / accumulate the hits
-        for c, v in zip(new_cols[hit].tolist(), new_vals[hit]):
-            k = sl.start + pos_in_row[c]
-            self._vals[k] = accum(self._vals[k], v) if accum is not None else v
+                self._vals[targets] = accum(self._vals[targets], new_vals[hit])
         # append the misses, growing as needed
         miss_cols, miss_vals = new_cols[~hit], new_vals[~hit]
         n_new = int(miss_cols.size)
@@ -351,8 +399,57 @@ class DynamicMatrix:
         self._len[i] += n_new
         self._nvals += n_new
 
+    def remove_coo(self, rows, cols) -> int:
+        """Bulk element removal: drop stored entries at the given positions.
+
+        Positions with no stored entry are ignored (idempotent), matching
+        :meth:`Matrix.remove_coo`.  Returns the number of entries removed.
+        Each touched row is compacted in one vectorised pass -- O(degree)
+        per row, independent of total nnz.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise DimensionMismatch(
+                f"remove_coo arrays must have equal length, got "
+                f"{rows.shape} and {cols.shape}"
+            )
+        if rows.size == 0 or self._nvals == 0:
+            return 0
+        if rows.min() < 0 or rows.max() >= self._nrows:
+            raise IndexOutOfBounds("row index out of range in remove_coo")
+        if cols.min() < 0 or cols.max() >= self._ncols:
+            raise IndexOutOfBounds("col index out of range in remove_coo")
+        order = np.argsort(rows, kind="stable")
+        rows, cols = rows[order], cols[order]
+        removed = 0
+        for i, lo, hi in _row_segments(rows):
+            removed += self._remove_row(i, cols[lo:hi])
+        return removed
+
+    def _remove_row(self, i: int, rm_cols: np.ndarray) -> int:
+        """Drop a batch of entries from one row; compacts the block."""
+        n = int(self._len[i])
+        if n == 0:
+            return 0
+        s = int(self._start[i])
+        existing = self._cols[s : s + n]
+        doomed = np.isin(existing, rm_cols)
+        k = int(doomed.sum())
+        if k == 0:
+            return 0
+        keep = ~doomed
+        self._cols[s : s + n - k] = existing[keep]
+        self._vals[s : s + n - k] = self._vals[s : s + n][keep]
+        self._len[i] = n - k
+        self._nvals -= k
+        self._dirty.add(int(i))
+        return k
+
     def resize(self, nrows: int, ncols: int) -> None:
         """Grow the logical dimensions (GxB_Matrix_resize, grow-only)."""
+        if nrows == self._nrows and ncols == self._ncols:
+            return
         if nrows < self._nrows or ncols < self._ncols:
             raise DimensionMismatch(
                 f"DynamicMatrix.resize only grows: {self.shape} -> {(nrows, ncols)}"
@@ -376,29 +473,76 @@ class DynamicMatrix:
     # conversion / iteration
     # ------------------------------------------------------------------
 
+    def _gather_rows(self, row_ids: np.ndarray):
+        """Canonical (row-major, col-sorted) entries of the given sorted rows.
+
+        One vectorised gather plus a single argsort over encoded keys --
+        no per-row Python loop.
+        """
+        lens = self._len[row_ids]
+        total = int(lens.sum())
+        empty_v = np.zeros(0, dtype=self.dtype.np_dtype)
+        if total == 0:
+            return np.zeros(0, np.int64), np.zeros(0, np.int64), empty_v
+        rows = np.repeat(row_ids, lens)
+        out_starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
+        within = np.arange(total, dtype=np.int64) - np.repeat(out_starts, lens)
+        entry_idx = np.repeat(self._start[row_ids], lens) + within
+        cols = self._cols[entry_idx]
+        vals = self._vals[entry_idx]
+        # rows are already grouped in ascending order; the key argsort fixes
+        # the (unsorted) column order inside each row
+        order = np.argsort(rows * np.int64(self._ncols) + cols, kind="stable")
+        return rows[order], cols[order], vals[order]
+
     def to_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(rows, cols, values) in canonical (row-major sorted) order."""
-        n = self._nvals
-        rows = np.empty(n, dtype=np.int64)
-        cols = np.empty(n, dtype=np.int64)
-        vals = np.empty(n, dtype=self.dtype.np_dtype)
-        out = 0
-        for i in np.flatnonzero(self._len).tolist():
-            k = int(self._len[i])
-            sl = self._row_slice(i)
-            order = np.argsort(self._cols[sl], kind="stable")
-            rows[out : out + k] = i
-            cols[out : out + k] = self._cols[sl][order]
-            vals[out : out + k] = self._vals[sl][order]
-            out += k
-        return rows, cols, vals
+        if self._nvals == 0:
+            return (
+                np.zeros(0, np.int64),
+                np.zeros(0, np.int64),
+                np.zeros(0, dtype=self.dtype.np_dtype),
+            )
+        return self._gather_rows(np.flatnonzero(self._len))
 
     def to_matrix(self) -> Matrix:
-        """Freeze into an immutable compute Matrix."""
+        """Freeze into a *fresh* immutable compute Matrix."""
         rows, cols, vals = self.to_coo()
         return Matrix.from_coo(
             rows, cols, vals, self._nrows, self._ncols, dtype=self.dtype
         )
+
+    def freeze(self) -> Matrix:
+        """The maintained canonical compute view (phase-boundary freeze).
+
+        Unlike :meth:`to_matrix` this returns the *same* :class:`Matrix`
+        object across calls while the storage is unchanged -- preserving its
+        cached ``indptr`` and transpose -- and after mutations only the rows
+        touched since the last freeze are re-canonicalised and spliced in
+        (O(nnz) copies, no global sort; the fresh ``indptr`` falls out of
+        the splice for free).  The returned matrix is owned by this object:
+        it is mutated in place by later freezes, exactly like the matrices
+        a flushing :class:`~repro.model.graph.SocialGraph` serves.
+        """
+        f = self._frozen
+        if f is None:
+            f = self._frozen = self.to_matrix()
+            self._dirty.clear()
+            return f
+        if f.shape != self.shape:
+            f.resize(self._nrows, self._ncols)
+        if self._dirty:
+            dirty = np.fromiter(self._dirty, np.int64, len(self._dirty))
+            dirty.sort()
+            d_rows, d_cols, d_vals = self._gather_rows(dirty)
+            r, c, v, indptr = merge_dirty_rows(
+                f._rows, f._cols, f._values, f.indptr, self._nrows,
+                dirty, d_rows, d_cols, d_vals,
+            )
+            f._set(r, c, v)
+            f._cache["indptr"] = indptr
+            self._dirty.clear()
+        return f
 
     def items(self) -> Iterator[tuple[int, int, object]]:
         rows, cols, vals = self.to_coo()

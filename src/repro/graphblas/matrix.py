@@ -254,14 +254,27 @@ class Matrix:
         )
 
     def resize(self, nrows: int, ncols: int) -> None:
-        """GrB_Matrix_resize; shrinking drops out-of-range entries."""
+        """GrB_Matrix_resize; shrinking drops out-of-range entries.
+
+        A same-dimensions call is a strict no-op: it must not invalidate the
+        cached ``indptr``/transpose (the serving layer's flush-on-read calls
+        this on every property access).  On pure growth the cached ``indptr``
+        stays valid too -- it is extended in place instead of dropped.
+        """
         nrows = check_positive(nrows, "nrows")
         ncols = check_positive(ncols, "ncols")
+        if nrows == self._nrows and ncols == self._ncols:
+            return
         if nrows < self._nrows or ncols < self._ncols:
             keep = (self._rows < nrows) & (self._cols < ncols)
             self._set(self._rows[keep], self._cols[keep], self._values[keep])
         else:
+            ip = self._cache.get("indptr")
             self._cache.clear()
+            if ip is not None:
+                self._cache["indptr"] = np.concatenate(
+                    [ip, np.full(nrows - self._nrows, ip[-1], dtype=np.int64)]
+                )
         self._nrows = nrows
         self._ncols = ncols
 

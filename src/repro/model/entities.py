@@ -15,6 +15,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.util.buffers import IntArrayList
 from repro.util.validation import ReproError
 
 __all__ = ["EntityKind", "IdMap"]
@@ -34,7 +35,7 @@ class IdMap:
     def __init__(self, kind: EntityKind):
         self.kind = kind
         self._to_internal: dict[int, int] = {}
-        self._to_external: list[int] = []
+        self._to_external = IntArrayList()
 
     def add(self, external_id: int) -> int:
         """Register a new external id; returns its internal index."""
@@ -63,7 +64,8 @@ class IdMap:
         return [ext[i] for i in indices]
 
     def external_array(self) -> np.ndarray:
-        return np.asarray(self._to_external, dtype=np.int64)
+        """All external ids by internal index -- an O(1) read-only view."""
+        return self._to_external.array()
 
     def __contains__(self, external_id: int) -> bool:
         return external_id in self._to_internal

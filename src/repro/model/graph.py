@@ -1,9 +1,26 @@
 """The SocialGraph: matrix-backed storage of the case-study model.
 
-All relations live in GraphBLAS matrices sized exactly to the current entity
-counts, exactly as the paper's Fig. 4 lays them out.  Single-element inserts
-are buffered and flushed in one vectorised batch per matrix whenever a matrix
-is read, so loading a graph of any size is O(E log E), not O(E * nnz).
+All relations are served as GraphBLAS matrices sized exactly to the current
+entity counts, exactly as the paper's Fig. 4 lays them out.  Single-element
+inserts are buffered and flushed in one vectorised batch per relation
+whenever a matrix is read, so loading a graph of any size is O(E log E),
+not O(E * nnz).
+
+Two storage strategies back those matrix views (``storage=`` ctor arg):
+
+* ``"dynamic"`` (default) -- each relation lives in a
+  :class:`~repro.graphblas.dynamic.DynamicMatrix` arena (the paper's
+  future-work item (1)): a flush costs O(Δ·degree) block updates, and the
+  served compute ``Matrix`` is refreshed through the dirty-row freeze
+  (only rows touched since the last read are re-canonicalised -- no O(nnz
+  log nnz) rebuild, and the cached ``indptr``/transpose survive reads that
+  change nothing).  A likes-*transpose* arena (|users| x |comments|) is
+  maintained alongside, giving :meth:`SocialGraph.comments_liked_by` the
+  O(degree) per-user index the delta-targeted Q2 detection reads.
+* ``"matrix"`` -- the legacy log-flush scheme: one immutable canonical
+  :class:`Matrix` per relation, each flush an O(nnz) ``assign_coo`` /
+  ``remove_coo`` merge.  Kept as the property-test oracle and the
+  benchmark baseline.
 
 :meth:`SocialGraph.apply` consumes a :class:`~repro.model.changes.ChangeSet`
 and returns a :class:`GraphDelta`, the exact inputs the paper's incremental
@@ -19,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graphblas import types as _gbtypes
+from repro.graphblas.dynamic import DynamicMatrix
 from repro.graphblas.matrix import Matrix
 from repro.model.changes import (
     AddComment,
@@ -31,9 +49,68 @@ from repro.model.changes import (
     RemoveLike,
 )
 from repro.model.entities import EntityKind, IdMap
+from repro.util.buffers import IntArrayList
 from repro.util.validation import ReproError
 
 __all__ = ["SocialGraph", "GraphDelta"]
+
+
+class _MatrixRelation:
+    """Legacy log-flush storage: canonical Matrix, O(nnz) merge per flush."""
+
+    __slots__ = ("_m",)
+    kind = "matrix"
+
+    def __init__(self) -> None:
+        self._m = Matrix.sparse(_gbtypes.BOOL, 0, 0)
+
+    def resize(self, nrows: int, ncols: int) -> None:
+        self._m.resize(nrows, ncols)
+
+    def add(self, rows, cols) -> None:
+        self._m.assign_coo(rows, cols, True)
+
+    def remove(self, rows, cols) -> None:
+        self._m.remove_coo(rows, cols)
+
+    def view(self) -> Matrix:
+        return self._m
+
+    @property
+    def nvals(self) -> int:
+        return self._m.nvals
+
+
+class _DynamicRelation:
+    """Rebuild-free storage: DynamicMatrix arena + dirty-row freeze."""
+
+    __slots__ = ("_dm",)
+    kind = "dynamic"
+
+    def __init__(self) -> None:
+        self._dm = DynamicMatrix(_gbtypes.BOOL, 0, 0)
+
+    def resize(self, nrows: int, ncols: int) -> None:
+        self._dm.resize(nrows, ncols)
+
+    def add(self, rows, cols) -> None:
+        self._dm.assign_coo(rows, cols, True)
+
+    def remove(self, rows, cols) -> None:
+        self._dm.remove_coo(rows, cols)
+
+    def view(self) -> Matrix:
+        return self._dm.freeze()
+
+    @property
+    def nvals(self) -> int:
+        return self._dm.nvals
+
+    def row_cols(self, i: int) -> np.ndarray:
+        return self._dm.row(i)[0]
+
+
+_RELATION_CLASSES = {"matrix": _MatrixRelation, "dynamic": _DynamicRelation}
 
 
 @dataclass
@@ -121,13 +198,19 @@ class GraphDelta:
 class SocialGraph:
     """Users, Posts, Comments and their relations, stored as matrices."""
 
-    def __init__(self) -> None:
+    def __init__(self, storage: str = "dynamic") -> None:
+        if storage not in _RELATION_CLASSES:
+            raise ReproError(
+                f"unknown storage {storage!r}; expected one of "
+                f"{sorted(_RELATION_CLASSES)}"
+            )
+        self.storage = storage
         self.users = IdMap(EntityKind.USER)
         self.posts = IdMap(EntityKind.POST)
         self.comments = IdMap(EntityKind.COMMENT)
 
-        self._post_ts: list[int] = []
-        self._comment_ts: list[int] = []
+        self._post_ts = IntArrayList()
+        self._comment_ts = IntArrayList()
         self._user_names: list[str] = []
         #: submitter of each post / comment (internal user idx)
         self._post_author: list[int] = []
@@ -135,12 +218,14 @@ class SocialGraph:
         #: parent of each comment: (is_post, internal idx of parent)
         self._comment_parent: list[tuple[bool, int]] = []
         #: root post of each comment (internal post idx) -- the rootPost pointer
-        self._comment_root: list[int] = []
+        self._comment_root = IntArrayList()
 
-        self._root_post = Matrix.sparse(_gbtypes.BOOL, 0, 0)
-        self._likes = Matrix.sparse(_gbtypes.BOOL, 0, 0)
-        self._friends = Matrix.sparse(_gbtypes.BOOL, 0, 0)
-        self._commented = Matrix.sparse(_gbtypes.BOOL, 0, 0)
+        rel = _RELATION_CLASSES[storage]
+        self._rel = {name: rel() for name in ("root_post", "likes", "friends", "commented")}
+        #: |users| x |comments| mirror of likes, the per-user index behind
+        #: :meth:`comments_liked_by` (dynamic storage only; the matrix
+        #: strategy reads the cached ``likes.T`` instead)
+        self._likes_t = rel() if storage == "dynamic" else None
 
         self._pending: dict[str, list] = {
             "root_post": [],
@@ -169,15 +254,15 @@ class SocialGraph:
 
     @property
     def post_timestamps(self) -> np.ndarray:
-        return np.asarray(self._post_ts, dtype=np.int64)
+        return self._post_ts.array()
 
     @property
     def comment_timestamps(self) -> np.ndarray:
-        return np.asarray(self._comment_ts, dtype=np.int64)
+        return self._comment_ts.array()
 
     def comment_root_posts(self) -> np.ndarray:
         """rootPost pointer per comment (internal post idx)."""
-        return np.asarray(self._comment_root, dtype=np.int64)
+        return self._comment_root.array()
 
     # ------------------------------------------------------------------
     # single-element mutators (buffered)
@@ -269,37 +354,50 @@ class SocialGraph:
     # ------------------------------------------------------------------
 
     def _flush(self) -> None:
-        np_, nc, nu = self.num_posts, self.num_comments, self.num_users
-        self._root_post.resize(np_, nc)
-        self._likes.resize(nc, nu)
-        self._friends.resize(nu, nu)
-        self._commented.resize(nc, nc)
         pend = self._pending
+        dirty = any(pend.values())
+        np_, nc, nu = self.num_posts, self.num_comments, self.num_users
+        rel = self._rel
+        # resizes are strict no-ops when the entity counts are unchanged,
+        # so a read-after-read flush costs four integer comparisons and
+        # destroys no matrix caches
+        rel["root_post"].resize(np_, nc)
+        rel["likes"].resize(nc, nu)
+        rel["friends"].resize(nu, nu)
+        rel["commented"].resize(nc, nc)
+        if self._likes_t is not None:
+            self._likes_t.resize(nu, nc)
+        if not dirty:
+            return
         if pend["root_post"]:
             arr = np.asarray(pend["root_post"], dtype=np.int64)
-            self._root_post.assign_coo(arr[:, 0], arr[:, 1], True)
+            rel["root_post"].add(arr[:, 0], arr[:, 1])
             pend["root_post"].clear()
         if pend["likes"]:
             adds, removes = self._resolve_ops(pend["likes"])
             if adds.size:
-                self._likes.assign_coo(adds[:, 0], adds[:, 1], True)
+                rel["likes"].add(adds[:, 0], adds[:, 1])
+                if self._likes_t is not None:
+                    self._likes_t.add(adds[:, 1], adds[:, 0])
             if removes.size:
-                self._likes.remove_coo(removes[:, 0], removes[:, 1])
+                rel["likes"].remove(removes[:, 0], removes[:, 1])
+                if self._likes_t is not None:
+                    self._likes_t.remove(removes[:, 1], removes[:, 0])
             pend["likes"].clear()
         if pend["friends"]:
             adds, removes = self._resolve_ops(pend["friends"])
             if adds.size:
                 rows = np.concatenate([adds[:, 0], adds[:, 1]])
                 cols = np.concatenate([adds[:, 1], adds[:, 0]])
-                self._friends.assign_coo(rows, cols, True)
+                rel["friends"].add(rows, cols)
             if removes.size:
                 rows = np.concatenate([removes[:, 0], removes[:, 1]])
                 cols = np.concatenate([removes[:, 1], removes[:, 0]])
-                self._friends.remove_coo(rows, cols)
+                rel["friends"].remove(rows, cols)
             pend["friends"].clear()
         if pend["commented"]:
             arr = np.asarray(pend["commented"], dtype=np.int64)
-            self._commented.assign_coo(arr[:, 0], arr[:, 1], True)
+            rel["commented"].add(arr[:, 0], arr[:, 1])
             pend["commented"].clear()
 
     @staticmethod
@@ -326,25 +424,71 @@ class SocialGraph:
     def root_post(self) -> Matrix:
         """BOOL |posts| x |comments|: post is the root of comment."""
         self._flush()
-        return self._root_post
+        return self._rel["root_post"].view()
 
     @property
     def likes(self) -> Matrix:
         """BOOL |comments| x |users|: user likes comment."""
         self._flush()
-        return self._likes
+        return self._rel["likes"].view()
 
     @property
     def friends(self) -> Matrix:
         """BOOL |users| x |users|, symmetric."""
         self._flush()
-        return self._friends
+        return self._rel["friends"].view()
 
     @property
     def commented(self) -> Matrix:
         """BOOL |comments| x |comments|: reply -> parent comment."""
         self._flush()
-        return self._commented
+        return self._rel["commented"].view()
+
+    def likers_of(self, comment_idx: int) -> np.ndarray:
+        """Sorted internal user indices liking the comment -- O(degree).
+
+        Reads the likes storage directly, *without* forcing a freeze of the
+        likes matrix: on the dynamic storage a like-only change set can be
+        scored straight off the arena rows.
+        """
+        self._flush()
+        if self.storage == "dynamic":
+            users = self._rel["likes"].row_cols(comment_idx)
+            users.sort()  # row_cols returns a copy; in-place is safe
+            return users
+        likes = self._rel["likes"].view()
+        ip = likes.indptr
+        # copy: callers may mutate (the dynamic branch sorts in place), and a
+        # live view into Matrix._cols must never leak
+        return likes._cols[ip[comment_idx] : ip[comment_idx + 1]].copy()
+
+    def comments_liked_by(self, user_idx: int) -> np.ndarray:
+        """Internal indices of the comments ``user_idx`` likes.
+
+        O(degree): the dynamic storage reads its maintained likes-transpose
+        arena; the matrix storage reads a row of the cached ``likes.T``
+        (rebuilt only when likes actually changed, thanks to the
+        cache-preserving flush).  The returned order is unspecified.
+        """
+        self._flush()
+        if self._likes_t is not None:
+            return self._likes_t.row_cols(user_idx)
+        t = self._rel["likes"].view().T
+        ip = t.indptr
+        return t._cols[ip[user_idx] : ip[user_idx + 1]].copy()
+
+    def comments_liked_by_both(self, user_a: int, user_b: int) -> np.ndarray:
+        """Comments that *both* users like -- O(deg(a) + deg(b)).
+
+        The per-friendship kernel of the delta-targeted Q2 affected-comment
+        detection (each entry is a comment whose induced liker subgraph
+        gains or loses the (a, b) edge).
+        """
+        ca = self.comments_liked_by(user_a)
+        cb = self.comments_liked_by(user_b)
+        if ca.size == 0 or cb.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.intersect1d(ca, cb, assume_unique=True)
 
     # ------------------------------------------------------------------
     # change application
@@ -437,10 +581,11 @@ class SocialGraph:
     def stats(self) -> dict:
         """Node/edge counts in Table II's accounting (nodes + all edge kinds)."""
         self._flush()
+        rel = self._rel
         n_edges = (
-            self._root_post.nvals
-            + self._commented.nvals
-            + self._likes.nvals
+            rel["root_post"].nvals
+            + rel["commented"].nvals
+            + rel["likes"].nvals
             + len(self._friend_keys)
         )
         return {
@@ -449,9 +594,26 @@ class SocialGraph:
             "comments": self.num_comments,
             "nodes": self.num_users + self.num_posts + self.num_comments,
             "edges": n_edges,
-            "likes": self._likes.nvals,
+            "likes": rel["likes"].nvals,
             "friendships": len(self._friend_keys),
+            "storage": self.storage,
         }
+
+    def storage_stats(self) -> dict:
+        """Per-relation storage accounting (arena occupancy when dynamic)."""
+        self._flush()
+        out: dict = {"kind": self.storage}
+        if self.storage == "dynamic":
+            relations = dict(self._rel)
+            relations["likes_t"] = self._likes_t
+            out["relations"] = {
+                name: rel._dm.memory_stats() for name, rel in relations.items()
+            }
+        else:
+            out["relations"] = {
+                name: {"filled_slots": rel.nvals} for name, rel in self._rel.items()
+            }
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats()

@@ -111,6 +111,15 @@ class Q1Incremental:
         """
         if self.scores is None:
             raise RuntimeError("call initial() before update()")
+        if (
+            delta.new_post_idx.size == 0
+            and delta.new_comment_idx.size == 0
+            and delta.new_likes[0].size == 0
+            and delta.removed_likes[0].size == 0
+        ):
+            # Friendship-only (or user-only) change set: both Alg. 2 inputs
+            # (ΔRootPost, likesCount+) are empty, so no score can move.
+            return self.tracker.top()
         g = self.graph
         n_posts = delta.n_posts_after
         n_comments = delta.n_comments_after
@@ -118,23 +127,37 @@ class Q1Incremental:
         self.scores.resize(n_posts)
 
         # ΔRootPost and likesCount+ from the applied change set; removed
-        # likes contribute -1 (the extension's signed increment).
-        delta_rp = delta.delta_root_post()
+        # likes contribute -1 (the extension's signed increment).  Empty
+        # operands are skipped outright: ⊕ with nothing is the identity, and
+        # in the micro-batch steady state most deltas carry only one kind.
         like_c, _like_u = delta.new_likes
         counts = np.bincount(like_c, minlength=n_comments).astype(np.int64)
         unlike_c, _ = delta.removed_likes
         if unlike_c.size:
             counts -= np.bincount(unlike_c, minlength=n_comments).astype(np.int64)
         nz = np.flatnonzero(counts)
-        likes_count_plus = Vector.from_coo(nz, counts[nz], n_comments, dtype=INT64)
 
-        # line 9-10: repliesScores+ <- 10 x [⊕_j ΔRootPost(:, j)]
-        new_comment_counts = delta_rp.reduce_vector(_PLUS, dtype=INT64)
-        replies_plus = new_comment_counts.apply(_MUL10)
-        # line 11: likesScore+ <- RootPost' ⊕.⊗ likesCount+
-        likes_plus = g.root_post.mxv(likes_count_plus, _PLUS_TIMES)
+        replies_plus = None
+        if delta.new_comment_idx.size:
+            # line 9-10: repliesScores+ <- 10 x [⊕_j ΔRootPost(:, j)]
+            new_comment_counts = delta.delta_root_post().reduce_vector(
+                _PLUS, dtype=INT64
+            )
+            replies_plus = new_comment_counts.apply(_MUL10)
+        likes_plus = None
+        if nz.size:
+            likes_count_plus = Vector.from_coo(nz, counts[nz], n_comments, dtype=INT64)
+            # line 11: likesScore+ <- RootPost' ⊕.⊗ likesCount+
+            likes_plus = g.root_post.mxv(likes_count_plus, _PLUS_TIMES)
         # line 12: scores+ <- repliesScores+ ⊕ likesScore+
-        scores_plus = replies_plus.ewise_add(likes_plus, _ops.plus)
+        if replies_plus is not None and likes_plus is not None:
+            scores_plus = replies_plus.ewise_add(likes_plus, _ops.plus)
+        elif replies_plus is not None:
+            scores_plus = replies_plus
+        elif likes_plus is not None:
+            scores_plus = likes_plus
+        else:
+            scores_plus = Vector.sparse(INT64, n_posts)
         # line 13: scores' <- scores ⊕ scores+
         self.scores = self.scores.ewise_add(scores_plus, _ops.plus)
         # line 14: Δscores<scores+> <- scores'   (changed scores only)

@@ -47,10 +47,24 @@ from repro.parallel.executor import Executor, SerialExecutor, chunk_evenly
 from repro.queries.topk import TopKTracker, top_k
 from repro.util.validation import ReproError
 
-__all__ = ["Q2Batch", "Q2Incremental", "score_comments"]
+__all__ = [
+    "Q2Batch",
+    "Q2Incremental",
+    "affected_comments_delta",
+    "affected_comments_incidence",
+    "score_comments",
+]
 
 _PLUS_TIMES = _semiring.get("plus_times")
 _LOR = _monoid.lor_monoid
+
+#: affected sets at or below this size are scored without freezing Likes
+_SMALL_SCORE_SET = 32
+
+#: friendship batches above this size fall back to the incidence SpGEMM --
+#: the per-pair intersection's Python loop loses to one matrix product once
+#: a change set carries many friendships (the offline bulk-load regime)
+_DELTA_PAIR_LIMIT = 64
 
 
 # ---------------------------------------------------------------------------
@@ -75,14 +89,13 @@ def _init_worker(
     _W["algorithm"] = algorithm
 
 
-def _induced_edges(users: np.ndarray):
+def _induced_edges(users: np.ndarray, fi: np.ndarray, fc: np.ndarray):
     """Friend edges among ``users``, in local (0..len(users)-1) indices.
 
     ``users`` is sorted (CSR column order), so global->local mapping is one
-    searchsorted -- no dict, no Python loop.
+    searchsorted -- no dict, no Python loop.  ``fi``/``fc`` are the friends
+    CSR indptr and column arrays.
     """
-    fi = _W["friends_indptr"]
-    fc = _W["friends_cols"]
     starts = fi[users]
     lengths = fi[users + 1] - starts
     total = int(lengths.sum())
@@ -104,11 +117,17 @@ def _score_one(comment: int) -> int:
     """Σ component-size² for one comment's induced liker subgraph."""
     li = _W["likes_indptr"]
     users = _W["likes_users"][li[comment] : li[comment + 1]]
+    return _score_users(
+        users, _W["friends_indptr"], _W["friends_cols"], _W["algorithm"]
+    )
+
+
+def _score_users(users, fi, fc, algorithm) -> int:
+    """Σ component-size² for a sorted liker set over the friends CSR."""
     n = users.size
     if n == 0:
         return 0
-    src, dst = _induced_edges(users)
-    algorithm = _W["algorithm"]
+    src, dst = _induced_edges(users, fi, fc)
     if algorithm == "fastsv":
         if src.size == 0:
             return n  # n singleton components
@@ -162,6 +181,16 @@ def score_comments(
 
         scored = batched_comment_scores(graph, comments)
         return {int(c): scored.get(int(c), 0) for c in comments.tolist()}
+    if comments.size <= _SMALL_SCORE_SET:
+        # Delta-rescore fast path: a handful of affected comments does not
+        # justify freezing the likes matrix or spinning the chunk machinery
+        # -- read each liker set straight off the graph storage.
+        friends = graph.friends
+        fi, fc = friends.indptr, friends._cols
+        return {
+            int(c): _score_users(graph.likers_of(int(c)), fi, fc, algorithm)
+            for c in comments.tolist()
+        }
     likes = graph.likes
     friends = graph.friends
     initargs = (
@@ -189,6 +218,60 @@ def score_comments(
     for ids, scores in results:
         out.update(zip(ids.tolist(), scores.tolist()))
     return out
+
+
+# ---------------------------------------------------------------------------
+# affected-comment detection (steps 1-5 of Fig. 4b, lower half)
+# ---------------------------------------------------------------------------
+
+
+def affected_comments_incidence(graph: SocialGraph, delta: GraphDelta) -> np.ndarray:
+    """The ``ac`` set via the paper's incidence-matrix SpGEMM (reference).
+
+    Step 1: ``AC = Likes ⊕.⊗ NewFriends`` (likers per friendship column);
+    step 2: keep cells equal to 2 (both endpoints like the comment); step 3:
+    row-wise OR; step 4/5: extract and union.  Cost is O(nnz(Likes)) per
+    batch *regardless of batch size* -- which is why the serving path uses
+    the delta-targeted formulation below; this one is kept as the
+    property-test oracle (``tests/queries/test_affected_delta.py``).
+    """
+    affected = set(delta.new_comment_idx.tolist())        # Δcomments
+    affected.update(delta.new_likes[0].tolist())          # Δlikes targets
+    affected.update(delta.removed_likes[0].tolist())      # unlikes (ext.)
+    for incidence_pairs, incidence in (
+        (delta.new_friendships, delta.new_friends_incidence),
+        (delta.removed_friendships, delta.removed_friends_incidence),
+    ):
+        if incidence_pairs[0].size:
+            ac = graph.likes.mxm(incidence(), _PLUS_TIMES)
+            ac2 = ac.select(_ops.valueeq, 2)
+            hit = ac2.reduce_vector(_LOR, dtype=BOOL)
+            affected.update(hit.to_coo()[0].tolist())
+    return np.asarray(sorted(affected), dtype=np.int64)
+
+
+def affected_comments_delta(graph: SocialGraph, delta: GraphDelta) -> np.ndarray:
+    """The same ``ac`` set, delta-targeted: O(deg(a) + deg(b)) per pair.
+
+    A friendship (a, b) -- inserted or removed -- can only affect comments
+    *both* users like, so instead of multiplying the whole Likes matrix by
+    the incidence matrix we intersect the two users' like sets off the
+    graph's maintained likes-transpose index
+    (:meth:`SocialGraph.comments_liked_by_both`).  Property-tested equal to
+    :func:`affected_comments_incidence` on seeded random change streams,
+    removals included.
+    """
+    n_pairs = delta.new_friendships[0].size + delta.removed_friendships[0].size
+    if n_pairs > _DELTA_PAIR_LIMIT:
+        # bulk regime: one SpGEMM beats thousands of per-pair intersections
+        return affected_comments_incidence(graph, delta)
+    affected = set(delta.new_comment_idx.tolist())
+    affected.update(delta.new_likes[0].tolist())
+    affected.update(delta.removed_likes[0].tolist())
+    for pairs in (delta.new_friendships, delta.removed_friendships):
+        for a, b in zip(pairs[0].tolist(), pairs[1].tolist()):
+            affected.update(graph.comments_liked_by_both(a, b).tolist())
+    return np.asarray(sorted(affected), dtype=np.int64)
 
 
 # ---------------------------------------------------------------------------
@@ -325,30 +408,14 @@ class Q2Incremental:
     # -- phase 2 ----------------------------------------------------------
 
     def _affected_comments(self, delta: GraphDelta) -> np.ndarray:
-        """Steps 1-5 of Fig. 4b (lower half): the ``ac`` set.
+        """Steps 1-5 of Fig. 4b (lower half): the ``ac`` set, delta-targeted.
 
         Extension: removed likes and removed friendships affect comments by
         the exact dual argument -- an unlike shrinks the induced subgraph, an
         unfriend may *split* a component of any comment both users like --
-        so the same incidence-matrix detection runs on the removed edges.
+        so the same per-pair intersection runs on the removed edges.
         """
-        g = self.graph
-        affected = set(delta.new_comment_idx.tolist())        # Δcomments
-        affected.update(delta.new_likes[0].tolist())          # Δlikes targets
-        affected.update(delta.removed_likes[0].tolist())      # unlikes (ext.)
-        for incidence_pairs, incidence in (
-            (delta.new_friendships, delta.new_friends_incidence),
-            (delta.removed_friendships, delta.removed_friends_incidence),
-        ):
-            if incidence_pairs[0].size:
-                # Step 1: AC = Likes' ⊕.⊗ Friends-incidence (likers per pair)
-                ac = g.likes.mxm(incidence(), _PLUS_TIMES)
-                # Step 2: keep cells == 2 (both endpoints like the comment)
-                ac2 = ac.select(_ops.valueeq, 2)
-                # Step 3: row-wise OR  /  Step 4: extractTuples
-                hit = ac2.reduce_vector(_LOR, dtype=BOOL)
-                affected.update(hit.to_coo()[0].tolist())     # Step 5: union
-        return np.asarray(sorted(affected), dtype=np.int64)
+        return affected_comments_delta(self.graph, delta)
 
     def _apply_dynamic(self, delta: GraphDelta) -> None:
         """Maintain per-comment components across one change set."""
@@ -405,6 +472,15 @@ class Q2Incremental:
     def update(self, delta: GraphDelta) -> list[tuple[int, int]]:
         if self.scores is None:
             raise RuntimeError("call initial() before update()")
+        if (
+            delta.new_comment_idx.size == 0
+            and delta.new_likes[0].size == 0
+            and delta.new_friendships[0].size == 0
+            and not delta.has_removals
+        ):
+            # Post-/user-only change set: no comment, like or friendship
+            # moved, so no induced liker subgraph -- and no score -- changed.
+            return self.tracker.top()
         g = self.graph
         self.scores.resize(g.num_comments)
         affected = self._affected_comments(delta)

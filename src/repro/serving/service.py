@@ -397,6 +397,7 @@ class GraphService:
                 "tools": list(self.tools),
                 "primary_tool": self.primary_tool,
                 "graph": self.graph.stats(),
+                "storage": self.graph.storage_stats(),
                 "ops": self._metrics.summary(),
                 "persistent": self._store is not None,
                 "snapshots": self._store.versions() if self._store else [],

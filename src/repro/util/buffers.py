@@ -1,0 +1,75 @@
+"""Append-only int64 sequences with O(1) NumPy views.
+
+The model layer keeps per-entity attributes (timestamps, rootPost pointers,
+external ids) in append-only sequences that the query layer reads as NumPy
+arrays on *every* update.  A plain Python list costs an O(n) ``np.asarray``
+per read -- measurable at serving rates -- so :class:`IntArrayList` keeps
+the data in a doubling ``int64`` buffer instead: appends are amortised
+O(1), and :meth:`array` returns a zero-copy read-only view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["IntArrayList"]
+
+
+class IntArrayList:
+    """A list of ints backed by a growable int64 array.
+
+    Supports the small list surface the model layer uses (``append``,
+    ``len``, indexing, iteration, equality) plus the O(1) :meth:`array`
+    view the query layer reads.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, items: Iterable[int] = ()):
+        arr = np.asarray(list(items), dtype=np.int64)
+        self._n = int(arr.size)
+        cap = max(8, self._n)
+        self._buf = np.empty(cap, dtype=np.int64)
+        self._buf[: self._n] = arr
+
+    def append(self, value: int) -> None:
+        if self._n == self._buf.size:
+            grown = np.empty(2 * self._buf.size, dtype=np.int64)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n] = value
+        self._n += 1
+
+    def array(self) -> np.ndarray:
+        """Zero-copy read-only view of the current contents."""
+        view = self._buf[: self._n]
+        view.flags.writeable = False
+        return view
+
+    def tolist(self) -> list[int]:
+        return self._buf[: self._n].tolist()
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return self._buf[: self._n][i].tolist()
+        if not -self._n <= i < self._n:
+            raise IndexError(f"index {i} out of range for length {self._n}")
+        return int(self._buf[i % self._n if i < 0 else i])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._buf[: self._n].tolist())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IntArrayList):
+            return self.tolist() == other.tolist()
+        if isinstance(other, list):
+            return self.tolist() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntArrayList({self.tolist()!r})"

@@ -1,0 +1,188 @@
+"""Dirty-row freeze: the merge kernel and DynamicMatrix.freeze contract."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphblas import ops
+from repro.graphblas._kernels.csr import indptr_from_rows
+from repro.graphblas._kernels.freeze import merge_dirty_rows
+from repro.graphblas.dynamic import DynamicMatrix
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import BOOL, INT64
+
+
+def canonical(nrows, ncols, entries):
+    """Matrix + aligned arrays from {(i, j): v}."""
+    if entries:
+        items = sorted(entries.items())
+        r = np.array([i for (i, _), _ in items], dtype=np.int64)
+        c = np.array([j for (_, j), _ in items], dtype=np.int64)
+        v = np.array([val for _, val in items], dtype=np.int64)
+    else:
+        r = c = np.zeros(0, np.int64)
+        v = np.zeros(0, np.int64)
+    return r, c, v
+
+
+class TestMergeDirtyRows:
+    @given(
+        base=st.dictionaries(
+            st.tuples(st.integers(0, 7), st.integers(0, 5)), st.integers(1, 9),
+            max_size=30,
+        ),
+        replacement=st.dictionaries(
+            st.tuples(st.integers(0, 7), st.integers(0, 5)), st.integers(1, 9),
+            max_size=15,
+        ),
+        extra_dirty=st.sets(st.integers(0, 7), max_size=3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_rebuild(self, base, replacement, extra_dirty):
+        """Splicing == rebuilding from the merged entry dict."""
+        nrows, ncols = 8, 6
+        rows, cols, vals = canonical(nrows, ncols, base)
+        indptr = indptr_from_rows(rows, nrows)
+        dirty = sorted({i for i, _ in replacement} | extra_dirty)
+        d_rows, d_cols, d_vals = canonical(nrows, ncols, replacement)
+        out = merge_dirty_rows(
+            rows, cols, vals, indptr, nrows,
+            np.asarray(dirty, dtype=np.int64), d_rows, d_cols, d_vals,
+        )
+        expected = {k: v for k, v in base.items() if k[0] not in set(dirty)}
+        expected.update(replacement)
+        er, ec, ev = canonical(nrows, ncols, expected)
+        assert out[0].tolist() == er.tolist()
+        assert out[1].tolist() == ec.tolist()
+        assert out[2].tolist() == ev.tolist()
+        assert out[3].tolist() == indptr_from_rows(er, nrows).tolist()
+
+    def test_empty_everything(self):
+        empty = np.zeros(0, np.int64)
+        out = merge_dirty_rows(
+            empty, empty, empty, np.zeros(3, np.int64), 2,
+            np.array([1]), empty, empty, empty,
+        )
+        assert all(a.size == 0 for a in out[:3])
+
+
+class TestFreeze:
+    def test_identity_while_clean(self):
+        dm = DynamicMatrix(INT64, 4, 4)
+        dm.assign_coo([0, 1, 2], [1, 2, 3], [10, 20, 30])
+        f = dm.freeze()
+        ip = f.indptr
+        t = f.T
+        assert dm.freeze() is f
+        assert f.indptr is ip and f.T is t
+
+    def test_splice_after_mutations(self):
+        rng = np.random.default_rng(5)
+        dm = DynamicMatrix(INT64, 10, 8)
+        dm.assign_coo(rng.integers(0, 10, 40), rng.integers(0, 8, 40),
+                      rng.integers(1, 99, 40))
+        f = dm.freeze()
+        dm.set_element(3, 7, 123)
+        dm.remove_coo([0, 1], [0, 0])
+        dm.assign_coo([9, 9, 3], [0, 4, 1], [5, 6, 7], accum=ops.plus)
+        f2 = dm.freeze()
+        assert f2 is f  # same object, refreshed in place
+        assert f2.isequal(dm.to_matrix())
+        assert f2.indptr.tolist() == dm.to_matrix().indptr.tolist()
+
+    def test_freeze_follows_resize(self):
+        dm = DynamicMatrix(BOOL, 2, 2)
+        dm.set_element(0, 1, True)
+        f = dm.freeze()
+        dm.resize(5, 6)
+        dm.set_element(4, 5, True)
+        f2 = dm.freeze()
+        assert f2 is f
+        assert f2.shape == (5, 6)
+        assert f2.isequal(dm.to_matrix())
+
+    def test_frozen_view_survives_compaction(self):
+        dm = DynamicMatrix(INT64, 3, 50)
+        for j in range(40):
+            dm.set_element(1, j, j)
+        f = dm.freeze()
+        dm.compact()
+        assert dm.freeze() is f
+        dm.set_element(2, 0, 1)
+        assert dm.freeze().isequal(dm.to_matrix())
+
+    @given(
+        ops_seq=st.lists(
+            st.tuples(
+                st.sampled_from(["set", "remove", "bulk", "freeze"]),
+                st.integers(0, 5),
+                st.integers(0, 5),
+                st.integers(1, 50),
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_freeze_always_canonical(self, ops_seq):
+        """freeze() interleaved anywhere in an op stream equals to_matrix()."""
+        dm = DynamicMatrix(INT64, 6, 6)
+        oracle = Matrix.sparse(INT64, 6, 6)
+        for kind, i, j, v in ops_seq:
+            if kind == "set":
+                dm.set_element(i, j, v)
+                oracle[i, j] = v
+            elif kind == "remove":
+                dm.remove_element(i, j)
+                oracle.remove_element(i, j)
+            elif kind == "bulk":
+                dm.assign_coo([i, j], [j, i], [v, v])
+                oracle.assign_coo([i, j], [j, i], [v, v])
+            else:
+                f = dm.freeze()
+                assert f.isequal(oracle)
+                assert f.indptr.tolist() == oracle.indptr.tolist()
+        assert dm.freeze().isequal(oracle)
+
+
+class TestRemoveCoo:
+    def test_bulk_remove(self):
+        dm = DynamicMatrix(INT64, 4, 4)
+        dm.assign_coo([0, 0, 1, 2], [1, 2, 3, 0], [1, 2, 3, 4])
+        assert dm.remove_coo([0, 1, 3], [2, 3, 3]) == 2
+        assert dm.nvals == 2
+        assert dm.get(0, 1) == 1 and dm.get(2, 0) == 4
+        assert dm.get(0, 2) is None and dm.get(1, 3) is None
+
+    def test_remove_absent_ignored(self):
+        dm = DynamicMatrix(INT64, 4, 4)
+        dm.set_element(1, 1, 5)
+        assert dm.remove_coo([0, 1], [0, 0]) == 0
+        assert dm.nvals == 1
+
+    def test_remove_coo_empty(self):
+        dm = DynamicMatrix(INT64, 4, 4)
+        assert dm.remove_coo([], []) == 0
+
+    def test_bounds(self):
+        from repro.util.validation import IndexOutOfBounds
+
+        dm = DynamicMatrix(INT64, 2, 2)
+        dm.set_element(0, 0, 1)
+        with pytest.raises(IndexOutOfBounds):
+            dm.remove_coo([5], [0])
+        with pytest.raises(IndexOutOfBounds):
+            dm.remove_coo([0], [5])
+
+    def test_matches_matrix_remove_coo(self):
+        rng = np.random.default_rng(8)
+        m = Matrix.from_coo(
+            rng.integers(0, 6, 25), rng.integers(0, 6, 25), 1, 6, 6,
+            dtype=BOOL, dup_op=ops.lor,
+        )
+        dm = DynamicMatrix.from_matrix(m)
+        rr = rng.integers(0, 6, 15)
+        rc = rng.integers(0, 6, 15)
+        m.remove_coo(rr, rc)
+        dm.remove_coo(rr, rc)
+        assert dm.to_matrix().isequal(m)

@@ -1,0 +1,58 @@
+"""IntArrayList: list semantics + O(1) array views."""
+
+import numpy as np
+import pytest
+
+from repro.util.buffers import IntArrayList
+
+
+def test_append_and_len():
+    b = IntArrayList()
+    assert len(b) == 0
+    for i in range(100):  # crosses several doublings
+        b.append(i * 3)
+    assert len(b) == 100
+    assert b.tolist() == [i * 3 for i in range(100)]
+
+
+def test_construct_from_iterable():
+    b = IntArrayList([5, 6, 7])
+    assert b.tolist() == [5, 6, 7]
+    assert list(b) == [5, 6, 7]
+
+
+def test_indexing():
+    b = IntArrayList([10, 20, 30])
+    assert b[0] == 10 and b[2] == 30
+    assert b[-1] == 30 and b[-3] == 10
+    assert b[1:] == [20, 30]
+    with pytest.raises(IndexError):
+        b[3]
+    with pytest.raises(IndexError):
+        b[-4]
+
+
+def test_array_view_is_readonly_and_stable():
+    b = IntArrayList([1, 2])
+    view = b.array()
+    assert view.dtype == np.int64
+    with pytest.raises(ValueError):
+        view[0] = 9
+    b.append(3)
+    # old views are immutable-length snapshots; new view sees the append
+    assert view.tolist() == [1, 2]
+    assert b.array().tolist() == [1, 2, 3]
+
+
+def test_view_survives_growth():
+    b = IntArrayList(range(8))
+    view = b.array()
+    for i in range(50):
+        b.append(i)
+    assert view.tolist() == list(range(8))
+
+
+def test_equality():
+    assert IntArrayList([1, 2]) == [1, 2]
+    assert IntArrayList([1, 2]) == IntArrayList([1, 2])
+    assert IntArrayList([1]) != [1, 2]
