@@ -1,0 +1,307 @@
+"""Parallel kernel layer benchmark: serial vs REPRO_WORKERS=N, same workload.
+
+Two phases, both correctness-guarded (any serial/parallel mismatch exits
+non-zero):
+
+* **kernels** -- synthetic CSR workloads sized above the parallel cutoff
+  drive ``generic_mxm``, ``mxv``, ``reduce_rows`` and ``merge_dirty_rows``
+  once serially and once through a fork-once kernel executor; per-kernel
+  wall times and bit-identity checks are recorded.
+* **serving** -- a :class:`repro.serving.GraphService` with all four
+  GraphBLAS engine configurations ingests the same generated change stream
+  twice: serial refresh loop with no kernel executor ("pre") vs concurrent
+  engine fan-out + kernel executor ("post").  Batched-refresh throughput
+  (updates/sec) and read p50/p99 come from the service's own metrics.
+
+The report is written to ``BENCH_parallel.json`` in the same
+``{workload, pre, post}`` shape as ``BENCH_serving.json`` so CI can upload
+it as an artifact and the committed record extends the perf trajectory.
+``cpu_count`` is part of the record: on single-core containers forked
+workers time-slice one core and the honest speedup is ~1x or below; the
+multi-core CI runners produce the representative numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_kernels.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel_kernels.py --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datagen import generate_benchmark_input
+from repro.graphblas import monoid as mon
+from repro.graphblas import semiring as sem
+from repro.graphblas._kernels import freeze, parallel as kp, reduce as red, spgemm, spmv
+from repro.graphblas._kernels.coo import canonicalize_matrix
+from repro.graphblas._kernels.csr import indptr_from_rows
+from repro.parallel import make_executor
+from repro.serving import GraphService
+
+_OUT_DEFAULT = Path("BENCH_parallel.json")
+_COMMITTED = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+SERVING_TOOLS = ("graphblas-batch", "graphblas-incremental")
+
+
+# ---------------------------------------------------------------------------
+# kernel phase
+# ---------------------------------------------------------------------------
+
+
+def _rand_coo(rng, nrows, ncols, nnz):
+    r = rng.integers(0, nrows, nnz)
+    c = rng.integers(0, ncols, nnz)
+    v = rng.integers(-4, 5, nnz)
+    rr, cc, vv = canonicalize_matrix(r, c, v, nrows, ncols, dup_op=mon.plus_monoid.op)
+    return (rr, cc, vv, nrows, ncols)
+
+
+def _time(fn, reps=3):
+    best, out = float("inf"), None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _identical(a, b) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(x, y) and x.dtype == y.dtype for x, y in zip(a, b)
+    )
+
+
+def kernel_phase(workers: int, scale: float) -> tuple[dict, int]:
+    """Time each routed kernel serial vs parallel; returns (report, failures)."""
+    rng = np.random.default_rng(42)
+    n = int(20_000 * scale)
+    nnz = int(250_000 * scale)
+    a = _rand_coo(rng, n, n, nnz)
+    b = _rand_coo(rng, n, n, nnz)
+    big = _rand_coo(rng, n, 64, int(2_600_000 * scale))
+    big_ip = indptr_from_rows(big[0], n)
+    u_idx = np.unique(rng.integers(0, 64, 48))
+    u = (u_idx, rng.integers(1, 5, u_idx.size), 64)
+
+    dirty = np.unique(rng.integers(0, n, int(20_000 * scale)))
+    reps = rng.integers(0, 4, dirty.size)
+    d_rows = np.repeat(dirty, reps)
+    d_cols = np.zeros(d_rows.size, dtype=np.int64)
+    # make replacement columns unique per row: 0..reps-1 within each row
+    off = np.arange(d_rows.size) - np.repeat(
+        np.concatenate([[0], np.cumsum(reps)[:-1]]), reps
+    )
+    d_cols = off.astype(np.int64)
+    d_vals = rng.integers(1, 9, d_rows.size)
+
+    workloads = {
+        "mxm": lambda: spgemm.generic_mxm(a, b, sem.get("plus_times")),
+        "mxv": lambda: spmv.mxv(big, u, sem.get("plus_times"), indptr=big_ip),
+        "reduce": lambda: red.reduce_rows(big[0], big[2], mon.plus_monoid, indptr=big_ip),
+        "merge_dirty_rows": lambda: freeze.merge_dirty_rows(
+            big[0], big[1], big[2], big_ip, n, dirty, d_rows, d_cols, d_vals
+        ),
+    }
+
+    failures = 0
+    report: dict = {}
+    serial_out = {}
+    kp.set_kernel_executor(None)
+    for name, fn in workloads.items():
+        t, out = _time(fn)
+        serial_out[name] = out
+        report[name] = {"serial_s": round(t, 4)}
+
+    ex = make_executor("persistent", workers)
+    ex.start()
+    kp.set_kernel_executor(ex)
+    try:
+        for name, fn in workloads.items():
+            t, out = _time(fn)
+            ok = _identical(serial_out[name], out)
+            report[name]["parallel_s"] = round(t, 4)
+            report[name]["speedup"] = round(report[name]["serial_s"] / max(t, 1e-9), 2)
+            report[name]["ok"] = ok
+            if not ok:
+                failures += 1
+            print(
+                f"kernel {name:<18} serial {report[name]['serial_s']:.3f}s  "
+                f"parallel({workers}) {t:.3f}s  x{report[name]['speedup']:.2f}  "
+                f"{'OK' if ok else 'MISMATCH'}"
+            )
+    finally:
+        kp.close_kernel_executor()
+    return report, failures
+
+
+# ---------------------------------------------------------------------------
+# serving phase
+# ---------------------------------------------------------------------------
+
+
+def serving_best_of(reps: int, *args, **kwargs) -> dict:
+    """Best-of-``reps`` serving runs (max updates/sec): the container-noise
+    countermeasure, same spirit as pytest-benchmark's min-of-rounds."""
+    best = None
+    for _ in range(reps):
+        r = serving_run(*args, **kwargs)
+        if best is None or r["updates_per_s"] > best["updates_per_s"]:
+            best = r
+    return best
+
+
+def serving_run(
+    scale: int,
+    *,
+    workers: int,
+    concurrent: bool,
+    max_batch: int = 8,
+    read_every: int = 5,
+) -> dict:
+    graph, change_sets = generate_benchmark_input(scale, seed=42)
+    changes = [ch for cs in change_sets for ch in cs]
+    if workers > 1:
+        ex = make_executor("persistent", workers)
+        ex.start()
+        kp.set_kernel_executor(ex)
+    else:
+        kp.set_kernel_executor(None)
+        ex = None
+    service = GraphService(
+        graph,
+        tools=SERVING_TOOLS,
+        max_batch=max_batch,
+        max_delay_ms=1e9,
+        q2_algorithm="unionfind",
+        concurrent_refresh=concurrent,
+    )
+    try:
+        for i, ch in enumerate(changes):
+            service.submit(ch)
+            if i % read_every == 0:
+                service.query("Q1")
+                service.query("Q2")
+        service.flush()
+        ops = service.stats()["ops"]
+        return {
+            "workers": workers,
+            "concurrent_refresh": concurrent,
+            "changes": len(changes),
+            "updates_per_s": round(len(changes) / ops["apply"]["total_s"], 1),
+            "apply_p50_ms": ops["apply"]["p50_ms"],
+            "apply_p99_ms": ops["apply"]["p99_ms"],
+            "read_p50_ms": ops["query"]["p50_ms"],
+            "read_p99_ms": ops["query"]["p99_ms"],
+            "q1": service.query("Q1").result_string,
+            "q2": service.query("Q2").result_string,
+        }
+    finally:
+        service.close()
+        # explicitly installed executors are caller-owned: close ours so no
+        # forked workers or /dev/shm arenas outlive the measurement
+        kp.close_kernel_executor()
+        if ex is not None:
+            ex.close()
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fixed CI workload")
+    ap.add_argument(
+        "--workers",
+        type=int,
+        default=kp.kernel_workers_from_env() or 2,
+        help="parallel worker count (default: REPRO_WORKERS or 2)",
+    )
+    ap.add_argument("--serving-scale", type=int, default=16)
+    ap.add_argument("--kernel-scale", type=float, default=1.0)
+    ap.add_argument("--reps", type=int, default=3, help="best-of reps per config")
+    ap.add_argument("--out", type=Path, default=_OUT_DEFAULT)
+    args = ap.parse_args(argv)
+
+    kernel_scale = 0.5 if args.smoke else args.kernel_scale
+    serving_scale = args.serving_scale  # ~100 changes at any Table II scale
+
+    print(
+        f"parallel kernels bench: workers={args.workers}, "
+        f"cpu_count={os.cpu_count()}, kernel_scale={kernel_scale}, "
+        f"serving_scale={serving_scale}"
+    )
+    kernels, failures = kernel_phase(args.workers, kernel_scale)
+
+    reps = args.reps
+    pre = serving_best_of(reps, serving_scale, workers=1, concurrent=False)
+    fanout_only = serving_best_of(reps, serving_scale, workers=1, concurrent=True)
+    post = serving_best_of(reps, serving_scale, workers=args.workers, concurrent=True)
+    ok = (
+        pre["q1"] == post["q1"] == fanout_only["q1"]
+        and pre["q2"] == post["q2"] == fanout_only["q2"]
+    )
+    if not ok:
+        print("SERVING MISMATCH between serial and parallel configurations")
+        failures += 1
+    speedup = round(post["updates_per_s"] / max(pre["updates_per_s"], 1e-9), 2)
+    print(
+        f"serving sf{serving_scale}: serial {pre['updates_per_s']:.0f} upd/s "
+        f"(read p99 {pre['read_p99_ms']:.3f}ms) -> fan-out only "
+        f"{fanout_only['updates_per_s']:.0f} upd/s -> fan-out+{args.workers}w "
+        f"{post['updates_per_s']:.0f} upd/s (read p99 {post['read_p99_ms']:.3f}ms) "
+        f"x{speedup} {'OK' if ok else 'MISMATCH'}"
+    )
+
+    record = {
+        "workload": {
+            "serving_scale": serving_scale,
+            "kernel_scale": kernel_scale,
+            "tools": list(SERVING_TOOLS),
+            "max_batch": 8,
+            "seed": 42,
+            "best_of": reps,
+        },
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "kernels": kernels,
+        "pre": {k: v for k, v in pre.items() if k not in ("q1", "q2")},
+        "post_fanout_only": {
+            k: v for k, v in fanout_only.items() if k not in ("q1", "q2")
+        },
+        "post": {k: v for k, v in post.items() if k not in ("q1", "q2")},
+        "speedup_updates_per_s": speedup,
+        "speedup_fanout_only": round(
+            fanout_only["updates_per_s"] / max(pre["updates_per_s"], 1e-9), 2
+        ),
+        "ok": ok and failures == 0,
+    }
+    if (os.cpu_count() or 1) < 2:
+        record["note"] = (
+            "single-core container: forked kernel workers time-slice one core, "
+            "so wall-clock parallel gains are not representable here; the "
+            "kernels section still reflects the block-wise algorithmic wins "
+            "and the multi-core CI artifact carries the representative numbers"
+        )
+    out = args.out
+    if out.resolve() == _COMMITTED:
+        out = Path("BENCH_parallel.current.json")  # never clobber the record
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

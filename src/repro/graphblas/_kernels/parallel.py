@@ -1,0 +1,714 @@
+"""Row-parallel kernel execution: the OpenMP substitution at kernel level.
+
+The paper replaces SuiteSparse's internal parallelism with OpenMP at the
+work-item level; this module mirrors that for the NumPy kernels.  A CSR
+workload (canonical row-major COO) is split into **row blocks balanced by
+nnz** -- the same even-bounds logic :func:`repro.parallel.executor.
+chunk_evenly` applies to item counts, applied to the ``indptr`` prefix
+instead -- and the blocks are mapped onto a process-wide kernel executor
+(by default a fork-once :class:`~repro.parallel.pool.PersistentWorkerPool`
+sized by the ``REPRO_WORKERS`` environment knob).  Large read-only operands
+are primed once per region through the pool's shared-memory initializer
+idiom; each worker returns a canonical COO (or vector) segment for its row
+span, and because blocks cover disjoint, increasing row ranges the parent
+re-assembles the result with one ``np.concatenate`` per array -- no global
+re-sort, the same span-splice argument as ``_kernels/freeze.py``.
+
+Routing policy (every entry point below):
+
+* the estimated work must clear a tunable cutoff
+  (``REPRO_PARALLEL_CUTOFF``, default :data:`DEFAULT_PARALLEL_CUTOFF`) --
+  below it a parallel region cannot amortise priming + result pickling and
+  the kernel runs serially, exactly the paper's observation that small
+  incremental updates gain nothing from 8 threads;
+* a kernel executor must be installed (:func:`set_kernel_executor`, or
+  lazily from ``REPRO_WORKERS``) with ``workers >= 2``;
+* the algebra must be registry-named (semiring in ``SEMIRINGS``, monoid in
+  ``MONOIDS``): workers re-resolve operators by name because operator
+  objects close over lambdas and do not pickle;
+* the caller must be the process that installed the executor -- a forked
+  worker that re-enters a kernel (e.g. FastSV inside a Q2 scoring child)
+  sees a foreign pid and silently runs the serial path instead of writing
+  garbage into its parent's pipes.
+
+Regions are serialised by a module lock: like OpenMP, one parallel region
+runs at a time and uses every worker; concurrent engine refreshes queue at
+the region boundary rather than oversubscribing the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.graphblas._kernels.csr import indptr_from_rows
+from repro.parallel.executor import Executor, even_bounds, make_executor
+
+__all__ = [
+    "DEFAULT_PARALLEL_CUTOFF",
+    "get_parallel_cutoff",
+    "set_parallel_cutoff",
+    "kernel_workers_from_env",
+    "set_kernel_executor",
+    "get_kernel_executor",
+    "retain_kernel_executor",
+    "release_kernel_executor",
+    "close_kernel_executor",
+    "locked_map",
+    "balanced_bounds",
+    "parallel_mxm",
+    "parallel_structural_product",
+    "parallel_mxv",
+    "parallel_reduce_rows",
+    "parallel_merge_dirty_rows",
+]
+
+#: Minimum estimated work items (flops for SpGEMM, nnz for SpMV/reduce,
+#: entries moved for the dirty-row merge) before a parallel region pays.
+DEFAULT_PARALLEL_CUTOFF = 2_000_000
+
+_lock = threading.Lock()  # guards the executor slot
+# One parallel region at a time (OpenMP-like).  Reentrant as a safety net:
+# an executor whose serial fallback runs chunks inline must not self-
+# deadlock if a chunk re-enters a kernel on the dispatching thread.
+_region_lock = threading.RLock()
+
+#: pid that imported this module: forked children inherit the state dict,
+#: and neither the lazy env init nor a close may run on their side of the
+#: fork (a child building its own nested pool per chunk would fork
+#: grandchildren; a child closing would strand the parent's workers)
+_IMPORT_PID = os.getpid()
+
+_state: dict = {
+    "executor": None,
+    "owner_pid": -1,
+    "env_checked": False,
+    "cutoff": None,
+    #: services currently holding the env-created executor (refcount);
+    #: explicitly installed executors are caller-owned and never counted
+    "refs": 0,
+    "explicit": False,
+}
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+def get_parallel_cutoff() -> int:
+    """The serial-fallback work cutoff (``REPRO_PARALLEL_CUTOFF`` env)."""
+    c = _state["cutoff"]
+    if c is None:
+        try:
+            c = int(os.environ.get("REPRO_PARALLEL_CUTOFF", DEFAULT_PARALLEL_CUTOFF))
+        except ValueError:
+            c = DEFAULT_PARALLEL_CUTOFF
+        _state["cutoff"] = c
+    return c
+
+
+def set_parallel_cutoff(n: Optional[int]) -> None:
+    """Override the cutoff; ``None`` re-reads the environment."""
+    _state["cutoff"] = None if n is None else int(n)
+
+
+def kernel_workers_from_env() -> int:
+    """``REPRO_WORKERS`` as an int; 0 when unset or malformed."""
+    raw = os.environ.get("REPRO_WORKERS", "")
+    try:
+        return int(raw) if raw else 0
+    except ValueError:
+        return 0
+
+
+def set_kernel_executor(executor: Optional[Executor]) -> None:
+    """Install (or with ``None``, disable) the process-wide kernel executor.
+
+    The caller keeps ownership of a previously installed executor; this
+    never closes one.  Pass anything from
+    :func:`repro.parallel.make_executor` -- the fork-once ``"persistent"``
+    pool is the intended vehicle.
+    """
+    with _lock:
+        _state["executor"] = executor
+        _state["owner_pid"] = os.getpid()
+        _state["env_checked"] = True
+        _state["explicit"] = executor is not None
+        _state["refs"] = 0
+
+
+def _env_init_locked() -> None:
+    """Lazy ``REPRO_WORKERS`` initialisation (caller holds ``_lock``).
+
+    Refused in any process other than the one that imported this module:
+    a forked chunk worker inherits ``env_checked=False`` and must not
+    build a nested pool of its own.
+    """
+    if _state["env_checked"] or os.getpid() != _IMPORT_PID:
+        return
+    _state["env_checked"] = True
+    w = kernel_workers_from_env()
+    if w > 1:
+        _state["executor"] = make_executor("persistent", w)
+        _state["owner_pid"] = os.getpid()
+        _state["explicit"] = False
+        _state["refs"] = 0
+
+
+def get_kernel_executor() -> Optional[Executor]:
+    """The installed kernel executor, lazily built from ``REPRO_WORKERS``.
+
+    Returns ``None`` when parallel kernels are disabled -- including inside
+    forked worker processes, which inherit the parent's slot but must never
+    drive (or rebuild) the parent's pool.
+    """
+    with _lock:
+        _env_init_locked()
+        ex = _state["executor"]
+        if ex is not None and _state["owner_pid"] != os.getpid():
+            return None
+        return ex
+
+
+def retain_kernel_executor() -> Optional[Executor]:
+    """Acquire a shared reference to the env-created executor.
+
+    Used by :class:`~repro.serving.service.GraphService`: each open service
+    holds one reference, and :func:`release_kernel_executor` closes the
+    workers when the last holder lets go.  Explicitly installed executors
+    (:func:`set_kernel_executor`) are caller-owned: they are returned but
+    never refcounted, and a release never closes them.
+    """
+    with _lock:
+        _env_init_locked()
+        ex = _state["executor"]
+        if ex is None or _state["owner_pid"] != os.getpid():
+            return None
+        if not _state["explicit"]:
+            _state["refs"] += 1
+        return ex
+
+
+def release_kernel_executor() -> None:
+    """Drop one :func:`retain_kernel_executor` reference; close on zero.
+
+    Idempotent past zero.  Explicit executors are untouched -- their
+    installer owns their lifecycle.
+    """
+    close_this = None
+    with _lock:
+        if (
+            _state["explicit"]
+            or _state["executor"] is None
+            or _state["owner_pid"] != os.getpid()
+        ):
+            return
+        _state["refs"] = max(0, _state["refs"] - 1)
+        if _state["refs"] == 0:
+            close_this = _state["executor"]
+            _state["executor"] = None
+            _state["env_checked"] = False
+    if close_this is not None:
+        close_this.close()
+
+
+def close_kernel_executor() -> None:
+    """Force-tear-down the kernel executor (idempotent; no orphaned workers).
+
+    The hard hammer: closes even an explicitly installed executor and
+    clears all references.  The next :func:`get_kernel_executor`
+    re-initialises from the environment, so a closed executor is a
+    restart, not a permanent disable.
+    """
+    with _lock:
+        ex = _state["executor"]
+        owner = _state["owner_pid"]
+        _state["executor"] = None
+        _state["env_checked"] = False
+        _state["explicit"] = False
+        _state["refs"] = 0
+    if ex is not None and owner == os.getpid():
+        ex.close()
+
+
+def locked_map(executor: Executor, fn, chunks, *, initializer=None, initargs=()):
+    """Run one fork-join region under the module region lock.
+
+    Concurrent engine refreshes (the serving fan-out) may reach kernels at
+    the same time; serialising regions keeps each one owning the full pool,
+    which is both the OpenMP cost model and a hard requirement of the
+    pipe-per-worker pool protocol.
+
+    Caution for callers whose ``fn`` may itself re-enter routed kernels
+    (the kernel layer's own block workers never do -- they call the serial
+    cores): dispatch such functions only through a fork-isolated executor
+    (:func:`executor_isolates_workers`), because a worker running in-process
+    on *another thread* would block on this lock while the dispatcher holds
+    it.
+    """
+    with _region_lock:
+        return executor.map_chunks(
+            fn, chunks, initializer=initializer, initargs=initargs
+        )
+
+
+def executor_isolates_workers(executor: Executor) -> bool:
+    """True when the executor runs chunk functions in forked child
+    processes (where the pid guard stops kernel re-entry).  Chunk functions
+    that re-enter routed kernels -- e.g. Q2's per-comment scorer, whose
+    FastSV calls ``mxm``/``mxv`` -- must only ride executors for which this
+    holds."""
+    from repro.parallel.pool import PersistentWorkerPool
+
+    return isinstance(executor, PersistentWorkerPool)
+
+
+# ---------------------------------------------------------------------------
+# partitioning
+# ---------------------------------------------------------------------------
+
+
+def balanced_bounds(prefix: np.ndarray, n_blocks: int) -> np.ndarray:
+    """Row bounds splitting a CSR into at most ``n_blocks`` spans balanced
+    by the monotone work prefix (an ``indptr`` for nnz balance, a flop
+    prefix for SpGEMM).  Returns ``[r_0 .. r_m]`` with ``r_0 = 0`` and
+    ``r_m = len(prefix) - 1``; bounds may repeat where a single heavy row
+    absorbs several even targets (callers drop empty spans)."""
+    n = int(prefix.size - 1)
+    total = int(prefix[-1])
+    if n_blocks <= 1 or n <= 1 or total == 0:
+        return np.array([0, n], dtype=np.int64)
+    targets = even_bounds(total, min(n_blocks, n))
+    bounds = np.searchsorted(prefix, targets, side="left").astype(np.int64)
+    bounds[0] = 0
+    bounds[-1] = n
+    np.maximum.accumulate(bounds, out=bounds)
+    return bounds
+
+
+def _spans(bounds: np.ndarray) -> list[tuple[int, int]]:
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(bounds.size - 1)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def _usable(work: int) -> Optional[Executor]:
+    """The executor to use for ``work`` estimated items, or None (serial)."""
+    if work < get_parallel_cutoff():
+        return None
+    return _executor_ready()
+
+
+def _executor_ready() -> Optional[Executor]:
+    """The executor if one is installed and multi-worker, else None.
+
+    The cheap pre-check for entry points whose work estimate itself costs
+    O(nnz) to compute: in the default serial configuration they must bail
+    before touching any array.
+    """
+    ex = get_kernel_executor()
+    if ex is None or getattr(ex, "workers", 1) < 2:
+        return None
+    return ex
+
+
+def _capped_bounds(prefix: np.ndarray, n_blocks: int, limit: int) -> np.ndarray:
+    """:func:`balanced_bounds`, then greedily split any block whose work
+    exceeds ``limit`` (callers guarantee no single row does): the parallel
+    SpGEMM must honour the same peak-memory cap per worker as the serial
+    row-tiled path."""
+    bounds = balanced_bounds(prefix, n_blocks)
+    out = [0]
+    for b in bounds[1:].tolist():
+        while prefix[b] - prefix[out[-1]] > limit:
+            nxt = int(np.searchsorted(prefix, prefix[out[-1]] + limit, side="right")) - 1
+            nxt = max(nxt, out[-1] + 1)
+            if nxt >= b:
+                break
+            out.append(nxt)
+        if b > out[-1]:
+            out.append(int(b))
+    return np.asarray(out, dtype=np.int64)
+
+
+def _row_work_prefix(rows: np.ndarray, weights: np.ndarray, nrows: int) -> np.ndarray:
+    """Per-row work prefix (length ``nrows + 1``) from per-entry weights.
+
+    float64 accumulation is exact here: total work is bounded far below
+    2**53 by the SpGEMM flop limit.
+    """
+    per_row = np.bincount(rows, weights=weights, minlength=nrows)
+    prefix = np.empty(nrows + 1, dtype=np.int64)
+    prefix[0] = 0
+    np.cumsum(per_row, out=prefix[1:], dtype=np.int64)
+    return prefix
+
+
+# ---------------------------------------------------------------------------
+# worker-side state (primed once per region through the pool initializer)
+# ---------------------------------------------------------------------------
+
+_KW: dict = {}
+
+
+def _init_mxm_worker(
+    a_rows, a_cols, a_vals, a_indptr, b_indptr, b_cols, b_vals, nrows, ncols, semiring_name
+):
+    from repro.graphblas import semiring as _semiring_mod
+
+    _KW.clear()
+    _KW.update(
+        a_rows=a_rows,
+        a_cols=a_cols,
+        a_vals=a_vals,
+        a_indptr=a_indptr,
+        b_indptr=b_indptr,
+        b_cols=b_cols,
+        b_vals=b_vals,
+        nrows=int(nrows),
+        ncols=int(ncols),
+        semiring=_semiring_mod.get(semiring_name),
+    )
+
+
+def _mxm_block_worker(span):
+    from repro.graphblas._kernels.spgemm import _expand_block
+
+    lo, hi = span
+    ai = _KW["a_indptr"]
+    s, e = int(ai[lo]), int(ai[hi])
+    return _expand_block(
+        _KW["a_rows"][s:e],
+        _KW["a_cols"][s:e],
+        _KW["a_vals"][s:e],
+        _KW["b_indptr"],
+        _KW["b_cols"],
+        _KW["b_vals"],
+        _KW["semiring"],
+        _KW["nrows"],
+        _KW["ncols"],
+    )
+
+
+def _init_repair_worker(a_indptr, a_cols, b_indptr, b_cols, inner, ncols):
+    import scipy.sparse as sp
+
+    _KW.clear()
+    # copies: scipy may sort/compact csr arrays in place, and the primed
+    # arrays arrive as read-only mmaps
+    bp = sp.csr_matrix(
+        (
+            np.ones(b_cols.size, dtype=np.int64),
+            np.array(b_cols, dtype=np.int64),
+            np.array(b_indptr, dtype=np.int64),
+        ),
+        shape=(int(inner), int(ncols)),
+    )
+    _KW.update(
+        a_indptr=a_indptr, a_cols=a_cols, bp=bp, inner=int(inner), ncols=int(ncols)
+    )
+
+
+def _repair_block_worker(span):
+    import scipy.sparse as sp
+
+    lo, hi = span
+    ai = _KW["a_indptr"]
+    s, e = int(ai[lo]), int(ai[hi])
+    ap = sp.csr_matrix(
+        (
+            np.ones(e - s, dtype=np.int64),
+            np.array(_KW["a_cols"][s:e], dtype=np.int64),
+            np.array(ai[lo : hi + 1] - ai[lo], dtype=np.int64),
+        ),
+        shape=(hi - lo, _KW["inner"]),
+    )
+    p = ap @ _KW["bp"]
+    p.sort_indices()
+    rows = np.repeat(
+        np.arange(hi - lo, dtype=np.int64) + lo, np.diff(p.indptr)
+    )
+    return rows * np.int64(_KW["ncols"]) + p.indices.astype(np.int64)
+
+
+def _init_mxv_worker(a_rows, a_cols, a_vals, indptr, u_idx, u_vals, ncols, semiring_name):
+    from repro.graphblas import semiring as _semiring_mod
+
+    _KW.clear()
+    _KW.update(
+        a_rows=a_rows,
+        a_cols=a_cols,
+        a_vals=a_vals,
+        indptr=indptr,
+        u_idx=u_idx,
+        u_vals=u_vals,
+        ncols=int(ncols),
+        semiring=_semiring_mod.get(semiring_name),
+    )
+
+
+def _mxv_block_worker(span):
+    from repro.graphblas._kernels.spmv import _mxv_serial
+
+    lo, hi = span
+    ip = _KW["indptr"]
+    s, e = int(ip[lo]), int(ip[hi])
+    ncols = _KW["ncols"]
+    return _mxv_serial(
+        (_KW["a_rows"][s:e], _KW["a_cols"][s:e], _KW["a_vals"][s:e], hi - lo, ncols),
+        (_KW["u_idx"], _KW["u_vals"], ncols),
+        _KW["semiring"],
+    )
+
+
+def _init_reduce_worker(rows, values, indptr, monoid_name):
+    from repro.graphblas.monoid import MONOIDS
+
+    _KW.clear()
+    _KW.update(rows=rows, values=values, indptr=indptr, monoid=MONOIDS[monoid_name])
+
+
+def _reduce_block_worker(span):
+    from repro.graphblas._kernels.reduce import _reduce_rows_serial
+
+    lo, hi = span
+    ip = _KW["indptr"]
+    s, e = int(ip[lo]), int(ip[hi])
+    return _reduce_rows_serial(_KW["rows"][s:e], _KW["values"][s:e], _KW["monoid"])
+
+
+def _init_merge_worker(rows, cols, vals, indptr, dirty_rows, d_rows, d_cols, d_vals):
+    _KW.clear()
+    _KW.update(
+        rows=rows,
+        cols=cols,
+        vals=vals,
+        indptr=indptr,
+        dirty_rows=dirty_rows,
+        d_rows=d_rows,
+        d_cols=d_cols,
+        d_vals=d_vals,
+        d_lo=np.searchsorted(d_rows, dirty_rows),
+        d_hi=np.searchsorted(d_rows, dirty_rows, side="right"),
+    )
+
+
+def _merge_block_worker(span):
+    from repro.graphblas._kernels.freeze import _splice_range
+
+    i0, i1 = span
+    return _splice_range(
+        _KW["rows"],
+        _KW["cols"],
+        _KW["vals"],
+        _KW["indptr"],
+        _KW["dirty_rows"],
+        _KW["d_lo"],
+        _KW["d_hi"],
+        _KW["d_rows"],
+        _KW["d_cols"],
+        _KW["d_vals"],
+        i0,
+        i1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# kernel entry points (return None => caller runs the serial path)
+# ---------------------------------------------------------------------------
+
+
+def _named_semiring(semiring) -> bool:
+    from repro.graphblas import semiring as _semiring_mod
+
+    return _semiring_mod.SEMIRINGS.get(semiring.name) is semiring
+
+
+def parallel_mxm(a, b_indptr, b_cols, b_vals, b_ncols, semiring, lengths, flops):
+    """Row-parallel expansion SpGEMM over flop-balanced blocks of A."""
+    a_rows, a_cols, a_vals, a_nrows, _a_ncols = a
+    ex = _usable(flops)
+    if ex is None or a_rows.size == 0 or not _named_semiring(semiring):
+        return None
+    from repro.graphblas._kernels.spgemm import FLOP_LIMIT
+
+    prefix = _row_work_prefix(a_rows, lengths, a_nrows)
+    if a_rows.size and int(np.diff(prefix).max()) > FLOP_LIMIT:
+        return None  # a single row over the limit: the serial guard raises
+    a_indptr = indptr_from_rows(a_rows, a_nrows)
+    n_blocks = max(ex.workers * 2, -(-flops // max(FLOP_LIMIT, 1)))
+    spans = _spans(_capped_bounds(prefix, n_blocks, FLOP_LIMIT))
+    if len(spans) < 2:
+        return None
+    parts = locked_map(
+        ex,
+        _mxm_block_worker,
+        spans,
+        initializer=_init_mxm_worker,
+        initargs=(
+            a_rows,
+            a_cols,
+            a_vals,
+            a_indptr,
+            b_indptr,
+            b_cols,
+            b_vals,
+            int(a_nrows),
+            int(b_ncols),
+            semiring.name,
+        ),
+    )
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
+
+
+def parallel_structural_product(a_rows, a_cols, b_rows, b_cols, a_nrows, inner, ncols):
+    """Sorted position keys of the boolean pattern product ``Ap @ Bp``.
+
+    The annihilation-repair pass of the SciPy SpGEMM fast path; row blocks
+    of A each multiply against the full B pattern and return their keys
+    already sorted, so the parent's concatenation is the sorted key array.
+    Returns ``None`` for the serial path.
+    """
+    ex = _executor_ready()
+    if ex is None or a_rows.size == 0 or b_rows.size == 0:
+        return None  # before any O(nnz) prework: the default config is serial
+    # Flop estimate without materialising B's indptr: per-column degrees of
+    # (sorted canonical) b_rows via searchsorted -- O(nnz(A) log nnz(B)),
+    # so a small delta A against a huge B pays nothing when below cutoff.
+    lengths = np.searchsorted(b_rows, a_cols, side="right") - np.searchsorted(
+        b_rows, a_cols, side="left"
+    )
+    flops = int(lengths.sum())
+    if flops < get_parallel_cutoff():
+        return None
+    b_indptr = indptr_from_rows(b_rows, inner)
+    prefix = _row_work_prefix(a_rows, lengths, a_nrows)
+    a_indptr = indptr_from_rows(a_rows, a_nrows)
+    spans = _spans(balanced_bounds(prefix, ex.workers * 2))
+    if len(spans) < 2:
+        return None
+    parts = locked_map(
+        ex,
+        _repair_block_worker,
+        spans,
+        initializer=_init_repair_worker,
+        initargs=(a_indptr, a_cols, b_indptr, b_cols, int(inner), int(ncols)),
+    )
+    return np.concatenate(parts) if parts else np.zeros(0, np.int64)
+
+
+def parallel_mxv(a, u, semiring, indptr=None):
+    """Row-parallel SpMV over nnz-balanced blocks of A; None => serial."""
+    a_rows, a_cols, a_vals, a_nrows, a_ncols = a
+    ex = _usable(a_rows.size)
+    if ex is None or not _named_semiring(semiring):
+        return None
+    if indptr is None:
+        indptr = indptr_from_rows(a_rows, a_nrows)
+    spans = _spans(balanced_bounds(indptr, ex.workers * 4))
+    if len(spans) < 2:
+        return None
+    u_idx, u_vals, _u_size = u
+    parts = locked_map(
+        ex,
+        _mxv_block_worker,
+        spans,
+        initializer=_init_mxv_worker,
+        initargs=(
+            a_rows,
+            a_cols,
+            a_vals,
+            indptr,
+            u_idx,
+            u_vals,
+            int(a_ncols),
+            semiring.name,
+        ),
+    )
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+    )
+
+
+def parallel_reduce_rows(rows, values, monoid, indptr=None):
+    """Row-parallel row-wise reduction; None => serial.
+
+    Requires a caller-supplied ``indptr``: matrix-level callers have one
+    cached, while :func:`..reduce.reduce_groups` feeds *arbitrary* group
+    ids (e.g. encoded position keys) for which building an indptr would
+    cost O(max id) memory -- those stay serial.
+    """
+    from repro.graphblas.monoid import MONOIDS
+
+    if indptr is None:
+        return None
+    ex = _usable(rows.size)
+    if ex is None or rows.size == 0 or MONOIDS.get(monoid.name) is not monoid:
+        return None
+    spans = _spans(balanced_bounds(indptr, ex.workers * 4))
+    if len(spans) < 2:
+        return None
+    parts = locked_map(
+        ex,
+        _reduce_block_worker,
+        spans,
+        initializer=_init_reduce_worker,
+        initargs=(rows, values, indptr, monoid.name),
+    )
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+    )
+
+
+def parallel_merge_dirty_rows(
+    rows, cols, vals, indptr, dirty_rows, d_rows, d_cols, d_vals
+):
+    """Parallel span-splice of the dirty-row freeze; None => serial.
+
+    Blocks of dirty rows are balanced by the *source position* they cover
+    (the memcpy volume); each worker splices its sub-range exactly like the
+    serial loop, and the parent appends the global tail.
+    """
+    ex = _usable(rows.size + d_rows.size)
+    if ex is None or dirty_rows.size < 2:
+        return None
+    # coverage prefix: how far into the source arrays each dirty row reaches
+    prefix = np.concatenate(
+        [np.zeros(1, np.int64), np.asarray(indptr[dirty_rows + 1], dtype=np.int64)]
+    )
+    np.maximum.accumulate(prefix, out=prefix)
+    spans = _spans(balanced_bounds(prefix, ex.workers * 2))
+    if len(spans) < 2:
+        return None
+    parts = locked_map(
+        ex,
+        _merge_block_worker,
+        spans,
+        initializer=_init_merge_worker,
+        initargs=(rows, cols, vals, indptr, dirty_rows, d_rows, d_cols, d_vals),
+    )
+    last_end = int(indptr[dirty_rows[-1] + 1])
+    r_parts = [p[0] for p in parts]
+    c_parts = [p[1] for p in parts]
+    v_parts = [p[2] for p in parts]
+    if last_end < rows.size:  # tail after the last dirty row
+        r_parts.append(rows[last_end:])
+        c_parts.append(cols[last_end:])
+        v_parts.append(vals[last_end:])
+    return (
+        np.concatenate(r_parts),
+        np.concatenate(c_parts),
+        np.concatenate(v_parts),
+    )

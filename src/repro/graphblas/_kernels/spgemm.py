@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.graphblas._kernels import parallel as _parallel
 from repro.graphblas._kernels.coo import (
     canonicalize_matrix,
     decode,
@@ -34,29 +35,20 @@ from repro.util.validation import ReproError
 
 __all__ = ["mxm", "generic_mxm", "scipy_plus_times_mxm", "FLOP_LIMIT"]
 
-#: Expansion kernels refuse to materialise more than this many products.
+#: Expansion kernels refuse to materialise more than this many products
+#: *at once*.  Batches whose total exceeds it are row-tiled (each tile's
+#: product count stays under the limit); only a single row that on its own
+#: overflows the limit still fails.
 FLOP_LIMIT = 300_000_000
 
 
-def generic_mxm(a, b, semiring):
-    """``C = A ⊕.⊗ B`` over any semiring.
+def _expand_block(a_rows, a_cols, a_vals, b_indptr, b_cols, b_vals, semiring, nrows, ncols):
+    """Expansion SpGEMM of one row block of A against all of B (canonical).
 
-    ``a`` and ``b`` are ``(rows, cols, values, nrows, ncols)`` tuples in
-    canonical COO form.  Returns canonical COO for C.
+    ``a_*`` may be any contiguous row span of canonical A; the output keys
+    use the full (nrows, ncols) space so disjoint ascending blocks
+    concatenate into a canonical whole without a global re-sort.
     """
-    a_rows, a_cols, a_vals, a_nrows, a_ncols = a
-    b_rows, b_cols, b_vals, b_nrows, b_ncols = b
-    if a_ncols != b_nrows:
-        raise ReproError(f"mxm: inner dimensions differ ({a_ncols} vs {b_nrows})")
-
-    b_indptr = indptr_from_rows(b_rows, b_nrows)
-    lengths = b_indptr[a_cols + 1] - b_indptr[a_cols]
-    flops = int(lengths.sum())
-    if flops > FLOP_LIMIT:
-        raise ReproError(
-            f"mxm would materialise {flops} products (> {FLOP_LIMIT}); "
-            "matrix too dense for the expansion kernel"
-        )
     b_entry, a_entry = row_ranges(b_indptr, a_cols)
     out_rows = a_rows[a_entry]
     out_cols = b_cols[b_entry]
@@ -72,7 +64,74 @@ def generic_mxm(a, b, semiring):
         prod = np.asarray(mult(a_vals[a_entry], b_vals[b_entry]))
 
     return canonicalize_matrix(
-        out_rows, out_cols, prod, a_nrows, b_ncols, dup_op=semiring.add.op
+        out_rows, out_cols, prod, nrows, ncols, dup_op=semiring.add.op
+    )
+
+
+def _tiled_mxm(a, b_indptr, b_cols, b_vals, b_ncols, semiring, lengths, flops):
+    """Serial row-tiled expansion for batches over :data:`FLOP_LIMIT`.
+
+    Greedy tiling over the per-row flop prefix: each tile materialises at
+    most ``FLOP_LIMIT`` products, tiles splice by concatenation (disjoint
+    ascending row spans).  Degrades the former hard failure into O(flops)
+    work at O(FLOP_LIMIT) peak memory.
+    """
+    a_rows, a_cols, a_vals, a_nrows, _ = a
+    prefix = _parallel._row_work_prefix(a_rows, lengths, a_nrows)
+    worst = int(np.diff(prefix).max()) if a_nrows else 0
+    if worst > FLOP_LIMIT:
+        raise ReproError(
+            f"mxm: a single output row would materialise {worst} products "
+            f"(> {FLOP_LIMIT}); matrix too dense even for row-tiled expansion"
+        )
+    a_indptr = indptr_from_rows(a_rows, a_nrows)
+    parts = []
+    lo = 0
+    while lo < a_nrows:
+        hi = int(np.searchsorted(prefix, prefix[lo] + FLOP_LIMIT, side="right")) - 1
+        hi = max(hi, lo + 1)
+        s, e = int(a_indptr[lo]), int(a_indptr[hi])
+        parts.append(
+            _expand_block(
+                a_rows[s:e], a_cols[s:e], a_vals[s:e],
+                b_indptr, b_cols, b_vals, semiring, a_nrows, b_ncols,
+            )
+        )
+        lo = hi
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+        np.concatenate([p[2] for p in parts]),
+    )
+
+
+def generic_mxm(a, b, semiring):
+    """``C = A ⊕.⊗ B`` over any semiring.
+
+    ``a`` and ``b`` are ``(rows, cols, values, nrows, ncols)`` tuples in
+    canonical COO form.  Returns canonical COO for C.
+
+    Dispatch: above the kernel-layer cutoff the expansion runs row-parallel
+    (:func:`repro.graphblas._kernels.parallel.parallel_mxm`); above
+    :data:`FLOP_LIMIT` it runs serially in row tiles instead of failing.
+    """
+    a_rows, a_cols, a_vals, a_nrows, a_ncols = a
+    b_rows, b_cols, b_vals, b_nrows, b_ncols = b
+    if a_ncols != b_nrows:
+        raise ReproError(f"mxm: inner dimensions differ ({a_ncols} vs {b_nrows})")
+
+    b_indptr = indptr_from_rows(b_rows, b_nrows)
+    lengths = b_indptr[a_cols + 1] - b_indptr[a_cols]
+    flops = int(lengths.sum())
+    res = _parallel.parallel_mxm(
+        a, b_indptr, b_cols, b_vals, b_ncols, semiring, lengths, flops
+    )
+    if res is not None:
+        return res
+    if flops > FLOP_LIMIT:
+        return _tiled_mxm(a, b_indptr, b_cols, b_vals, b_ncols, semiring, lengths, flops)
+    return _expand_block(
+        a_rows, a_cols, a_vals, b_indptr, b_cols, b_vals, semiring, a_nrows, b_ncols
     )
 
 
@@ -99,14 +158,24 @@ def scipy_plus_times_mxm(a, b):
         C.data,
     )
     # Structural product: which (i,j) must be present per GraphBLAS semantics.
-    Ap = sp.csr_matrix((np.ones(a_rows.size, np.int64), (a_rows, a_cols)), shape=A.shape)
-    Bp = sp.csr_matrix((np.ones(b_rows.size, np.int64), (b_rows, b_cols)), shape=B.shape)
-    P = (Ap @ Bp).tocoo()
+    # The repair pass is the Python-side cost of the SciPy fast path, so it is
+    # the part routed through the parallel kernel layer when large enough.
     c_keys = encode(c_rows, c_cols, b_ncols)
     order = np.argsort(c_keys, kind="stable")
     c_keys, c_vals = c_keys[order], c_vals[order]
-    p_keys = encode(P.row.astype(np.int64), P.col.astype(np.int64), b_ncols)
-    p_keys.sort()
+    p_keys = _parallel.parallel_structural_product(
+        a_rows, a_cols, b_rows, b_cols, a_nrows, b_nrows, b_ncols
+    )
+    if p_keys is None:
+        Ap = sp.csr_matrix(
+            (np.ones(a_rows.size, np.int64), (a_rows, a_cols)), shape=A.shape
+        )
+        Bp = sp.csr_matrix(
+            (np.ones(b_rows.size, np.int64), (b_rows, b_cols)), shape=B.shape
+        )
+        P = (Ap @ Bp).tocoo()
+        p_keys = encode(P.row.astype(np.int64), P.col.astype(np.int64), b_ncols)
+        p_keys.sort()
     missing = p_keys[~in1d_sorted(p_keys, c_keys)]
     if missing.size:
         keys = np.concatenate([c_keys, missing])

@@ -340,7 +340,10 @@ class Matrix:
         desc = desc or _NULL_DESC
         a = self._input(desc.transpose_a)
         t_idx, t_vals = _mxv_kernel(
-            a._coo_tuple(), (vector._indices, vector._values, vector.size), semiring
+            a._coo_tuple(),
+            (vector._indices, vector._values, vector.size),
+            semiring,
+            indptr=a._cache.get("indptr"),
         )
         res_dtype = semiring.output_dtype(self.dtype, vector.dtype)
         res = Vector(res_dtype, a.nrows)
@@ -406,7 +409,9 @@ class Matrix:
         desc = desc or _NULL_DESC
         a = self._input(desc.transpose_a)
         rdtype = self.dtype if dtype is None else _types.lookup(dtype)
-        t_idx, t_vals = reduce_rows(a._rows, rdtype.cast(a._values), monoid)
+        t_idx, t_vals = reduce_rows(
+            a._rows, rdtype.cast(a._values), monoid, indptr=a._cache.get("indptr")
+        )
         res = Vector(rdtype, a.nrows)
         return res._finalize(t_idx, t_vals, out, mask, accum, desc, rdtype)
 

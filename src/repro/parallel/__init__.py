@@ -18,6 +18,7 @@ from repro.parallel.executor import (
     SerialExecutor,
     ThreadExecutor,
     chunk_evenly,
+    even_bounds,
     make_executor,
 )
 from repro.parallel.pool import PersistentWorkerPool
@@ -30,5 +31,6 @@ __all__ = [
     "ForkJoinExecutor",
     "PersistentWorkerPool",
     "chunk_evenly",
+    "even_bounds",
     "make_executor",
 ]

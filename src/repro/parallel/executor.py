@@ -26,17 +26,35 @@ __all__ = [
     "ProcessExecutor",
     "ForkJoinExecutor",
     "chunk_evenly",
+    "even_bounds",
     "make_executor",
 ]
 
 
-def chunk_evenly(items: Sequence, n_chunks: int) -> list[list]:
-    """Split ``items`` into at most ``n_chunks`` contiguous, even chunks."""
+def even_bounds(total: int, n_chunks: int) -> np.ndarray:
+    """The split bounds :func:`chunk_evenly` uses: ``n_chunks + 1`` even
+    int64 cut points over ``[0, total]``.  Exposed on its own because the
+    kernel layer (:mod:`repro.graphblas._kernels.parallel`) applies the same
+    bounds logic to a CSR ``indptr`` to balance row blocks by *nnz* rather
+    than by row count."""
+    return np.linspace(0, total, n_chunks + 1).astype(np.int64)
+
+
+def chunk_evenly(items: Sequence, n_chunks: int) -> list:
+    """Split ``items`` into at most ``n_chunks`` contiguous, even chunks.
+
+    ``np.ndarray`` and ``range`` inputs are sliced, not copied: each chunk is
+    a view (or sub-range), so chunking a million-row workload costs O(chunks)
+    rather than materialising every element into per-chunk Python lists.
+    Other sequences keep the historical list-of-lists contract.
+    """
     n = len(items)
     if n == 0:
         return []
     n_chunks = max(1, min(n_chunks, n))
-    bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+    bounds = even_bounds(n, n_chunks)
+    if isinstance(items, (np.ndarray, range)):
+        return [items[int(bounds[i]) : int(bounds[i + 1])] for i in range(n_chunks)]
     return [list(items[bounds[i] : bounds[i + 1]]) for i in range(n_chunks)]
 
 

@@ -138,8 +138,19 @@ class PersistentWorkerPool(Executor):
         """
         if self._children:
             return self
+        import atexit
+
+        # unclosed pools: reap the workers and remove the /dev/shm arena at
+        # interpreter shutdown (close() is idempotent, so an explicit close
+        # first is fine); without this the tmpfs directory outlives the
+        # process
+        atexit.register(self.close)
         self._dir = tempfile.mkdtemp(prefix="repro-pool-", dir=_shm_root())
-        for _ in range(min(self.workers, os.cpu_count() or 1)):
+        # No cpu_count clamp: like omp_set_num_threads, the requested width
+        # is honoured even on smaller machines (oversubscribed forked
+        # workers time-slice; the parallel==serial property tests rely on
+        # genuinely exercising multi-worker regions on 1-2 core CI boxes).
+        for _ in range(self.workers):
             cmd_r, cmd_w = os.pipe()
             res_r, res_w = os.pipe()
             pid = os.fork()
@@ -180,13 +191,17 @@ class PersistentWorkerPool(Executor):
     # state shipping
     # ------------------------------------------------------------------
 
-    def _prime(self, initargs: tuple) -> list[str]:
+    def _prime(self, initargs: tuple, salt=None) -> list[str]:
         """Write changed state arrays to shared memory; bump the version.
 
         The identity key is (id, shape, nnz-ish) per array: the engines
         rebuild the CSR arrays on every graph flush, so object identity is
         a reliable change signal, and the cheap extra fields guard against
-        id reuse after garbage collection.
+        id reuse after garbage collection.  ``salt`` folds the initializer
+        identity and inline extras into the key: two regions priming the
+        *same* arrays through different initializers (or with different
+        inline arguments, e.g. another semiring name) must not share a
+        version, or the workers would skip the re-prime they need.
         """
         arrays = [np.ascontiguousarray(a) for a in initargs if isinstance(a, np.ndarray)]
         if len(arrays) != len(initargs):
@@ -194,7 +209,7 @@ class PersistentWorkerPool(Executor):
                 "PersistentWorkerPool initargs must all be numpy arrays "
                 "(scalars can be shipped as 0-d arrays)"
             )
-        key = tuple((id(a), a.shape, a.dtype.str) for a in initargs)
+        key = (salt,) + tuple((id(a), a.shape, a.dtype.str) for a in initargs)
         if key == self._primed_key:
             return self._paths
         for path in self._paths:
@@ -245,7 +260,8 @@ class PersistentWorkerPool(Executor):
         # object arrays would be unpicklable via np.save; ship them inline
         array_args = tuple(a for a in initargs if isinstance(a, np.ndarray))
         extra_args = tuple(a for a in initargs if not isinstance(a, np.ndarray))
-        paths = self._prime(array_args)
+        salt = (getattr(initializer, "__qualname__", repr(initializer)), extra_args)
+        paths = self._prime(array_args, salt=salt)
         version = self._version
 
         init = None

@@ -19,7 +19,7 @@ from repro.graphblas import semiring as _semiring
 from repro.graphblas.types import INT64
 from repro.graphblas.vector import Vector
 from repro.model.graph import GraphDelta, SocialGraph
-from repro.queries.topk import TopKTracker, top_k
+from repro.queries.topk import TopKTracker, top_k, top_k_entries
 
 __all__ = ["Q1Batch", "Q1Incremental"]
 
@@ -90,10 +90,10 @@ class Q1Incremental:
         g = self.graph
         self.scores = _scores_from(g.root_post, _likes_count(g))
         dense = self.scores.to_dense()
-        ts = g.post_timestamps
-        ext = g.posts.external_array()
-        self.tracker.offer_many(
-            (int(ext[i]), int(dense[i]), int(ts[i])) for i in range(g.num_posts)
+        # vectorised seed: the tracker only ever retains k survivors, so
+        # one lexsort top-k replaces offering every post through Python
+        self.tracker.reseed(
+            top_k_entries(dense, g.post_timestamps, g.posts.external_array(), self.k)
         )
         return self.tracker.top()
 
@@ -168,10 +168,7 @@ class Q1Incremental:
         ext = g.posts.external_array()
         if delta.has_removals:
             # Non-monotone: reselect the top-3 over the maintained vector.
-            dense = self.scores.to_dense()
-            best = top_k(dense, ts, ext, self.k)
-            ts_of = {int(e): int(t) for e, t in zip(ext.tolist(), ts.tolist())}
-            self.tracker.reseed((e, s, ts_of[e]) for e, s in best)
+            self.tracker.reseed(top_k_entries(self.scores.to_dense(), ts, ext, self.k))
         else:
             # merge with previous top-3 (monotone => candidates suffice);
             # brand-new posts with no comments score 0 but may still place.

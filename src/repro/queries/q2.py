@@ -36,6 +36,7 @@ import numpy as np
 from repro.graphblas import monoid as _monoid
 from repro.graphblas import ops as _ops
 from repro.graphblas import semiring as _semiring
+from repro.graphblas._kernels import parallel as _kparallel
 from repro.graphblas.matrix import Matrix
 from repro.graphblas.types import BOOL, INT64
 from repro.graphblas.vector import Vector
@@ -44,7 +45,7 @@ from repro.lagraph.fastsv import fastsv
 from repro.lagraph.incremental_cc import IncrementalCC
 from repro.model.graph import GraphDelta, SocialGraph
 from repro.parallel.executor import Executor, SerialExecutor, chunk_evenly
-from repro.queries.topk import TopKTracker, top_k
+from repro.queries.topk import TopKTracker, top_k, top_k_entries
 from repro.util.validation import ReproError
 
 __all__ = [
@@ -200,20 +201,39 @@ def score_comments(
         friends._cols,
         algorithm,
     )
-    executor = executor or SerialExecutor()
+    # Engine-owned executors win; otherwise fall back to the process-wide
+    # kernel executor (REPRO_WORKERS), which is shared across engines and
+    # therefore driven through the kernel layer's region lock.  Only
+    # fork-isolated pools qualify: _score_chunk re-enters routed kernels
+    # (FastSV -> mxm/mxv), which an in-process worker would deadlock on
+    # while the dispatcher holds the region lock.
+    shared = False
+    if executor is None:
+        kex = _kparallel.get_kernel_executor()
+        if kex is not None and _kparallel.executor_isolates_workers(kex):
+            executor = kex
+            shared = True
+    if executor is None:
+        executor = SerialExecutor()
     # A parallel region cannot amortise its spawn cost on small inputs
     # (the paper: updates are small, so parallel gains little there).
     min_items = getattr(executor, "MIN_PARALLEL_ITEMS", 0)
     if comments.size < min_items:
         executor = SerialExecutor()
+        shared = False
     n_chunks = max(1, min(executor.workers * 4, comments.size))
     # Strided (round-robin) chunking: comment popularity is heavy-tailed and
     # correlated with index (early = hot), so contiguous chunks would load a
     # single worker with all the expensive subgraphs.
     chunks = [comments[i::n_chunks] for i in range(n_chunks)]
-    results = executor.map_chunks(
-        _score_chunk, chunks, initializer=_init_worker, initargs=initargs
-    )
+    if shared:
+        results = _kparallel.locked_map(
+            executor, _score_chunk, chunks, initializer=_init_worker, initargs=initargs
+        )
+    else:
+        results = executor.map_chunks(
+            _score_chunk, chunks, initializer=_init_worker, initargs=initargs
+        )
     out: dict[int, int] = {}
     for ids, scores in results:
         out.update(zip(ids.tolist(), scores.tolist()))
@@ -370,10 +390,11 @@ class Q2Incremental:
         vals = np.fromiter(scored.values(), dtype=np.int64, count=len(scored))
         self.scores = Vector.from_coo(idx, vals, g.num_comments, dtype=INT64)
         dense = self.scores.to_dense()
-        ts = g.comment_timestamps
-        ext = g.comments.external_array()
-        self.tracker.offer_many(
-            (int(ext[i]), int(dense[i]), int(ts[i])) for i in range(g.num_comments)
+        # vectorised seed (one lexsort top-k; see Q1Incremental.initial)
+        self.tracker.reseed(
+            top_k_entries(
+                dense, g.comment_timestamps, g.comments.external_array(), self.k
+            )
         )
         return self.tracker.top()
 
@@ -517,10 +538,7 @@ class Q2Incremental:
         if delta.has_removals:
             # Extension: scores may have decreased -- reselect the top-3
             # from the maintained vector (O(|comments|), not O(batch)).
-            dense = self.scores.to_dense()
-            best = top_k(dense, ts, ext, self.k)
-            ts_of = {int(e): int(t) for e, t in zip(ext.tolist(), ts.tolist())}
-            self.tracker.reseed((e, s, ts_of[e]) for e, s in best)
+            self.tracker.reseed(top_k_entries(self.scores.to_dense(), ts, ext, self.k))
         return self.tracker.top()
 
     def result_string(self) -> str:

@@ -28,12 +28,37 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["top_k", "TopKTracker"]
+__all__ = ["top_k", "top_k_entries", "TopKTracker"]
 
 
 def _sort_key(entry: tuple[int, int, int]):
     score, ts, ext_id = entry
     return (-score, -ts, ext_id)
+
+
+def top_k_entries(
+    scores: np.ndarray, timestamps: np.ndarray, external_ids: np.ndarray, k: int = 3
+) -> list[tuple[int, int, int]]:
+    """Top-k (external_id, score, timestamp) triples, contest ordering.
+
+    Vectorised: one ``np.lexsort`` over (score desc, timestamp desc,
+    external id asc) instead of building and sorting a Python list of every
+    entity -- this is the hot reselect path of the removal extension and of
+    the incremental engines' initial evaluation.  The timestamp rides along
+    so callers can reseed a :class:`TopKTracker` without building an
+    entity->timestamp dict over the whole graph.
+    """
+    scores = np.asarray(scores)
+    n = scores.size
+    if n == 0:
+        return []
+    ts = np.asarray(timestamps)
+    ext = np.asarray(external_ids)
+    # lexsort: last key is primary; negate the descending keys
+    order = np.lexsort((ext, -ts, -scores))[: min(k, n)]
+    return [
+        (int(ext[i]), int(scores[i]), int(ts[i])) for i in order.tolist()
+    ]
 
 
 def top_k(
@@ -46,13 +71,7 @@ def top_k(
     appear in the top-k of a small graph, as in the paper's Fig. 3 example
     where only two posts exist).
     """
-    n = scores.size
-    if n == 0:
-        return []
-    k = min(k, n)
-    entries = list(zip(scores.tolist(), timestamps.tolist(), external_ids.tolist()))
-    entries.sort(key=_sort_key)
-    return [(ext, score) for score, ts, ext in entries[:k]]
+    return [(ext, score) for ext, score, _ in top_k_entries(scores, timestamps, external_ids, k)]
 
 
 class TopKTracker:

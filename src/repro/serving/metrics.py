@@ -13,6 +13,7 @@ numbers -- no RNG in the measurement path.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -78,6 +79,11 @@ class LatencyStats:
 class OpMetrics:
     """A named registry of :class:`LatencyStats` with a timing helper.
 
+    Thread-safe: the serving layer records from the submit path, the
+    background flusher, and (with concurrent engine fan-out) refresh worker
+    threads; a single lock covers registry access and the non-atomic
+    reservoir update inside :meth:`LatencyStats.record`.
+
     >>> m = OpMetrics()
     >>> with m.timed("query"):
     ...     pass
@@ -87,20 +93,25 @@ class OpMetrics:
 
     def __init__(self) -> None:
         self._stats: dict[str, LatencyStats] = {}
+        self._lock = threading.Lock()
 
     def __getitem__(self, op: str) -> LatencyStats:
-        if op not in self._stats:
-            self._stats[op] = LatencyStats()
-        return self._stats[op]
+        with self._lock:
+            if op not in self._stats:
+                self._stats[op] = LatencyStats()
+            return self._stats[op]
 
     def record(self, op: str, seconds: float) -> None:
-        self[op].record(seconds)
+        stats = self[op]
+        with self._lock:
+            stats.record(seconds)
 
     def timed(self, op: str) -> "_Timed":
         return _Timed(self, op)
 
     def summary(self) -> dict[str, dict]:
-        return {op: s.summary() for op, s in sorted(self._stats.items())}
+        with self._lock:
+            return {op: s.summary() for op, s in sorted(self._stats.items())}
 
 
 class _Timed:

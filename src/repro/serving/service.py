@@ -37,8 +37,10 @@ edge instead of poisoning the log or a half-applied batch.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Union
 
+from repro.graphblas._kernels import parallel as _kparallel
 from repro.model.changes import (
     AddComment,
     AddFriendship,
@@ -68,6 +70,11 @@ _QUERIES = ("Q1", "Q2")
 class GraphService:
     """Streaming query-serving facade over the paper's engines."""
 
+    #: fan engine refreshes out to threads only when their last measured
+    #: combined refresh time clears this (else thread dispatch overhead
+    #: dominates -- the sub-millisecond single-change micro-batch regime)
+    MIN_FANOUT_REFRESH_S = 5e-3
+
     def __init__(
         self,
         graph: Optional[SocialGraph] = None,
@@ -84,6 +91,7 @@ class GraphService:
         keep_snapshots: int = 2,
         wal_sync: bool = True,
         auto_flush: bool = False,
+        concurrent_refresh: bool = True,
         _start_version: int = 0,
         _allow_existing: bool = False,
     ):
@@ -135,12 +143,45 @@ class GraphService:
                 self._engines[(query, tool)] = make_engine(
                     tool, query, k=k, executor=executor, q2_algorithm=q2_algorithm
                 )
-        self._load_engines()
 
-        # a fresh persistent service writes its baseline snapshot so a
-        # crash before the first periodic snapshot is still recoverable
-        if self._store is not None and not self._store.versions():
-            self.snapshot()
+        # Parallel machinery.  The kernel executor (REPRO_WORKERS) forks its
+        # workers *now*, before engines load and the heap grows -- the same
+        # place OpenMP pays its thread-spawn cost.  The service holds one
+        # shared reference so teardown can stop the workers once the last
+        # holder closes, without closing a caller-installed executor.  The
+        # fan-out pool refreshes independent engines concurrently per batch.
+        self._kex_retained = False
+        kex = _kparallel.retain_kernel_executor()
+        if kex is not None:
+            self._kex_retained = True
+            try:
+                if hasattr(kex, "start"):
+                    kex.start()
+            except BaseException:
+                # a failed fork must not wedge the refcount above zero
+                self._teardown_parallel()
+                raise
+        self._fanout: Optional[ThreadPoolExecutor] = None
+        if concurrent_refresh and len(self._engines) > 1:
+            self._fanout = ThreadPoolExecutor(
+                max_workers=len(self._engines), thread_name_prefix="engine-refresh"
+            )
+        #: last measured per-engine refresh seconds (seeded by the initial
+        #: evaluations) -- the fan-out amortisation estimate
+        self._last_refresh_s: dict[tuple[str, str], float] = {}
+
+        try:
+            self._load_engines()
+
+            # a fresh persistent service writes its baseline snapshot so a
+            # crash before the first periodic snapshot is still recoverable
+            if self._store is not None and not self._store.versions():
+                self.snapshot()
+        except BaseException:
+            # failed construction must not strand the retained kernel
+            # executor (refcount wedged above zero => orphaned workers)
+            self._teardown_parallel()
+            raise
 
         self._flusher: Optional[_Flusher] = None
         if auto_flush:
@@ -158,6 +199,7 @@ class GraphService:
                 t0 = WallClock.now()
                 result_string = engine.initial()
                 dt = WallClock.now() - t0
+            self._last_refresh_s[(query, tool)] = dt
             self._cache.put(
                 CachedResult(
                     query=query,
@@ -269,7 +311,9 @@ class GraphService:
         failed and every later operation raises -- in particular no later
         batch can reuse this batch's WAL version number.  The durable
         state stays sound: the frame is already committed, and
-        :meth:`recover` replays it in full.
+        :meth:`recover` replays it in full.  The failure path also tears
+        down the parallel machinery so a crashed apply never strands
+        forked kernel workers.
         """
         next_version = self.version + 1
         try:
@@ -278,28 +322,10 @@ class GraphService:
                     self._wal.append(next_version, batch)
             with self._metrics.timed("apply"):
                 delta = self.graph.apply(batch)
-                for (query, tool), engine in self._engines.items():
-                    t0 = WallClock.now()
-                    if hasattr(engine, "refresh"):
-                        result_string = engine.refresh(delta)
-                    else:
-                        # NMF engines mirror the change set into their own
-                        # object model; the shared graph is already updated
-                        result_string = engine.update(batch)
-                    dt = WallClock.now() - t0
-                    self._metrics.record(f"refresh[{tool}]", dt)
-                    self._cache.put(
-                        CachedResult(
-                            query=query,
-                            tool=tool,
-                            version=next_version,
-                            top=tuple(engine.last_top),
-                            result_string=result_string,
-                            compute_seconds=dt,
-                        )
-                    )
+                self._refresh_engines(batch, delta, next_version)
         except BaseException:
             self._failed = True
+            self._teardown_parallel()
             raise
         self.version = next_version
         for ids in self._pending_ids.values():
@@ -310,6 +336,107 @@ class GraphService:
             and self.version % self.snapshot_every == 0
         ):
             self.snapshot()
+
+    # ------------------------------------------------------------------
+    # engine fan-out
+    # ------------------------------------------------------------------
+
+    def _refresh_engines(self, batch: ChangeSet, delta, next_version: int) -> None:
+        """Fan one applied delta out to every engine; commit deterministically.
+
+        With the fan-out pool, engines refresh concurrently -- keyed
+        futures, one per group of engines that can safely run in parallel
+        (engines sharing a user-provided parallel executor are grouped
+        serially; the pipe-per-worker pools are single-region).  Outcomes
+        are *committed* (metrics + cache) in the fixed engine registration
+        order regardless of completion order, so the versioned cache and
+        the per-engine ``refresh[tool]`` metrics stay reproducible.  The
+        first engine failure, also in that order, re-raises into the
+        fail-stop path.
+
+        Adaptive: like the kernel-layer cutoff, the fan-out only engages
+        when the engines' last measured combined refresh time clears
+        :data:`MIN_FANOUT_REFRESH_S` -- sub-millisecond micro-batch
+        refreshes would otherwise pay more in thread dispatch than they
+        can win back in overlap.
+        """
+        engines = list(self._engines.items())
+        est = sum(self._last_refresh_s.get(key, 0.0) for key, _ in engines)
+        if (
+            self._fanout is None
+            or len(engines) == 1
+            or est < self.MIN_FANOUT_REFRESH_S
+        ):
+            outcomes = self._refresh_group(engines, batch, delta)
+        else:
+            # Freeze the shared graph once in this thread: the relation
+            # arenas mutate on first read after an apply, and concurrent
+            # first reads from engine threads would race on the freeze.
+            _ = (
+                self.graph.root_post,
+                self.graph.likes,
+                self.graph.friends,
+                self.graph.commented,
+            )
+            groups: dict[int, list] = {}
+            for key, engine in engines:
+                ex = getattr(engine, "executor", None)
+                gid = id(ex) if ex is not None else id(engine)
+                groups.setdefault(gid, []).append((key, engine))
+            futures = [
+                self._fanout.submit(self._refresh_group, members, batch, delta)
+                for members in groups.values()
+            ]
+            outcomes = {}
+            for fut in futures:
+                outcomes.update(fut.result())
+        for (query, tool), engine in engines:
+            outcome = outcomes.get((query, tool))
+            if outcome is None:  # skipped after an earlier failure in its group
+                continue
+            status, payload, top, dt = outcome
+            if status == "err":
+                raise payload
+            self._last_refresh_s[(query, tool)] = dt
+            self._metrics.record(f"refresh[{tool}]", dt)
+            self._cache.put(
+                CachedResult(
+                    query=query,
+                    tool=tool,
+                    version=next_version,
+                    top=tuple(top),
+                    result_string=payload,
+                    compute_seconds=dt,
+                )
+            )
+
+    @staticmethod
+    def _refresh_group(members, batch: ChangeSet, delta) -> dict:
+        """Refresh a group of engines sequentially (worker-thread body).
+
+        Exceptions are captured per engine, not raised: the caller decides
+        the deterministic failure order after all groups complete.
+        """
+        outcomes: dict = {}
+        for key, engine in members:
+            t0 = WallClock.now()
+            try:
+                if hasattr(engine, "refresh"):
+                    result_string = engine.refresh(delta)
+                else:
+                    # NMF engines mirror the change set into their own
+                    # object model; the shared graph is already updated
+                    result_string = engine.update(batch)
+            except BaseException as exc:
+                outcomes[key] = ("err", exc, (), WallClock.now() - t0)
+                break
+            outcomes[key] = (
+                "ok",
+                result_string,
+                list(engine.last_top),
+                WallClock.now() - t0,
+            )
+        return outcomes
 
     # ------------------------------------------------------------------
     # submit-time validation (keeps the WAL free of unappliable batches)
@@ -441,6 +568,24 @@ class GraphService:
             self._wal.close()
         for engine in self._engines.values():
             engine.close()
+        self._teardown_parallel()
+
+    def _teardown_parallel(self) -> None:
+        """Stop the fan-out threads and release the forked kernel workers.
+
+        Idempotent; called from :meth:`close` and from the fail-stop path
+        so neither a graceful shutdown nor a crashed apply leaves orphaned
+        child processes.  The kernel executor is process-wide and
+        reference-counted: this drops the service's reference, and the
+        workers are closed when the last holder lets go (an explicitly
+        installed executor stays caller-owned and is never closed here).
+        """
+        if self._fanout is not None:
+            self._fanout.shutdown(wait=True, cancel_futures=True)
+            self._fanout = None
+        if self._kex_retained:
+            self._kex_retained = False
+            _kparallel.release_kernel_executor()
 
     def _check_open(self) -> None:
         if self._failed:

@@ -1,0 +1,293 @@
+"""Parallel kernel layer: parallel results must be bit-identical to serial.
+
+Every routed kernel (expansion SpGEMM, the SciPy repair pass, SpMV,
+row-reduce, the dirty-row merge) is run serially (no executor) and through
+a real fork-once pool at worker counts {1, 2, 4} with the cutoff forced to
+zero, and the outputs are compared element-for-element *and* dtype-for-
+dtype.  Workloads include empty rows/blocks, annihilating sums (products
+cancelling to exactly zero, which GraphBLAS must keep), and single-row
+matrices.
+"""
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.graphblas import monoid as mon
+from repro.graphblas import semiring as sem
+from repro.graphblas._kernels import freeze, parallel as kp, reduce as red, spgemm, spmv
+from repro.graphblas._kernels.coo import canonicalize_matrix
+from repro.graphblas._kernels.csr import indptr_from_rows
+from repro.parallel import make_executor
+from repro.util.validation import ReproError
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-based kernel executor is POSIX-only"
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+@contextmanager
+def kernel_workers(workers: int):
+    """Install a persistent pool of the given width with a zero cutoff."""
+    ex = make_executor("persistent", workers) if workers > 1 else None
+    kp.set_kernel_executor(ex)
+    kp.set_parallel_cutoff(0)
+    try:
+        yield
+    finally:
+        kp.close_kernel_executor()
+        kp.set_parallel_cutoff(None)
+
+
+def rand_coo(rng, nrows, ncols, nnz, lo=-3, hi=4, dtype=np.int64):
+    rows = rng.integers(0, nrows, nnz)
+    cols = rng.integers(0, ncols, nnz)
+    vals = rng.integers(lo, hi, nnz).astype(dtype)
+    r, c, v = canonicalize_matrix(rows, cols, vals, nrows, ncols, dup_op=mon.plus_monoid.op)
+    return (r, c, v, nrows, ncols)
+
+
+def assert_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for s, p in zip(serial, parallel):
+        assert np.array_equal(s, p), (s, p)
+        assert s.dtype == p.dtype, (s.dtype, p.dtype)
+
+
+MATRICES = {
+    # name -> (nrows, ncols, nnz): empty-row stretches, skew, tiny shapes
+    "dense-ish": (60, 50, 900),
+    "sparse-empty-rows": (400, 80, 300),
+    "single-row": (1, 64, 40),
+    "single-col": (64, 1, 40),
+}
+
+
+class TestMxmParallel:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("shape", sorted(MATRICES))
+    @pytest.mark.parametrize("semiring", ["plus_times", "min_second", "lor_land"])
+    def test_matches_serial(self, workers, shape, semiring):
+        rng = np.random.default_rng(7)
+        nr, nc, nnz = MATRICES[shape]
+        s = sem.get(semiring)
+        dtype = np.bool_ if semiring == "lor_land" else np.int64
+        a = rand_coo(rng, nr, nc, nnz, lo=0, hi=2, dtype=dtype)
+        b = rand_coo(rng, nc, 70, 800, lo=0, hi=2, dtype=dtype)
+        serial = spgemm.generic_mxm(a, b, s)
+        with kernel_workers(workers):
+            parallel = spgemm.generic_mxm(a, b, s)
+        assert_identical(serial, parallel)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_annihilating_sum_kept(self, workers):
+        """Products cancelling to exactly 0 must keep their entry on both
+        paths (GraphBLAS structural semantics)."""
+        # A row [1, -1] times B rows that collide on the same output column
+        a = canonicalize_matrix(
+            np.array([0, 0]), np.array([0, 1]), np.array([1, -1]), 1, 2
+        )
+        a = (*a, 1, 2)
+        b = canonicalize_matrix(
+            np.array([0, 1]), np.array([0, 0]), np.array([5, 5]), 2, 1
+        )
+        b = (*b, 2, 1)
+        serial = spgemm.generic_mxm(a, b, sem.get("plus_times"))
+        assert serial[2].tolist() == [0]  # annihilated but present
+        with kernel_workers(workers):
+            parallel = spgemm.generic_mxm(a, b, sem.get("plus_times"))
+        assert_identical(serial, parallel)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_scipy_repair_matches(self, workers):
+        rng = np.random.default_rng(3)
+        a = rand_coo(rng, 80, 60, 700)
+        b = rand_coo(rng, 60, 90, 700)
+        serial = spgemm.scipy_plus_times_mxm(a, b)
+        with kernel_workers(workers):
+            parallel = spgemm.scipy_plus_times_mxm(a, b)
+        assert_identical(serial, parallel)
+
+
+class TestTiledMxm:
+    def test_over_limit_degrades_to_tiles(self, monkeypatch):
+        """Totals above FLOP_LIMIT row-tile instead of failing (the former
+        hard ReproError), and the tiled result is identical."""
+        rng = np.random.default_rng(11)
+        a = rand_coo(rng, 120, 80, 900)
+        b = rand_coo(rng, 80, 100, 900)
+        want = spgemm.generic_mxm(a, b, sem.get("plus_times"))
+        monkeypatch.setattr(spgemm, "FLOP_LIMIT", 500)
+        got = spgemm.generic_mxm(a, b, sem.get("plus_times"))
+        assert_identical(want, got)
+
+    def test_single_dense_row_still_raises(self, monkeypatch):
+        """A single row that alone exceeds the limit cannot be tiled."""
+        monkeypatch.setattr(spgemm, "FLOP_LIMIT", 2)
+        a = canonicalize_matrix(
+            np.array([0, 0]), np.array([0, 1]), np.array([1, 1]), 1, 2
+        )
+        b = canonicalize_matrix(
+            np.array([0, 0, 1, 1]), np.array([0, 1, 0, 1]), np.ones(4), 2, 2
+        )
+        with pytest.raises(ReproError, match="single output row"):
+            spgemm.generic_mxm((*a, 1, 2), (*b, 2, 2), sem.get("plus_times"))
+
+
+class TestMxvParallel:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("shape", sorted(MATRICES))
+    @pytest.mark.parametrize("semiring", ["plus_times", "min_second"])
+    def test_matches_serial(self, workers, shape, semiring):
+        rng = np.random.default_rng(13)
+        nr, nc, nnz = MATRICES[shape]
+        a = rand_coo(rng, nr, nc, nnz)
+        u_idx = np.unique(rng.integers(0, nc, max(1, nc // 2)))
+        u_vals = rng.integers(1, 6, u_idx.size)
+        u = (u_idx, u_vals, nc)
+        s = sem.get(semiring)
+        serial = spmv.mxv(a, u, s)
+        with kernel_workers(workers):
+            parallel = spmv.mxv(a, u, s, indptr=indptr_from_rows(a[0], nr))
+        assert_identical(serial, parallel)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_blocks_with_no_output(self, workers):
+        """Row blocks whose columns all miss u must contribute empty
+        segments without disturbing dtype or order."""
+        # rows 0..9 hit column 0; rows 100..109 hit column 1; u only has col 0
+        rows = np.concatenate([np.arange(10), np.arange(100, 110)]).astype(np.int64)
+        cols = np.concatenate([np.zeros(10), np.ones(10)]).astype(np.int64)
+        vals = np.arange(20, dtype=np.int64)
+        a = (rows, cols, vals, 200, 2)
+        u = (np.array([0], dtype=np.int64), np.array([3], dtype=np.int64), 2)
+        serial = spmv.mxv(a, u, sem.get("plus_times"))
+        with kernel_workers(workers):
+            parallel = spmv.mxv(a, u, sem.get("plus_times"))
+        assert_identical(serial, parallel)
+
+
+class TestReduceParallel:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("shape", sorted(MATRICES))
+    @pytest.mark.parametrize("monoid", ["plus", "min", "lor"])
+    def test_matches_serial(self, workers, shape, monoid):
+        rng = np.random.default_rng(17)
+        nr, nc, nnz = MATRICES[shape]
+        m = mon.MONOIDS[monoid]
+        dtype = np.bool_ if monoid == "lor" else np.int64
+        a = rand_coo(rng, nr, nc, nnz, lo=0, hi=2, dtype=dtype)
+        serial = red.reduce_rows(a[0], a[2], m)
+        with kernel_workers(workers):
+            parallel = red.reduce_rows(a[0], a[2], m, indptr=indptr_from_rows(a[0], nr))
+        assert_identical(serial, parallel)
+
+
+class TestMergeDirtyRowsParallel:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_serial(self, workers, seed):
+        rng = np.random.default_rng(seed)
+        nr, nc = 150, 40
+        rows, cols, vals, _, _ = rand_coo(rng, nr, nc, 800)
+        indptr = indptr_from_rows(rows, nr)
+        dirty = np.unique(rng.integers(0, nr, 30))
+        reps = []
+        for r in dirty.tolist():
+            k = int(rng.integers(0, 6))  # some dirty rows become empty
+            cset = np.unique(rng.integers(0, nc, k))
+            reps.append(
+                (
+                    np.full(cset.size, r, dtype=np.int64),
+                    cset.astype(np.int64),
+                    rng.integers(1, 9, cset.size),
+                )
+            )
+        d_rows = np.concatenate([x[0] for x in reps])
+        d_cols = np.concatenate([x[1] for x in reps])
+        d_vals = np.concatenate([x[2] for x in reps])
+        serial = freeze.merge_dirty_rows(
+            rows, cols, vals, indptr, nr, dirty, d_rows, d_cols, d_vals
+        )
+        with kernel_workers(workers):
+            parallel = freeze.merge_dirty_rows(
+                rows, cols, vals, indptr, nr, dirty, d_rows, d_cols, d_vals
+            )
+        assert_identical(serial, parallel)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_all_rows_dirty_and_first_last(self, workers):
+        """Dirty set covering row 0 and the last row exercises the zero
+        prev boundary and the absent tail."""
+        nr = 40
+        rows = np.repeat(np.arange(nr, dtype=np.int64), 2)
+        cols = np.tile(np.array([0, 3], dtype=np.int64), nr)
+        vals = np.arange(2 * nr, dtype=np.int64)
+        indptr = indptr_from_rows(rows, nr)
+        dirty = np.arange(nr, dtype=np.int64)
+        d_rows = np.arange(nr, dtype=np.int64)
+        d_cols = np.ones(nr, dtype=np.int64)
+        d_vals = np.full(nr, 7, dtype=np.int64)
+        serial = freeze.merge_dirty_rows(
+            rows, cols, vals, indptr, nr, dirty, d_rows, d_cols, d_vals
+        )
+        with kernel_workers(workers):
+            parallel = freeze.merge_dirty_rows(
+                rows, cols, vals, indptr, nr, dirty, d_rows, d_cols, d_vals
+            )
+        assert_identical(serial, parallel)
+
+
+class TestRoutingGuards:
+    def test_cutoff_keeps_small_work_serial(self):
+        """Below the cutoff the executor must not be consulted at all."""
+        with kernel_workers(2):
+            kp.set_parallel_cutoff(10**9)
+            rng = np.random.default_rng(5)
+            a = rand_coo(rng, 30, 30, 100)
+            b = rand_coo(rng, 30, 30, 100)
+            # would raise inside the pool if dispatched with a poisoned fn;
+            # instead we just assert the executor stays un-started
+            spgemm.generic_mxm(a, b, sem.get("plus_times"))
+            ex = kp.get_kernel_executor()
+            assert ex._children == []  # never forked
+
+    def test_forked_child_never_reenters_pool(self):
+        """A forked process inheriting the executor slot must see None."""
+        with kernel_workers(2):
+            r, w = os.pipe()
+            pid = os.fork()
+            if pid == 0:  # child
+                status = 1
+                try:
+                    ok = kp.get_kernel_executor() is None
+                    os.write(w, b"1" if ok else b"0")
+                    status = 0
+                finally:
+                    os._exit(status)
+            os.close(w)
+            got = os.read(r, 1)
+            os.close(r)
+            os.waitpid(pid, 0)
+            assert got == b"1"
+
+    def test_reduce_without_indptr_stays_serial(self):
+        """Arbitrary group ids (reduce_groups on encoded keys) must never
+        reach the parallel path: an indptr over the id space is O(max id)."""
+        with kernel_workers(2):
+            huge_ids = np.sort(np.array([0, 10**12, 10**12, 10**15], dtype=np.int64))
+            vals = np.array([1, 2, 3, 4], dtype=np.int64)
+            assert kp.parallel_reduce_rows(huge_ids, vals, mon.plus_monoid) is None
+            idx, out = red.reduce_rows(huge_ids, vals, mon.plus_monoid)
+            assert idx.tolist() == [0, 10**12, 10**15]
+            assert out.tolist() == [1, 5, 4]
+
+    def test_balanced_bounds_cover_all_rows(self):
+        indptr = np.array([0, 0, 10, 10, 11, 100, 100], dtype=np.int64)
+        bounds = kp.balanced_bounds(indptr, 4)
+        assert bounds[0] == 0 and bounds[-1] == indptr.size - 1
+        assert (np.diff(bounds) >= 0).all()

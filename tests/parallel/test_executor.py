@@ -45,6 +45,32 @@ class TestChunking:
     def test_single_chunk(self):
         assert chunk_evenly([1, 2, 3], 1) == [[1, 2, 3]]
 
+    def test_ndarray_chunks_are_views(self):
+        """Array inputs must slice, not materialise Python lists."""
+        import numpy as np
+
+        arr = np.arange(1000, dtype=np.int64)
+        chunks = chunk_evenly(arr, 7)
+        assert all(isinstance(c, np.ndarray) for c in chunks)
+        # views share the source buffer: zero-copy chunking
+        assert all(c.base is arr for c in chunks)
+        assert np.array_equal(np.concatenate(chunks), arr)
+
+    def test_range_chunks_stay_ranges(self):
+        chunks = chunk_evenly(range(10), 3)
+        assert all(isinstance(c, range) for c in chunks)
+        assert [x for c in chunks for x in c] == list(range(10))
+
+    def test_even_bounds_match_chunking(self):
+        from repro.parallel import even_bounds
+
+        bounds = even_bounds(10, 3)
+        assert bounds[0] == 0 and bounds[-1] == 10
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [
+            int(bounds[i + 1] - bounds[i]) for i in range(3)
+        ]
+
 
 class TestSerial:
     def test_map(self):

@@ -1,0 +1,214 @@
+"""Concurrent engine fan-out and parallel-machinery lifecycle.
+
+The serving layer refreshes independent engines concurrently per applied
+batch; these tests pin (a) result equivalence with the serial fan-out over
+the same change stream, (b) per-engine metrics preservation, and (c) the
+teardown guarantees: neither ``close()`` nor a crashed apply may leave
+forked kernel workers behind.
+"""
+
+import os
+
+import pytest
+
+from repro.datagen import generate_benchmark_input
+from repro.graphblas._kernels import parallel as kp
+from repro.model.changes import AddUser
+from repro.serving import GraphService
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-based kernel executor is POSIX-only"
+)
+
+ALL_TOOLS = (
+    "graphblas-batch",
+    "graphblas-incremental",
+    "nmf-batch",
+    "nmf-incremental",
+)
+
+
+def _drive(service, changes):
+    for ch in changes:
+        service.submit(ch)
+    service.flush()
+
+
+@pytest.fixture
+def stream():
+    graph_a, change_sets = generate_benchmark_input(1, seed=42)
+    graph_b, _ = generate_benchmark_input(1, seed=42)
+    changes = [ch for cs in change_sets for ch in cs]
+    return graph_a, graph_b, changes
+
+
+class TestFanoutEquivalence:
+    def test_concurrent_equals_serial(self, stream):
+        graph_a, graph_b, changes = stream
+        with GraphService(
+            graph_a, tools=ALL_TOOLS, max_batch=16, max_delay_ms=1e9
+        ) as conc, GraphService(
+            graph_b,
+            tools=ALL_TOOLS,
+            max_batch=16,
+            max_delay_ms=1e9,
+            concurrent_refresh=False,
+        ) as serial:
+            assert conc._fanout is not None
+            assert serial._fanout is None
+            _drive(conc, changes)
+            _drive(serial, changes)
+            assert conc.version == serial.version
+            for q in ("Q1", "Q2"):
+                for t in ALL_TOOLS:
+                    a, b = conc.query(q, t), serial.query(q, t)
+                    assert a.result_string == b.result_string, (q, t)
+                    assert a.top == b.top
+                    assert a.version == b.version == conc.version
+
+    def test_per_engine_refresh_metrics_preserved(self, stream):
+        graph_a, _, changes = stream
+        with GraphService(
+            graph_a, tools=ALL_TOOLS, max_batch=16, max_delay_ms=1e9
+        ) as svc:
+            _drive(svc, changes)
+            ops = svc.stats()["ops"]
+            for t in ALL_TOOLS:
+                assert ops[f"refresh[{t}]"]["count"] >= 1
+
+    def test_adaptive_gate_on_refresh_cost(self, monkeypatch, stream):
+        """Sub-threshold refreshes stay serial; heavy ones use the pool."""
+        graph_a, _, changes = stream
+        with GraphService(
+            graph_a, tools=ALL_TOOLS, max_batch=16, max_delay_ms=1e9
+        ) as svc:
+            submits = []
+            real_submit = svc._fanout.submit
+            monkeypatch.setattr(
+                svc._fanout, "submit",
+                lambda *a, **kw: submits.append(1) or real_submit(*a, **kw),
+            )
+            monkeypatch.setattr(GraphService, "MIN_FANOUT_REFRESH_S", float("inf"))
+            _drive(svc, changes[:20])
+            assert not submits  # estimated work never clears the gate
+            monkeypatch.setattr(GraphService, "MIN_FANOUT_REFRESH_S", 0.0)
+            _drive(svc, changes[20:40])
+            assert submits  # every batch fans out now
+
+    def test_single_engine_skips_fanout_pool(self, stream):
+        graph_a, _, _ = stream
+        with GraphService(
+            graph_a, queries=("Q1",), tools=("graphblas-incremental",)
+        ) as svc:
+            assert svc._fanout is None
+
+
+class TestKernelExecutorLifecycle:
+    @pytest.fixture(autouse=True)
+    def reset_kernel_executor(self):
+        kp.close_kernel_executor()
+        yield
+        kp.close_kernel_executor()
+
+    def _child_pids(self):
+        ex = kp.get_kernel_executor()
+        assert ex is not None
+        ex.start()
+        return [pid for pid, _, _ in ex._children]
+
+    @staticmethod
+    def _assert_gone(pids):
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # reaped: no such process, not even a zombie
+
+    def test_close_tears_down_kernel_workers(self, monkeypatch, stream):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        graph_a, _, changes = stream
+        svc = GraphService(graph_a, tools=("graphblas-incremental",), max_batch=16)
+        pids = self._child_pids()
+        assert pids
+        _drive(svc, changes[:40])
+        svc.close()
+        assert kp._state["executor"] is None
+        self._assert_gone(pids)
+
+    def test_shared_executor_survives_until_last_service(self, monkeypatch, stream):
+        """Closing one of two services must not kill the other's workers;
+        the last close stops them (refcounted env executor)."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        graph_a, graph_b, changes = stream
+        svc_a = GraphService(graph_a, tools=("graphblas-incremental",), max_batch=16)
+        svc_b = GraphService(graph_b, tools=("graphblas-incremental",), max_batch=16)
+        pids = self._child_pids()
+        svc_a.close()
+        assert kp._state["executor"] is not None  # svc_b still holds it
+        for pid in pids:
+            os.kill(pid, 0)  # workers alive
+        _drive(svc_b, changes[:20])
+        svc_b.close()
+        assert kp._state["executor"] is None
+        self._assert_gone(pids)
+
+    def test_explicit_executor_is_caller_owned(self, stream):
+        """A set_kernel_executor() pool must survive service teardown."""
+        from repro.parallel import make_executor
+
+        graph_a, _, _ = stream
+        ex = make_executor("persistent", 2)
+        kp.set_kernel_executor(ex)
+        try:
+            svc = GraphService(graph_a, tools=("graphblas-incremental",))
+            svc.close()
+            assert kp.get_kernel_executor() is ex  # not closed, not cleared
+        finally:
+            kp.close_kernel_executor()
+
+    def test_failed_init_releases_executor(self, monkeypatch, stream):
+        """A constructor failure after the retain must release the workers."""
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        graph_a, _, _ = stream
+        monkeypatch.setattr(
+            GraphService,
+            "_load_engines",
+            lambda self: (_ for _ in ()).throw(RuntimeError("load boom")),
+        )
+        with pytest.raises(RuntimeError, match="load boom"):
+            GraphService(graph_a, tools=("graphblas-incremental",))
+        assert kp._state["executor"] is None
+        assert kp._state["refs"] == 0
+
+    def test_crashed_apply_leaves_no_children(self, monkeypatch, stream):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        graph_a, _, _ = stream
+        svc = GraphService(graph_a, tools=ALL_TOOLS, max_batch=1)
+        pids = self._child_pids()
+        assert pids
+
+        engine = svc._engines[("Q1", "graphblas-incremental")]
+        monkeypatch.setattr(
+            engine, "refresh", lambda delta: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            svc.submit(AddUser(user_id=987654, name="crash"))
+        # fail-stopped AND cleaned up: no executor slot, no live children
+        assert svc._failed
+        assert svc._fanout is None
+        assert kp._state["executor"] is None
+        self._assert_gone(pids)
+
+    def test_failure_order_is_deterministic(self, monkeypatch, stream):
+        """Two poisoned engines: the one earliest in registration order
+        must be the error surfaced, regardless of completion order."""
+        graph_a, _, _ = stream
+        svc = GraphService(graph_a, tools=ALL_TOOLS, max_batch=1)
+        for tool, msg in (("nmf-incremental", "later"), ("graphblas-batch", "first")):
+            engine = svc._engines[("Q1", tool)]
+            err = RuntimeError(msg)
+            for name in ("refresh", "update"):
+                if hasattr(engine, name):
+                    monkeypatch.setattr(
+                        engine, name, lambda *_a, _e=err: (_ for _ in ()).throw(_e)
+                    )
+        with pytest.raises(RuntimeError, match="first"):
+            svc.submit(AddUser(user_id=987655, name="crash"))
