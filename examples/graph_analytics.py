@@ -1,104 +1,81 @@
 #!/usr/bin/env python
-"""Scenario: fraud-ring analysis with the GraphBLAS substrate directly.
+"""Scenario: the algorithm layer served live against a change stream.
 
-The case-study queries are two of many linear-algebraic graph computations;
-this example uses the same substrate (``repro.graphblas`` + ``repro.lagraph``)
-as a general-purpose toolkit on a synthetic transaction network:
+Earlier revisions of this example ran the ``repro.lagraph`` algorithms
+once, offline, on a synthetic matrix.  The repo now serves them: a
+:class:`~repro.serving.GraphService` registers the analytics tools next to
+the paper's Q2, ingests a generated social-network change stream in
+micro-batches, and answers every read from its versioned cache --
+incremental tools (``components``, ``degree``) exact at every version,
+dirty-threshold tools (``pagerank``, ``cdlp``, ``triangles``) recomputing
+only when enough of the friends graph changed, serving staleness-tagged
+results in between.
 
-* connected components (FastSV)     -- collusion cluster discovery
-* BFS levels                        -- proximity of accounts to a known bad actor
-* PageRank                          -- influence ranking
-* triangle count                    -- local density (ring-like structure)
-* strongly connected components     -- money-cycling groups (directed cycles)
-* minimum spanning forest           -- cheapest audit backbone per cluster
-* one masked SpGEMM                 -- "suspicious pairs": two hops within a cluster
-
-Run:  python examples/graph_analytics.py
+Run:  PYTHONPATH=src python examples/graph_analytics.py
+(on a multicore box, prefix with REPRO_WORKERS=8 for row-parallel kernels)
 """
 
-import numpy as np
+from repro.datagen import generate_benchmark_input
+from repro.serving import GraphService
 
-from repro import graphblas as gb
-from repro.graphblas import monoid, ops, semiring
-from repro.lagraph import (
-    bfs_levels,
-    fastsv,
-    minimum_spanning_forest,
-    pagerank,
-    scc,
-    triangle_count,
-)
+ANALYTICS = ("components", "degree", "pagerank", "cdlp", "triangles")
 
 
-def build_transaction_graph(n: int = 400, seed: int = 7) -> gb.Matrix:
-    """Synthetic directed transaction graph with a few dense rings."""
-    rng = np.random.default_rng(seed)
-    src = rng.integers(0, n, n * 4)
-    dst = rng.integers(0, n, n * 4)
-    # plant three dense fraud rings of 8 accounts each
-    rings = []
-    for base in (10, 150, 300):
-        members = np.arange(base, base + 8)
-        ring_src, ring_dst = np.meshgrid(members, members)
-        rings.append((ring_src.ravel(), ring_dst.ravel()))
-    src = np.concatenate([src] + [r[0] for r in rings])
-    dst = np.concatenate([dst] + [r[1] for r in rings])
-    keep = src != dst
-    return gb.Matrix.from_coo(
-        src[keep], dst[keep], True, n, n, dtype=gb.BOOL, dup_op=ops.lor
+def fmt(result) -> str:
+    top = ", ".join(
+        f"{ext}:{score:.3f}" if isinstance(score, float) else f"{ext}:{score}"
+        for ext, score in result.top
     )
+    stale = f"  [stale {result.staleness} batch(es)]" if result.staleness else ""
+    return f"[{top}]{stale}"
+
+
+def dashboard(svc: GraphService) -> None:
+    print(f"  v{svc.version:<3} "
+          f"users={svc.graph.num_users} friendships={svc.graph.stats()['friendships']}")
+    print(f"    Q2 influential comments  {svc.query('Q2').result_string}")
+    print(f"    largest components       {fmt(svc.query('components'))}")
+    print(f"    top degree               {fmt(svc.query('degree'))}")
+    print(f"    top pagerank             {fmt(svc.query('pagerank'))}")
+    print(f"    largest communities      {fmt(svc.query('cdlp'))}")
+    print(f"    most triangles           {fmt(svc.query('triangles'))}")
 
 
 def main() -> None:
-    a = build_transaction_graph()
-    n = a.nrows
-    sym = a.ewise_add(a.transpose(), ops.lor)  # undirected view
-    print(f"transaction graph: {n} accounts, {a.nvals} directed edges")
+    graph, change_sets = generate_benchmark_input(scale_factor=4, seed=7)
+    changes = [ch for cs in change_sets for ch in cs]
+    print(f"initial graph: {graph}")
+    print(f"streaming {len(changes)} changes through {len(ANALYTICS)} analytics "
+          f"tools + Q2...\n")
 
-    labels = fastsv(sym).to_dense()
-    comps, sizes = np.unique(labels, return_counts=True)
-    print(f"\nconnected components: {comps.size} (largest: {sizes.max()} accounts)")
-
-    levels = bfs_levels(sym, source=10).to_dense(fill=-1)
-    within2 = int(((levels >= 0) & (levels <= 2)).sum())
-    print(f"accounts within 2 hops of known-bad account 10: {within2}")
-
-    pr = pagerank(a).to_dense()
-    top = np.argsort(-pr)[:5]
-    print("top-5 PageRank accounts:", top.tolist())
-
-    tri = triangle_count(sym)
-    print(f"triangles (ring density signal): {tri}")
-
-    # money cycling: accounts in a directed cycle form non-trivial SCCs
-    scc_labels = scc(a).to_dense()
-    _, scc_sizes = np.unique(scc_labels, return_counts=True)
-    cycles = scc_sizes[scc_sizes > 1]
-    print(
-        f"money-cycling groups (SCCs > 1): {cycles.size} "
-        f"(largest: {cycles.max() if cycles.size else 0} accounts)"
+    svc = GraphService(
+        graph,
+        queries=("Q2",),
+        tools=("graphblas-incremental",),
+        analytics=ANALYTICS,
+        analytics_threshold=0.01,  # dirty tools recompute at 1% graph churn
+        max_batch=8,
+        max_delay_ms=1e9,
     )
+    try:
+        report_every = max(1, len(changes) // (4 * 8)) * 8
+        for i, ch in enumerate(changes):
+            svc.submit(ch)
+            if (i + 1) % report_every == 0:
+                dashboard(svc)
+        svc.flush()
+        print("\nfinal state:")
+        dashboard(svc)
 
-    # audit backbone: cheapest edge set connecting each cluster, weighting
-    # each relation by how *few* shared neighbours it has (rare links first)
-    r, c, _ = sym.to_coo()
-    weights = 1.0 / (1.0 + np.minimum(r % 7, c % 7))  # deterministic demo weights
-    weighted = gb.Matrix.from_coo(r, c, weights, n, n, dtype=gb.FP64, dup_op=ops.min)
-    backbone = minimum_spanning_forest(weighted)
-    print(f"audit backbone: {len(backbone)} edges, total cost {sum(w for _, _, w in backbone):.1f}")
-
-    # suspicious pairs: accounts sharing >= 4 distinct intermediaries,
-    # restricted (via mask) to pairs already directly connected
-    common = sym.mxm(
-        sym,
-        semiring.get("plus_pair"),
-        mask=gb.Mask(sym, structure=True),
-    ).select(ops.valuege, 4)
-    print(f"directly-linked pairs with >=4 shared intermediaries: {common.nvals}")
-    hottest = max(common.items(), key=lambda rcv: rcv[2], default=None)
-    if hottest:
-        r, c, v = hottest
-        print(f"hottest pair: accounts {r} and {c} share {v} intermediaries")
+        ops = svc.stats()["ops"]
+        print("\nmaintenance cost per applied batch (p50 ms):")
+        for name in ANALYTICS:
+            s = ops[f"refresh[{name}]"]
+            print(f"  {name:<12} {s['p50_ms']:>8.3f}  (count {s['count']})")
+        print(f"  apply p50 {ops['apply']['p50_ms']:.3f} ms, "
+              f"read p99 {ops['query']['p99_ms']:.4f} ms")
+    finally:
+        svc.close()
 
 
 if __name__ == "__main__":

@@ -4,7 +4,12 @@
 Builds the initial example graph, evaluates Q1 ("influential posts") and Q2
 ("influential comments") in batch mode, applies the six-element update of
 Fig. 3b, and re-evaluates both incrementally -- printing every score the
-paper states so you can check them against the figures.
+paper states so you can check them against the figures.  A final section
+runs the same update through the architecture the repo has grown into: a
+:class:`~repro.serving.GraphService` serving the queries *and* a live
+analytics tool from its versioned cache (see README.md and DESIGN.md; on a
+multicore box ``REPRO_WORKERS=8 python examples/quickstart.py`` runs the
+kernels row-parallel).
 
 Run:  python examples/quickstart.py
 """
@@ -17,6 +22,7 @@ from repro.model import (
     SocialGraph,
 )
 from repro.queries import Q1Batch, Q1Incremental, Q2Batch, Q2Incremental
+from repro.serving import GraphService
 
 
 def build_initial_graph() -> SocialGraph:
@@ -76,6 +82,19 @@ def main() -> None:
     print("Q1 scores:", q1_inc.scores.to_dense().tolist(), "(paper: [37, 10])")
     print("Q2 top-3 after update:", "|".join(str(i) for i, _ in q2_inc.update(delta)))
     print("Q2 scores:", q2_inc.scores.to_dense().tolist(), "(paper: [4, 16, 0, 1])")
+
+    print("\n-- The same update, served (GraphService + analytics) --")
+    with GraphService(
+        build_initial_graph(),
+        tools=("graphblas-incremental",),
+        analytics=("components",),
+    ) as svc:
+        svc.submit(fig3b_update())
+        svc.flush()
+        print("service:", svc)
+        print("Q1 cached read:", svc.query("Q1").result_string)
+        print("Q2 cached read:", svc.query("Q2").result_string)
+        print("friend components (rep, size):", svc.query("components").top)
 
 
 if __name__ == "__main__":

@@ -1,37 +1,58 @@
 """repro -- an incremental GraphBLAS solution for the TTC 2018 Social Media case study.
 
-A complete, pure-Python reproduction of Elekes & Szárnyas (2020): the
-GraphBLAS substrate, the LAGraph algorithm layer (FastSV and friends), the
-case-study data model and generators, the paper's batch and incremental
-query algorithms, the NMF reference baseline, and the benchmark framework
-that regenerates the paper's Fig. 5 and Table II.
+A complete, pure-Python reproduction of Elekes & Szárnyas (2020) -- the
+GraphBLAS substrate, the LAGraph algorithm layer, the case-study data
+model and generators, the paper's batch and incremental query algorithms,
+the NMF reference baseline, and the benchmark framework regenerating the
+paper's Fig. 5 and Table II -- grown, per ``ROADMAP.md``, into a serving
+system: streaming ingest with crash recovery, rebuild-free dynamic
+storage, row-parallel kernels, and online graph analytics.
 
 Layer map (see DESIGN.md for the full inventory):
 
 =====================  =====================================================
 ``repro.graphblas``    sparse linear algebra over semirings (GrB_* API),
-                       plus DynamicMatrix updatable storage
+                       DynamicMatrix updatable storage, and row-parallel
+                       kernel execution (``REPRO_WORKERS`` forks a kernel
+                       worker pool; large SpGEMM/SpMV/reduce/merge kernels
+                       fan out over nnz-balanced row blocks)
 ``repro.lagraph``      FastSV CC, BFS, PageRank, triangles, SSSP, CDLP,
-                       k-core, k-truss, LCC, betweenness, SCC, incremental CC
-``repro.model``        SocialGraph, ChangeSets, CSV + EMF/XMI IO
+                       k-core, k-truss, LCC, betweenness, SCC, incremental
+                       CC, plus ``online``: uniform servable entry points
+                       with on_delta incremental maintainers
+``repro.model``        SocialGraph (dynamic arenas + dirty-row freeze, or
+                       legacy matrix log-flush), ChangeSets incl. removals,
+                       CSV + EMF/XMI IO
 ``repro.queries``      Q1/Q2 batch + incremental (the paper's contribution)
+                       and the EngineBase serving protocol
 ``repro.nmf``          reference baseline: object-graph traversal (batch)
                        and a dynamic dependency graph engine (incremental)
 ``repro.datagen``      LDBC-style synthetic graphs (Table II targets)
-``repro.parallel``     executors; "8 threads" = fork-once pool + /dev/shm
+``repro.parallel``     executors; "8 threads" = fork-once pool + /dev/shm,
+                       doubling as the kernel-layer worker pool
 ``repro.benchmark``    TTC phase harness, Fig. 5 / Table II / contest logs
-``repro.serving``      GraphService: micro-batched streaming ingest, O(1)
-                       cached reads, snapshot + change-log crash recovery
+``repro.analytics``    the lagraph algorithms as servable, incrementally
+                       maintained analytics engines (policy-driven: exact
+                       incremental or dirty-threshold recompute)
+``repro.serving``      GraphService: micro-batched streaming ingest of
+                       query + analytics engines, O(1) cached reads,
+                       snapshot + change-log crash recovery, concurrent
+                       engine fan-out
 =====================  =====================================================
 
-Quick start::
+Quick start (see README.md)::
 
-    from repro import SocialGraph, Q1Batch
-    g = SocialGraph()
-    g.add_user(1); g.add_post(10, timestamp=0, user_id=1)
-    print(Q1Batch(g).evaluate())
+    from repro import GraphService
+    from repro.model.changes import AddFriendship, AddUser
+
+    svc = GraphService(analytics=("components", "pagerank"))
+    svc.submit([AddUser(1), AddUser(2), AddFriendship(1, 2)])
+    svc.flush()
+    print(svc.query("Q1").result_string, svc.query("components").top)
+    svc.close()
 """
 
+from repro.analytics import ANALYTICS_NAMES, AnalyticsEngine, make_analytics_engine
 from repro.model import ChangeSet, SocialGraph
 from repro.queries import (
     Q1Batch,
@@ -43,7 +64,7 @@ from repro.queries import (
 )
 from repro.serving import GraphService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SocialGraph",
@@ -54,6 +75,9 @@ __all__ = [
     "Q2Incremental",
     "QueryEngine",
     "make_engine",
+    "AnalyticsEngine",
+    "make_analytics_engine",
+    "ANALYTICS_NAMES",
     "GraphService",
     "__version__",
 ]

@@ -131,7 +131,18 @@ def set_kernel_executor(executor: Optional[Executor]) -> None:
     The caller keeps ownership of a previously installed executor; this
     never closes one.  Pass anything from
     :func:`repro.parallel.make_executor` -- the fork-once ``"persistent"``
-    pool is the intended vehicle.
+    pool is the intended vehicle.  Equivalent to launching the process
+    with ``REPRO_WORKERS=n``, but under the caller's lifecycle control:
+
+    >>> from repro.parallel import make_executor
+    >>> close_kernel_executor()           # release any env-built pool first:
+    ...                                   # installing never closes the old one
+    >>> ex = make_executor("serial")      # or ("persistent", 8) on real HW
+    >>> set_kernel_executor(ex)           # kernels over the cutoff now fan out
+    >>> get_kernel_executor() is ex
+    True
+    >>> close_kernel_executor()           # restart: next get_kernel_executor()
+    ...                                   # re-reads REPRO_WORKERS lazily
     """
     with _lock:
         _state["executor"] = executor

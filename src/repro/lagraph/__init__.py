@@ -9,6 +9,12 @@ LAGraph staples are included and tested: BFS, PageRank and triangle counting.
 :mod:`repro.lagraph.incremental_cc` implements the paper's future-work item
 (2): maintaining connected components incrementally instead of re-running
 FastSV per affected comment (Ediger et al., IPDPS 2011 style).
+
+:mod:`repro.lagraph.online` reduces the servable algorithms to uniform
+entry points -- one ``compute(adjacency)`` shape each, plus ``on_delta``
+incremental maintainers where the structure allows -- the registry
+:mod:`repro.analytics` serves through
+:class:`~repro.serving.service.GraphService`.
 """
 
 from repro.lagraph.fastsv import fastsv
@@ -24,9 +30,12 @@ from repro.lagraph.lcc import local_clustering_coefficient, triangles_per_vertex
 from repro.lagraph.betweenness import betweenness_centrality
 from repro.lagraph.ktruss import ktruss
 from repro.lagraph.msf import minimum_spanning_forest
+from repro.lagraph.online import ONLINE_ALGORITHMS, OnlineAlgorithm
 from repro.lagraph.scc import scc
 
 __all__ = [
+    "ONLINE_ALGORITHMS",
+    "OnlineAlgorithm",
     "fastsv",
     "connected_components_numpy",
     "component_sizes",

@@ -36,6 +36,24 @@ class IncrementalCC:
         self._size: dict = {}
         self._sum_sq: int = 0
 
+    @classmethod
+    def from_labels(cls, labels: np.ndarray) -> "IncrementalCC":
+        """Flat forest from a canonical labelling (label = min member id).
+
+        The vectorised bulk constructor: given FastSV-style labels over
+        vertices ``0..n-1`` (each vertex labelled with the smallest vertex
+        id in its component, so every label is self-parented by
+        construction), builds the equivalent union-find in O(n) NumPy +
+        dict work instead of replaying edges one by one.
+        """
+        labels = np.asarray(labels)
+        uniq, counts = np.unique(labels, return_counts=True)
+        cc = cls()
+        cc._parent = dict(enumerate(labels.tolist()))
+        cc._size = dict(zip(uniq.tolist(), counts.tolist()))
+        cc._sum_sq = int(np.sum(counts * counts))
+        return cc
+
     # ------------------------------------------------------------------
 
     def add_vertex(self, v) -> None:

@@ -1,0 +1,279 @@
+"""Uniform online entry points for the LAGraph algorithm layer.
+
+The algorithms in this package were written for one-shot evaluation:
+``pagerank(A)``, ``cdlp(A)``, ``triangle_count(A)`` each take a frozen
+adjacency matrix and return a result.  Serving them (see
+:mod:`repro.analytics`) needs two more things per algorithm:
+
+* a **uniform batch entry point** -- every algorithm reduced to the same
+  shape, ``compute(adjacency) -> dense per-vertex array`` (scores for
+  vertex rankings, component/community labels for partition rankings), so
+  one engine can drive any of them; and
+* an optional **incremental maintainer** -- an ``on_delta``-capable state
+  object for the algorithms whose structure admits true incremental
+  maintenance (connected components via union-find in the Ediger et al.
+  streaming style the paper's future-work item (2) cites; degree by
+  frontier counting).  Algorithms without one (PageRank, CDLP, triangles,
+  LCC, k-core) are served under a dirty-threshold recompute policy by the
+  layer above.
+
+Everything here stays in index space -- plain edge arrays, no
+``repro.model`` import -- so the layering (graphblas < lagraph < model)
+is preserved; :mod:`repro.analytics` binds these entry points to
+:class:`~repro.model.graph.SocialGraph` views and
+:class:`~repro.model.graph.GraphDelta` updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.graphblas import monoid as _monoid
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import INT64
+from repro.lagraph.cdlp import cdlp
+from repro.lagraph.fastsv import fastsv
+from repro.lagraph.incremental_cc import IncrementalCC
+from repro.lagraph.kcore import kcore_decompose
+from repro.lagraph.lcc import local_clustering_coefficient, triangles_per_vertex
+from repro.lagraph.pagerank import pagerank
+
+__all__ = [
+    "OnlineAlgorithm",
+    "ONLINE_ALGORITHMS",
+    "ComponentsMaintainer",
+    "DegreeMaintainer",
+]
+
+
+# ---------------------------------------------------------------------------
+# incremental maintainers
+# ---------------------------------------------------------------------------
+
+
+class ComponentsMaintainer:
+    """Connected components maintained per inserted edge (Ediger-style).
+
+    Wraps :class:`~repro.lagraph.incremental_cc.IncrementalCC` (union-find
+    with size tracking) and additionally tracks the *minimum vertex index
+    per component*, so :meth:`labels` reproduces FastSV's canonical
+    labelling -- smallest vertex id in the component -- bit for bit, and
+    :meth:`top_components` ranks components without an O(n) relabel scan.
+
+    ``on_delta`` handles vertex additions and edge insertions in
+    near-O(α(n)) each.  Edge *removals* can split a component, which
+    union-find cannot express; ``on_delta`` then returns ``False`` and the
+    caller rebuilds via :meth:`rebuild` (the engine layer's documented
+    escape hatch -- results stay exact either way).
+    """
+
+    __slots__ = ("_cc", "_min_member", "_n")
+
+    def __init__(self) -> None:
+        self._cc = IncrementalCC()
+        self._min_member: dict = {}
+        self._n = 0
+
+    def rebuild(self, adjacency: Matrix) -> None:
+        """Re-seed from a frozen symmetric adjacency matrix (n vertices).
+
+        Vectorised: one FastSV run yields the canonical labels, and the
+        union-find forest is reconstructed *flat* from them (parent =
+        component minimum) -- O(n + m) NumPy work instead of replaying
+        every edge through the Python union-find loop.  This is the
+        removal-batch escape hatch, so it sits on the serving apply path.
+        """
+        labels = fastsv(adjacency).to_dense()
+        self._cc = IncrementalCC.from_labels(labels)
+        # a canonical label IS its component's minimum member
+        self._min_member = {r: r for r in np.unique(labels).tolist()}
+        self._n = labels.size
+
+    def on_delta(self, n_after: int, added, removed) -> bool:
+        """Apply one batch of vertex growth + edge changes; False = rebuild me."""
+        if removed[0].size:
+            return False
+        for v in range(self._n, n_after):
+            self._cc.add_vertex(v)
+            self._min_member[v] = v
+        self._n = n_after
+        cc, find, mins = self._cc, self._cc._find, self._min_member
+        for a, b in zip(added[0].tolist(), added[1].tolist()):
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                continue
+            cc.add_edge(a, b)
+            winner = find(a)
+            loser = rb if winner == ra else ra
+            if mins[loser] < mins[winner]:
+                mins[winner] = mins[loser]
+            del mins[loser]
+        return True
+
+    def labels(self) -> np.ndarray:
+        """Canonical labels, identical to ``fastsv(adjacency).to_dense()``."""
+        n = self._n
+        out = np.empty(n, dtype=np.int64)
+        find, mins = self._cc._find, self._min_member
+        for v in range(n):
+            out[v] = mins[find(v)]
+        return out
+
+    def top_components(self, k: int) -> list[tuple[int, int]]:
+        """Largest-k components as (min vertex index, size) pairs.
+
+        Ordered by size descending, ties toward the smaller minimum
+        member.  O(#components) per call -- no per-vertex scan.
+        """
+        find, sizes = self._cc._find, self._cc._size
+        entries = sorted(
+            ((-size, self._min_member[root]) for root, size in sizes.items())
+        )[:k]
+        return [(rep, -neg) for neg, rep in entries]
+
+    @property
+    def num_components(self) -> int:
+        return self._cc.num_components
+
+
+class DegreeMaintainer:
+    """Friend-count per vertex under inserts *and* removals, O(Δ) per batch."""
+
+    __slots__ = ("_degree",)
+
+    def __init__(self) -> None:
+        self._degree = np.zeros(0, dtype=np.int64)
+
+    def rebuild(self, adjacency: Matrix) -> None:
+        rows, _, _ = adjacency.to_coo()
+        self._degree = np.bincount(rows, minlength=adjacency.nrows).astype(np.int64)
+
+    def on_delta(self, n_after: int, added, removed) -> bool:
+        deg = self._degree
+        if n_after > deg.size:
+            grown = np.zeros(n_after, dtype=np.int64)
+            grown[: deg.size] = deg
+            self._degree = deg = grown
+        for ends in added:
+            np.add.at(deg, ends, 1)
+        for ends in removed:
+            np.subtract.at(deg, ends, 1)
+        return True
+
+    def scores(self) -> np.ndarray:
+        return self._degree
+
+
+# ---------------------------------------------------------------------------
+# the uniform registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OnlineAlgorithm:
+    """One algorithm reduced to the serving shape.
+
+    ``kind`` decides how the dense result array is ranked by the engine
+    layer: ``"vertex"`` arrays are per-vertex scores (top-k vertices),
+    ``"partition"`` arrays are per-vertex component/community labels
+    (top-k partitions by size, represented by their minimum member).
+    ``make_maintainer`` is ``None`` for algorithms that only admit the
+    dirty-threshold recompute policy.
+    """
+
+    name: str
+    kind: str  # "vertex" | "partition"
+    compute: Callable[[Matrix], np.ndarray]
+    default_policy: str  # "incremental" | "dirty"
+    make_maintainer: Optional[Callable[[], object]] = None
+    doc: str = ""
+
+
+def _compute_components(adjacency: Matrix) -> np.ndarray:
+    return fastsv(adjacency).to_dense()
+
+
+def _compute_degree(adjacency: Matrix) -> np.ndarray:
+    return adjacency.reduce_vector(_monoid.plus_monoid, dtype=INT64).to_dense()
+
+
+def _compute_pagerank(adjacency: Matrix) -> np.ndarray:
+    return pagerank(adjacency).to_dense()
+
+
+def _compute_cdlp(adjacency: Matrix) -> np.ndarray:
+    return cdlp(adjacency).to_dense()
+
+
+def _compute_triangles(adjacency: Matrix) -> np.ndarray:
+    return triangles_per_vertex(adjacency).to_dense()
+
+
+def _compute_lcc(adjacency: Matrix) -> np.ndarray:
+    return local_clustering_coefficient(adjacency).to_dense()
+
+
+def _compute_kcore(adjacency: Matrix) -> np.ndarray:
+    return kcore_decompose(adjacency).to_dense()
+
+
+#: every algorithm the analytics layer can serve, keyed by tool name
+ONLINE_ALGORITHMS: dict[str, OnlineAlgorithm] = {
+    a.name: a
+    for a in (
+        OnlineAlgorithm(
+            "components",
+            "partition",
+            _compute_components,
+            "incremental",
+            ComponentsMaintainer,
+            doc="largest connected components (FastSV labels / union-find)",
+        ),
+        OnlineAlgorithm(
+            "degree",
+            "vertex",
+            _compute_degree,
+            "incremental",
+            DegreeMaintainer,
+            doc="highest-degree vertices (frontier-counted)",
+        ),
+        OnlineAlgorithm(
+            "pagerank",
+            "vertex",
+            _compute_pagerank,
+            "dirty",
+            doc="PageRank influence ranking",
+        ),
+        OnlineAlgorithm(
+            "cdlp",
+            "partition",
+            _compute_cdlp,
+            "dirty",
+            doc="largest communities by label propagation",
+        ),
+        OnlineAlgorithm(
+            "triangles",
+            "vertex",
+            _compute_triangles,
+            "dirty",
+            doc="vertices on the most triangles (masked SpGEMM)",
+        ),
+        OnlineAlgorithm(
+            "lcc",
+            "vertex",
+            _compute_lcc,
+            "dirty",
+            doc="highest local clustering coefficient",
+        ),
+        OnlineAlgorithm(
+            "kcore",
+            "vertex",
+            _compute_kcore,
+            "dirty",
+            doc="highest coreness (k-core peeling)",
+        ),
+    )
+}

@@ -9,6 +9,11 @@ evaluation, reproducing OpenMP's cheap-region cost model.  The serial,
 thread, per-region process-pool and per-region fork-join executors exist
 for the ablation benchmark that documents this substitution chain
 (``benchmarks/bench_ablation_parallel.py``).
+
+Since the multicore kernel layer landed, the same pool also serves as the
+process-wide *kernel executor* (:mod:`repro.graphblas._kernels.parallel`,
+``REPRO_WORKERS``): comment-granularity parallelism here, row-block
+kernel parallelism there, one worker-pool mechanism underneath both.
 """
 
 from repro.parallel.executor import (

@@ -7,14 +7,17 @@
   (Fig. 4b bottom, steps 1-9), with an optional extension mode that
   maintains connected components incrementally (future-work item (2))
 
-plus the :class:`~repro.queries.engine.QueryEngine` facade that drives the
+plus the :class:`~repro.queries.engine.EngineBase` serving protocol
+(``load`` / ``initial`` / ``refresh(delta)`` / ``last_top`` / ``close``,
+shared with :mod:`repro.analytics`) and the
+:class:`~repro.queries.engine.QueryEngine` facade implementing it for the
 TTC phase sequence (load -> initial evaluation -> update -> reevaluation).
 """
 
 from repro.queries.topk import TopKTracker, top_k
 from repro.queries.q1 import Q1Batch, Q1Incremental
 from repro.queries.q2 import Q2Batch, Q2Incremental
-from repro.queries.engine import QueryEngine, make_engine, TOOL_NAMES
+from repro.queries.engine import EngineBase, QueryEngine, make_engine, TOOL_NAMES
 
 __all__ = [
     "TopKTracker",
@@ -23,6 +26,7 @@ __all__ = [
     "Q1Incremental",
     "Q2Batch",
     "Q2Incremental",
+    "EngineBase",
     "QueryEngine",
     "make_engine",
     "TOOL_NAMES",

@@ -30,7 +30,7 @@ from repro.queries.q1 import Q1Batch, Q1Incremental
 from repro.queries.q2 import Q2Batch, Q2Incremental
 from repro.util.validation import ReproError
 
-__all__ = ["QueryEngine", "make_engine", "TOOL_NAMES"]
+__all__ = ["EngineBase", "QueryEngine", "make_engine", "TOOL_NAMES"]
 
 #: the Fig. 5 tool names (NMF variants are created through make_engine too)
 TOOL_NAMES = (
@@ -41,8 +41,87 @@ TOOL_NAMES = (
 )
 
 
-class QueryEngine:
-    """Drives one query in either batch or incremental mode."""
+class EngineBase:
+    """The engine protocol every served tool speaks.
+
+    :class:`~repro.serving.service.GraphService` drives any object with
+    this surface -- the Fig. 5 query engines here, the analytics engines
+    in :mod:`repro.analytics`, and the NMF baselines (which predate the
+    ``refresh`` hook and are fanned the raw change set instead):
+
+    =================  ==================================================
+    ``load(graph)``    adopt the shared :class:`SocialGraph`
+    ``initial()``      first full evaluation; returns the result string
+    ``refresh(delta)`` maintain the result across one *already applied*
+                       :class:`~repro.model.graph.GraphDelta`
+    ``last_top``       the latest ``(external_id, score)`` pairs, what
+                       the serving cache stores
+    ``close()``        release private resources (executors, pools)
+    =================  ==================================================
+
+    ``update(change_set)`` is the single-engine convenience that applies
+    the change set to the engine's own graph and then refreshes -- the
+    serving layer never calls it on a GraphBLAS engine because several
+    engines share one graph and the batch must apply exactly once.
+
+    >>> class CountEngine(EngineBase):
+    ...     def load(self, graph): self.graph = graph
+    ...     def initial(self):
+    ...         self.last_top = [(0, self.graph.num_users)]
+    ...         return self.format_top(self.last_top)
+    ...     def refresh(self, delta):
+    ...         self.last_top = [(0, delta.n_users_after)]
+    ...         return self.format_top(self.last_top)
+    >>> from repro.model.graph import SocialGraph
+    >>> e = CountEngine(); e.load(SocialGraph()); e.initial()
+    '0'
+    """
+
+    graph: Optional[SocialGraph] = None
+    #: the most recent top-k as (external_id, score) pairs -- the serving
+    #: layer caches this instead of re-parsing result strings.  Immutable
+    #: class default: implementations *assign* a fresh list per evaluation
+    #: (mutating a shared class-level list would cross-contaminate engines)
+    last_top: tuple | list = ()
+
+    def load(self, graph: SocialGraph) -> None:
+        raise NotImplementedError
+
+    def initial(self) -> str:
+        raise NotImplementedError
+
+    def refresh(self, delta: GraphDelta) -> str:
+        raise NotImplementedError
+
+    def update(self, change_set: ChangeSet) -> str:
+        if self.graph is None:
+            raise ReproError("engine not loaded; call load(graph) first")
+        return self.refresh(self.graph.apply(change_set))
+
+    def close(self) -> None:
+        """Release engine-private resources; default engines hold none."""
+
+    @staticmethod
+    def format_top(top) -> str:
+        """The TTC framework's ``id|id|id`` result line."""
+        return "|".join(str(ext) for ext, _ in top)
+
+
+class QueryEngine(EngineBase):
+    """Drives one query in either batch or incremental mode.
+
+    >>> from repro.model.graph import SocialGraph
+    >>> g = SocialGraph()
+    >>> g.add_user(1)
+    0
+    >>> g.add_post(10, timestamp=0, user_id=1)
+    0
+    >>> e = QueryEngine("Q1", "batch")
+    >>> e.load(g); e.initial()       # a post with no comments scores 0
+    '10'
+    >>> e.last_top
+    [(10, 0)]
+    """
 
     def __init__(
         self,
@@ -103,11 +182,7 @@ class QueryEngine:
         else:
             top = self._impl.evaluate()
         self.last_top = list(top)
-        return "|".join(str(ext) for ext, _ in top)
-
-    def update(self, change_set: ChangeSet) -> str:
-        self._require_loaded()
-        return self.refresh(self.graph.apply(change_set))
+        return self.format_top(top)
 
     def refresh(self, delta: GraphDelta) -> str:
         """Re-evaluate against a delta the caller already applied.
@@ -124,7 +199,7 @@ class QueryEngine:
         else:
             top = self._impl.evaluate()
         self.last_top = list(top)
-        return "|".join(str(ext) for ext, _ in top)
+        return self.format_top(top)
 
     # ----------------------------------------------------------------------
 

@@ -1,8 +1,9 @@
 """repro.serving -- the streaming query-serving subsystem.
 
 Turns the paper's engines into a long-running service: one shared
-:class:`~repro.model.graph.SocialGraph`, a registry of query engines,
-micro-batched ingest, versioned O(1) cached reads, per-operation latency
+:class:`~repro.model.graph.SocialGraph`, a registry of query *and
+analytics* engines (:mod:`repro.analytics`), micro-batched ingest,
+versioned O(1) cached reads with staleness tags, per-operation latency
 accounting, and snapshot + write-ahead-change-log persistence with crash
 recovery.  See :mod:`repro.serving.service` for the consistency and
 durability model and ``DESIGN.md`` for where this layer sits.

@@ -20,7 +20,16 @@ __all__ = ["CachedResult", "ResultCache"]
 
 @dataclass(frozen=True)
 class CachedResult:
-    """One query's top-k at one service version, under one tool."""
+    """One query's top-k at one service version, under one tool.
+
+    >>> r = CachedResult("Q1", "graphblas-incremental", 7,
+    ...                  top=((11, 37), (12, 10)), result_string="11|12",
+    ...                  compute_seconds=0.001, computed_version=5)
+    >>> r.ids
+    (11, 12)
+    >>> r.staleness        # served at v7, last actually computed at v5
+    2
+    """
 
     query: str
     tool: str
@@ -32,17 +41,43 @@ class CachedResult:
     result_string: str
     #: seconds the engine spent producing this result
     compute_seconds: float
+    #: service version at which the result was last actually *computed*.
+    #: Query engines are exact every batch, so it equals ``version``;
+    #: dirty-threshold analytics engines may lag it (the staleness tag).
+    #: ``None`` on records written before this field existed.
+    computed_version: Optional[int] = None
 
     @property
     def ids(self) -> tuple:
         return tuple(ext for ext, _ in self.top)
 
+    @property
+    def staleness(self) -> int:
+        """Batches between serving version and last compute (0 = exact)."""
+        if self.computed_version is None:
+            return 0
+        return self.version - self.computed_version
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.query}@v{self.version}[{self.tool}]: {self.result_string}"
+        stale = f" (stale {self.staleness})" if self.staleness else ""
+        return f"{self.query}@v{self.version}[{self.tool}]{stale}: {self.result_string}"
 
 
 class ResultCache:
-    """(query, tool) -> latest :class:`CachedResult`."""
+    """(query, tool) -> latest :class:`CachedResult`.
+
+    One entry per registered engine -- the four Fig. 5 (query, tool)
+    pairs plus one per analytics tool (keyed ``(name, name)``).
+
+    >>> cache = ResultCache()
+    >>> cache.put(CachedResult("Q2", "nmf-batch", 1, ((21, 4),), "21", 0.0))
+    >>> cache.get("Q2", "nmf-batch").result_string
+    '21'
+    >>> cache.has("Q2", "graphblas-batch")
+    False
+    >>> cache.version()
+    1
+    """
 
     def __init__(self) -> None:
         self._results: dict[tuple[str, str], CachedResult] = {}

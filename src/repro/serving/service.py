@@ -11,9 +11,13 @@ for and the offline benchmark harness is not: a long-running owner of one
   first -- see :mod:`repro.serving.ingest`);
 * applies each coalesced batch to the graph **exactly once** and fans the
   resulting :class:`~repro.model.graph.GraphDelta` out to every engine
-  (the GraphBLAS engines consume the delta via
-  :meth:`~repro.queries.engine.QueryEngine.refresh`, the NMF engines
-  mirror the raw change set into their object model);
+  (the GraphBLAS query and analytics engines consume the delta via
+  ``refresh`` -- the :class:`~repro.queries.engine.EngineBase` protocol --
+  the NMF engines mirror the raw change set into their object model);
+* optionally serves the :mod:`repro.lagraph` algorithm layer the same way:
+  ``analytics=("components", "pagerank", ...)`` registers
+  :class:`~repro.analytics.AnalyticsEngine`\\ s that maintain their
+  results incrementally or under a dirty-threshold recompute policy;
 * caches every engine's top-k per applied version, so
   :meth:`query` never touches the graph and costs O(1) regardless of
   graph size or update rate;
@@ -40,6 +44,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Union
 
+from repro.analytics.engine import ANALYTICS_NAMES, make_analytics_engine
 from repro.graphblas._kernels import parallel as _kparallel
 from repro.model.changes import (
     AddComment,
@@ -68,7 +73,32 @@ _QUERIES = ("Q1", "Q2")
 
 
 class GraphService:
-    """Streaming query-serving facade over the paper's engines."""
+    """Streaming query-serving facade over the paper's engines.
+
+    Beyond the Fig. 5 query tools, the service registers **analytics
+    tools** (``analytics=`` ctor arg, names from
+    :data:`repro.analytics.ANALYTICS_NAMES`): long-running
+    :class:`~repro.analytics.AnalyticsEngine`\\ s maintaining a
+    :mod:`repro.lagraph` algorithm over the friends graph.  They ride the
+    same fan-out, cache, metrics and recovery machinery; dirty-threshold
+    tools may serve a slightly stale result, tagged on every read as
+    :attr:`~repro.serving.cache.CachedResult.computed_version`.
+
+    >>> from repro.model.changes import AddFriendship, AddUser
+    >>> svc = GraphService(tools=("graphblas-incremental",),
+    ...                    analytics=("components", "degree"), max_batch=1)
+    >>> svc.submit([AddUser(1), AddUser(2), AddUser(3)])
+    1
+    >>> svc.submit(AddFriendship(1, 2))
+    2
+    >>> svc.query("components").top      # {1,2} then the {3} singleton
+    ((1, 2), (3, 1))
+    >>> svc.query("degree").result_string
+    '1|2|3'
+    >>> svc.query("Q1").version          # Fig. 5 tools are still served
+    2
+    >>> svc.close()
+    """
 
     #: fan engine refreshes out to threads only when their last measured
     #: combined refresh time clears this (else thread dispatch overhead
@@ -81,6 +111,8 @@ class GraphService:
         *,
         queries: tuple = _QUERIES,
         tools: tuple = TOOL_NAMES,
+        analytics: tuple = (),
+        analytics_threshold: float = 0.1,
         k: int = 3,
         q2_algorithm: str = "fastsv",
         executor: Optional[Executor] = None,
@@ -101,14 +133,25 @@ class GraphService:
         for t in tools:
             if t not in TOOL_NAMES:
                 raise ReproError(f"unknown tool {t!r}; expected one of {TOOL_NAMES}")
-        if not queries or not tools:
-            raise ReproError("need at least one query and one tool")
+        for a in analytics:
+            if a not in ANALYTICS_NAMES:
+                raise ReproError(
+                    f"unknown analytics tool {a!r}; expected one of {ANALYTICS_NAMES}"
+                )
+        if bool(queries) != bool(tools):
+            raise ReproError(
+                "queries and tools are configured together: pass both "
+                "non-empty (query engines) or both empty (analytics-only)"
+            )
+        if not analytics and not tools:
+            raise ReproError("need at least one query and one tool, or analytics")
 
         self.graph = graph if graph is not None else SocialGraph()
         self.queries = tuple(queries)
         self.tools = tuple(tools)
+        self.analytics = tuple(analytics)
         #: the tool whose cached result :meth:`query` serves by default
-        self.primary_tool = self.tools[0]
+        self.primary_tool = self.tools[0] if self.tools else None
         self.version = _start_version
         self.snapshot_every = snapshot_every
         self.keep_snapshots = keep_snapshots
@@ -143,6 +186,12 @@ class GraphService:
                 self._engines[(query, tool)] = make_engine(
                     tool, query, k=k, executor=executor, q2_algorithm=q2_algorithm
                 )
+        # analytics engines are registered under (name, name): the tool IS
+        # the query, so query("pagerank") reads its cache entry directly
+        for name in self.analytics:
+            self._engines[(name, name)] = make_analytics_engine(
+                name, k=k, recompute_threshold=analytics_threshold
+            )
 
         # Parallel machinery.  The kernel executor (REPRO_WORKERS) forks its
         # workers *now*, before engines load and the heap grows -- the same
@@ -208,6 +257,7 @@ class GraphService:
                     top=tuple(engine.last_top),
                     result_string=result_string,
                     compute_seconds=dt,
+                    computed_version=self.version,
                 )
             )
 
@@ -407,6 +457,10 @@ class GraphService:
                     top=tuple(top),
                     result_string=payload,
                     compute_seconds=dt,
+                    # dirty-threshold analytics engines may serve a result
+                    # computed `staleness` batches ago; query engines are
+                    # exact every batch (staleness 0)
+                    computed_version=next_version - getattr(engine, "staleness", 0),
                 )
             )
 
@@ -501,7 +555,10 @@ class GraphService:
     def query(self, query: str, tool: Optional[str] = None) -> CachedResult:
         """The cached top-k for ``query`` at the current applied version.
 
-        O(1): a dict lookup plus one expired-deadline check (an overdue
+        ``query`` is ``"Q1"``/``"Q2"`` (``tool`` defaults to
+        :attr:`primary_tool`) or an analytics tool name, which is its own
+        cache key -- ``query("components")`` just works.  O(1) either
+        way: a dict lookup plus one expired-deadline check (an overdue
         pending batch is applied first, so staleness stays bounded by
         ``max_delay_ms`` even on a submit-quiet service).
         """
@@ -510,7 +567,9 @@ class GraphService:
             if self._batcher.due():
                 self._apply(self._batcher.drain())
             with self._metrics.timed("query"):
-                return self._cache.get(query, tool or self.primary_tool)
+                if tool is None:
+                    tool = query if query in self.analytics else self.primary_tool
+                return self._cache.get(query, tool)
 
     def stats(self) -> dict:
         """Operational snapshot: version, queue, graph, per-op latencies."""
@@ -522,6 +581,7 @@ class GraphService:
                 "applied_batches": self._batcher.batches,
                 "queries": list(self.queries),
                 "tools": list(self.tools),
+                "analytics": list(self.analytics),
                 "primary_tool": self.primary_tool,
                 "graph": self.graph.stats(),
                 "storage": self.graph.storage_stats(),

@@ -1,0 +1,202 @@
+"""AnalyticsEngine correctness: policies, staleness, batch equivalence.
+
+The two acceptance properties of the analytics subsystem:
+
+* incremental engines (``components``, ``degree``) are **exact at every
+  batch** -- components bit-identical to a from-scratch FastSV run;
+* dirty-threshold engines **converge to the batch result at each
+  recompute point** and honestly report staleness in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics import ANALYTICS_NAMES, AnalyticsEngine, make_analytics_engine
+from repro.datagen import generate_change_sets, generate_graph
+from repro.lagraph import fastsv
+from repro.model.graph import SocialGraph
+from repro.util.validation import ReproError
+
+INCREMENTAL = ("components", "degree")
+DIRTY = tuple(n for n in ANALYTICS_NAMES if n not in INCREMENTAL)
+
+
+def _stream(seed: int, removal_fraction: float = 0.3):
+    graph = generate_graph(1, seed=seed)
+    sets = generate_change_sets(
+        graph,
+        total_inserts=180,
+        num_change_sets=6,
+        seed=seed + 1,
+        removal_fraction=removal_fraction,
+    )
+    return graph, sets
+
+
+def test_registry_covers_the_required_tools():
+    for required in ("components", "pagerank", "cdlp", "triangles", "lcc"):
+        assert required in ANALYTICS_NAMES
+
+
+def test_unknown_name_and_policy_raise():
+    with pytest.raises(ReproError, match="unknown analytics tool"):
+        make_analytics_engine("betweenness-ish")
+    with pytest.raises(ReproError, match="unknown maintenance policy"):
+        AnalyticsEngine("pagerank", policy="lazy")
+    with pytest.raises(ReproError, match="no incremental maintainer"):
+        AnalyticsEngine("pagerank", policy="incremental")
+    with pytest.raises(ReproError, match="not loaded"):
+        make_analytics_engine("degree").initial()
+
+
+def test_empty_graph_serves_empty_top():
+    g = SocialGraph()
+    for name in ANALYTICS_NAMES:
+        eng = make_analytics_engine(name)
+        eng.load(g)
+        assert eng.initial() == ""
+        assert eng.last_top == []
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+@pytest.mark.parametrize("name", INCREMENTAL)
+def test_incremental_engines_exact_every_batch(name, seed):
+    """Incremental policy == dirty policy with threshold 0 (always fresh),
+    across mixed insert/removal streams, at every single batch."""
+    graph, sets = _stream(seed)
+    eng = make_analytics_engine(name, k=5)
+    oracle = AnalyticsEngine(name, k=5, policy="dirty", recompute_threshold=0.0)
+    eng.load(graph)
+    oracle.load(graph)
+    eng.initial()
+    oracle.initial()
+    assert eng.last_top == oracle.last_top
+    for cs in sets:
+        delta = graph.apply(cs)
+        got = eng.refresh(delta)
+        want = oracle.refresh(delta)
+        assert got == want
+        assert eng.last_top == oracle.last_top
+        assert eng.staleness == 0 and oracle.staleness == 0
+
+
+@pytest.mark.parametrize("seed", [3, 11, 23])
+def test_components_bit_identical_to_fastsv_every_batch(seed):
+    graph, sets = _stream(seed)
+    eng = make_analytics_engine("components")
+    eng.load(graph)
+    eng.initial()
+    np.testing.assert_array_equal(eng.labels(), fastsv(graph.friends).to_dense())
+    for cs in sets:
+        eng.refresh(graph.apply(cs))
+        np.testing.assert_array_equal(
+            eng.labels(), fastsv(graph.friends).to_dense()
+        )
+
+
+@pytest.mark.parametrize("name", DIRTY)
+def test_dirty_engines_converge_at_recompute_points(name):
+    """Whenever the threshold trips (staleness back to 0), the served
+    result must equal a from-scratch recompute on the current graph; in
+    between, the engine keeps serving its last committed result."""
+    graph, sets = _stream(7, removal_fraction=0.2)
+    eng = make_analytics_engine(name, k=4, recompute_threshold=0.05)
+    eng.load(graph)
+    eng.initial()
+    served_before = eng.last_top
+    recomputed = 0
+    for cs in sets:
+        delta = graph.apply(cs)
+        eng.refresh(delta)
+        if eng.staleness == 0:
+            recomputed += 1
+            fresh = AnalyticsEngine(name, k=4, policy="dirty")
+            fresh.load(graph)
+            fresh.initial()
+            assert eng.last_top == fresh.last_top
+        else:
+            assert eng.last_top == served_before
+        served_before = eng.last_top
+    assert recomputed > 0, "threshold never tripped; test workload too small"
+
+
+def test_dirty_engine_serves_stale_below_threshold():
+    graph, sets = _stream(5, removal_fraction=0.0)
+    eng = make_analytics_engine("pagerank", recompute_threshold=1e9)
+    eng.load(graph)
+    eng.initial()
+    first = eng.last_top
+    stale = 0
+    for cs in sets:
+        delta = graph.apply(cs)
+        eng.refresh(delta)
+        # once friends-graph work is pending, every refresh ages the result
+        if AnalyticsEngine._delta_nnz(delta) or stale:
+            stale += 1
+        assert eng.staleness == stale
+        assert eng.last_top == first  # never recomputes under a huge threshold
+    assert eng.recomputes == 1  # only initial()
+    # forcing a recompute drops the staleness and matches batch
+    eng.recompute_now()
+    assert eng.staleness == 0
+    fresh = AnalyticsEngine("pagerank", policy="dirty")
+    fresh.load(graph)
+    fresh.initial()
+    assert eng.last_top == fresh.last_top
+
+
+def test_irrelevant_delta_keeps_dirty_engine_fresh():
+    """A batch that never touches users/friendships cannot stale a
+    friends-graph tool -- its result is still exact, staleness stays 0."""
+    from repro.model.changes import AddLike, AddPost, ChangeSet
+
+    g = SocialGraph()
+    for uid in (1, 2):
+        g.add_user(uid)
+    g.add_friendship(1, 2)
+    eng = make_analytics_engine("triangles", recompute_threshold=1e9)
+    eng.load(g)
+    eng.initial()
+    delta = g.apply(ChangeSet([AddPost(50, 1, 1)]))
+    eng.refresh(delta)
+    assert eng.staleness == 0
+    assert eng.recomputes == 1
+
+
+def test_top_vertices_preselect_matches_full_sort_oracle():
+    """The O(n) partition preselect must pick exactly what a full lexsort
+    would, across heavy score ties (the preselect's boundary case) and
+    float scores."""
+    import numpy as np
+
+    g = SocialGraph()
+    rng = np.random.default_rng(5)
+    ext_ids = rng.permutation(np.arange(1000, 1200)).tolist()
+    for uid in ext_ids:
+        g.add_user(uid)
+    eng = make_analytics_engine("degree", k=5)
+    eng.load(g)
+    ext = g.users.external_array()
+    for scores in (
+        rng.integers(0, 3, ext.size),  # massive tie blocks
+        np.zeros(ext.size, dtype=np.int64),  # single all-tied block
+        rng.random(ext.size),  # floats, ties unlikely
+        np.arange(ext.size, dtype=np.int64),  # distinct
+    ):
+        expect_order = np.lexsort((ext, -scores))[:5]
+        expect = [(int(ext[i]), scores[i].item()) for i in expect_order]
+        assert eng._top_vertices(scores) == expect
+
+
+def test_vertex_ranking_orders_by_score_then_external_id():
+    g = SocialGraph()
+    for uid in (30, 10, 20):  # insertion order != id order
+        g.add_user(uid)
+    g.add_friendship(30, 10)
+    g.add_friendship(30, 20)
+    eng = make_analytics_engine("degree")
+    eng.load(g)
+    assert eng.initial() == "30|10|20"  # deg 2, then deg-1 ties id-ascending
+    assert eng.last_top == [(30, 2), (10, 1), (20, 1)]

@@ -1,0 +1,121 @@
+"""Property tests for the online algorithm layer (lagraph.online).
+
+The incremental maintainers must agree exactly with their batch oracles:
+``ComponentsMaintainer.labels()`` with ``fastsv`` (bit-identical canonical
+labels) and ``DegreeMaintainer.scores()`` with a fresh ``bincount`` --
+across arbitrary interleavings of vertex growth and edge insertions, and
+(for degree) removals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphblas.matrix import Matrix
+from repro.graphblas.types import BOOL
+from repro.lagraph import fastsv
+from repro.lagraph.online import (
+    ONLINE_ALGORITHMS,
+    ComponentsMaintainer,
+    DegreeMaintainer,
+)
+
+
+def _sym_matrix(n: int, edges: set[tuple[int, int]]) -> Matrix:
+    if not edges:
+        return Matrix.sparse(BOOL, n, n)
+    a = np.asarray([e[0] for e in edges] + [e[1] for e in edges], dtype=np.int64)
+    b = np.asarray([e[1] for e in edges] + [e[0] for e in edges], dtype=np.int64)
+    return Matrix.from_coo(a, b, True, n, n, dtype=BOOL)
+
+
+@st.composite
+def growth_streams(draw):
+    """A sequence of batches; each grows the vertex set and adds edges."""
+    n_batches = draw(st.integers(1, 6))
+    batches, n = [], draw(st.integers(1, 5))
+    for _ in range(n_batches):
+        n += draw(st.integers(0, 4))
+        k = draw(st.integers(0, 6))
+        edges = [
+            tuple(sorted(draw(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)))))
+            for _ in range(k)
+        ]
+        edges = [(a, b) for a, b in edges if a != b]
+        batches.append((n, edges))
+    return batches
+
+
+@given(growth_streams())
+def test_components_maintainer_matches_fastsv(batches):
+    m = ComponentsMaintainer()
+    m.rebuild(_sym_matrix(0, set()))
+    seen: set[tuple[int, int]] = set()
+    for n, edges in batches:
+        seen.update(edges)
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        assert m.on_delta(
+            n, (arr[:, 0], arr[:, 1]), (np.zeros(0, np.int64), np.zeros(0, np.int64))
+        )
+        adj = _sym_matrix(n, seen)
+        np.testing.assert_array_equal(m.labels(), fastsv(adj).to_dense())
+        # top_components agrees with a label scan
+        labels = m.labels()
+        _, counts = np.unique(labels, return_counts=True)
+        sizes = sorted(counts.tolist(), reverse=True)
+        assert [s for _, s in m.top_components(3)] == sizes[:3]
+
+
+@given(growth_streams(), st.random_module())
+def test_degree_maintainer_matches_bincount(batches, _rng):
+    m = DegreeMaintainer()
+    m.rebuild(_sym_matrix(0, set()))
+    seen: set[tuple[int, int]] = set()
+    for i, (n, edges) in enumerate(batches):
+        # GraphDelta pairs are deduplicated; mirror that contract here
+        new = list(dict.fromkeys(e for e in edges if e not in seen))
+        # alternate: every other batch also removes one existing edge
+        removed = [next(iter(seen))] if (i % 2 and seen) else []
+        seen.update(new)
+        seen.difference_update(removed)
+        to_arr = lambda pairs: np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        a, r = to_arr(new), to_arr(removed)
+        assert m.on_delta(n, (a[:, 0], a[:, 1]), (r[:, 0], r[:, 1]))
+        expect = np.zeros(n, dtype=np.int64)
+        for x, y in seen:
+            expect[x] += 1
+            expect[y] += 1
+        np.testing.assert_array_equal(m.scores(), expect)
+
+
+def test_components_maintainer_refuses_removals():
+    m = ComponentsMaintainer()
+    m.rebuild(_sym_matrix(3, {(0, 1)}))
+    e = (np.asarray([0]), np.asarray([1]))
+    assert not m.on_delta(3, (np.zeros(0, np.int64),) * 2, e)
+
+
+def test_components_rebuild_resets_state():
+    m = ComponentsMaintainer()
+    m.rebuild(_sym_matrix(4, {(0, 1), (2, 3)}))
+    assert m.num_components == 2
+    m.rebuild(_sym_matrix(2, set()))
+    assert m.num_components == 2
+    np.testing.assert_array_equal(m.labels(), [0, 1])
+
+
+@pytest.mark.parametrize("name", sorted(ONLINE_ALGORITHMS))
+def test_every_algorithm_computes_on_empty_and_small(name):
+    spec = ONLINE_ALGORITHMS[name]
+    assert spec.compute(Matrix.sparse(BOOL, 0, 0)).size == 0
+    out = spec.compute(_sym_matrix(4, {(0, 1), (1, 2)}))
+    assert out.shape == (4,)
+    if spec.make_maintainer is not None:
+        maint = spec.make_maintainer()
+        maint.rebuild(_sym_matrix(4, {(0, 1), (1, 2)}))
+        if spec.kind == "vertex":
+            np.testing.assert_array_equal(maint.scores(), out)
+        else:
+            np.testing.assert_array_equal(maint.labels(), out)
