@@ -6,7 +6,8 @@ model and generators, the paper's batch and incremental query algorithms,
 the NMF reference baseline, and the benchmark framework regenerating the
 paper's Fig. 5 and Table II -- grown, per ``ROADMAP.md``, into a serving
 system: streaming ingest with crash recovery, rebuild-free dynamic
-storage, row-parallel kernels, and online graph analytics.
+storage, row-parallel kernels, online graph analytics, and
+hash-partitioned sharded serving with exact scatter-gather top-k.
 
 Layer map (see DESIGN.md for the full inventory):
 
@@ -38,6 +39,10 @@ Layer map (see DESIGN.md for the full inventory):
                        query + analytics engines, O(1) cached reads,
                        snapshot + change-log crash recovery, concurrent
                        engine fan-out
+``repro.sharding``     ShardedGraphService: K hash-partitioned shards
+                       behind a router (``REPRO_SHARDS``) -- router WAL,
+                       versioned consistency barrier, exact scatter-gather
+                       merge of per-shard partials, orchestrated recovery
 =====================  =====================================================
 
 Quick start (see README.md)::
@@ -63,8 +68,9 @@ from repro.queries import (
     make_engine,
 )
 from repro.serving import GraphService
+from repro.sharding import ShardedGraphService
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SocialGraph",
@@ -79,5 +85,6 @@ __all__ = [
     "make_analytics_engine",
     "ANALYTICS_NAMES",
     "GraphService",
+    "ShardedGraphService",
     "__version__",
 ]

@@ -92,6 +92,7 @@ class AnalyticsEngine(EngineBase):
         k: int = 3,
         policy: Optional[str] = None,
         recompute_threshold: float = DEFAULT_RECOMPUTE_THRESHOLD,
+        partition: Optional[tuple[int, int]] = None,
     ):
         spec = ONLINE_ALGORITHMS.get(name)
         if spec is None:
@@ -105,15 +106,33 @@ class AnalyticsEngine(EngineBase):
             raise ReproError(
                 f"{name!r} has no incremental maintainer; use policy='dirty'"
             )
+        if partition is not None:
+            index, count = partition
+            if not (0 <= index < count):
+                raise ReproError(f"bad partition {partition!r}: need 0 <= index < count")
         self.name = name
         self.spec: OnlineAlgorithm = spec
         self.k = k
         self.policy = policy
         self.recompute_threshold = float(recompute_threshold)
+        #: (shard_index, shard_count) when served sharded: :meth:`partial`
+        #: restricts its report to the users this shard *owns* under
+        #: :func:`repro.sharding.partition.shard_of`, so per-shard partials
+        #: are disjoint and their merge is exact
+        self.partition = partition
         self.graph: Optional[SocialGraph] = None
         self._maintainer = None
         self.last_top: list[tuple] = []
         self._result_string = ""
+        #: the dense result array backing the *served* (possibly stale)
+        #: result -- what :meth:`partial` reports for dirty-policy engines
+        #: (incremental engines read their maintainer's live state instead)
+        self._served_dense: Optional[np.ndarray] = None
+        #: memoised :meth:`partial` (invalidated per refresh) and the
+        #: grow-only ownership mask over the append-only users IdMap --
+        #: keeps sharded reads O(1) between batches like unsharded ones
+        self._partial_cache: Optional[list] = None
+        self._owned_mask = np.zeros(0, dtype=bool)
         #: refreshes seen / refresh count at which last_top was computed --
         #: their difference is the served result's staleness in batches
         self.refreshes = 0
@@ -138,6 +157,7 @@ class AnalyticsEngine(EngineBase):
         if self._maintainer is not None:
             self._maintainer.rebuild(adj)
         self._recompute(adj)
+        self._partial_cache = None
         self.refreshes = 0
         self.computed_at = 0
         return self._result_string
@@ -156,6 +176,7 @@ class AnalyticsEngine(EngineBase):
             self._refresh_incremental(delta)
         else:
             self._refresh_dirty(delta)
+        self._partial_cache = None
         return self._result_string
 
     def close(self) -> None:
@@ -202,6 +223,7 @@ class AnalyticsEngine(EngineBase):
             self._publish_from_maintainer()
         else:
             dense = self.spec.compute(adj)
+            self._served_dense = dense
             if self.spec.kind == "partition":
                 self.last_top = self._top_partitions(dense)
             else:
@@ -279,6 +301,83 @@ class AnalyticsEngine(EngineBase):
         order = np.lexsort((first, -counts))[: min(self.k, uniq.size)]
         return [(int(ext[first[i]]), int(counts[i])) for i in order.tolist()]
 
+    # -- mergeable-result protocol (sharded serving) -----------------------
+
+    def _served_array(self) -> np.ndarray:
+        """The dense per-vertex array behind the currently *served* result."""
+        if self._maintainer is not None:
+            if self.spec.kind == "partition":
+                return self._maintainer.labels()
+            return self._maintainer.scores()
+        if self._served_dense is None:
+            raise ReproError("engine not initialised; call initial() first")
+        return self._served_dense
+
+    def partial(self):
+        """The shard's mergeable report, restricted to its owned users.
+
+        Requires ``partition=(index, count)``: the friends graph is
+        replicated, so every shard's per-vertex result is globally exact,
+        and ownership is what makes the partials disjoint.  Vertex
+        algorithms report their owned top-k ``(external_id, score)``
+        pairs; partition algorithms report ``(label, min_member,
+        rep_external_id, owned_count)`` rows whose counts the router sums
+        back into exact global sizes (see :mod:`repro.sharding.merge`).
+        The array is the *served* one, so a dirty-policy engine's partial
+        is exactly as stale as its cached result -- never fresher.
+        Memoised per refresh (and the ownership mask is grow-only over the
+        append-only users IdMap), so repeated sharded reads between
+        batches stay O(1) like unsharded cache hits.
+        """
+        self._require_loaded()
+        if self.partition is None:
+            raise ReproError(
+                f"analytics engine {self.name!r} has no partition; construct "
+                "it with partition=(shard_index, shard_count) to serve shards"
+            )
+        if self._partial_cache is not None:
+            return self._partial_cache
+        served = self._served_array()
+        m = served.size
+        ext = self.graph.users.external_array()[:m]
+        owned = self._ownership(ext)[:m]
+        self._partial_cache = self._compute_partial(served, ext, owned, m)
+        return self._partial_cache
+
+    def _ownership(self, ext: np.ndarray) -> np.ndarray:
+        """Grow-only owned-user mask (IdMap indices are append-only)."""
+        from repro.sharding.partition import shard_of_array
+
+        index, count = self.partition
+        if ext.size > self._owned_mask.size:
+            grown = shard_of_array(ext[self._owned_mask.size :], count) == index
+            self._owned_mask = np.concatenate([self._owned_mask, grown])
+        return self._owned_mask
+
+    def _compute_partial(self, served, ext, owned, m: int):
+        if self.spec.kind != "partition":
+            idx = np.flatnonzero(owned)
+            if idx.size == 0:
+                return []
+            sub, sube = served[idx], ext[idx]
+            order = np.lexsort((sube, -sub))[: min(self.k, idx.size)]
+            return [(int(sube[j]), served[idx[j]].item()) for j in order.tolist()]
+        uniq, inverse, _ = np.unique(served, return_inverse=True, return_counts=True)
+        first = np.full(uniq.size, m, dtype=np.int64)
+        np.minimum.at(first, inverse, np.arange(m, dtype=np.int64))
+        owned_counts = np.bincount(inverse[owned], minlength=uniq.size)
+        return [
+            (int(uniq[j]), int(first[j]), int(ext[first[j]]), int(owned_counts[j]))
+            for j in np.flatnonzero(owned_counts).tolist()
+        ]
+
+    def merge_partials(self, partials, k: int):
+        from repro.sharding.merge import merge_partition_partials, merge_vertex_partials
+
+        if self.spec.kind == "partition":
+            return merge_partition_partials(partials, k)
+        return merge_vertex_partials(partials, k)
+
     # -- introspection -----------------------------------------------------
 
     @property
@@ -307,6 +406,7 @@ class AnalyticsEngine(EngineBase):
         if self._maintainer is not None:
             self._maintainer.rebuild(friends_view(self.graph))
         self._recompute(friends_view(self.graph))
+        self._partial_cache = None
         self.computed_at = self.refreshes
         return self._result_string
 
@@ -327,8 +427,13 @@ def make_analytics_engine(
     k: int = 3,
     policy: Optional[str] = None,
     recompute_threshold: float = DEFAULT_RECOMPUTE_THRESHOLD,
+    partition: Optional[tuple[int, int]] = None,
 ) -> AnalyticsEngine:
     """Factory mirroring :func:`repro.queries.engine.make_engine`."""
     return AnalyticsEngine(
-        name, k=k, policy=policy, recompute_threshold=recompute_threshold
+        name,
+        k=k,
+        policy=policy,
+        recompute_threshold=recompute_threshold,
+        partition=partition,
     )

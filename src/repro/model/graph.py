@@ -32,6 +32,7 @@ incidence matrix).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from repro.model.changes import (
     AddLike,
     AddPost,
     AddUser,
+    Change,
     ChangeSet,
     RemoveFriendship,
     RemoveLike,
@@ -577,6 +579,37 @@ class SocialGraph:
         )
 
     # ------------------------------------------------------------------
+
+    def to_change_stream(self) -> Iterator[Change]:
+        """The graph as a canonical insert stream that rebuilds it exactly.
+
+        Yields every entity and edge as the :mod:`repro.model.changes`
+        insert that would create it, ordered so each change's references
+        are already satisfied: users, then posts, then comments (internal
+        order -- a parent comment always precedes its children), then
+        friendships and likes (sorted by internal index pairs, so the
+        stream is deterministic).  Replaying the stream into an empty
+        graph reproduces identical id maps, timestamps and relations --
+        the export the sharded router's initial-load partitioning
+        (:func:`repro.sharding.partition.partition_graph`) splits.
+        """
+        user_ext = self.users.external_array()
+        for i, u in enumerate(user_ext.tolist()):
+            yield AddUser(u, self._user_names[i])
+        post_ext = self.posts.external_array()
+        for i, p in enumerate(post_ext.tolist()):
+            yield AddPost(p, int(self._post_ts[i]), int(user_ext[self._post_author[i]]))
+        comment_ext = self.comments.external_array()
+        for i, c in enumerate(comment_ext.tolist()):
+            is_post, pidx = self._comment_parent[i]
+            parent = int(post_ext[pidx]) if is_post else int(comment_ext[pidx])
+            yield AddComment(
+                c, int(self._comment_ts[i]), int(user_ext[self._comment_author[i]]), parent
+            )
+        for a, b in sorted(self._friend_keys):
+            yield AddFriendship(int(user_ext[a]), int(user_ext[b]))
+        for c, u in sorted(self._like_keys):
+            yield AddLike(int(user_ext[u]), int(comment_ext[c]))
 
     def stats(self) -> dict:
         """Node/edge counts in Table II's accounting (nodes + all edge kinds)."""

@@ -49,15 +49,23 @@ class EngineBase:
     in :mod:`repro.analytics`, and the NMF baselines (which predate the
     ``refresh`` hook and are fanned the raw change set instead):
 
-    =================  ==================================================
-    ``load(graph)``    adopt the shared :class:`SocialGraph`
-    ``initial()``      first full evaluation; returns the result string
-    ``refresh(delta)`` maintain the result across one *already applied*
-                       :class:`~repro.model.graph.GraphDelta`
-    ``last_top``       the latest ``(external_id, score)`` pairs, what
-                       the serving cache stores
-    ``close()``        release private resources (executors, pools)
-    =================  ==================================================
+    ========================  ============================================
+    ``load(graph)``           adopt the shared :class:`SocialGraph`
+    ``initial()``             first full evaluation; returns the result
+                              string
+    ``refresh(delta)``        maintain the result across one *already
+                              applied* :class:`~repro.model.graph
+                              .GraphDelta`
+    ``last_top``              the latest ``(external_id, score)`` pairs,
+                              what the serving cache stores
+    ``partial()``             mergeable summary of the served result for
+                              the sharded scatter-gather (optional; see
+                              :mod:`repro.sharding.merge`)
+    ``merge_partials(ps, k)`` fold one ``partial()`` per shard back into
+                              ``(top, result_string)`` (optional)
+    ``close()``               release private resources (executors,
+                              pools)
+    ========================  ============================================
 
     ``update(change_set)`` is the single-engine convenience that applies
     the change set to the engine's own graph and then refreshes -- the
@@ -100,6 +108,29 @@ class EngineBase:
 
     def close(self) -> None:
         """Release engine-private resources; default engines hold none."""
+
+    # -- mergeable-result protocol (sharded serving) -------------------
+
+    def partial(self):
+        """Mergeable summary of the served result (sharded scatter-gather).
+
+        Engines that can be sharded return a partial restricted to the
+        entities their shard owns; the router folds one partial per shard
+        through :meth:`merge_partials`.  The base implementation declares
+        the engine unshardable (the NMF baselines, for instance, predate
+        the protocol).
+        """
+        raise ReproError(
+            f"{type(self).__name__} does not implement the mergeable-result "
+            "protocol and cannot be served sharded"
+        )
+
+    @staticmethod
+    def merge_partials(partials, k: int):
+        """Fold one :meth:`partial` per shard into ``(top, result_string)``."""
+        raise ReproError(
+            "engine does not implement the mergeable-result protocol"
+        )
 
     @staticmethod
     def format_top(top) -> str:
@@ -150,6 +181,10 @@ class QueryEngine(EngineBase):
         #: the most recent top-k as (external_id, score) pairs -- the
         #: serving layer caches this instead of re-parsing result strings
         self.last_top: list[tuple[int, int]] = []
+        #: same top-k as (external_id, score, timestamp) triples -- the
+        #: mergeable partial of the sharded scatter-gather (the timestamp
+        #: completes the contest ordering key a cross-shard merge needs)
+        self.last_entries: list[tuple[int, int, int]] = []
 
     # -- TTC phases -------------------------------------------------------
 
@@ -178,11 +213,11 @@ class QueryEngine(EngineBase):
     def initial(self) -> str:
         self._require_loaded()
         if self.variant == "incremental":
-            top = self._impl.initial()
+            self._impl.initial()
+            entries = self._impl.tracker.top_entries()
         else:
-            top = self._impl.evaluate()
-        self.last_top = list(top)
-        return self.format_top(top)
+            entries = self._impl.evaluate_entries()
+        return self._commit(entries)
 
     def refresh(self, delta: GraphDelta) -> str:
         """Re-evaluate against a delta the caller already applied.
@@ -195,11 +230,33 @@ class QueryEngine(EngineBase):
         """
         self._require_loaded()
         if self.variant == "incremental":
-            top = self._impl.update(delta)
+            self._impl.update(delta)
+            entries = self._impl.tracker.top_entries()
         else:
-            top = self._impl.evaluate()
-        self.last_top = list(top)
-        return self.format_top(top)
+            entries = self._impl.evaluate_entries()
+        return self._commit(entries)
+
+    def _commit(self, entries: list[tuple[int, int, int]]) -> str:
+        self.last_entries = entries
+        self.last_top = [(ext, score) for ext, score, _ in entries]
+        return self.format_top(self.last_top)
+
+    # -- mergeable-result protocol ----------------------------------------
+
+    def partial(self) -> list[tuple[int, int, int]]:
+        """The shard's top-k as (external_id, score, timestamp) triples.
+
+        Content (posts and their comment trees) is hash-partitioned by
+        root post, so per-shard top-k lists cover disjoint entity sets and
+        any global top-k member appears in its owner shard's partial.
+        """
+        return list(self.last_entries)
+
+    @staticmethod
+    def merge_partials(partials, k: int):
+        from repro.sharding.merge import merge_topk_entries
+
+        return merge_topk_entries(partials, k)
 
     # ----------------------------------------------------------------------
 

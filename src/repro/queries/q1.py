@@ -19,7 +19,7 @@ from repro.graphblas import semiring as _semiring
 from repro.graphblas.types import INT64
 from repro.graphblas.vector import Vector
 from repro.model.graph import GraphDelta, SocialGraph
-from repro.queries.topk import TopKTracker, top_k, top_k_entries
+from repro.queries.topk import TopKTracker, top_k_entries
 
 __all__ = ["Q1Batch", "Q1Incremental"]
 
@@ -58,11 +58,15 @@ class Q1Batch:
         """The complete scores vector (sparse; absent = score 0)."""
         return _scores_from(self.graph.root_post, _likes_count(self.graph))
 
-    def evaluate(self) -> list[tuple[int, int]]:
-        """Top-k (post_id, score) under the contest ordering."""
+    def evaluate_entries(self) -> list[tuple[int, int, int]]:
+        """Top-k (post_id, score, timestamp) triples, contest ordering."""
         g = self.graph
         dense = self.scores().to_dense()
-        return top_k(dense, g.post_timestamps, g.posts.external_array(), self.k)
+        return top_k_entries(dense, g.post_timestamps, g.posts.external_array(), self.k)
+
+    def evaluate(self) -> list[tuple[int, int]]:
+        """Top-k (post_id, score) under the contest ordering."""
+        return [(ext, score) for ext, score, _ in self.evaluate_entries()]
 
     def result_string(self) -> str:
         return "|".join(str(ext) for ext, _ in self.evaluate())

@@ -45,7 +45,7 @@ from repro.lagraph.fastsv import fastsv
 from repro.lagraph.incremental_cc import IncrementalCC
 from repro.model.graph import GraphDelta, SocialGraph
 from repro.parallel.executor import Executor, SerialExecutor, chunk_evenly
-from repro.queries.topk import TopKTracker, top_k, top_k_entries
+from repro.queries.topk import TopKTracker, top_k_entries
 from repro.util.validation import ReproError
 
 __all__ = [
@@ -326,10 +326,16 @@ class Q2Batch:
         vals = np.fromiter(scored.values(), dtype=np.int64, count=len(scored))
         return Vector.from_coo(idx, vals, g.num_comments, dtype=INT64)
 
-    def evaluate(self) -> list[tuple[int, int]]:
+    def evaluate_entries(self) -> list[tuple[int, int, int]]:
+        """Top-k (comment_id, score, timestamp) triples, contest ordering."""
         g = self.graph
         dense = self.scores().to_dense()
-        return top_k(dense, g.comment_timestamps, g.comments.external_array(), self.k)
+        return top_k_entries(
+            dense, g.comment_timestamps, g.comments.external_array(), self.k
+        )
+
+    def evaluate(self) -> list[tuple[int, int]]:
+        return [(ext, score) for ext, score, _ in self.evaluate_entries()]
 
     def result_string(self) -> str:
         return "|".join(str(ext) for ext, _ in self.evaluate())

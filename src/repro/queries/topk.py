@@ -113,9 +113,20 @@ class TopKTracker:
         pruned entity can re-enter without its score changing again, in
         which case it will be re-offered.
         """
+        return [(ext, score) for ext, score, _ in self.top_entries()]
+
+    def top_entries(self) -> list[tuple[int, int, int]]:
+        """Current top-k as (external_id, score, timestamp) triples.
+
+        Same pool-pruning contract as :meth:`top`.  The timestamp rides
+        along for the sharded merge protocol: a router combining per-shard
+        top-k partials needs the full contest ordering key
+        (score desc, timestamp desc, external id asc) to reproduce the
+        unsharded top-k exactly (see :mod:`repro.sharding.merge`).
+        """
         entries = sorted(self._pool.values(), key=_sort_key)[: self.k]
         self._pool = {e[2]: e for e in entries}
-        return [(ext, score) for score, ts, ext in entries]
+        return [(ext, score, ts) for score, ts, ext in entries]
 
     def result_string(self) -> str:
         """The TTC framework's result format: ids joined by ``|``."""

@@ -19,13 +19,23 @@ is how the serving tests freeze time.  :class:`repro.serving.service
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
-from repro.model.changes import Change, ChangeSet
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    Change,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
 from repro.util.timer import WallClock
 from repro.util.validation import ReproError
 
-__all__ = ["MicroBatcher", "coerce_changes"]
+__all__ = ["MicroBatcher", "SubmitGate", "coerce_changes"]
 
 
 def coerce_changes(
@@ -108,3 +118,103 @@ class MicroBatcher:
         self._oldest = None
         self.batches += 1
         return batch
+
+
+class SubmitGate:
+    """Submit-time change validation + pending-id tracking (all-or-nothing).
+
+    Keeps the WAL free of unappliable batches: a malformed change is
+    rejected at the edge instead of poisoning the log or a half-applied
+    batch.  The gate is storage-agnostic -- ``known_applied(kind,
+    external_id)`` answers membership against the *applied* state, which
+    is the graph's id maps for :class:`~repro.serving.service
+    .GraphService` and the routing tables for the sharded router
+    (:class:`repro.sharding.ShardedGraphService`); on top of that the
+    gate tracks ids introduced by changes still pending in the
+    micro-batcher, so a pending entity can be referenced by a later
+    submit (the paper's Fig. 3b inserts a comment and immediately likes
+    it).  ``kind`` is one of ``"user"`` / ``"post"`` / ``"comment"``.
+    """
+
+    def __init__(self, known_applied: Callable[[str, int], bool]):
+        self._known_applied = known_applied
+        #: ids introduced by changes still pending in the batcher
+        self.pending: dict[str, set] = {"user": set(), "post": set(), "comment": set()}
+
+    def known(self, kind: str, external_id: int) -> bool:
+        return self._known_applied(kind, external_id) or external_id in self.pending[kind]
+
+    def admit(self, items: list[Change]) -> None:
+        """Validate ``items`` in order, tracking introduced ids in lockstep.
+
+        A later change may reference an entity an earlier one in the same
+        submitted set introduces, and a duplicate id within one set must
+        collide with its own predecessor.  On rejection, everything this
+        call tracked is rolled back -- nothing half-enqueued.
+        """
+        tracked: list[tuple[str, int]] = []
+        try:
+            for ch in items:
+                self._validate(ch)
+                added = self._track(ch)
+                if added is not None:
+                    tracked.append(added)
+        except ReproError:
+            for kind, ext in tracked:
+                self.pending[kind].discard(ext)
+            raise
+
+    def clear(self) -> None:
+        """Forget pending ids (call when the pending batch is applied)."""
+        for ids in self.pending.values():
+            ids.clear()
+
+    # ------------------------------------------------------------------
+
+    def _validate(self, ch: Change) -> None:
+        if isinstance(ch, AddUser):
+            if self.known("user", ch.user_id):
+                raise ReproError(f"duplicate user id {ch.user_id}")
+        elif isinstance(ch, AddPost):
+            if self.known("post", ch.post_id) or self.known("comment", ch.post_id):
+                raise ReproError(f"submission id {ch.post_id} already in use")
+            if not self.known("user", ch.user_id):
+                raise ReproError(f"post {ch.post_id}: unknown user {ch.user_id}")
+        elif isinstance(ch, AddComment):
+            if self.known("post", ch.comment_id) or self.known("comment", ch.comment_id):
+                raise ReproError(f"submission id {ch.comment_id} already in use")
+            if not self.known("user", ch.user_id):
+                raise ReproError(f"comment {ch.comment_id}: unknown user {ch.user_id}")
+            if not (
+                self.known("post", ch.parent_id) or self.known("comment", ch.parent_id)
+            ):
+                raise ReproError(
+                    f"comment {ch.comment_id}: unknown parent {ch.parent_id}"
+                )
+        elif isinstance(ch, (AddLike, RemoveLike)):
+            if not self.known("user", ch.user_id):
+                raise ReproError(f"like: unknown user {ch.user_id}")
+            if not self.known("comment", ch.comment_id):
+                raise ReproError(f"like: unknown comment {ch.comment_id}")
+        elif isinstance(ch, (AddFriendship, RemoveFriendship)):
+            if ch.user1_id == ch.user2_id:
+                raise ReproError(f"self-friendship for user {ch.user1_id}")
+            for uid in (ch.user1_id, ch.user2_id):
+                if not self.known("user", uid):
+                    raise ReproError(f"friendship: unknown user {uid}")
+        else:
+            raise ReproError(f"unknown change type {type(ch)}")
+
+    def _track(self, ch: Change) -> Optional[tuple[str, int]]:
+        """Record an id a pending change introduces; returns the (kind, id)
+        it added (for rollback) or None for non-introducing changes."""
+        if isinstance(ch, AddUser):
+            self.pending["user"].add(ch.user_id)
+            return ("user", ch.user_id)
+        if isinstance(ch, AddPost):
+            self.pending["post"].add(ch.post_id)
+            return ("post", ch.post_id)
+        if isinstance(ch, AddComment):
+            self.pending["comment"].add(ch.comment_id)
+            return ("comment", ch.comment_id)
+        return None

@@ -46,22 +46,12 @@ from typing import Iterable, Optional, Union
 
 from repro.analytics.engine import ANALYTICS_NAMES, make_analytics_engine
 from repro.graphblas._kernels import parallel as _kparallel
-from repro.model.changes import (
-    AddComment,
-    AddFriendship,
-    AddLike,
-    AddPost,
-    AddUser,
-    Change,
-    ChangeSet,
-    RemoveFriendship,
-    RemoveLike,
-)
+from repro.model.changes import Change, ChangeSet
 from repro.model.graph import SocialGraph
 from repro.parallel.executor import Executor
 from repro.queries.engine import TOOL_NAMES, make_engine
 from repro.serving.cache import CachedResult, ResultCache
-from repro.serving.ingest import MicroBatcher, coerce_changes
+from repro.serving.ingest import MicroBatcher, SubmitGate, coerce_changes
 from repro.serving.metrics import OpMetrics
 from repro.serving.persistence import ChangeLog, SnapshotStore
 from repro.util.timer import WallClock
@@ -124,6 +114,7 @@ class GraphService:
         wal_sync: bool = True,
         auto_flush: bool = False,
         concurrent_refresh: bool = True,
+        shard: Optional[tuple[int, int]] = None,
         _start_version: int = 0,
         _allow_existing: bool = False,
     ):
@@ -156,15 +147,19 @@ class GraphService:
         self.snapshot_every = snapshot_every
         self.keep_snapshots = keep_snapshots
 
+        #: (shard_index, shard_count) when this service is one shard of a
+        #: :class:`repro.sharding.ShardedGraphService`; forwarded to the
+        #: analytics engines so their mergeable partials report only the
+        #: users this shard owns
+        self.shard = shard
+
         self._lock = threading.RLock()
         self._batcher = MicroBatcher(max_changes=max_batch, max_delay_ms=max_delay_ms)
         self._cache = ResultCache()
         self._metrics = OpMetrics()
         self._closed = False
         self._failed = False
-        #: ids introduced by changes still pending in the batcher, so a
-        #: pending entity can be referenced by a later submit
-        self._pending_ids: dict[str, set] = {"user": set(), "post": set(), "comment": set()}
+        self._gate = SubmitGate(self._known_applied)
         self._recovered_from: Optional[tuple[int, int]] = None
 
         self._store: Optional[SnapshotStore] = None
@@ -190,7 +185,7 @@ class GraphService:
         # the query, so query("pagerank") reads its cache entry directly
         for name in self.analytics:
             self._engines[(name, name)] = make_analytics_engine(
-                name, k=k, recompute_threshold=analytics_threshold
+                name, k=k, recompute_threshold=analytics_threshold, partition=shard
             )
 
         # Parallel machinery.  The kernel executor (REPRO_WORKERS) forks its
@@ -321,26 +316,37 @@ class GraphService:
             self._check_open()
             with self._metrics.timed("submit"):
                 items = coerce_changes(changes)
-                # validate and track in lockstep: a later change may
-                # reference an entity an earlier one in the same submitted
-                # set introduces (Fig. 3b inserts a comment and immediately
-                # likes it), and a duplicate id within one set must collide
-                # with its own predecessor.  On rejection, untrack what this
-                # call added -- all-or-nothing, nothing half-enqueued.
-                tracked: list[tuple[str, int]] = []
-                try:
-                    for ch in items:
-                        self._validate(ch)
-                        added = self._track_pending(ch)
-                        if added is not None:
-                            tracked.append(added)
-                except ReproError:
-                    for kind, ext in tracked:
-                        self._pending_ids[kind].discard(ext)
-                    raise
+                # all-or-nothing validation + pending-id tracking (the
+                # Fig. 3b insert-then-like pattern) lives in SubmitGate
+                self._gate.admit(items)
                 batch = self._batcher.offer(items)
             if batch is not None:
                 self._apply(batch)
+            return self.version
+
+    def apply_batch(self, changes: Union[Change, ChangeSet, Iterable[Change]]) -> int:
+        """Validate and apply one pre-coalesced batch synchronously.
+
+        The sharded router's scatter target: it batches at the router, so
+        each shard must apply exactly the sub-batch it is handed -- even
+        an *empty* one, which still advances the version and writes a WAL
+        frame, keeping every shard's version aligned with the router's
+        (the consistency barrier reads rely on).  Anything pending in
+        this service's own micro-batcher is applied first, so the two
+        write paths cannot interleave within a version.  Returns the new
+        applied version.
+        """
+        with self._lock:
+            self._check_open()
+            with self._metrics.timed("submit"):
+                items = coerce_changes(changes)
+                self._gate.admit(items)
+            pending = self._batcher.drain()
+            if pending is not None:
+                self._apply(pending)
+            self._apply(ChangeSet(items))
+            self._batcher.submitted += len(items)
+            self._batcher.batches += 1
             return self.version
 
     def flush(self) -> int:
@@ -378,8 +384,7 @@ class GraphService:
             self._teardown_parallel()
             raise
         self.version = next_version
-        for ids in self._pending_ids.values():
-            ids.clear()
+        self._gate.clear()
         if (
             self._store is not None
             and self.snapshot_every
@@ -496,57 +501,10 @@ class GraphService:
     # submit-time validation (keeps the WAL free of unappliable batches)
     # ------------------------------------------------------------------
 
-    def _known(self, kind: str, external_id: int) -> bool:
+    def _known_applied(self, kind: str, external_id: int) -> bool:
+        """The :class:`~repro.serving.ingest.SubmitGate` membership hook."""
         idmap = {"user": self.graph.users, "post": self.graph.posts, "comment": self.graph.comments}[kind]
-        return external_id in idmap or external_id in self._pending_ids[kind]
-
-    def _validate(self, ch: Change) -> None:
-        if isinstance(ch, AddUser):
-            if self._known("user", ch.user_id):
-                raise ReproError(f"duplicate user id {ch.user_id}")
-        elif isinstance(ch, AddPost):
-            if self._known("post", ch.post_id) or self._known("comment", ch.post_id):
-                raise ReproError(f"submission id {ch.post_id} already in use")
-            if not self._known("user", ch.user_id):
-                raise ReproError(f"post {ch.post_id}: unknown user {ch.user_id}")
-        elif isinstance(ch, AddComment):
-            if self._known("post", ch.comment_id) or self._known("comment", ch.comment_id):
-                raise ReproError(f"submission id {ch.comment_id} already in use")
-            if not self._known("user", ch.user_id):
-                raise ReproError(f"comment {ch.comment_id}: unknown user {ch.user_id}")
-            if not (
-                self._known("post", ch.parent_id) or self._known("comment", ch.parent_id)
-            ):
-                raise ReproError(
-                    f"comment {ch.comment_id}: unknown parent {ch.parent_id}"
-                )
-        elif isinstance(ch, (AddLike, RemoveLike)):
-            if not self._known("user", ch.user_id):
-                raise ReproError(f"like: unknown user {ch.user_id}")
-            if not self._known("comment", ch.comment_id):
-                raise ReproError(f"like: unknown comment {ch.comment_id}")
-        elif isinstance(ch, (AddFriendship, RemoveFriendship)):
-            if ch.user1_id == ch.user2_id:
-                raise ReproError(f"self-friendship for user {ch.user1_id}")
-            for uid in (ch.user1_id, ch.user2_id):
-                if not self._known("user", uid):
-                    raise ReproError(f"friendship: unknown user {uid}")
-        else:
-            raise ReproError(f"unknown change type {type(ch)}")
-
-    def _track_pending(self, ch: Change) -> Optional[tuple[str, int]]:
-        """Record an id a pending change introduces; returns the (kind, id)
-        it added (for rollback) or None for non-introducing changes."""
-        if isinstance(ch, AddUser):
-            self._pending_ids["user"].add(ch.user_id)
-            return ("user", ch.user_id)
-        if isinstance(ch, AddPost):
-            self._pending_ids["post"].add(ch.post_id)
-            return ("post", ch.post_id)
-        if isinstance(ch, AddComment):
-            self._pending_ids["comment"].add(ch.comment_id)
-            return ("comment", ch.comment_id)
-        return None
+        return external_id in idmap
 
     # ------------------------------------------------------------------
     # reads
@@ -570,6 +528,50 @@ class GraphService:
                 if tool is None:
                     tool = query if query in self.analytics else self.primary_tool
                 return self._cache.get(query, tool)
+
+    def engine(self, query: str, tool: Optional[str] = None):
+        """The registered engine behind a (query, tool) pair.
+
+        Read-only accessor (the sharded router uses it to reach the
+        engine's ``merge_partials`` hook); mutating a served engine from
+        outside the service is undefined behaviour.
+        """
+        with self._lock:
+            if tool is None:
+                tool = query if query in self.analytics else self.primary_tool
+            engine = self._engines.get((query, tool))
+            if engine is None:
+                raise ReproError(
+                    f"no engine for query {query!r} under tool {tool!r}; "
+                    f"known: {sorted(self._engines)}"
+                )
+            return engine
+
+    def engine_partial(self, query: str, tool: Optional[str] = None):
+        """The mergeable partial of one engine's *served* result.
+
+        The sharded router's gather hook (see :mod:`repro.sharding`):
+        returns whatever the engine's ``partial()`` reports at the current
+        applied version, under the same lock the write path holds, so a
+        scatter-gather read composed of per-shard partials observes each
+        shard at a consistent version.
+        """
+        with self._lock:
+            self._check_open()
+            return self.engine(query, tool).partial()
+
+    def result_and_partial(self, query: str, tool: Optional[str] = None):
+        """One-sweep gather: ``(cached result, mergeable partial)``.
+
+        What the sharded router reads per shard -- both halves under a
+        single acquisition of this shard's lock, so they are guaranteed to
+        describe the same applied version.
+        """
+        with self._lock:
+            self._check_open()
+            if tool is None:
+                tool = query if query in self.analytics else self.primary_tool
+            return self._cache.get(query, tool), self.engine(query, tool).partial()
 
     def stats(self) -> dict:
         """Operational snapshot: version, queue, graph, per-op latencies."""

@@ -1,0 +1,124 @@
+"""Mergeable-result protocol: exact global top-k from per-shard partials.
+
+Every engine the sharded router serves exposes two hooks (the protocol
+lives on :class:`repro.queries.engine.EngineBase`):
+
+``partial()``
+    A mergeable summary of the engine's *served* result, restricted to the
+    entities its shard **owns**.  Three shapes exist, one per result kind:
+
+    * query engines (Q1/Q2): the shard's top-k as ``(external_id, score,
+      timestamp)`` triples -- content is partitioned, so per-shard top-k
+      lists are disjoint and any global top-k member is in its owner's
+      partial (the classic scatter-gather top-k argument);
+    * vertex analytics (degree, pagerank, ...): the top-k ``(external_id,
+      score)`` pairs **among the shard's owned users** -- every shard's
+      scores are globally exact (the friends graph is replicated), and
+      ownership makes the partials disjoint;
+    * partition analytics (components, cdlp): one ``(label, min_member,
+      rep_external_id, owned_count)`` row per partition that contains at
+      least one owned user -- sizes are split across shards and summed
+      back at merge ("min-label join": the label and its canonical
+      representative are identical on every shard, the counts are not).
+
+``merge_partials(partials, k)``
+    Folds one partial per shard into ``(top, result_string)``, exactly the
+    pair an unsharded engine would serve.  Implemented with the pure
+    functions below, which the shard-invariance suite
+    (``tests/sharding/``) pins bit-identical to the single-process
+    :class:`~repro.serving.service.GraphService` for shards ∈ {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "merge_topk_entries",
+    "merge_vertex_partials",
+    "merge_partition_partials",
+    "format_top",
+]
+
+
+def format_top(top: Iterable[tuple]) -> str:
+    """The TTC framework's ``id|id|id`` result line.
+
+    Delegates to :meth:`repro.queries.engine.EngineBase.format_top` (the
+    single source of truth for the result-line format) via a lazy import,
+    so this module stays an import leaf.
+    """
+    from repro.queries.engine import EngineBase
+
+    return EngineBase.format_top(top)
+
+
+def merge_topk_entries(
+    partials: Sequence[Sequence[tuple[int, int, int]]], k: int
+) -> tuple[list[tuple[int, int]], str]:
+    """Merge per-shard query top-k triples under the contest ordering.
+
+    Each partial holds ``(external_id, score, timestamp)`` triples for the
+    shard's owned posts/comments; ownership is disjoint, so the global
+    top-k is the k best of the union under (score desc, timestamp desc,
+    external id asc).
+
+    >>> merge_topk_entries([[(11, 9, 2)], [(12, 9, 3), (13, 1, 0)]], k=2)
+    ([(12, 9), (11, 9)], '12|11')
+    """
+    merged = sorted(
+        (e for p in partials for e in p),
+        key=lambda e: (-e[1], -e[2], e[0]),
+    )[:k]
+    top = [(ext, score) for ext, score, _ in merged]
+    return top, format_top(top)
+
+
+def merge_vertex_partials(
+    partials: Sequence[Sequence[tuple]], k: int
+) -> tuple[list[tuple], str]:
+    """Merge per-shard vertex-analytics top-k pairs.
+
+    Each partial holds ``(external_id, score)`` pairs for the shard's
+    owned users, ordered and merged by (score desc, external id asc) --
+    the same ordering
+    :meth:`repro.analytics.engine.AnalyticsEngine._top_vertices` uses.
+
+    >>> merge_vertex_partials([[(3, 2)], [(1, 5), (2, 2)]], k=2)
+    ([(1, 5), (2, 2)], '1|2')
+    """
+    merged = sorted(
+        (e for p in partials for e in p),
+        key=lambda e: (-e[1], e[0]),
+    )[:k]
+    return merged, format_top(merged)
+
+
+def merge_partition_partials(
+    partials: Sequence[Sequence[tuple[int, int, int, int]]], k: int
+) -> tuple[list[tuple[int, int]], str]:
+    """Min-label join of per-shard partition (component/community) counts.
+
+    Each partial row is ``(label, min_member, rep_external_id,
+    owned_count)``.  ``label``/``min_member``/``rep_external_id`` are
+    computed over the *full* (replicated) friends graph and therefore
+    agree across shards; ``owned_count`` is the number of the shard's
+    owned users in the partition, so summing counts per label reassembles
+    exact global sizes.  Ordering matches
+    :meth:`~repro.analytics.engine.AnalyticsEngine._top_partitions`:
+    size desc, then minimum internal member asc.
+
+    >>> a = [(0, 0, 101, 2)]           # shard 0 owns 2 members of label 0
+    >>> b = [(0, 0, 101, 1), (3, 3, 104, 1)]
+    >>> merge_partition_partials([a, b], k=2)
+    ([(101, 3), (104, 1)], '101|104')
+    """
+    sizes: dict[int, int] = {}
+    meta: dict[int, tuple[int, int]] = {}
+    for partial in partials:
+        for label, min_member, rep_ext, owned_count in partial:
+            sizes[label] = sizes.get(label, 0) + owned_count
+            meta[label] = (min_member, rep_ext)
+    order = sorted(sizes, key=lambda lab: (-sizes[lab], meta[lab][0]))[:k]
+    top = [(meta[lab][1], sizes[lab]) for lab in order]
+    return top, format_top(top)

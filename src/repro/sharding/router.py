@@ -1,0 +1,569 @@
+"""ShardedGraphService: K independent GraphService shards behind one router.
+
+The horizontal-scale axis of the ROADMAP's serving north star: the graph
+itself is partitioned (see :mod:`repro.sharding.partition`) across K
+:class:`~repro.serving.service.GraphService` shards -- each with its own
+:class:`~repro.model.graph.SocialGraph` arenas, engine registry, WAL +
+snapshot directory and kernel workers -- and a thin router owns the write
+path, the consistency barrier and the scatter-gather read path:
+
+writes
+    Submitted changes pass the same :class:`~repro.serving.ingest
+    .SubmitGate` validation and micro-batching as the single-process
+    service; each coalesced batch is framed into the **router WAL**, split
+    by partition key (users/friendships replicated, content routed by root
+    post), and scattered -- concurrently when ``concurrent_scatter`` --
+    to every shard via :meth:`GraphService.apply_batch`.  Every shard
+    receives every batch (possibly empty), so shard versions advance in
+    lockstep with the router's: that lockstep IS the versioned barrier.
+
+reads
+    :meth:`query` gathers one mergeable partial per shard (each under its
+    shard's lock, all at the barrier version -- a torn read raises instead
+    of lying) and folds them through the engine's ``merge_partials`` hook:
+    exact global top-k from per-shard top-k for Q1/Q2, min-label join with
+    summed per-shard member counts for components, disjoint owned top-k
+    for vertex analytics.  The merged :class:`~repro.serving.cache
+    .CachedResult` carries the *worst* staleness tag across shards, still
+    monotone in the router version.
+
+recovery
+    Each shard recovers from its own snapshot + WAL tail; the router then
+    replays its own WAL's committed frames to any shard that crashed
+    behind the others (the only window where shards can diverge is
+    mid-scatter), re-routing each frame deterministically.  Afterward all
+    shards sit at the router WAL's last committed version -- the
+    convergence property ``tests/sharding/test_fault_injection.py`` pins.
+
+``shards=1`` routes everything to a single shard that *is* the caller's
+graph object, and serves results bit-identical to an unsharded
+:class:`GraphService` (property-tested for shards ∈ {1, 2, 4} in
+``tests/sharding/``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.model.changes import (
+    AddComment,
+    AddFriendship,
+    AddLike,
+    AddPost,
+    AddUser,
+    Change,
+    ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
+)
+from repro.model.graph import SocialGraph
+from repro.serving.cache import CachedResult
+from repro.serving.ingest import MicroBatcher, SubmitGate, coerce_changes
+from repro.serving.metrics import OpMetrics
+from repro.serving.persistence import ChangeLog
+from repro.serving.service import GraphService, _Flusher
+from repro.sharding.partition import partition_graph, shard_of
+from repro.util.validation import ReproError
+
+__all__ = ["SHARDABLE_TOOLS", "ShardedGraphService", "default_shards"]
+
+#: tools implementing the mergeable-result protocol (the NMF baselines
+#: predate it and keep running unsharded)
+SHARDABLE_TOOLS = ("graphblas-batch", "graphblas-incremental")
+
+_META_FILE = "router.json"
+_META_SCHEMA = 1
+
+
+def default_shards() -> int:
+    """Shard count from the ``REPRO_SHARDS`` environment knob (default 1)."""
+    try:
+        n = int(os.environ.get("REPRO_SHARDS", "1"))
+    except ValueError as exc:
+        raise ReproError(f"bad REPRO_SHARDS: {exc}") from None
+    if n < 1:
+        raise ReproError(f"REPRO_SHARDS must be >= 1, got {n}")
+    return n
+
+
+class ShardedGraphService:
+    """Hash-partitioned serving: one router, K GraphService shards.
+
+    Constructor arguments mirror :class:`~repro.serving.service
+    .GraphService` (they configure every shard identically) plus
+    ``shards`` -- the partition width, defaulting to the ``REPRO_SHARDS``
+    environment knob.
+
+    >>> from repro.model.changes import AddFriendship, AddUser
+    >>> svc = ShardedGraphService(shards=2, tools=("graphblas-incremental",),
+    ...                           analytics=("components",), max_batch=1)
+    >>> svc.submit([AddUser(1), AddUser(2), AddUser(3)])
+    1
+    >>> svc.submit(AddFriendship(1, 2))
+    2
+    >>> svc.query("components").top      # merged across both shards
+    ((1, 2), (3, 1))
+    >>> svc.query("components").version
+    2
+    >>> svc.close()
+    """
+
+    def __init__(
+        self,
+        graph: Optional[SocialGraph] = None,
+        *,
+        shards: Optional[int] = None,
+        queries: tuple = ("Q1", "Q2"),
+        tools: tuple = SHARDABLE_TOOLS,
+        analytics: tuple = (),
+        analytics_threshold: float = 0.1,
+        k: int = 3,
+        q2_algorithm: str = "fastsv",
+        max_batch: int = 256,
+        max_delay_ms: float = 50.0,
+        data_dir=None,
+        snapshot_every: int = 0,
+        keep_snapshots: int = 2,
+        wal_sync: bool = True,
+        auto_flush: bool = False,
+        concurrent_scatter: bool = True,
+        concurrent_refresh: bool = True,
+        _shard_services: Optional[list] = None,
+    ):
+        if shards is None:
+            shards = default_shards()
+        if shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        for t in tools:
+            if t not in SHARDABLE_TOOLS:
+                raise ReproError(
+                    f"tool {t!r} does not implement the mergeable-result "
+                    f"protocol; sharded serving supports {SHARDABLE_TOOLS}"
+                )
+        self.num_shards = shards
+        self.queries = tuple(queries)
+        self.tools = tuple(tools)
+        self.analytics = tuple(analytics)
+        self.primary_tool = self.tools[0] if self.tools else None
+        self.k = k
+        self.version = 0
+
+        self._lock = threading.RLock()
+        self._batcher = MicroBatcher(max_changes=max_batch, max_delay_ms=max_delay_ms)
+        self._gate = SubmitGate(self._known_applied)
+        self._metrics = OpMetrics()
+        self._closed = False
+        self._failed = False
+        #: external content id -> owner shard (the routing tables; comments
+        #: inherit their root post's shard so each comment tree plus its
+        #: likes is entirely shard-local)
+        self._post_shard: dict[int, int] = {}
+        self._comment_shard: dict[int, int] = {}
+
+        self._wal: Optional[ChangeLog] = None
+        if data_dir is not None:
+            data_dir = Path(data_dir)
+            if _shard_services is None:
+                if (data_dir / _META_FILE).exists():
+                    raise ReproError(
+                        f"{data_dir} already holds sharded service state; use "
+                        "ShardedGraphService.recover(data_dir) to resume it"
+                    )
+                if (data_dir / ChangeLog.FILENAME).exists() or any(
+                    data_dir.glob("snapshot-*")
+                ):
+                    # an unsharded GraphService lived here: appending router
+                    # frames into its WAL would corrupt both histories
+                    raise ReproError(
+                        f"{data_dir} already holds (unsharded) GraphService "
+                        "state; recover it with GraphService.recover or point "
+                        "the sharded service at a fresh directory"
+                    )
+
+        if _shard_services is not None:
+            # recovery path: adopt already-recovered shards and rebuild the
+            # routing tables from what each shard actually owns
+            self._shards = list(_shard_services)
+            for i, svc in enumerate(self._shards):
+                for p in svc.graph.posts.external_array().tolist():
+                    self._post_shard[p] = i
+                for c in svc.graph.comments.external_array().tolist():
+                    self._comment_shard[c] = i
+        else:
+            shard_graphs, self._post_shard, self._comment_shard = partition_graph(
+                graph if graph is not None else SocialGraph(), shards
+            )
+            self._shards = []
+            created_dirs: list[Path] = []
+            try:
+                for i in range(shards):
+                    shard_dir = None
+                    if data_dir is not None:
+                        shard_dir = data_dir / f"shard-{i:02d}"
+                        if not shard_dir.exists():
+                            created_dirs.append(shard_dir)
+                    self._shards.append(
+                        GraphService(
+                            shard_graphs[i],
+                            queries=queries,
+                            tools=tools,
+                            analytics=analytics,
+                            analytics_threshold=analytics_threshold,
+                            k=k,
+                            q2_algorithm=q2_algorithm,
+                            data_dir=shard_dir,
+                            snapshot_every=snapshot_every,
+                            keep_snapshots=keep_snapshots,
+                            wal_sync=wal_sync,
+                            concurrent_refresh=concurrent_refresh,
+                            shard=(i, shards),
+                        )
+                    )
+            except BaseException:
+                # a failed construction must not poison data_dir: drop the
+                # shard directories this attempt created (router.json is
+                # only written below, after every shard exists)
+                for svc in self._shards:
+                    svc.close()
+                for d in created_dirs:
+                    shutil.rmtree(d, ignore_errors=True)
+                raise
+
+        if data_dir is not None:
+            data_dir.mkdir(parents=True, exist_ok=True)
+            meta_path = data_dir / _META_FILE
+            if not meta_path.exists():
+                with open(meta_path, "w") as fh:
+                    json.dump({"schema": _META_SCHEMA, "shards": shards}, fh)
+            self._wal = ChangeLog(data_dir, sync=wal_sync)
+
+        self._scatter_pool: Optional[ThreadPoolExecutor] = None
+        if concurrent_scatter and shards > 1:
+            self._scatter_pool = ThreadPoolExecutor(
+                max_workers=shards, thread_name_prefix="shard-scatter"
+            )
+
+        self._flusher: Optional[_Flusher] = None
+        if auto_flush:
+            self._flusher = _Flusher(self, max(max_delay_ms, 1.0) / 2e3)
+            self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, data_dir, **kwargs) -> "ShardedGraphService":
+        """Rebuild a sharded service from its data directory after a crash.
+
+        Every shard recovers independently (newest snapshot + committed
+        tail of its own WAL); shards that crashed *behind* the router WAL
+        -- the mid-scatter window -- are then caught up by re-routing the
+        router WAL's committed frames to them, so all shards converge to
+        the router WAL's last committed version.  Keyword arguments name
+        the same engine configuration the original service ran with;
+        ``shards`` is read back from the persisted ``router.json`` and
+        must not be changed across a recovery (the partition is part of
+        the durable state).
+        """
+        data_dir = Path(data_dir)
+        meta_path = data_dir / _META_FILE
+        if not meta_path.exists():
+            raise ReproError(f"no sharded service state in {data_dir}")
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+        if meta.get("schema") != _META_SCHEMA:
+            raise ReproError(f"router meta schema {meta.get('schema')} != {_META_SCHEMA}")
+        shards = int(meta["shards"])
+        asked = kwargs.pop("shards", None)
+        if asked is not None and asked != shards:
+            raise ReproError(
+                f"cannot recover with shards={asked}: {data_dir} was "
+                f"partitioned with shards={shards} (repartitioning is a "
+                "rebuild, not a recovery)"
+            )
+        wal_sync = kwargs.get("wal_sync", True)
+        shard_kwargs = {
+            key: kwargs[key]
+            for key in (
+                "queries", "tools", "analytics", "analytics_threshold", "k",
+                "q2_algorithm", "snapshot_every", "keep_snapshots", "wal_sync",
+                "concurrent_refresh",
+            )
+            if key in kwargs
+        }
+        services = [
+            GraphService.recover(
+                data_dir / f"shard-{i:02d}", shard=(i, shards), **shard_kwargs
+            )
+            for i in range(shards)
+        ]
+        try:
+            router_wal = ChangeLog(data_dir, sync=wal_sync)
+            router_wal.repair()
+            service = cls(
+                shards=shards, data_dir=data_dir, _shard_services=services, **kwargs
+            )
+            base = min(svc.version for svc in services)
+            target = max(
+                [router_wal.last_version()] + [svc.version for svc in services]
+            )
+            for v, batch in router_wal.replay(after_version=base):
+                subs = service._route(list(batch))
+                for i, svc in enumerate(services):
+                    if svc.version < v:
+                        svc.apply_batch(subs[i])
+            laggard = [svc.version for svc in services if svc.version != target]
+            if laggard:
+                raise ReproError(
+                    f"sharded recovery did not converge: shard versions "
+                    f"{[svc.version for svc in services]}, router WAL at {target}"
+                )
+            service.version = target
+            return service
+        except BaseException:
+            for svc in services:
+                svc.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def submit(self, changes: Union[Change, ChangeSet, Iterable[Change]]) -> int:
+        """Enqueue change(s); returns the current applied router version."""
+        with self._lock:
+            self._check_open()
+            with self._metrics.timed("submit"):
+                items = coerce_changes(changes)
+                self._gate.admit(items)
+                batch = self._batcher.offer(items)
+            if batch is not None:
+                self._apply(batch)
+            return self.version
+
+    def flush(self) -> int:
+        """Apply everything pending now; returns the new applied version."""
+        with self._lock:
+            self._check_open()
+            batch = self._batcher.drain()
+            if batch is not None:
+                self._apply(batch)
+            return self.version
+
+    def _apply(self, batch: ChangeSet) -> None:
+        """Router-WAL, route, scatter one batch; fail-stop on any error."""
+        next_version = self.version + 1
+        try:
+            if self._wal is not None:
+                with self._metrics.timed("wal"):
+                    self._wal.append(next_version, batch)
+            subs = self._route(list(batch))
+            with self._metrics.timed("scatter"):
+                self._scatter(subs, next_version)
+        except BaseException:
+            self._failed = True
+            raise
+        self.version = next_version
+        self._gate.clear()
+
+    def _route(self, items: list[Change]) -> list[list[Change]]:
+        """Split one batch by partition key; updates the routing tables.
+
+        Users and friendship edges go to **every** shard (Q2 needs the
+        friends graph among arbitrary likers; analytics partials re-slice
+        it by ownership); a post goes to ``shard_of(post_id)``; comments
+        and likes follow their root post.  Deterministic, so recovery can
+        re-route a WAL frame and reach the same split.
+        """
+        subs: list[list[Change]] = [[] for _ in range(self.num_shards)]
+        for ch in items:
+            if isinstance(ch, (AddUser, AddFriendship, RemoveFriendship)):
+                for sub in subs:
+                    sub.append(ch)
+                continue
+            if isinstance(ch, AddPost):
+                s = shard_of(ch.post_id, self.num_shards)
+                self._post_shard[ch.post_id] = s
+            elif isinstance(ch, AddComment):
+                s = self._comment_shard.get(ch.parent_id)
+                if s is None:
+                    s = self._post_shard[ch.parent_id]
+                self._comment_shard[ch.comment_id] = s
+            elif isinstance(ch, (AddLike, RemoveLike)):
+                s = self._comment_shard[ch.comment_id]
+            else:
+                raise ReproError(f"unroutable change type {type(ch)}")
+            subs[s].append(ch)
+        return subs
+
+    def _scatter(self, subs: list[list[Change]], next_version: int) -> None:
+        """Hand every shard its sub-batch; all must land on ``next_version``.
+
+        Concurrent when the scatter pool exists -- shards are fully
+        independent (own graph, own engines, own locks).  Failures are
+        surfaced in shard order, deterministically, after every future
+        settles; any failure fail-stops the router (shards may then
+        disagree by one version, which is exactly what :meth:`recover`
+        reconciles from the router WAL).
+        """
+        if self._scatter_pool is None:
+            results = [svc.apply_batch(sub) for svc, sub in zip(self._shards, subs)]
+        else:
+            futures = [
+                self._scatter_pool.submit(svc.apply_batch, sub)
+                for svc, sub in zip(self._shards, subs)
+            ]
+            results, first_error = [], None
+            for fut in futures:
+                try:
+                    results.append(fut.result())
+                except BaseException as exc:
+                    results.append(None)
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+        for i, got in enumerate(results):
+            if got != next_version:
+                raise ReproError(
+                    f"shard {i} applied to v{got}, router expected v{next_version}"
+                )
+
+    # ------------------------------------------------------------------
+    # reads (scatter-gather)
+    # ------------------------------------------------------------------
+
+    def query(self, query: str, tool: Optional[str] = None) -> CachedResult:
+        """Merged top-k for ``query`` at a consistent cut across shards.
+
+        Gathers every shard's cached result and mergeable partial at the
+        barrier version (shards apply in lockstep with the router, so a
+        version skew means a torn read and raises), then folds the
+        partials through the engine's ``merge_partials`` hook.  The
+        merged result's ``computed_version`` carries the worst per-shard
+        staleness -- monotone in the router version, since each shard's
+        own tag is monotone.
+        """
+        with self._lock:
+            self._check_open()
+            if self._batcher.due():
+                self._apply(self._batcher.drain())
+            with self._metrics.timed("query"):
+                if tool is None:
+                    tool = query if query in self.analytics else self.primary_tool
+                gathered = [
+                    svc.result_and_partial(query, tool) for svc in self._shards
+                ]
+                shard_results = [r for r, _ in gathered]
+                partials = [p for _, p in gathered]
+                versions = sorted({r.version for r in shard_results})
+                if versions != [self.version]:
+                    raise ReproError(
+                        f"torn sharded read: shard versions {versions} vs "
+                        f"router v{self.version}"
+                    )
+                engine = self._shards[0].engine(query, tool)
+                top, result_string = engine.merge_partials(partials, self.k)
+                return CachedResult(
+                    query=query,
+                    tool=tool,
+                    version=self.version,
+                    top=tuple(top),
+                    result_string=result_string,
+                    compute_seconds=max(r.compute_seconds for r in shard_results),
+                    computed_version=self.version
+                    - max(r.staleness for r in shard_results),
+                )
+
+    def stats(self) -> dict:
+        """Router-level snapshot plus each shard's own stats()."""
+        with self._lock:
+            return {
+                "version": self.version,
+                "shards": self.num_shards,
+                "pending": self._batcher.pending,
+                "submitted": self._batcher.submitted,
+                "applied_batches": self._batcher.batches,
+                "queries": list(self.queries),
+                "tools": list(self.tools),
+                "analytics": list(self.analytics),
+                "primary_tool": self.primary_tool,
+                "persistent": self._wal is not None,
+                "ops": self._metrics.summary(),
+                "shard_versions": [svc.version for svc in self._shards],
+                "per_shard": [svc.stats() for svc in self._shards],
+            }
+
+    # ------------------------------------------------------------------
+    # persistence / lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Snapshot every shard at the current barrier version."""
+        with self._lock:
+            self._check_open()
+            for svc in self._shards:
+                svc.snapshot()
+            return self.version
+
+    def close(self) -> None:
+        """Graceful shutdown: flush pending, close every shard."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._batcher.pending and not self._failed:
+                self._apply(self._batcher.drain())
+            self._closed = True
+        if self._flusher is not None:
+            self._flusher.stop()
+            self._flusher = None
+        if self._scatter_pool is not None:
+            self._scatter_pool.shutdown(wait=True, cancel_futures=True)
+            self._scatter_pool = None
+        if self._wal is not None:
+            self._wal.close()
+        for svc in self._shards:
+            svc.close()
+
+    def _known_applied(self, kind: str, external_id: int) -> bool:
+        """SubmitGate hook: users are replicated (ask shard 0), content is
+        partitioned (ask the routing tables)."""
+        if kind == "user":
+            return external_id in self._shards[0].graph.users
+        table = self._post_shard if kind == "post" else self._comment_shard
+        return external_id in table
+
+    def _check_open(self) -> None:
+        if self._failed:
+            raise ReproError(
+                "sharded service failed mid-scatter and is fail-stopped; "
+                "rebuild it (persistent services: "
+                "ShardedGraphService.recover(data_dir))"
+            )
+        if self._closed:
+            raise ReproError("sharded service is closed")
+
+    def _tick(self) -> None:
+        """Background-flusher hook: apply an overdue pending batch."""
+        with self._lock:
+            if not self._closed and not self._failed and self._batcher.due():
+                self._apply(self._batcher.drain())
+
+    def __enter__(self) -> "ShardedGraphService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedGraphService<v{self.version}, shards={self.num_shards}, "
+            f"pending={self._batcher.pending}, tools={list(self.tools)}>"
+        )

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.analytics import ANALYTICS_NAMES, AnalyticsEngine, make_analytics_engine
-from repro.datagen import generate_change_sets, generate_graph
+from tests.conftest import datagen_stream
 from repro.lagraph import fastsv
 from repro.model.graph import SocialGraph
 from repro.util.validation import ReproError
@@ -24,15 +24,8 @@ DIRTY = tuple(n for n in ANALYTICS_NAMES if n not in INCREMENTAL)
 
 
 def _stream(seed: int, removal_fraction: float = 0.3):
-    graph = generate_graph(1, seed=seed)
-    sets = generate_change_sets(
-        graph,
-        total_inserts=180,
-        num_change_sets=6,
-        seed=seed + 1,
-        removal_fraction=removal_fraction,
-    )
-    return graph, sets
+    fresh_graph, sets = datagen_stream(seed, removal_fraction=removal_fraction)
+    return fresh_graph(), sets
 
 
 def test_registry_covers_the_required_tools():

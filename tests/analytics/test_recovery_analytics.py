@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datagen import generate_change_sets, generate_graph
+from tests.conftest import datagen_stream
 from repro.lagraph import fastsv
 from repro.serving import GraphService
 
@@ -23,17 +23,9 @@ TOOLS = ("components", "degree", "pagerank", "cdlp", "triangles")
 
 
 def _generate(seed: int, removal_fraction: float):
-    def fresh_graph():
-        return generate_graph(1, seed=seed)
-
-    stream = generate_change_sets(
-        fresh_graph(),
-        total_inserts=200,
-        num_change_sets=8,
-        seed=seed + 1,
-        removal_fraction=removal_fraction,
+    return datagen_stream(
+        seed, removal_fraction=removal_fraction, total_inserts=200, num_change_sets=8
     )
-    return fresh_graph, stream
 
 
 def _drive(svc, stream):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analytics import AnalyticsEngine, make_analytics_engine
-from repro.datagen import generate_change_sets, generate_graph
+from tests.conftest import datagen_stream
 from repro.lagraph import fastsv
 from repro.serving import GraphService
 from repro.util.validation import ReproError
@@ -14,15 +14,10 @@ TOOLS = ("components", "degree", "pagerank", "cdlp", "triangles")
 
 
 def _stream(seed: int = 9, removal_fraction: float = 0.3):
-    graph = generate_graph(1, seed=seed)
-    sets = generate_change_sets(
-        graph,
-        total_inserts=150,
-        num_change_sets=6,
-        seed=seed + 1,
-        removal_fraction=removal_fraction,
+    fresh_graph, sets = datagen_stream(
+        seed, removal_fraction=removal_fraction, total_inserts=150
     )
-    return graph, sets
+    return fresh_graph(), sets
 
 
 def test_unknown_analytics_tool_rejected():

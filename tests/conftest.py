@@ -1,12 +1,17 @@
-"""Shared fixtures: the paper's Fig. 3 example graph and hypothesis profiles."""
+"""Shared fixtures and generators: the paper's Fig. 3 example graph,
+hypothesis profiles, and the change-stream/graph generators every
+property suite (queries, serving, analytics, sharding) draws from."""
 
 from __future__ import annotations
 
 import os
 
+import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
 
+from repro.datagen import generate_change_sets, generate_graph
 from repro.model import (
     AddComment,
     AddFriendship,
@@ -14,6 +19,8 @@ from repro.model import (
     AddPost,
     AddUser,
     ChangeSet,
+    RemoveFriendship,
+    RemoveLike,
     SocialGraph,
 )
 
@@ -86,3 +93,163 @@ def paper_graph() -> SocialGraph:
 @pytest.fixture
 def paper_change_set() -> ChangeSet:
     return paper_update()
+
+
+# ---------------------------------------------------------------------------
+# shared change-stream generators
+#
+# One seeded generator + one hypothesis strategy, shared by the property
+# suites under tests/queries, tests/serving, tests/analytics and
+# tests/sharding (previously copy-pasted per directory with drift).
+# ---------------------------------------------------------------------------
+
+
+def random_graph_and_stream(
+    seed: int, n_sets: int, *, removals: bool = False
+) -> tuple[int, SocialGraph, list[ChangeSet]]:
+    """A small random SocialGraph plus a random update stream.
+
+    Deterministic in ``(seed, n_sets, removals)``, so calling it twice
+    yields structurally identical graphs and streams -- which is how the
+    equivalence suites feed the same workload to several engines or
+    services.  With ``removals=True`` the stream mixes ``RemoveLike`` /
+    ``RemoveFriendship`` of *existing* edges in (the extension's
+    non-monotone regime).
+    """
+    rng = np.random.default_rng(seed)
+    g = SocialGraph()
+    users = [100 + i for i in range(int(rng.integers(2, 7)))]
+    for u in users:
+        g.add_user(u)
+    posts = [200 + i for i in range(int(rng.integers(1, 4)))]
+    for i, p in enumerate(posts):
+        g.add_post(p, i, users[int(rng.integers(len(users)))])
+    comments: list[int] = []
+    submissions = list(posts)
+    ts = 50
+    for i in range(int(rng.integers(1, 9))):
+        cid = 300 + i
+        g.add_comment(
+            cid,
+            ts,
+            users[int(rng.integers(len(users)))],
+            submissions[int(rng.integers(len(submissions)))],
+        )
+        comments.append(cid)
+        submissions.append(cid)
+        ts += 1
+    likes: set[tuple[int, int]] = set()
+    for _ in range(int(rng.integers(0, 12))):
+        u = users[int(rng.integers(len(users)))]
+        c = comments[int(rng.integers(len(comments)))]
+        if g.add_like(u, c) is not None:
+            likes.add((u, c))
+    friends: set[tuple[int, int]] = set()
+    for _ in range(int(rng.integers(0, 8))):
+        a, b = rng.integers(0, len(users), 2)
+        if a != b and g.add_friendship(users[int(a)], users[int(b)]) is not None:
+            friends.add(
+                (min(users[int(a)], users[int(b)]), max(users[int(a)], users[int(b)]))
+            )
+
+    change_sets: list[ChangeSet] = []
+    next_user, next_post, next_comment = 500, 250, 400
+    n_kinds = 7 if removals else 5
+    for _ in range(n_sets):
+        cs = ChangeSet()
+        for _ in range(int(rng.integers(1, 7))):
+            kind = int(rng.integers(0, n_kinds))
+            if kind == 0:
+                cs.append(AddUser(next_user))
+                users.append(next_user)
+                next_user += 1
+            elif kind == 1:
+                cs.append(AddPost(next_post, ts, users[int(rng.integers(len(users)))]))
+                submissions.append(next_post)
+                next_post += 1
+                ts += 1
+            elif kind == 2:
+                cs.append(
+                    AddComment(
+                        next_comment,
+                        ts,
+                        users[int(rng.integers(len(users)))],
+                        submissions[int(rng.integers(len(submissions)))],
+                    )
+                )
+                comments.append(next_comment)
+                submissions.append(next_comment)
+                next_comment += 1
+                ts += 1
+            elif kind == 3:
+                u = users[int(rng.integers(len(users)))]
+                c = comments[int(rng.integers(len(comments)))]
+                if (u, c) not in likes:
+                    likes.add((u, c))
+                    cs.append(AddLike(u, c))
+            elif kind == 4:
+                a, b = rng.integers(0, len(users), 2)
+                if a != b:
+                    key = (
+                        min(users[int(a)], users[int(b)]),
+                        max(users[int(a)], users[int(b)]),
+                    )
+                    if key not in friends:
+                        friends.add(key)
+                        cs.append(AddFriendship(*key))
+            elif kind == 5 and likes:
+                u, c = sorted(likes)[int(rng.integers(len(likes)))]
+                likes.discard((u, c))
+                cs.append(RemoveLike(u, c))
+            elif kind == 6 and friends:
+                a, b = sorted(friends)[int(rng.integers(len(friends)))]
+                friends.discard((a, b))
+                cs.append(RemoveFriendship(a, b))
+        change_sets.append(cs)
+    return seed, g, change_sets
+
+
+@st.composite
+def graph_and_updates(draw, *, removals: bool = False, max_sets: int = 3):
+    """Hypothesis wrapper over :func:`random_graph_and_stream`.
+
+    Draws ``(seed, graph, change_sets)``; shrinking happens over the seed
+    and stream length, the generator itself stays deterministic.
+    """
+    seed = draw(st.integers(0, 2**16))
+    n_sets = draw(st.integers(1, max_sets))
+    return random_graph_and_stream(seed, n_sets, removals=removals)
+
+
+def clone_changes(change_sets: list[ChangeSet]) -> list[ChangeSet]:
+    """Fresh ChangeSet shells over the same (frozen) change objects."""
+    return [ChangeSet(list(cs.changes)) for cs in change_sets]
+
+
+def datagen_stream(
+    seed: int,
+    *,
+    removal_fraction: float = 0.3,
+    total_inserts: int = 180,
+    num_change_sets: int = 6,
+    scale_factor: int = 1,
+):
+    """A datagen-scale workload: ``(fresh_graph, stream)``.
+
+    ``fresh_graph()`` builds a *new* structurally identical initial graph
+    on every call (deterministic in ``seed``), so equivalence tests can
+    hand the same starting point to several services without sharing
+    mutable state; ``stream`` is the matching update sequence.
+    """
+
+    def fresh_graph() -> SocialGraph:
+        return generate_graph(scale_factor, seed=seed)
+
+    stream = generate_change_sets(
+        fresh_graph(),
+        total_inserts=total_inserts,
+        num_change_sets=num_change_sets,
+        seed=seed + 1,
+        removal_fraction=removal_fraction,
+    )
+    return fresh_graph, stream

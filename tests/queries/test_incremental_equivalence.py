@@ -11,96 +11,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.model import (
-    AddComment,
-    AddFriendship,
-    AddLike,
-    AddPost,
-    AddUser,
-    ChangeSet,
-    SocialGraph,
-)
 from repro.queries import Q1Batch, Q1Incremental, Q2Batch, Q2Incremental
-
-
-@st.composite
-def graph_and_updates(draw):
-    """A small random SocialGraph plus a random insert stream."""
-    rng_seed = draw(st.integers(0, 2**16))
-    n_users = draw(st.integers(1, 6))
-    n_posts = draw(st.integers(1, 4))
-    n_comments = draw(st.integers(0, 8))
-    rng = np.random.default_rng(rng_seed)
-
-    g = SocialGraph()
-    users = [100 + i for i in range(n_users)]
-    for u in users:
-        g.add_user(u)
-    posts = [200 + i for i in range(n_posts)]
-    for i, p in enumerate(posts):
-        g.add_post(p, i, users[int(rng.integers(n_users))])
-    submissions = list(posts)
-    comments = []
-    ts = 100
-    for i in range(n_comments):
-        cid = 300 + i
-        parent = submissions[int(rng.integers(len(submissions)))]
-        g.add_comment(cid, ts, users[int(rng.integers(n_users))], parent)
-        submissions.append(cid)
-        comments.append(cid)
-        ts += 1
-    # random initial likes / friendships
-    for _ in range(int(rng.integers(0, 10))):
-        if comments:
-            g.add_like(users[int(rng.integers(n_users))], comments[int(rng.integers(len(comments)))])
-    for _ in range(int(rng.integers(0, 6))):
-        a, b = rng.integers(0, n_users, 2)
-        if a != b:
-            g.add_friendship(users[int(a)], users[int(b)])
-
-    # update stream: 1-3 change sets of 1-6 changes
-    n_sets = draw(st.integers(1, 3))
-    change_sets = []
-    next_user, next_post, next_comment = 150, 250, 350
-    for _ in range(n_sets):
-        cs = ChangeSet()
-        for _ in range(int(rng.integers(1, 7))):
-            kind = int(rng.integers(0, 5))
-            if kind == 0:
-                cs.append(AddUser(next_user))
-                users.append(next_user)
-                next_user += 1
-            elif kind == 1:
-                cs.append(AddPost(next_post, ts, users[int(rng.integers(len(users)))]))
-                submissions.append(next_post)
-                next_post += 1
-                ts += 1
-            elif kind == 2:
-                parent = submissions[int(rng.integers(len(submissions)))]
-                cs.append(AddComment(next_comment, ts, users[int(rng.integers(len(users)))], parent))
-                submissions.append(next_comment)
-                comments.append(next_comment)
-                next_comment += 1
-                ts += 1
-            elif kind == 3 and comments:
-                cs.append(
-                    AddLike(
-                        users[int(rng.integers(len(users)))],
-                        comments[int(rng.integers(len(comments)))],
-                    )
-                )
-            elif kind == 4 and len(users) >= 2:
-                a, b = rng.integers(0, len(users), 2)
-                if a != b:
-                    cs.append(AddFriendship(users[int(a)], users[int(b)]))
-        change_sets.append(cs)
-    return rng_seed, g, change_sets
-
-
-def clone_changes(change_sets):
-    return [ChangeSet(list(cs.changes)) for cs in change_sets]
+from tests.conftest import clone_changes, graph_and_updates
 
 
 @given(graph_and_updates())

@@ -9,13 +9,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.model import (
-    AddComment,
-    AddFriendship,
     AddLike,
-    AddPost,
     AddUser,
     ChangeSet,
     RemoveFriendship,
@@ -24,7 +20,22 @@ from repro.model import (
 )
 from repro.queries import Q1Batch, Q1Incremental, Q2Batch, Q2Incremental
 
-from tests.conftest import C1, C2, C3, C4, P1, P2, U1, U2, U3, U4, build_paper_graph, paper_update
+from tests.conftest import (
+    C1,
+    C2,
+    C3,
+    C4,
+    P1,
+    P2,
+    U1,
+    U2,
+    U3,
+    U4,
+    build_paper_graph,
+    graph_and_updates,
+    paper_update,
+    random_graph_and_stream,
+)
 
 
 class TestModelRemovals:
@@ -162,90 +173,10 @@ class TestQ2Removals:
 # ---------------------------------------------------------------------------
 
 
-@st.composite
-def mixed_stream_case(draw):
-    seed = draw(st.integers(0, 2**16))
-    n_sets = draw(st.integers(1, 3))
-    return seed, n_sets
-
-
-def _random_mixed_case(seed: int, n_sets: int):
-    rng = np.random.default_rng(seed)
-    g = SocialGraph()
-    users = [100 + i for i in range(int(rng.integers(2, 7)))]
-    for u in users:
-        g.add_user(u)
-    posts = [200 + i for i in range(int(rng.integers(1, 4)))]
-    for i, p in enumerate(posts):
-        g.add_post(p, i, users[0])
-    comments = []
-    submissions = list(posts)
-    ts = 50
-    for i in range(int(rng.integers(1, 8))):
-        cid = 300 + i
-        g.add_comment(cid, ts, users[int(rng.integers(len(users)))],
-                      submissions[int(rng.integers(len(submissions)))])
-        comments.append(cid)
-        submissions.append(cid)
-        ts += 1
-    likes = set()
-    for _ in range(int(rng.integers(0, 12))):
-        u = users[int(rng.integers(len(users)))]
-        c = comments[int(rng.integers(len(comments)))]
-        if g.add_like(u, c) is not None:
-            likes.add((u, c))
-    friends = set()
-    for _ in range(int(rng.integers(0, 8))):
-        a, b = rng.integers(0, len(users), 2)
-        if a != b and g.add_friendship(users[int(a)], users[int(b)]) is not None:
-            friends.add((min(users[int(a)], users[int(b)]), max(users[int(a)], users[int(b)])))
-
-    change_sets = []
-    for _ in range(n_sets):
-        cs = ChangeSet()
-        for _ in range(int(rng.integers(1, 7))):
-            kind = int(rng.integers(0, 6))
-            if kind == 0 and likes:
-                u, c = sorted(likes)[int(rng.integers(len(likes)))]
-                likes.discard((u, c))
-                cs.append(RemoveLike(u, c))
-            elif kind == 1 and friends:
-                a, b = sorted(friends)[int(rng.integers(len(friends)))]
-                friends.discard((a, b))
-                cs.append(RemoveFriendship(a, b))
-            elif kind == 2:
-                u = users[int(rng.integers(len(users)))]
-                c = comments[int(rng.integers(len(comments)))]
-                if (u, c) not in likes:
-                    likes.add((u, c))
-                    cs.append(AddLike(u, c))
-            elif kind == 3 and len(users) >= 2:
-                a, b = rng.integers(0, len(users), 2)
-                if a != b:
-                    key = (min(users[int(a)], users[int(b)]), max(users[int(a)], users[int(b)]))
-                    if key not in friends:
-                        friends.add(key)
-                        cs.append(AddFriendship(*key))
-            elif kind == 4:
-                cid = 400 + len(comments)
-                cs.append(AddComment(cid, ts, users[int(rng.integers(len(users)))],
-                                     submissions[int(rng.integers(len(submissions)))]))
-                comments.append(cid)
-                submissions.append(cid)
-                ts += 1
-            else:
-                uid = 500 + len(users)
-                cs.append(AddUser(uid))
-                users.append(uid)
-        change_sets.append(cs)
-    return g, change_sets
-
-
-@given(mixed_stream_case())
+@given(graph_and_updates(removals=True))
 @settings(max_examples=30, deadline=None)
 def test_q1_incremental_equals_batch_with_removals(case):
-    seed, n_sets = case
-    g, change_sets = _random_mixed_case(seed, n_sets)
+    _, g, change_sets = case
     q = Q1Incremental(g)
     inc = [q.initial()]
     batch = [Q1Batch(g).evaluate()]
@@ -256,12 +187,11 @@ def test_q1_incremental_equals_batch_with_removals(case):
     assert inc == batch
 
 
-@given(mixed_stream_case())
+@given(graph_and_updates(removals=True))
 @settings(max_examples=25, deadline=None)
 @pytest.mark.parametrize("algorithm", ["unionfind", "incremental"])
 def test_q2_incremental_equals_batch_with_removals(algorithm, case):
-    seed, n_sets = case
-    g, change_sets = _random_mixed_case(seed, n_sets)
+    _, g, change_sets = case
     q = Q2Incremental(g, algorithm=algorithm)
     inc = [q.initial()]
     batch = [Q2Batch(g, algorithm="unionfind").evaluate()]
@@ -272,11 +202,10 @@ def test_q2_incremental_equals_batch_with_removals(algorithm, case):
     assert inc == batch
 
 
-@given(mixed_stream_case())
+@given(graph_and_updates(removals=True))
 @settings(max_examples=15, deadline=None)
 def test_scores_vectors_exact_with_removals(case):
-    seed, n_sets = case
-    g, change_sets = _random_mixed_case(seed, n_sets)
+    _, g, change_sets = case
     q1 = Q1Incremental(g)
     q2 = Q2Incremental(g, algorithm="unionfind")
     q1.initial()
@@ -300,7 +229,7 @@ class TestNmfRemovals:
         for query in ("Q1", "Q2"):
             outputs = {}
             for tool in ("graphblas-incremental", "nmf-batch", "nmf-incremental"):
-                g, change_sets = _random_mixed_case(seed=99, n_sets=3)
+                _, g, change_sets = random_graph_and_stream(99, 3, removals=True)
                 e = make_engine(tool, query)
                 e.load(g)
                 seq = [e.initial()] + [e.update(cs) for cs in change_sets]

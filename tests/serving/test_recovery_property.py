@@ -13,28 +13,24 @@ from __future__ import annotations
 
 import pytest
 
-from repro.datagen import generate_change_sets, generate_graph
+from repro.datagen import generate_graph
 from repro.queries import Q1Batch, Q2Batch
 from repro.serving import GraphService
 from repro.serving.persistence import SnapshotStore
 from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
 
 TOOLS = ("graphblas-incremental",)
 
 
 def _generate(seed: int, removal_fraction: float):
-    graph = generate_graph(1, seed=seed)
-    stream = generate_change_sets(
-        graph,
-        total_inserts=240,
-        num_change_sets=8,
-        seed=seed + 1,
-        removal_fraction=removal_fraction,
+    fresh_graph, stream = datagen_stream(
+        seed, removal_fraction=removal_fraction, total_inserts=240, num_change_sets=8
     )
-    final_graph = generate_graph(1, seed=seed)  # same construction, fresh copy
+    final_graph = fresh_graph()
     for cs in stream:
         final_graph.apply(cs)
-    return graph, stream, final_graph
+    return fresh_graph(), stream, final_graph
 
 
 @pytest.mark.parametrize("seed", [5, 17, 29])
