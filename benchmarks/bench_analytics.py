@@ -104,6 +104,7 @@ def run_policy(scale: int, threshold: float, read_every: int = 10) -> dict:
         "recomputes": recomputes,
         "max_staleness": max_stale,
         "ok": bool(ok),
+        "metrics": service.stats()["metrics"],
     }
     service.close()
     return report

@@ -178,7 +178,8 @@ def run_steady_state(scale: int = STEADY_SCALE) -> dict:
         q2_algorithm="unionfind",
     )
     _drive(service, changes, read_every=STEADY_READ_EVERY)
-    ops = service.stats()["ops"]
+    stats = service.stats()
+    ops, metrics = stats["ops"], stats["metrics"]
     q1, q2 = service.query("Q1"), service.query("Q2")
     ok = (
         q1.result_string == Q1Batch(service.graph).result_string()
@@ -195,6 +196,7 @@ def run_steady_state(scale: int = STEADY_SCALE) -> dict:
         "read_p50_ms": ops["query"]["p50_ms"],
         "read_p99_ms": ops["query"]["p99_ms"],
         "ok": ok,
+        "metrics": metrics,
     }
 
 
@@ -203,6 +205,7 @@ def steady_state_phase() -> int:
     committed pre-PR baseline.  Returns the number of failures (correctness
     only -- CI must not flake on machine speed)."""
     r = run_steady_state()
+    metrics = r.pop("metrics")  # ride along at record level, not in pre/post
     print(
         f"\nsteady-state: sf{r['scale']} micro-batch={r['max_batch']} "
         f"-> {r['updates_per_s']:.0f} upd/s, apply p50 {r['apply_p50_ms']:.3f}ms "
@@ -223,6 +226,7 @@ def steady_state_phase() -> int:
         ),
         "pre": pre,
         "post": r,
+        "metrics": metrics,
     }
     if pre and pre.get("updates_per_s"):
         record["speedup_updates_per_s"] = round(

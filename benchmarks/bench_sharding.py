@@ -83,6 +83,7 @@ def run_config(shards: int | None, scale: int, max_batch: int) -> dict:
             "apply_p99_ms": ops[apply_key]["p99_ms"],
             "read_p50_ms": ops["query"]["p50_ms"],
             "read_p99_ms": ops["query"]["p99_ms"],
+            "metrics": service.stats()["metrics"],
             "results": {q: service.query(q).result_string for q in QUERIES},
         }
     finally:

@@ -246,13 +246,22 @@ def close_kernel_executor() -> None:
         ex.close()
 
 
-def locked_map(executor: Executor, fn, chunks, *, initializer=None, initargs=()):
+def locked_map(executor: Executor, fn, chunks, *, initializer=None, initargs=(),
+               kernel: Optional[str] = None, work: int = 0):
     """Run one fork-join region under the module region lock.
 
     Concurrent engine refreshes (the serving fan-out) may reach kernels at
     the same time; serialising regions keeps each one owning the full pool,
     which is both the OpenMP cost model and a hard requirement of the
     pipe-per-worker pool protocol.
+
+    When a :class:`~repro.obs.kernels.KernelProfiler` is installed
+    (``REPRO_PROFILE_KERNELS``) and the caller names its ``kernel`` (with
+    ``work`` = its estimated flops/nnz), the block function is wrapped in a
+    picklable :class:`~repro.obs.kernels.TimedBlock`: each worker times its
+    blocks locally and the timings ride back with the results, so the
+    region join can record per-block imbalance without extra IPC.  With no
+    profiler installed the hook costs one ``None`` check per *region*.
 
     Caution for callers whose ``fn`` may itself re-enter routed kernels
     (the kernel layer's own block workers never do -- they call the serial
@@ -261,10 +270,25 @@ def locked_map(executor: Executor, fn, chunks, *, initializer=None, initargs=())
     on *another thread* would block on this lock while the dispatcher holds
     it.
     """
+    from repro.obs.kernels import TimedBlock, get_kernel_profiler
+
+    prof = get_kernel_profiler() if kernel is not None else None
     with _region_lock:
-        return executor.map_chunks(
-            fn, chunks, initializer=initializer, initargs=initargs
+        if prof is None:
+            return executor.map_chunks(
+                fn, chunks, initializer=initializer, initargs=initargs
+            )
+        import time as _time
+
+        t0 = _time.perf_counter()
+        timed = executor.map_chunks(
+            TimedBlock(fn), chunks, initializer=initializer, initargs=initargs
         )
+        wall = _time.perf_counter() - t0
+    prof.record_region(
+        kernel, work, len(timed), wall, [dt for dt, _ in timed]
+    )
+    return [out for _, out in timed]
 
 
 def executor_isolates_workers(executor: Executor) -> bool:
@@ -561,6 +585,8 @@ def parallel_mxm(a, b_indptr, b_cols, b_vals, b_ncols, semiring, lengths, flops)
         ex,
         _mxm_block_worker,
         spans,
+        kernel="mxm",
+        work=flops,
         initializer=_init_mxm_worker,
         initargs=(
             a_rows,
@@ -612,6 +638,8 @@ def parallel_structural_product(a_rows, a_cols, b_rows, b_cols, a_nrows, inner, 
         ex,
         _repair_block_worker,
         spans,
+        kernel="structural",
+        work=flops,
         initializer=_init_repair_worker,
         initargs=(a_indptr, a_cols, b_indptr, b_cols, int(inner), int(ncols)),
     )
@@ -634,6 +662,8 @@ def parallel_mxv(a, u, semiring, indptr=None):
         ex,
         _mxv_block_worker,
         spans,
+        kernel="mxv",
+        work=int(a_rows.size),
         initializer=_init_mxv_worker,
         initargs=(
             a_rows,
@@ -674,6 +704,8 @@ def parallel_reduce_rows(rows, values, monoid, indptr=None):
         ex,
         _reduce_block_worker,
         spans,
+        kernel="reduce",
+        work=int(rows.size),
         initializer=_init_reduce_worker,
         initargs=(rows, values, indptr, monoid.name),
     )
@@ -707,6 +739,8 @@ def parallel_merge_dirty_rows(
         ex,
         _merge_block_worker,
         spans,
+        kernel="freeze",
+        work=int(rows.size + d_rows.size),
         initializer=_init_merge_worker,
         initargs=(rows, cols, vals, indptr, dirty_rows, d_rows, d_cols, d_vals),
     )

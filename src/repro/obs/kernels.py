@@ -1,0 +1,170 @@
+"""Kernel profiling hooks: per-region work/wall/imbalance accounting.
+
+The parallel kernel layer (:mod:`repro.graphblas._kernels.parallel`) runs
+fork-join regions over a fork-once worker pool.  When a
+:class:`KernelProfiler` is installed, every region records one
+:class:`RegionRecord` -- which kernel (``mxm``/``structural``/``mxv``/
+``reduce``/``freeze``), its estimated work (flops or nnz), how many row
+blocks, the region wall time, and each block's *own* wall time.
+
+The per-block timings are the interesting part: they expose block
+imbalance (the slowest block gates the region -- Amdahl at the region
+level), which is precisely the measurement the sharded GIL-regression
+analysis lacked.  They are captured by wrapping the block function in a
+picklable :class:`TimedBlock` *at dispatch time* -- the pool pickles the
+function per region, so each forked worker times its blocks locally and
+the timing rides back through the result pipe with the block result
+("per-process buffers drained with block results").  Aggregation happens
+at the region join, in the dispatching process; nothing else crosses the
+fork boundary.
+
+Enable with ``REPRO_PROFILE_KERNELS=1`` (lazily, same slot idiom as the
+``REPRO_WORKERS`` executor) or :func:`set_kernel_profiler`.  Disabled --
+the default -- the hook is one ``None`` check per region, off the block
+hot path entirely.
+
+>>> p = KernelProfiler()
+>>> p.record_region("mxv", work=1000, blocks=4, wall_s=0.01,
+...                 block_seconds=[0.002, 0.002, 0.002, 0.008])
+>>> s = p.summary()["mxv"]
+>>> s["regions"], s["blocks"], s["work"]
+(1, 4, 1000)
+>>> round(s["max_imbalance"], 2)  # slowest block / mean block
+2.29
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "KernelProfiler",
+    "TimedBlock",
+    "get_kernel_profiler",
+    "set_kernel_profiler",
+    "profile_enabled_from_env",
+]
+
+
+class TimedBlock:
+    """Picklable wrapper timing one block call; returns ``(seconds, result)``.
+
+    Wraps the block worker function at region-dispatch time.  The pool
+    pickles it into each worker, so the timing happens in the process that
+    runs the block and travels back with the result -- no shared state, no
+    extra pipe traffic.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, chunk):
+        t0 = time.perf_counter()
+        out = self.fn(chunk)
+        return (time.perf_counter() - t0, out)
+
+
+class KernelProfiler:
+    """Thread-safe per-kernel aggregation of fork-join region records."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._kernels: dict[str, dict] = {}
+
+    def record_region(self, kernel: str, work: int, blocks: int,
+                      wall_s: float, block_seconds) -> None:
+        """Fold one region into the per-kernel aggregate.
+
+        ``block_seconds`` are the per-block wall times drained with the
+        block results; imbalance is ``max(block) / mean(block)`` for the
+        region (1.0 = perfectly balanced), and the aggregate keeps the
+        worst region seen plus the block-time spread totals.
+        """
+        bs = [float(b) for b in block_seconds]
+        imbalance = (max(bs) * len(bs) / sum(bs)) if bs and sum(bs) > 0 else 1.0
+        with self._lock:
+            agg = self._kernels.get(kernel)
+            if agg is None:
+                agg = self._kernels[kernel] = {
+                    "regions": 0,
+                    "work": 0,
+                    "blocks": 0,
+                    "wall_s": 0.0,
+                    "block_s": 0.0,
+                    "max_block_s": 0.0,
+                    "max_imbalance": 1.0,
+                }
+            agg["regions"] += 1
+            agg["work"] += int(work)
+            agg["blocks"] += int(blocks)
+            agg["wall_s"] += float(wall_s)
+            agg["block_s"] += sum(bs)
+            if bs:
+                agg["max_block_s"] = max(agg["max_block_s"], max(bs))
+            agg["max_imbalance"] = max(agg["max_imbalance"], imbalance)
+
+    def summary(self) -> dict:
+        """``{kernel: aggregate}`` sorted by kernel name, values rounded
+        for JSON stability."""
+        with self._lock:
+            return {
+                k: {
+                    "regions": a["regions"],
+                    "work": a["work"],
+                    "blocks": a["blocks"],
+                    "wall_s": round(a["wall_s"], 6),
+                    "block_s": round(a["block_s"], 6),
+                    "max_block_s": round(a["max_block_s"], 6),
+                    "max_imbalance": round(a["max_imbalance"], 4),
+                }
+                for k, a in sorted(self._kernels.items())
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._kernels.clear()
+
+
+# ---------------------------------------------------------------------------
+# the process-wide profiler slot (REPRO_PROFILE_KERNELS)
+# ---------------------------------------------------------------------------
+
+_slot_lock = threading.Lock()
+_slot: dict = {"profiler": None, "env_checked": False}
+
+_OFF = ("", "0", "false", "no")
+
+
+def profile_enabled_from_env() -> bool:
+    """True when ``REPRO_PROFILE_KERNELS`` asks for kernel profiling."""
+    return os.environ.get("REPRO_PROFILE_KERNELS", "").strip().lower() not in _OFF
+
+
+def get_kernel_profiler() -> Optional[KernelProfiler]:
+    """The installed profiler, or ``None`` when profiling is disabled.
+
+    The region-level guard: :func:`~repro.graphblas._kernels.parallel.
+    locked_map` calls this once per region and wraps nothing when it
+    returns ``None``.
+    """
+    p = _slot["profiler"]
+    if p is not None or _slot["env_checked"]:
+        return p
+    with _slot_lock:
+        if not _slot["env_checked"]:
+            _slot["env_checked"] = True
+            if profile_enabled_from_env():
+                _slot["profiler"] = KernelProfiler()
+        return _slot["profiler"]
+
+
+def set_kernel_profiler(profiler: Optional[KernelProfiler]) -> None:
+    """Install (or with ``None``, disable) the process-wide profiler."""
+    with _slot_lock:
+        _slot["profiler"] = profiler
+        _slot["env_checked"] = True

@@ -1,0 +1,270 @@
+"""Typed metrics beyond latency: counters, gauges, histograms, exposition.
+
+:class:`MetricsRegistry` is the serving layer's second telemetry pillar
+(the first is the per-op latency accounting in
+:mod:`repro.serving.metrics`, the third the span tracing in
+:mod:`repro.obs.trace`): named, optionally labelled instruments recording
+*what the system is doing* -- ingest queue depth, batch sizes, WAL bytes,
+snapshot sizes, per-engine staleness, shard fan-out balance -- rather than
+how long it took.
+
+Three instrument families, mirroring the Prometheus data model:
+
+* :class:`Counter` -- monotone total (``repro_wal_bytes_total``);
+* :class:`Gauge`   -- last-set value (``repro_ingest_queue_depth``);
+* :class:`Histogram` -- distribution summary with the same deterministic
+  decimating reservoir as :class:`~repro.serving.metrics.LatencyStats`
+  (no RNG; identical runs report identical percentiles).
+
+Two read formats: :meth:`MetricsRegistry.snapshot` (a JSON-able dict,
+merged into ``GraphService.stats()["metrics"]``) and
+:func:`render_prometheus` (the ``text/plain; version=0.0.4`` exposition
+format, served by ``GraphService.metrics_text()``).
+
+>>> reg = MetricsRegistry()
+>>> reg.counter("repro_wal_bytes_total").inc(128)
+>>> reg.gauge("repro_ingest_queue_depth").set(3)
+>>> reg.counter("repro_shard_changes_total", shard="0").inc(7)
+>>> reg.snapshot()["repro_wal_bytes_total"]
+128
+>>> reg.snapshot()["repro_shard_changes_total"]
+{'shard="0"': 7}
+>>> print(render_prometheus(reg).splitlines()[1])
+repro_ingest_queue_depth 3
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+
+def _label_key(labels: dict) -> str:
+    """Canonical label string: ``k1="v1",k2="v2"`` sorted by key ('' bare)."""
+    if not labels:
+        return ""
+    return ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self.value = 0
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A value that goes up and down; reads report the last set."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self.value = 0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.inc(-n)
+
+
+class Histogram:
+    """Streaming distribution summary (deterministic decimating reservoir).
+
+    Same retention discipline as :class:`repro.serving.metrics
+    .LatencyStats` -- exact count/total/min/max, percentile estimates over
+    a bounded sample set decimated at a widening stride, no RNG -- but
+    unit-agnostic (batch sizes, skew ratios, bytes).
+    """
+
+    __slots__ = ("_lock", "max_samples", "count", "total", "min", "max",
+                 "_samples", "_stride", "_since_kept")
+
+    def __init__(self, lock: threading.Lock, max_samples: int = 4096):
+        self._lock = lock
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+        self._stride = 1
+        self._since_kept = 0
+
+    def observe(self, v: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+            self._since_kept += 1
+            if self._since_kept >= self._stride:
+                self._since_kept = 0
+                self._samples.append(v)
+                if len(self._samples) >= self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "mean": round(self.total / self.count, 6) if self.count else 0.0,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": round(self.percentile(50), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with get-or-create access.
+
+    ``counter(name, **labels)`` (and ``gauge``/``histogram``) returns the
+    same instrument for the same (name, labels) pair, so hot paths may
+    cache the returned object and skip the registry lookup entirely.  One
+    registry lock covers creation *and* every instrument mutation -- the
+    instruments share it, so a read through :meth:`snapshot` observes each
+    value whole.
+    """
+
+    _FAMILIES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: name -> (family, {label_key: instrument})
+        self._metrics: dict[str, tuple[str, dict]] = {}
+
+    def _get(self, family: str, name: str, labels: dict):
+        key = _label_key(labels)
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                entry = self._metrics[name] = (family, {})
+            elif entry[0] != family:
+                raise ValueError(
+                    f"metric {name!r} already registered as {entry[0]}, "
+                    f"not {family}"
+                )
+            series = entry[1]
+            inst = series.get(key)
+            if inst is None:
+                inst = series[key] = self._FAMILIES[family](self._lock)
+            return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    # -- reads ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able view: ``{name: value | {label_key: value}}``.
+
+        Counters/gauges report their value, histograms their
+        :meth:`~Histogram.summary`; an unlabelled single series collapses
+        to the bare value.
+        """
+        with self._lock:
+            out: dict = {}
+            for name, (family, series) in sorted(self._metrics.items()):
+                rendered = {
+                    key: inst.summary() if family == "histogram" else inst.value
+                    for key, inst in sorted(series.items())
+                }
+                out[name] = rendered[""] if list(rendered) == [""] else rendered
+            return out
+
+    def families(self) -> dict[str, str]:
+        """``{name: family}`` for every registered metric (exposition)."""
+        with self._lock:
+            return {name: fam for name, (fam, _) in sorted(self._metrics.items())}
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    ops=None,
+    extras: Optional[dict] = None,
+    labels: Optional[dict] = None,
+) -> str:
+    """Prometheus text exposition of a registry (+ optional extras).
+
+    ``ops`` is a :class:`repro.serving.metrics.OpMetrics`; its per-op
+    latency reservoirs render as ``repro_op_latency_seconds`` summary
+    series.  ``extras`` is a flat ``{metric_name: value}`` dict rendered
+    as gauges (the serving layer feeds cache hit/miss totals through it).
+    ``labels`` are appended to every series (the sharded router stamps
+    ``shard="i"`` onto each shard's exposition).
+    """
+    base = dict(labels or {})
+
+    def series(name: str, label_key: str, value) -> str:
+        parts = [k for k in (label_key, _label_key(base)) if k]
+        lab = ("{" + ",".join(parts) + "}") if parts else ""
+        return f"{name}{lab} {value}"
+
+    lines: list[str] = []
+    with registry._lock:
+        metrics = {
+            name: (fam, {k: i for k, i in sorted(ser.items())})
+            for name, (fam, ser) in sorted(registry._metrics.items())
+        }
+    for name, (family, ser) in metrics.items():
+        lines.append(f"# TYPE {name} {'summary' if family == 'histogram' else family}")
+        for key, inst in ser.items():
+            if family == "histogram":
+                s = inst.summary()
+                for q in ("50", "99"):
+                    qkey = key + ("," if key else "") + f'quantile="0.{q}"'
+                    lines.append(series(name, qkey, s[f"p{q}"]))
+                lines.append(series(name + "_sum", key, s["sum"]))
+                lines.append(series(name + "_count", key, s["count"]))
+            else:
+                lines.append(series(name, key, inst.value))
+    for name, value in sorted((extras or {}).items()):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(series(name, "", value))
+    if ops is not None:
+        name = "repro_op_latency_seconds"
+        lines.append(f"# TYPE {name} summary")
+        for op, s in ops.summary().items():
+            key = f'op="{op}"'
+            lines.append(series(name, key + ',quantile="0.5"', s["p50_ms"] / 1e3))
+            lines.append(series(name, key + ',quantile="0.99"', s["p99_ms"] / 1e3))
+            lines.append(series(name + "_sum", key, s["total_s"]))
+            lines.append(series(name + "_count", key, s["count"]))
+    return "\n".join(lines) + "\n"

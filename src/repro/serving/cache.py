@@ -69,6 +69,14 @@ class ResultCache:
     One entry per registered engine -- the four Fig. 5 (query, tool)
     pairs plus one per analytics tool (keyed ``(name, name)``).
 
+    Bookkeeping: every :meth:`get` counts as a hit or (raising) miss, and
+    every :meth:`put` replacing an entry stamped with a *different* service
+    version counts as an eviction -- the old result became unservable the
+    moment the batch committed, so after one applied batch the eviction
+    count equals the number of refreshed engines.  :meth:`stats` reports
+    the totals plus a hit rate; the service merges it into
+    ``stats()["ops"]["cache"]``.
+
     >>> cache = ResultCache()
     >>> cache.put(CachedResult("Q2", "nmf-batch", 1, ((21, 4),), "21", 0.0))
     >>> cache.get("Q2", "nmf-batch").result_string
@@ -77,22 +85,34 @@ class ResultCache:
     False
     >>> cache.version()
     1
+    >>> cache.stats()
+    {'hits': 1, 'misses': 0, 'evictions': 0, 'entries': 1, 'hit_rate': 1.0}
     """
 
     def __init__(self) -> None:
         self._results: dict[tuple[str, str], CachedResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def put(self, result: CachedResult) -> None:
-        self._results[(result.query, result.tool)] = result
+        key = (result.query, result.tool)
+        old = self._results.get(key)
+        if old is not None and old.version != result.version:
+            self.evictions += 1
+        self._results[key] = result
 
     def get(self, query: str, tool: str) -> CachedResult:
         try:
-            return self._results[(query, tool)]
+            out = self._results[(query, tool)]
         except KeyError:
+            self.misses += 1
             raise ReproError(
                 f"no cached result for query {query!r} under tool {tool!r}; "
                 f"known: {sorted(self._results)}"
             ) from None
+        self.hits += 1
+        return out
 
     def has(self, query: str, tool: str) -> bool:
         return (query, tool) in self._results
@@ -113,3 +133,14 @@ class ResultCache:
         if len(versions) > 1:
             raise ReproError(f"result cache is version-skewed: {sorted(versions)}")
         return versions.pop()
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction totals and the realised hit rate."""
+        looked = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._results),
+            "hit_rate": round(self.hits / looked, 4) if looked else 0.0,
+        }

@@ -102,8 +102,13 @@ class OpMetrics:
             return self._stats[op]
 
     def record(self, op: str, seconds: float) -> None:
-        stats = self[op]
+        # one lock round-trip per sample: get-or-create and the non-atomic
+        # reservoir update happen under the same acquisition (going through
+        # __getitem__ here would lock twice on the hot submit path)
         with self._lock:
+            stats = self._stats.get(op)
+            if stats is None:
+                stats = self._stats[op] = LatencyStats()
             stats.record(seconds)
 
     def timed(self, op: str) -> "_Timed":

@@ -47,7 +47,12 @@ from repro.model.graph import SocialGraph
 from repro.model.loader import change_to_row, load_graph, row_to_change, save_graph
 from repro.util.validation import ReproError
 
-__all__ = ["ChangeLog", "SnapshotStore"]
+__all__ = ["ChangeLog", "SnapshotStore", "dir_bytes"]
+
+
+def dir_bytes(path) -> int:
+    """Total file bytes under ``path`` (the ``repro_snapshot_bytes`` gauge)."""
+    return sum(p.stat().st_size for p in Path(path).rglob("*") if p.is_file())
 
 _SNAP_PREFIX = "snapshot-"
 _META = "meta.json"
@@ -72,9 +77,14 @@ class ChangeLog:
             self._fh = open(self.path, "a", newline="")
         return self._fh
 
-    def append(self, version: int, change_set: ChangeSet) -> None:
-        """Durably append one batch as ``version`` (call *before* applying)."""
+    def append(self, version: int, change_set: ChangeSet) -> int:
+        """Durably append one batch as ``version`` (call *before* applying).
+
+        Returns the bytes appended for this frame (the service feeds the
+        ``repro_wal_bytes_total`` counter with it).
+        """
         fh = self._handle()
+        t0 = fh.tell()
         w = csv.writer(fh)
         w.writerow(["BEGIN", version, len(change_set)])
         for ch in change_set:
@@ -83,6 +93,7 @@ class ChangeLog:
         fh.flush()
         if self.sync:
             os.fsync(fh.fileno())
+        return fh.tell() - t0
 
     def close(self) -> None:
         if self._fh is not None and not self._fh.closed:

@@ -48,12 +48,15 @@ from repro.analytics.engine import ANALYTICS_NAMES, make_analytics_engine
 from repro.graphblas._kernels import parallel as _kparallel
 from repro.model.changes import Change, ChangeSet
 from repro.model.graph import SocialGraph
+from repro.obs.kernels import get_kernel_profiler
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.trace import current_span, get_tracer, span_if, trace_output_path
 from repro.parallel.executor import Executor
 from repro.queries.engine import TOOL_NAMES, make_engine
 from repro.serving.cache import CachedResult, ResultCache
 from repro.serving.ingest import MicroBatcher, SubmitGate, coerce_changes
 from repro.serving.metrics import OpMetrics
-from repro.serving.persistence import ChangeLog, SnapshotStore
+from repro.serving.persistence import ChangeLog, SnapshotStore, dir_bytes
 from repro.util.timer import WallClock
 from repro.util.validation import ReproError
 
@@ -157,6 +160,9 @@ class GraphService:
         self._batcher = MicroBatcher(max_changes=max_batch, max_delay_ms=max_delay_ms)
         self._cache = ResultCache()
         self._metrics = OpMetrics()
+        #: typed counters/gauges/histograms (repro.obs); merged into
+        #: stats()["metrics"] and served by metrics_text()
+        self.registry = MetricsRegistry()
         self._closed = False
         self._failed = False
         self._gate = SubmitGate(self._known_applied)
@@ -269,33 +275,35 @@ class GraphService:
         configuration the original service ran with (the data directory
         persists *state*, not configuration).
         """
-        store = SnapshotStore(data_dir)
-        snap_version = store.latest()
-        if snap_version is None:
-            raise ReproError(f"no snapshot to recover from in {data_dir}")
-        graph = store.load(snap_version)
-        wal = ChangeLog(data_dir, sync=kwargs.get("wal_sync", True))
-        # drop a torn trailing frame now: the recovered service appends to
-        # this log, and writing after an unclosed frame would corrupt it
-        wal.repair()
-        version = snap_version
-        replayed = 0
-        for v, batch in wal.replay(after_version=snap_version):
-            if v != version + 1:
-                raise ReproError(
-                    f"change log gap: snapshot v{snap_version}, then batch "
-                    f"v{v} after v{version}"
-                )
-            graph.apply(batch)
-            version = v
-            replayed += 1
-        service = cls(
-            graph,
-            data_dir=data_dir,
-            _start_version=version,
-            _allow_existing=True,
-            **kwargs,
-        )
+        with span_if(get_tracer(), "recover") as sp:
+            store = SnapshotStore(data_dir)
+            snap_version = store.latest()
+            if snap_version is None:
+                raise ReproError(f"no snapshot to recover from in {data_dir}")
+            graph = store.load(snap_version)
+            wal = ChangeLog(data_dir, sync=kwargs.get("wal_sync", True))
+            # drop a torn trailing frame now: the recovered service appends to
+            # this log, and writing after an unclosed frame would corrupt it
+            wal.repair()
+            version = snap_version
+            replayed = 0
+            for v, batch in wal.replay(after_version=snap_version):
+                if v != version + 1:
+                    raise ReproError(
+                        f"change log gap: snapshot v{snap_version}, then batch "
+                        f"v{v} after v{version}"
+                    )
+                graph.apply(batch)
+                version = v
+                replayed += 1
+            sp.set(snapshot_version=snap_version, replayed=replayed)
+            service = cls(
+                graph,
+                data_dir=data_dir,
+                _start_version=version,
+                _allow_existing=True,
+                **kwargs,
+            )
         service._recovered_from = (snap_version, replayed)
         return service
 
@@ -314,14 +322,17 @@ class GraphService:
         """
         with self._lock:
             self._check_open()
-            with self._metrics.timed("submit"):
-                items = coerce_changes(changes)
-                # all-or-nothing validation + pending-id tracking (the
-                # Fig. 3b insert-then-like pattern) lives in SubmitGate
-                self._gate.admit(items)
-                batch = self._batcher.offer(items)
-            if batch is not None:
-                self._apply(batch)
+            with span_if(get_tracer(), "submit") as sp:
+                with self._metrics.timed("submit"):
+                    items = coerce_changes(changes)
+                    # all-or-nothing validation + pending-id tracking (the
+                    # Fig. 3b insert-then-like pattern) lives in SubmitGate
+                    self._gate.admit(items)
+                    batch = self._batcher.offer(items)
+                sp.set(changes=len(items), flushed=batch is not None)
+                if batch is not None:
+                    self._apply(batch)
+            self.registry.gauge("repro_ingest_queue_depth").set(self._batcher.pending)
             return self.version
 
     def apply_batch(self, changes: Union[Change, ChangeSet, Iterable[Change]]) -> int:
@@ -347,6 +358,7 @@ class GraphService:
             self._apply(ChangeSet(items))
             self._batcher.submitted += len(items)
             self._batcher.batches += 1
+            self.registry.gauge("repro_ingest_queue_depth").set(self._batcher.pending)
             return self.version
 
     def flush(self) -> int:
@@ -355,7 +367,9 @@ class GraphService:
             self._check_open()
             batch = self._batcher.drain()
             if batch is not None:
-                self._apply(batch)
+                with span_if(get_tracer(), "flush"):
+                    self._apply(batch)
+            self.registry.gauge("repro_ingest_queue_depth").set(self._batcher.pending)
             return self.version
 
     def _apply(self, batch: ChangeSet) -> None:
@@ -372,13 +386,20 @@ class GraphService:
         forked kernel workers.
         """
         next_version = self.version + 1
+        tr = get_tracer()
         try:
-            if self._wal is not None:
-                with self._metrics.timed("wal"):
-                    self._wal.append(next_version, batch)
-            with self._metrics.timed("apply"):
-                delta = self.graph.apply(batch)
-                self._refresh_engines(batch, delta, next_version)
+            with span_if(tr, "batch", version=next_version, changes=len(batch)):
+                self.registry.histogram("repro_batch_size").observe(len(batch))
+                if self._wal is not None:
+                    with self._metrics.timed("wal"):
+                        with span_if(tr, "wal") as wsp:
+                            nbytes = self._wal.append(next_version, batch)
+                            wsp.set(nbytes=nbytes)
+                    self.registry.counter("repro_wal_bytes_total").inc(nbytes)
+                with self._metrics.timed("apply"):
+                    with span_if(tr, "apply"):
+                        delta = self.graph.apply(batch)
+                    self._refresh_engines(batch, delta, next_version)
         except BaseException:
             self._failed = True
             self._teardown_parallel()
@@ -416,6 +437,11 @@ class GraphService:
         can win back in overlap.
         """
         engines = list(self._engines.items())
+        tr = get_tracer()
+        # the enclosing "batch" span; refresh spans are recorded post-hoc
+        # below with this explicit parent (worker threads must not rely on
+        # the contextvar -- it does not propagate into the fan-out pool)
+        parent = current_span()
         est = sum(self._last_refresh_s.get(key, 0.0) for key, _ in engines)
         if (
             self._fanout is None
@@ -445,29 +471,40 @@ class GraphService:
             outcomes = {}
             for fut in futures:
                 outcomes.update(fut.result())
-        for (query, tool), engine in engines:
-            outcome = outcomes.get((query, tool))
-            if outcome is None:  # skipped after an earlier failure in its group
-                continue
-            status, payload, top, dt = outcome
-            if status == "err":
-                raise payload
-            self._last_refresh_s[(query, tool)] = dt
-            self._metrics.record(f"refresh[{tool}]", dt)
-            self._cache.put(
-                CachedResult(
-                    query=query,
-                    tool=tool,
-                    version=next_version,
-                    top=tuple(top),
-                    result_string=payload,
-                    compute_seconds=dt,
-                    # dirty-threshold analytics engines may serve a result
-                    # computed `staleness` batches ago; query engines are
-                    # exact every batch (staleness 0)
-                    computed_version=next_version - getattr(engine, "staleness", 0),
+        with span_if(tr, "commit", parent=parent, version=next_version):
+            for (query, tool), engine in engines:
+                outcome = outcomes.get((query, tool))
+                if outcome is None:  # skipped after an earlier failure in its group
+                    continue
+                status, payload, top, dt, t0 = outcome
+                if tr is not None:
+                    # recorded here, in registration order, not on the worker
+                    # thread that measured it: the span log stays reproducible
+                    # regardless of fan-out scheduling
+                    tr.record("refresh", t0, dt, parent=parent,
+                              query=query, tool=tool, status=status)
+                if status == "err":
+                    raise payload
+                self._last_refresh_s[(query, tool)] = dt
+                self._metrics.record(f"refresh[{tool}]", dt)
+                staleness = getattr(engine, "staleness", 0)
+                self.registry.gauge(
+                    "repro_engine_staleness", engine=tool
+                ).set(staleness)
+                self._cache.put(
+                    CachedResult(
+                        query=query,
+                        tool=tool,
+                        version=next_version,
+                        top=tuple(top),
+                        result_string=payload,
+                        compute_seconds=dt,
+                        # dirty-threshold analytics engines may serve a result
+                        # computed `staleness` batches ago; query engines are
+                        # exact every batch (staleness 0)
+                        computed_version=next_version - staleness,
+                    )
                 )
-            )
 
     @staticmethod
     def _refresh_group(members, batch: ChangeSet, delta) -> dict:
@@ -487,13 +524,14 @@ class GraphService:
                     # object model; the shared graph is already updated
                     result_string = engine.update(batch)
             except BaseException as exc:
-                outcomes[key] = ("err", exc, (), WallClock.now() - t0)
+                outcomes[key] = ("err", exc, (), WallClock.now() - t0, t0)
                 break
             outcomes[key] = (
                 "ok",
                 result_string,
                 list(engine.last_top),
                 WallClock.now() - t0,
+                t0,
             )
         return outcomes
 
@@ -527,7 +565,8 @@ class GraphService:
             with self._metrics.timed("query"):
                 if tool is None:
                     tool = query if query in self.analytics else self.primary_tool
-                return self._cache.get(query, tool)
+                with span_if(get_tracer(), "query", query=query, tool=tool):
+                    return self._cache.get(query, tool)
 
     def engine(self, query: str, tool: Optional[str] = None):
         """The registered engine behind a (query, tool) pair.
@@ -574,8 +613,14 @@ class GraphService:
             return self._cache.get(query, tool), self.engine(query, tool).partial()
 
     def stats(self) -> dict:
-        """Operational snapshot: version, queue, graph, per-op latencies."""
+        """Operational snapshot: version, queue, graph, per-op latencies,
+        typed metrics (``"metrics"``), cache counters (``"ops"]["cache"``)
+        and -- when ``REPRO_PROFILE_KERNELS`` is on -- per-kernel
+        profiling aggregates (``"kernels"``)."""
         with self._lock:
+            ops = self._metrics.summary()
+            ops["cache"] = self._cache.stats()
+            prof = get_kernel_profiler()
             return {
                 "version": self.version,
                 "pending": self._batcher.pending,
@@ -587,11 +632,32 @@ class GraphService:
                 "primary_tool": self.primary_tool,
                 "graph": self.graph.stats(),
                 "storage": self.graph.storage_stats(),
-                "ops": self._metrics.summary(),
+                "ops": ops,
+                "metrics": self.registry.snapshot(),
+                "kernels": prof.summary() if prof is not None else {},
                 "persistent": self._store is not None,
                 "snapshots": self._store.versions() if self._store else [],
                 "recovered_from": self._recovered_from,
             }
+
+    def metrics_text(self, labels: Optional[dict] = None) -> str:
+        """Prometheus text exposition of this service's telemetry: the
+        typed registry, the cache counters, and every per-op latency
+        reservoir as ``repro_op_latency_seconds`` summaries.  ``labels``
+        are stamped onto every series (the sharded router passes its
+        ``shard="i"`` tag)."""
+        with self._lock:
+            cache = self._cache.stats()
+            return render_prometheus(
+                self.registry,
+                ops=self._metrics,
+                extras={
+                    "repro_cache_hits": cache["hits"],
+                    "repro_cache_misses": cache["misses"],
+                    "repro_cache_evictions": cache["evictions"],
+                },
+                labels=labels,
+            )
 
     # ------------------------------------------------------------------
     # persistence / lifecycle
@@ -610,9 +676,13 @@ class GraphService:
             if self._store is None:
                 raise ReproError("service has no data_dir; snapshots are disabled")
             with self._metrics.timed("snapshot"):
-                if self.version not in self._store.versions():
-                    self._store.save(self.graph, self.version)
-                self._store.prune(self.keep_snapshots)
+                with span_if(get_tracer(), "snapshot", version=self.version):
+                    if self.version not in self._store.versions():
+                        path = self._store.save(self.graph, self.version)
+                        self.registry.gauge("repro_snapshot_bytes").set(
+                            dir_bytes(path)
+                        )
+                    self._store.prune(self.keep_snapshots)
             return self.version
 
     def close(self) -> None:
@@ -631,6 +701,13 @@ class GraphService:
         for engine in self._engines.values():
             engine.close()
         self._teardown_parallel()
+        # REPRO_TRACE=<path>: the accumulated Chrome trace lands on disk at
+        # shutdown (idempotent across services sharing the process tracer)
+        out = trace_output_path()
+        if out:
+            tr = get_tracer()
+            if tr is not None:
+                tr.dump(out)
 
     def _teardown_parallel(self) -> None:
         """Stop the fan-out threads and release the forked kernel workers.

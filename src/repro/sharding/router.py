@@ -63,6 +63,8 @@ from repro.model.changes import (
     RemoveLike,
 )
 from repro.model.graph import SocialGraph
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.trace import current_span, get_tracer, span_if
 from repro.serving.cache import CachedResult
 from repro.serving.ingest import MicroBatcher, SubmitGate, coerce_changes
 from repro.serving.metrics import OpMetrics
@@ -158,6 +160,8 @@ class ShardedGraphService:
         self._batcher = MicroBatcher(max_changes=max_batch, max_delay_ms=max_delay_ms)
         self._gate = SubmitGate(self._known_applied)
         self._metrics = OpMetrics()
+        #: router-level typed metrics (each shard keeps its own registry)
+        self.registry = MetricsRegistry()
         self._closed = False
         self._failed = False
         #: external content id -> owner shard (the routing tables; comments
@@ -298,39 +302,43 @@ class ShardedGraphService:
             )
             if key in kwargs
         }
-        services = [
-            GraphService.recover(
-                data_dir / f"shard-{i:02d}", shard=(i, shards), **shard_kwargs
-            )
-            for i in range(shards)
-        ]
-        try:
-            router_wal = ChangeLog(data_dir, sync=wal_sync)
-            router_wal.repair()
-            service = cls(
-                shards=shards, data_dir=data_dir, _shard_services=services, **kwargs
-            )
-            base = min(svc.version for svc in services)
-            target = max(
-                [router_wal.last_version()] + [svc.version for svc in services]
-            )
-            for v, batch in router_wal.replay(after_version=base):
-                subs = service._route(list(batch))
-                for i, svc in enumerate(services):
-                    if svc.version < v:
-                        svc.apply_batch(subs[i])
-            laggard = [svc.version for svc in services if svc.version != target]
-            if laggard:
-                raise ReproError(
-                    f"sharded recovery did not converge: shard versions "
-                    f"{[svc.version for svc in services]}, router WAL at {target}"
+        with span_if(get_tracer(), "recover", shards=shards) as sp:
+            services = [
+                GraphService.recover(
+                    data_dir / f"shard-{i:02d}", shard=(i, shards), **shard_kwargs
                 )
-            service.version = target
-            return service
-        except BaseException:
-            for svc in services:
-                svc.close()
-            raise
+                for i in range(shards)
+            ]
+            try:
+                router_wal = ChangeLog(data_dir, sync=wal_sync)
+                router_wal.repair()
+                service = cls(
+                    shards=shards, data_dir=data_dir, _shard_services=services, **kwargs
+                )
+                base = min(svc.version for svc in services)
+                target = max(
+                    [router_wal.last_version()] + [svc.version for svc in services]
+                )
+                replayed = 0
+                for v, batch in router_wal.replay(after_version=base):
+                    subs = service._route(list(batch))
+                    for i, svc in enumerate(services):
+                        if svc.version < v:
+                            svc.apply_batch(subs[i])
+                            replayed += 1
+                laggard = [svc.version for svc in services if svc.version != target]
+                if laggard:
+                    raise ReproError(
+                        f"sharded recovery did not converge: shard versions "
+                        f"{[svc.version for svc in services]}, router WAL at {target}"
+                    )
+                sp.set(replayed=replayed)
+                service.version = target
+                return service
+            except BaseException:
+                for svc in services:
+                    svc.close()
+                raise
 
     # ------------------------------------------------------------------
     # writes
@@ -340,12 +348,15 @@ class ShardedGraphService:
         """Enqueue change(s); returns the current applied router version."""
         with self._lock:
             self._check_open()
-            with self._metrics.timed("submit"):
-                items = coerce_changes(changes)
-                self._gate.admit(items)
-                batch = self._batcher.offer(items)
-            if batch is not None:
-                self._apply(batch)
+            with span_if(get_tracer(), "submit") as sp:
+                with self._metrics.timed("submit"):
+                    items = coerce_changes(changes)
+                    self._gate.admit(items)
+                    batch = self._batcher.offer(items)
+                sp.set(changes=len(items), flushed=batch is not None)
+                if batch is not None:
+                    self._apply(batch)
+            self.registry.gauge("repro_ingest_queue_depth").set(self._batcher.pending)
             return self.version
 
     def flush(self) -> int:
@@ -354,19 +365,39 @@ class ShardedGraphService:
             self._check_open()
             batch = self._batcher.drain()
             if batch is not None:
-                self._apply(batch)
+                with span_if(get_tracer(), "flush"):
+                    self._apply(batch)
+            self.registry.gauge("repro_ingest_queue_depth").set(self._batcher.pending)
             return self.version
 
     def _apply(self, batch: ChangeSet) -> None:
         """Router-WAL, route, scatter one batch; fail-stop on any error."""
         next_version = self.version + 1
+        tr = get_tracer()
         try:
-            if self._wal is not None:
-                with self._metrics.timed("wal"):
-                    self._wal.append(next_version, batch)
-            subs = self._route(list(batch))
-            with self._metrics.timed("scatter"):
-                self._scatter(subs, next_version)
+            with span_if(tr, "batch", version=next_version, changes=len(batch)):
+                self.registry.histogram("repro_batch_size").observe(len(batch))
+                if self._wal is not None:
+                    with self._metrics.timed("wal"):
+                        with span_if(tr, "wal") as wsp:
+                            nbytes = self._wal.append(next_version, batch)
+                            wsp.set(nbytes=nbytes)
+                    self.registry.counter("repro_wal_bytes_total").inc(nbytes)
+                subs = self._route(list(batch))
+                sizes = [len(sub) for sub in subs]
+                for i, n in enumerate(sizes):
+                    self.registry.counter(
+                        "repro_shard_changes_total", shard=str(i)
+                    ).inc(n)
+                if sum(sizes):
+                    # fan-out balance: largest shard sub-batch / mean
+                    # (1.0 = perfectly even split, num_shards = all-to-one)
+                    self.registry.histogram("repro_scatter_skew").observe(
+                        max(sizes) * len(sizes) / sum(sizes)
+                    )
+                with self._metrics.timed("scatter"):
+                    with span_if(tr, "scatter", version=next_version):
+                        self._scatter(subs, next_version)
         except BaseException:
             self._failed = True
             raise
@@ -413,12 +444,19 @@ class ShardedGraphService:
         disagree by one version, which is exactly what :meth:`recover`
         reconciles from the router WAL).
         """
+        tr = get_tracer()
+        # the enclosing "scatter" span, passed explicitly: the contextvar
+        # does not propagate into the scatter pool's threads
+        parent = current_span()
         if self._scatter_pool is None:
-            results = [svc.apply_batch(sub) for svc, sub in zip(self._shards, subs)]
+            results = [
+                self._apply_shard(i, svc, sub, tr, parent)
+                for i, (svc, sub) in enumerate(zip(self._shards, subs))
+            ]
         else:
             futures = [
-                self._scatter_pool.submit(svc.apply_batch, sub)
-                for svc, sub in zip(self._shards, subs)
+                self._scatter_pool.submit(self._apply_shard, i, svc, sub, tr, parent)
+                for i, (svc, sub) in enumerate(zip(self._shards, subs))
             ]
             results, first_error = [], None
             for fut in futures:
@@ -435,6 +473,18 @@ class ShardedGraphService:
                 raise ReproError(
                     f"shard {i} applied to v{got}, router expected v{next_version}"
                 )
+
+    @staticmethod
+    def _apply_shard(i: int, svc: GraphService, sub: list, tr, parent) -> int:
+        """One shard's slice of a scatter, under its own ``shard`` span.
+
+        Runs on a scatter-pool thread (or inline when serial); entering
+        the span installs it as the thread's current span, so the shard
+        service's own ``batch``/``wal``/``refresh`` spans hang off it and
+        the whole scatter stays one connected trace tree.
+        """
+        with span_if(tr, "shard", parent=parent, shard=i, changes=len(sub)):
+            return svc.apply_batch(sub)
 
     # ------------------------------------------------------------------
     # reads (scatter-gather)
@@ -455,7 +505,9 @@ class ShardedGraphService:
             self._check_open()
             if self._batcher.due():
                 self._apply(self._batcher.drain())
-            with self._metrics.timed("query"):
+            with self._metrics.timed("query"), span_if(
+                get_tracer(), "query", query=query
+            ):
                 if tool is None:
                     tool = query if query in self.analytics else self.primary_tool
                 gathered = [
@@ -497,9 +549,21 @@ class ShardedGraphService:
                 "primary_tool": self.primary_tool,
                 "persistent": self._wal is not None,
                 "ops": self._metrics.summary(),
+                "metrics": self.registry.snapshot(),
                 "shard_versions": [svc.version for svc in self._shards],
                 "per_shard": [svc.stats() for svc in self._shards],
             }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition: the router's own series, then every
+        shard's series stamped with a ``shard="i"`` label."""
+        with self._lock:
+            parts = [render_prometheus(self.registry, ops=self._metrics)]
+            parts.extend(
+                svc.metrics_text(labels={"shard": str(i)})
+                for i, svc in enumerate(self._shards)
+            )
+            return "".join(parts)
 
     # ------------------------------------------------------------------
     # persistence / lifecycle

@@ -24,6 +24,9 @@ SURFACE = {
     "repro.sharding.router": ("ShardedGraphService",),
     "repro.sharding.partition": ("shard_of",),
     "repro.sharding.merge": ("merge_topk_entries", "merge_partition_partials"),
+    "repro.obs.trace": (),  # module-level example
+    "repro.obs.metrics": (),  # module-level example
+    "repro.obs.kernels": (),  # module-level example
 }
 
 

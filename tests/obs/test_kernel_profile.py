@@ -1,0 +1,132 @@
+"""Kernel profiling hooks: TimedBlock transport, region aggregation,
+and the end-to-end path through ``locked_map`` and a real kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphblas._kernels import parallel as kp
+from repro.obs.kernels import (
+    KernelProfiler,
+    TimedBlock,
+    get_kernel_profiler,
+    set_kernel_profiler,
+)
+from repro.parallel.executor import make_executor
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler_slot():
+    set_kernel_profiler(None)
+    yield
+    set_kernel_profiler(None)
+
+
+class TestKernelProfiler:
+    def test_region_aggregation(self):
+        p = KernelProfiler()
+        p.record_region("mxv", work=100, blocks=2, wall_s=0.01,
+                        block_seconds=[0.004, 0.004])
+        p.record_region("mxv", work=50, blocks=2, wall_s=0.02,
+                        block_seconds=[0.001, 0.003])
+        s = p.summary()["mxv"]
+        assert s["regions"] == 2
+        assert s["work"] == 150
+        assert s["blocks"] == 4
+        assert abs(s["wall_s"] - 0.03) < 1e-9
+        # worst region: [0.001, 0.003] -> 0.003 / 0.002 mean = 1.5
+        assert s["max_imbalance"] == 1.5
+        assert s["max_block_s"] == 0.004
+
+    def test_clear(self):
+        p = KernelProfiler()
+        p.record_region("mxm", 1, 1, 0.0, [0.0])
+        p.clear()
+        assert p.summary() == {}
+
+    def test_timed_block_returns_pair(self):
+        tb = TimedBlock(lambda span: span[0] + span[1])
+        dt, out = tb((2, 3))
+        assert out == 5
+        assert dt >= 0.0
+
+    def test_timed_block_pickles(self):
+        import pickle
+
+        tb = pickle.loads(pickle.dumps(TimedBlock(_double)))
+        assert tb((4,)) [1] == 8
+
+
+def _double(span):
+    return span[0] * 2
+
+
+class TestSlot:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE_KERNELS", raising=False)
+        assert get_kernel_profiler() is None
+
+    def test_install_and_disable(self):
+        p = KernelProfiler()
+        set_kernel_profiler(p)
+        assert get_kernel_profiler() is p
+        set_kernel_profiler(None)
+        assert get_kernel_profiler() is None
+
+
+class TestLockedMapIntegration:
+    def test_locked_map_records_named_regions(self):
+        p = KernelProfiler()
+        set_kernel_profiler(p)
+        ex = make_executor("serial")
+        out = kp.locked_map(ex, _double, [(1,), (2,), (3,)],
+                            kernel="reduce", work=3)
+        assert out == [2, 4, 6]  # results unwrapped, order preserved
+        s = p.summary()["reduce"]
+        assert s["regions"] == 1
+        assert s["blocks"] == 3
+        assert s["work"] == 3
+
+    def test_locked_map_unnamed_region_not_recorded(self):
+        p = KernelProfiler()
+        set_kernel_profiler(p)
+        ex = make_executor("serial")
+        out = kp.locked_map(ex, _double, [(1,)])
+        assert out == [2]
+        assert p.summary() == {}
+
+    def test_locked_map_unwrapped_when_disabled(self):
+        ex = make_executor("serial")
+        out = kp.locked_map(ex, _double, [(1,)], kernel="mxv", work=1)
+        assert out == [2]  # no profiler: results flow through untouched
+
+    def test_real_kernel_region_profiles(self):
+        """parallel_mxv through a thread executor records an 'mxv' region
+        whose block count matches the returned spans."""
+        from repro.graphblas.semiring import SEMIRINGS
+
+        p = KernelProfiler()
+        set_kernel_profiler(p)
+        ex = make_executor("thread", 2)
+        kp.set_kernel_executor(ex)
+        kp.set_parallel_cutoff(1)
+        try:
+            n = 64
+            rows = np.repeat(np.arange(n, dtype=np.int64), n)
+            cols = np.tile(np.arange(n, dtype=np.int64), n)
+            vals = np.ones(n * n, dtype=np.int64)
+            u = (np.arange(n, dtype=np.int64), np.ones(n, dtype=np.int64), n)
+            got = kp.parallel_mxv(
+                (rows, cols, vals, n, n), u, SEMIRINGS["plus_times"]
+            )
+            assert got is not None
+            s = p.summary()["mxv"]
+            assert s["regions"] == 1
+            assert s["work"] == n * n
+            assert s["blocks"] >= 2
+            assert s["max_imbalance"] >= 1.0
+        finally:
+            kp.set_parallel_cutoff(None)
+            kp.set_kernel_executor(None)
+            ex.close()

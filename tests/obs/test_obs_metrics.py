@@ -1,0 +1,116 @@
+"""MetricsRegistry: typed instruments, snapshots, Prometheus exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, render_prometheus
+from repro.serving.metrics import OpMetrics
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_wal_bytes_total")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        # get-or-create returns the same instrument
+        assert reg.counter("repro_wal_bytes_total") is c
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_ingest_queue_depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6
+
+    def test_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_shard_changes_total", shard="0").inc(3)
+        reg.counter("repro_shard_changes_total", shard="1").inc(7)
+        snap = reg.snapshot()["repro_shard_changes_total"]
+        assert snap == {'shard="0"': 3, 'shard="1"': 7}
+
+    def test_family_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_batch_size")
+        for v in (1, 2, 3, 10):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 16
+        assert s["min"] == 1 and s["max"] == 10
+        assert s["p50"] == 2.5
+
+    def test_histogram_reservoir_deterministic(self):
+        import threading
+
+        a, b = Histogram(threading.Lock(), 64), Histogram(threading.Lock(), 64)
+        for i in range(10_000):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a._samples == b._samples
+        assert len(a._samples) < 64
+        assert a.count == 10_000  # count/sum stay exact under decimation
+
+
+class TestSnapshot:
+    def test_json_able_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("b").set(2)
+        reg.counter("a").inc()
+        reg.histogram("c").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        json.dumps(snap)  # must not raise
+
+    def test_unlabelled_collapses_to_value(self):
+        reg = MetricsRegistry()
+        reg.counter("plain").inc(2)
+        assert reg.snapshot()["plain"] == 2
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_wal_bytes_total").inc(100)
+        reg.gauge("repro_engine_staleness", engine="pagerank").set(3)
+        reg.histogram("repro_batch_size").observe(4)
+        text = render_prometheus(reg)
+        lines = text.splitlines()
+        assert "# TYPE repro_batch_size summary" in lines
+        assert "# TYPE repro_wal_bytes_total counter" in lines
+        assert 'repro_engine_staleness{engine="pagerank"} 3' in lines
+        assert "repro_wal_bytes_total 100" in lines
+        assert 'repro_batch_size{quantile="0.50"} 4.0' in lines
+        assert "repro_batch_size_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_ops_render_as_latency_summaries(self):
+        reg = MetricsRegistry()
+        ops = OpMetrics()
+        ops.record("query", 0.002)
+        text = render_prometheus(reg, ops=ops)
+        assert "# TYPE repro_op_latency_seconds summary" in text
+        assert 'repro_op_latency_seconds_count{op="query"} 1' in text
+        assert 'repro_op_latency_seconds{op="query",quantile="0.99"}' in text
+
+    def test_extras_and_labels(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_ingest_queue_depth").set(2)
+        text = render_prometheus(
+            reg, extras={"repro_cache_hits": 9}, labels={"shard": "1"}
+        )
+        # base labels append to every series, extras render as gauges
+        assert 'repro_ingest_queue_depth{shard="1"} 2' in text
+        assert 'repro_cache_hits{shard="1"} 9' in text

@@ -1,0 +1,220 @@
+"""Tracer unit behaviour: span trees, determinism, Chrome export, slots."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracer,
+    span_if,
+    trace_enabled_from_env,
+    trace_output_path,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_process_tracer():
+    """Keep the process-wide slot clean around every test here."""
+    set_tracer(None)
+    yield
+    set_tracer(None)
+
+
+class TestSpans:
+    def test_parent_child_nesting(self):
+        t = Tracer()
+        with t.span("submit") as root:
+            assert current_span() is root
+            with t.span("batch") as child:
+                assert child.parent_id == root.span_id
+        assert current_span() is None
+        log = t.finished()
+        # end order: children before parents
+        assert [s["name"] for s in log] == ["batch", "submit"]
+        assert log[0]["parent_id"] == log[1]["span_id"]
+
+    def test_explicit_parent_beats_contextvar(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner"):
+                s = t.span("detached", parent=outer)
+                s.end()
+        by_name = {s["name"]: s for s in t.finished()}
+        assert by_name["detached"]["parent_id"] == outer.span_id
+
+    def test_ids_monotone_no_rng(self):
+        t = Tracer()
+        ids = [t.span(f"s").span_id for _ in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_end_is_idempotent(self):
+        t = Tracer()
+        s = t.span("once")
+        s.end()
+        s.end()
+        assert len(t.finished()) == 1
+        assert t.open_spans == 0
+
+    def test_attrs_and_error_stamp(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom", version=3) as s:
+                s.set(extra=1)
+                raise ValueError("x")
+        (span,) = t.finished()
+        assert span["attrs"] == {"version": 3, "extra": 1, "error": "ValueError"}
+        assert t.open_spans == 0
+
+    def test_record_posthoc(self):
+        t = Tracer()
+        with t.span("batch") as b:
+            sid = t.record("refresh", t0=b.t0, duration=0.001, tool="x")
+        log = t.finished()
+        rec = next(s for s in log if s["name"] == "refresh")
+        assert rec["span_id"] == sid
+        assert rec["parent_id"] == b.span_id
+        assert rec["duration"] == 0.001
+
+    def test_open_spans_counts_live(self):
+        t = Tracer()
+        a = t.span("a")
+        b = t.span("b")
+        assert t.open_spans == 2
+        b.end()
+        a.end()
+        assert t.open_spans == 0
+
+    def test_thread_isolation_of_current(self):
+        t = Tracer()
+        seen = {}
+
+        def worker():
+            seen["current"] = current_span()
+            with t.span("child-thread"):
+                pass
+
+        with t.span("main"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        # the contextvar does not leak across threads: the worker saw no
+        # parent and its span is a root
+        assert seen["current"] is None
+        child = next(s for s in t.finished() if s["name"] == "child-thread")
+        assert child["parent_id"] is None
+
+
+class TestDeterminism:
+    def _workload(self):
+        t = Tracer()
+        with t.span("submit", changes=2):
+            with t.span("batch", version=1):
+                with t.span("wal"):
+                    pass
+                t.record("refresh", 0.0, 0.0, tool="a")
+                t.record("refresh", 0.0, 0.0, tool="b")
+        return [
+            (s["name"], s["span_id"], s["parent_id"], s["attrs"])
+            for s in t.finished()
+        ]
+
+    def test_identical_runs_identical_logs(self):
+        assert self._workload() == self._workload()
+
+
+class TestChromeExport:
+    def test_valid_trace_event_json(self, tmp_path):
+        t = Tracer()
+        with t.span("submit"):
+            with t.span("batch", version=1):
+                pass
+        doc = t.chrome_trace()
+        # round-trips as JSON
+        doc2 = json.loads(json.dumps(doc))
+        events = doc2["traceEvents"]
+        assert len(events) == 2
+        ids = set()
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert isinstance(ev["ts"], (int, float))
+            assert isinstance(ev["dur"], (int, float))
+            assert ev["dur"] >= 0
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            ids.add(ev["args"]["span_id"])
+        # parent links resolve within the document
+        for ev in events:
+            parent = ev["args"].get("parent_id")
+            assert parent is None or parent in ids
+        # sorted by start time; outermost span starts first
+        assert events[0]["name"] == "submit"
+
+    def test_tids_renumbered_first_seen(self):
+        t = Tracer()
+        with t.span("only"):
+            pass
+        (ev,) = t.chrome_trace()["traceEvents"]
+        assert ev["tid"] == 0  # never the raw thread ident
+
+    def test_dump_writes_file(self, tmp_path):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        path = t.dump(tmp_path / "trace.json")
+        with open(path) as fh:
+            assert json.load(fh)["traceEvents"][0]["name"] == "s"
+
+    def test_clear(self):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        t.clear()
+        assert t.finished() == []
+
+
+class TestProcessSlot:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not trace_enabled_from_env()
+        assert get_tracer() is None
+
+    def test_env_values(self, monkeypatch):
+        for off in ("", "0", "false", "no"):
+            monkeypatch.setenv("REPRO_TRACE", off)
+            assert not trace_enabled_from_env()
+            assert trace_output_path() is None
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert trace_enabled_from_env()
+        assert trace_output_path() is None  # in-memory only
+        monkeypatch.setenv("REPRO_TRACE", "/tmp/t.json")
+        assert trace_enabled_from_env()
+        assert trace_output_path() == "/tmp/t.json"
+
+    def test_set_tracer_install_and_disable(self):
+        t = Tracer()
+        set_tracer(t)
+        assert get_tracer() is t
+        set_tracer(None)
+        assert get_tracer() is None
+
+    def test_span_if_null_path(self):
+        from repro.obs.trace import _NULL_SPAN
+
+        s = span_if(None, "anything", attrs=1)
+        assert s is _NULL_SPAN
+        with s as inner:
+            inner.set(x=1)  # all no-ops
+        s.end()
+
+    def test_span_if_live_path(self):
+        t = Tracer()
+        with span_if(t, "real", k=1):
+            pass
+        (span,) = t.finished()
+        assert span["name"] == "real"
+        assert span["attrs"] == {"k": 1}

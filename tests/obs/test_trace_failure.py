@@ -1,0 +1,140 @@
+"""Trace continuity across failure: crashed applies close their spans,
+recovery emits a ``recover`` span carrying replayed-frame counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer, set_tracer
+from repro.serving.service import GraphService
+from repro.sharding.router import ShardedGraphService
+from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
+
+TOOLS = ("graphblas-incremental",)
+KW = dict(tools=TOOLS, max_batch=10**9, max_delay_ms=1e9)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    t = Tracer()
+    set_tracer(t)
+    yield t
+    set_tracer(None)
+
+
+class _Bomb:
+    """An engine whose refresh always crashes (PR 5 harness style)."""
+
+    last_top: tuple = ()
+    staleness = 0
+
+    def load(self, graph):
+        pass
+
+    def initial(self):
+        return ""
+
+    def refresh(self, delta):
+        raise RuntimeError("injected engine crash")
+
+    def partial(self):  # pragma: no cover - never reached
+        return ()
+
+    def close(self):
+        pass
+
+
+class TestCrashedApply:
+    def test_spans_closed_and_error_stamped(self, _fresh_tracer):
+        t = _fresh_tracer
+        fresh, stream = datagen_stream(7, total_inserts=40, num_change_sets=2)
+        svc = GraphService(fresh(), **KW)
+        # sabotage one engine after construction: the next batch crashes
+        # mid-refresh, inside the batch/commit span stack
+        svc._engines[("Q1", TOOLS[0])] = _Bomb()
+        t.clear()
+        with pytest.raises(RuntimeError):
+            svc.submit(list(stream[0]))
+            svc.flush()
+        # fail-stop: the service refuses further work ...
+        with pytest.raises(ReproError):
+            svc.query("Q1")
+        # ... and the tracer was left clean: every span entered on the
+        # crashed path was closed on unwind, with the error stamped
+        assert t.open_spans == 0
+        spans = t.finished()
+        errored = {s["name"]: s["attrs"]["error"]
+                   for s in spans if "error" in s["attrs"]}
+        assert errored.get("batch") == "RuntimeError"
+        assert errored.get("commit") == "RuntimeError"
+        assert errored.get("flush") == "RuntimeError"
+        # the crashed refresh itself is recorded with status="err"
+        crashed = [s for s in spans
+                   if s["name"] == "refresh" and s["attrs"]["status"] == "err"]
+        assert len(crashed) == 1
+
+    def test_sharded_crash_closes_spans(self, _fresh_tracer, tmp_path):
+        t = _fresh_tracer
+        fresh, stream = datagen_stream(11, total_inserts=40, num_change_sets=2)
+        svc = ShardedGraphService(fresh(), shards=2, data_dir=tmp_path, **KW)
+        svc._shards[1]._engines[("Q1", TOOLS[0])] = _Bomb()
+        t.clear()
+        with pytest.raises(RuntimeError):
+            svc.submit(list(stream[0]))
+            svc.flush()
+        assert t.open_spans == 0
+        names_with_error = {s["name"] for s in t.finished()
+                            if "error" in s["attrs"]}
+        # the failure propagated through the scatter stack, closing every
+        # level: shard -> scatter -> batch (router) -> flush
+        assert {"shard", "scatter", "batch", "flush"} <= names_with_error
+
+
+class TestRecoverSpan:
+    def test_recover_emits_span_with_replay_counts(self, _fresh_tracer, tmp_path):
+        t = _fresh_tracer
+        fresh, stream = datagen_stream(13, total_inserts=60, num_change_sets=3)
+        svc = GraphService(fresh(), data_dir=tmp_path, **KW)
+        for cs in stream:
+            svc.submit(list(cs))
+            svc.flush()
+        v = svc.version
+        del svc  # crash: all three frames are committed, none snapshotted
+
+        t.clear()
+        rec = GraphService.recover(tmp_path, **KW)
+        assert rec.version == v
+        spans = t.finished()
+        recover = next(s for s in spans if s["name"] == "recover")
+        # snapshot at v0 (the baseline), all 3 batches replayed from WAL
+        assert recover["attrs"] == {"snapshot_version": 0, "replayed": 3}
+        assert t.open_spans == 0
+        # the recovered service keeps tracing
+        t.clear()
+        rec.query("Q1")
+        assert [s["name"] for s in t.finished()] == ["query"]
+        rec.close()
+
+    def test_sharded_recover_span(self, _fresh_tracer, tmp_path):
+        t = _fresh_tracer
+        fresh, stream = datagen_stream(17, total_inserts=60, num_change_sets=3)
+        svc = ShardedGraphService(fresh(), shards=2, data_dir=tmp_path, **KW)
+        for cs in stream[:2]:
+            svc.submit(list(cs))
+            svc.flush()
+        del svc
+
+        t.clear()
+        rec = ShardedGraphService.recover(tmp_path, tools=TOOLS)
+        spans = t.finished()
+        recovers = [s for s in spans if s["name"] == "recover"]
+        # one router-level recover plus one per shard, nested beneath it
+        router = next(s for s in recovers if "shards" in s["attrs"])
+        assert router["attrs"]["shards"] == 2
+        assert "replayed" in router["attrs"]
+        shard_recovers = [s for s in recovers if s is not router]
+        assert len(shard_recovers) == 2
+        assert all(s["parent_id"] == router["span_id"] for s in shard_recovers)
+        assert t.open_spans == 0
+        rec.close()
