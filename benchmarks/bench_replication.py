@@ -1,0 +1,175 @@
+"""Replicated-serving benchmark: read fan-out across replica counts.
+
+Drives the standard micro-batched change stream through a
+:class:`repro.replication.ReplicatedGraphService` at replicas ∈ {0, 1, 2}
+under a bounded-staleness read policy (``max_staleness=4``), measuring
+sustained updates/sec through the leader's WAL path, replica-served
+reads/sec, and the observed replication lag the staleness bound allows to
+accumulate.  Every configuration must serve Q1/Q2/analytics results
+bit-identical to the leader-only reference -- a mismatch fails the run,
+so this doubles as the CI guard that WAL shipping stays exact.
+
+Script mode::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py --smoke
+
+writes the ``{workload, configs, ...}`` record to
+``BENCH_replication.json`` (committed copy:
+``benchmarks/BENCH_replication.json``).  Like the sharding record it
+carries ``cpu_count`` and an honest ``note``: leader and replicas share
+one Python process here, so replicas>0 buys *read fan-out, bounded-lag
+reads and failover capacity*, not in-process wall-clock speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.datagen import generate_benchmark_input
+from repro.replication import ReplicatedGraphService
+
+REPLICA_COUNTS = (0, 1, 2)
+TOOLS = ("graphblas-incremental",)
+ANALYTICS = ("components", "degree")
+QUERIES = ("Q1", "Q2") + ANALYTICS
+MAX_STALENESS = 4
+READ_LOOPS = 50  # timed read phase: READ_LOOPS passes over QUERIES
+
+_BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_replication.json"
+
+
+def _fresh_workload(scale: int, seed: int = 42):
+    graph, change_sets = generate_benchmark_input(scale, seed=seed)
+    return graph, [ch for cs in change_sets for ch in cs]
+
+
+def run_config(replicas: int, scale: int, max_batch: int) -> dict:
+    """One replica count over the standard stream; 0 = leader-only."""
+    graph, changes = _fresh_workload(scale)
+    with tempfile.TemporaryDirectory() as td:
+        service = ReplicatedGraphService(
+            graph,
+            replicas=replicas,
+            data_dir=td,
+            max_staleness=MAX_STALENESS,
+            tools=TOOLS,
+            analytics=ANALYTICS,
+            max_batch=max_batch,
+            max_delay_ms=1e9,
+            q2_algorithm="unionfind",
+        )
+        try:
+            lag_max = 0
+            t0 = time.perf_counter()
+            for i, ch in enumerate(changes):
+                service.submit(ch)
+                if i % 10 == 0:
+                    for q in QUERIES:
+                        service.query(q)
+                    st = service.stats()["replicas"]
+                    lag_max = max([lag_max] + [s["lag"] for s in st.values()])
+            service.flush()
+            write_s = time.perf_counter() - t0
+
+            sources = set()
+            t0 = time.perf_counter()
+            for _ in range(READ_LOOPS):
+                for q in QUERIES:
+                    sources.add(service.query(q).source)
+            read_s = time.perf_counter() - t0
+            n_reads = READ_LOOPS * len(QUERIES)
+
+            return {
+                "replicas": replicas,
+                "changes": len(changes),
+                "versions": service.version,
+                "updates_per_s": round(len(changes) / write_s, 1),
+                "reads_per_s": round(n_reads / read_s, 1),
+                "read_sources": sorted(sources),
+                "observed_lag_max": lag_max,
+                "final_lag": max(
+                    [0] + [s["lag"] for s in service.stats()["replicas"].values()]
+                ),
+                "results": {q: service.query(q).result_string for q in QUERIES},
+            }
+        finally:
+            service.close()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--smoke", action="store_true", help="small fixed CI workload")
+    ap.add_argument("--scale", type=int, default=4, help="Table II scale factor")
+    ap.add_argument("--max-batch", type=int, default=8)
+    args = ap.parse_args(argv)
+    scale = 4 if args.smoke else args.scale
+
+    print(
+        f"replication bench: scale factor {scale}, micro-batch "
+        f"{args.max_batch}, max_staleness {MAX_STALENESS}, tools {TOOLS}, "
+        f"analytics {ANALYTICS}"
+    )
+    print(
+        f"{'config':<12} {'changes':>8} {'upd/s':>10} {'reads/s':>10} "
+        f"{'lag max':>8}  result"
+    )
+
+    failures = 0
+    configs = []
+    reference = None
+    for n in REPLICA_COUNTS:
+        r = run_config(n, scale, args.max_batch)
+        if reference is None:
+            reference = r
+            r["ok"] = True
+        else:
+            r["ok"] = r["results"] == reference["results"]
+        configs.append(r)
+        print(
+            f"{f'replicas={n}':<12} {r['changes']:>8} {r['updates_per_s']:>10.0f} "
+            f"{r['reads_per_s']:>10.0f} {r['observed_lag_max']:>8} "
+            f" {'OK' if r['ok'] else 'MISMATCH vs leader-only'}"
+        )
+        if not r["ok"]:
+            failures += 1
+
+    record = {
+        "workload": {
+            "scale": scale,
+            "seed": 42,
+            "max_batch": args.max_batch,
+            "max_staleness": MAX_STALENESS,
+            "tools": list(TOOLS),
+            "analytics": list(ANALYTICS),
+        },
+        "cpu_count": os.cpu_count(),
+        "configs": [{k: c[k] for k in c if k != "results"} for c in configs],
+        "note": (
+            "leader and replicas share one Python process; replicas>0 buys "
+            "read fan-out under a bounded-staleness contract, failover "
+            "capacity and per-replica fault isolation rather than in-process "
+            "wall-clock speedup -- the REPRO_REPLICAS=2 CI job's artifact "
+            "records the multi-replica numbers"
+        ),
+        "results_identical_across_configs": failures == 0,
+    }
+    out_path = Path("BENCH_replication.json")
+    if out_path.resolve() == _BASELINE_PATH:
+        out_path = Path("BENCH_replication.current.json")
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=1)
+        fh.write("\n")
+    print(f"\nwrote {out_path}")
+    if failures:
+        print(f"{failures} configuration(s) diverged from the leader-only reference")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,11 @@ Layer map (see DESIGN.md for the full inventory):
                        behind a router (``REPRO_SHARDS``) -- router WAL,
                        versioned consistency barrier, exact scatter-gather
                        merge of per-shard partials, orchestrated recovery
+``repro.replication``  ReplicatedGraphService: leader + WAL-shipping read
+                       replicas (``REPRO_REPLICAS``) -- bounded-staleness
+                       replica reads, epoch-fenced ``promote()`` failover
+``repro.faults``       deterministic fault injection: named crash points,
+                       explicit FaultPlan schedules (no RNG)
 =====================  =====================================================
 
 Quick start (see README.md)::
@@ -67,10 +72,11 @@ from repro.queries import (
     QueryEngine,
     make_engine,
 )
+from repro.replication import ReplicatedGraphService
 from repro.serving import GraphService
 from repro.sharding import ShardedGraphService
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SocialGraph",
@@ -85,6 +91,7 @@ __all__ = [
     "make_analytics_engine",
     "ANALYTICS_NAMES",
     "GraphService",
+    "ReplicatedGraphService",
     "ShardedGraphService",
     "__version__",
 ]

@@ -1,0 +1,220 @@
+"""Deterministic fault injection: named crash points, explicit schedules.
+
+The robustness suites (sharded recovery, replica failover) need to kill a
+service at precisely chosen moments -- after the WAL frame is committed
+but before the graph mutates, between a snapshot's file writes and its
+atomic rename, mid-ship between leader and replica.  Monkeypatching those
+sites per test scatters the knowledge of *where a process can die* across
+the test tree and drifts as the code moves.  This module centralises it:
+
+* production code marks each killable site **once** with
+  :func:`fire`(``point``, **context), after registering the point name at
+  import time with :func:`register_crash_point`;
+* tests drive a :class:`FaultPlan` -- an explicit, deterministic schedule
+  ("crash on the 2nd hit of ``wal-append`` under ``shard-01``") installed
+  via :func:`inject`.  There is **no randomness**: a plan either names a
+  hit and fires exactly there, or stays silent.
+
+With no plan installed, :func:`fire` is one global read -- the sites are
+free in production, same discipline as the null-span fast path in
+:mod:`repro.obs.trace`.
+
+>>> import repro.serving.persistence  # registers the persistence points
+>>> "wal-append" in crash_points()
+True
+>>> plan = FaultPlan().crash("wal-append", hit=2)
+>>> with inject(plan):
+...     fire("wal-append", path="a")          # hit 1: survives
+...     fire("wal-append", path="b")          # hit 2: crashes
+Traceback (most recent call last):
+    ...
+repro.faults.InjectedCrash: injected crash at 'wal-append' (hit 2)
+>>> [hit[0] for hit in plan.hits]
+['wal-append', 'wal-append']
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from repro.util.validation import ReproError
+
+__all__ = [
+    "FaultPlan",
+    "InjectedCrash",
+    "at_path",
+    "crash_points",
+    "fire",
+    "inject",
+    "register_crash_point",
+]
+
+
+class InjectedCrash(Exception):
+    """A deliberate, scheduled failure raised at a crash point.
+
+    Deliberately *not* a :class:`~repro.util.validation.ReproError`:
+    recovery/rollback code that treats ReproError as a validation verdict
+    must see an injected crash as what it simulates -- an arbitrary
+    process death.
+    """
+
+    def __init__(self, point: str, hit: int, ctx: Optional[dict] = None):
+        super().__init__(f"injected crash at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+        self.ctx = dict(ctx or {})
+
+
+#: name -> human description of where the point sits (import-time filled)
+_REGISTRY: dict[str, str] = {}
+_LOCK = threading.Lock()
+_ACTIVE: Optional["FaultPlan"] = None
+
+
+def register_crash_point(name: str, description: str) -> str:
+    """Declare a named crash point (call at the owning module's import).
+
+    Registration is idempotent for an identical description; re-registering
+    a name with a *different* description is a collision and raises --
+    every crash site must have exactly one owner.
+    """
+    with _LOCK:
+        known = _REGISTRY.get(name)
+        if known is not None and known != description:
+            raise ReproError(
+                f"crash point {name!r} already registered as {known!r}"
+            )
+        _REGISTRY[name] = description
+    return name
+
+
+def crash_points() -> dict[str, str]:
+    """All registered crash points: ``{name: description}`` (a copy)."""
+    with _LOCK:
+        return dict(_REGISTRY)
+
+
+def fire(point: str, **ctx) -> None:
+    """Mark a killable site; crashes here iff the installed plan says so.
+
+    ``ctx`` is whatever the site knows that a schedule might match on --
+    by convention at least ``path`` (the artefact being touched) so plans
+    can target one shard/node among many.  No-op (one global read) when
+    no plan is installed.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan._fire(point, ctx)
+
+
+@contextmanager
+def inject(plan: "FaultPlan"):
+    """Install ``plan`` process-wide for the duration of the block.
+
+    Plans do not nest: the whole value of the framework is that exactly
+    one explicit schedule is in force, so a second install raises.
+    """
+    global _ACTIVE
+    with _LOCK:
+        if _ACTIVE is not None:
+            raise ReproError("a FaultPlan is already installed")
+        _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        with _LOCK:
+            _ACTIVE = None
+
+
+def at_path(fragment: str) -> Callable[[dict], bool]:
+    """Matcher factory: hit only when ``fragment`` is in the site's path.
+
+    The standard way to aim a plan at one shard or replication node --
+    their data directories are named (``shard-01``, ``node-02``), and
+    every IO-adjacent site passes ``path=``.
+    """
+    return lambda ctx: fragment in str(ctx.get("path", ""))
+
+
+class _Trigger:
+    __slots__ = ("point", "hit", "match", "exc", "seen", "fired")
+
+    def __init__(self, point, hit, match, exc):
+        self.point = point
+        self.hit = hit
+        self.match = match
+        self.exc = exc
+        self.seen = 0
+        self.fired = False
+
+
+class FaultPlan:
+    """An explicit crash schedule over registered crash points.
+
+    Build with chained :meth:`crash` calls, install with :func:`inject`.
+    Every :func:`fire` the plan observes is appended to :attr:`hits` as
+    ``(point, ctx)`` -- run a workload under an *empty* plan first to
+    discover, deterministically, which points fire and how often, then
+    schedule crashes at exact hit indices (the failover property suite
+    does exactly this).
+    """
+
+    def __init__(self) -> None:
+        self._triggers: list[_Trigger] = []
+        self._lock = threading.Lock()
+        #: every observed (point, ctx) in arrival order
+        self.hits: list[tuple[str, dict]] = []
+
+    def crash(
+        self,
+        point: str,
+        *,
+        hit: int = 1,
+        match: Optional[Callable[[dict], bool]] = None,
+        exc: type = InjectedCrash,
+    ) -> "FaultPlan":
+        """Schedule a crash on the ``hit``-th matching fire of ``point``.
+
+        ``match`` filters on the site's context dict (see :func:`at_path`);
+        hits are counted per trigger over *matching* fires only.  ``exc``
+        lets a schedule simulate a specific failure class (``OSError`` for
+        a dying disk); non-:class:`InjectedCrash` types are constructed
+        with a descriptive message.  Returns ``self`` for chaining.
+        """
+        if point not in crash_points():
+            raise ReproError(
+                f"unknown crash point {point!r}; registered: "
+                f"{sorted(crash_points())}"
+            )
+        if hit < 1:
+            raise ReproError(f"hit must be >= 1, got {hit}")
+        self._triggers.append(_Trigger(point, hit, match, exc))
+        return self
+
+    def fired(self) -> list[str]:
+        """Points whose scheduled crash has been raised (in schedule order)."""
+        return [t.point for t in self._triggers if t.fired]
+
+    # ------------------------------------------------------------------
+
+    def _fire(self, point: str, ctx: dict) -> None:
+        boom = None
+        with self._lock:
+            self.hits.append((point, ctx))
+            for trig in self._triggers:
+                if trig.point != point or trig.fired:
+                    continue
+                if trig.match is not None and not trig.match(ctx):
+                    continue
+                trig.seen += 1
+                if trig.seen == trig.hit:
+                    trig.fired = True
+                    boom = trig
+                    break
+        if boom is not None:
+            if issubclass(boom.exc, InjectedCrash):
+                raise boom.exc(point, boom.hit, ctx)
+            raise boom.exc(f"injected crash at {point!r} (hit {boom.hit})")

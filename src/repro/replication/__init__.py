@@ -1,0 +1,41 @@
+"""repro.replication -- WAL-shipping read replicas with leader failover.
+
+The fault-tolerance / read-scaling layer over :mod:`repro.serving`
+(ROADMAP: "WAL-shipping read replicas"):
+
+:class:`DirectoryWalShipper` (seam: :class:`WalShipper`)
+    How a replica reads the leader -- snapshot bootstrap plus committed
+    ``(version, batch, epoch)`` WAL frames.  Directory-based today,
+    socket-shaped by design.
+
+:class:`Replica`
+    A full GraphService that only the shipped WAL writes: bounded-lag
+    reads with monotone staleness tags, ``catch_up()`` tailing,
+    ``promote(epoch)`` failover (fence -> drain -> adopt).
+
+:class:`ReplicatedGraphService`
+    The front: writes to the leader, bounded-staleness round-robin reads
+    across replicas with per-replica timeout + capped exponential
+    backoff, graceful degradation to the leader, ``promote()`` leader
+    election with epoch fencing (a zombie leader's appends raise
+    :class:`~repro.serving.persistence.FencedError`).
+
+Composes with :mod:`repro.sharding`: ``ShardedGraphService(replicas=R)``
+turns each shard into a K×R fleet.  The killable moments are
+:mod:`repro.faults` crash points (``wal-append``,
+``post-append-pre-apply``, ``snapshot-write``, ``ship``, ``promote``) --
+``tests/replication/test_failover_property.py`` kills the leader at every
+one of them and proves no committed write is lost.
+"""
+
+from repro.replication.replica import Replica
+from repro.replication.service import ReplicatedGraphService, default_replicas
+from repro.replication.shipper import DirectoryWalShipper, WalShipper
+
+__all__ = [
+    "DirectoryWalShipper",
+    "Replica",
+    "ReplicatedGraphService",
+    "WalShipper",
+    "default_replicas",
+]

@@ -1,0 +1,247 @@
+"""Replica: a read-only follower of a leader's WAL, promotable on failover.
+
+A replica is a full :class:`~repro.serving.service.GraphService` -- same
+engines, same versioned cache, same WAL + snapshot directory of its own --
+whose *only* writer is the leader's shipped change log.  It bootstraps
+from the leader's newest snapshot, then tails committed frames through a
+:class:`~repro.replication.WalShipper`, applying each through the ordinary
+``apply_batch`` path, so every read it serves carries the same monotone
+``computed_version`` staleness tag as a leader read (plus a ``source``
+tag naming the replica).
+
+Epoch discipline (leadership fencing):
+
+* every shipped frame carries the epoch it was committed under;
+* a frame with an epoch **below** what the replica has already seen is a
+  zombie leader's write and raises :class:`~repro.serving.persistence
+  .FencedError` -- it must never be applied;
+* a frame with a **higher** epoch announces a completed failover: the
+  replica adopts it and stamps its own WAL with it, so its durable log
+  records the regime change.
+
+:meth:`promote` turns the replica into a leader: it fences the old
+leader's directory *first* (any still-running old leader fail-stops on
+its next append), drains the residual committed frames, then adopts the
+new epoch.  The replica's own data directory -- snapshot plus a WAL of
+everything it applied -- is already a valid shipping source, so surviving
+replicas just retarget at it.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import replace
+from pathlib import Path
+from typing import Optional
+
+from repro.faults import fire as _fire_fault
+from repro.faults import register_crash_point
+from repro.model.changes import ChangeSet
+from repro.obs.trace import get_tracer, span_if
+from repro.serving.cache import CachedResult
+from repro.serving.persistence import FencedError, write_fence
+from repro.serving.service import GraphService
+from repro.util.validation import ReproError
+
+__all__ = ["Replica"]
+
+CRASH_PROMOTE = register_crash_point(
+    "promote",
+    "Replica.promote, at entry, before the old leader's directory is fenced",
+)
+
+
+class _ShipGap(ReproError):
+    """The source's WAL starts past this replica's version (re-seed needed)."""
+
+
+class Replica:
+    """One WAL-tailing follower; serves reads, can be promoted to lead.
+
+    ``service_kwargs`` must name the same engine configuration as the
+    leader (a replica computing different tools would not be a replica).
+    The replica's ``data_dir`` is a rebuildable cache: bootstrap wipes and
+    re-seeds it, which is also how a replica recovers from falling behind
+    a source whose history no longer reaches back to it.
+    """
+
+    def __init__(self, shipper, *, data_dir, name: Optional[str] = None,
+                 **service_kwargs):
+        self.shipper = shipper
+        self.data_dir = Path(data_dir)
+        self.name = name if name is not None else self.data_dir.name
+        # a replica never generates writes, so it never needs a flusher
+        service_kwargs.pop("auto_flush", None)
+        self._service_kwargs = dict(service_kwargs)
+        self.epoch = 0
+        self.service: Optional[GraphService] = None
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # seeding
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        """(Re-)seed from the source's newest snapshot.
+
+        Destructive on purpose: the replica's directory holds no state
+        that is not derivable from the leader's, so wiping it is always
+        safe and makes re-seeding idempotent.
+        """
+        if self.service is not None:
+            self.service.close()
+            self.service = None
+        if self.data_dir.exists():
+            shutil.rmtree(self.data_dir)
+        version, graph, epoch = self.shipper.bootstrap()
+        service = GraphService(
+            graph,
+            data_dir=self.data_dir,
+            _start_version=version,
+            **self._service_kwargs,
+        )
+        self.epoch = max(self.epoch, epoch)
+        service._wal.epoch = self.epoch
+        self.service = service
+
+    @property
+    def version(self) -> int:
+        """Last applied (leader) version this replica reflects."""
+        return self.service.version
+
+    # ------------------------------------------------------------------
+    # tailing
+    # ------------------------------------------------------------------
+
+    def apply_frame(self, version: int, batch: ChangeSet, epoch: int) -> bool:
+        """Apply one shipped frame; returns False for an already-applied one.
+
+        The no-op on ``version <= self.version`` is what makes catch-up
+        races harmless: re-polling a window that was already applied
+        (including removal frames) changes nothing -- the idempotence
+        property ``tests/replication/test_replay_idempotent.py`` pins.
+        """
+        if epoch < self.epoch:
+            raise FencedError(
+                f"replica {self.name}: frame v{version} carries stale epoch "
+                f"{epoch} < {self.epoch}; a fenced zombie leader wrote it"
+            )
+        if epoch > self.epoch:
+            # a completed failover, announced in-band
+            self.epoch = epoch
+            self.service._wal.epoch = epoch
+        if version <= self.service.version:
+            return False
+        if version != self.service.version + 1:
+            raise _ShipGap(
+                f"replica {self.name} at v{self.service.version} cannot apply "
+                f"v{version}: the source's log no longer reaches back"
+            )
+        self.service.apply_batch(list(batch))
+        return True
+
+    def catch_up(self) -> int:
+        """Apply every committed frame the source has past our version.
+
+        Returns the number of frames applied.  A gap (the source's WAL
+        starts beyond us -- typically right after retargeting to a
+        freshly-promoted leader) triggers one destructive re-seed from
+        the source's snapshot before retrying.
+        """
+        with span_if(get_tracer(), "catch_up", replica=self.name) as sp:
+            applied = self._drain()
+            if applied is None:
+                self._bootstrap()
+                applied = self._drain()
+                if applied is None:
+                    raise ReproError(
+                        f"replica {self.name}: WAL gap persists after "
+                        f"re-bootstrap from {self.shipper.source}"
+                    )
+            sp.set(applied=applied, version=self.version)
+        return applied
+
+    def _drain(self) -> Optional[int]:
+        """One poll-and-apply sweep; None signals a gap."""
+        applied = 0
+        for version, batch, epoch in self.shipper.poll(self.version):
+            try:
+                if self.apply_frame(version, batch, epoch):
+                    applied += 1
+            except _ShipGap:
+                return None
+        return applied
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def query(self, query: str, tool: Optional[str] = None) -> CachedResult:
+        """The replica's cached result, tagged with this replica's name.
+
+        Staleness is two-dimensional here: ``result.version`` is the
+        leader version this replica had applied when it served (its
+        replication lag shows as ``leader.version - result.version``),
+        and ``result.staleness`` is the ordinary dirty-engine tag within
+        that version.  Both are monotone.
+        """
+        return replace(self.service.query(query, tool), source=self.name)
+
+    def stats(self) -> dict:
+        inner = self.service.stats()
+        inner["replica"] = {"name": self.name, "epoch": self.epoch,
+                            "source": str(self.shipper.source)}
+        return inner
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+
+    def promote(self, epoch: int) -> GraphService:
+        """Become the leader under ``epoch``; returns the inner service.
+
+        Order matters and is the whole safety argument:
+
+        1. **fence** the old leader's directory at ``epoch`` -- from this
+           instant a surviving old leader raises ``FencedError`` on its
+           next append and fail-stops, so the committed history can no
+           longer grow behind our back;
+        2. **drain** the residual committed frames (everything the old
+           leader fsynced before dying is applied here -- no committed
+           write is lost);
+        3. **adopt** ``epoch``: our own WAL now stamps it on every frame
+           and our own directory is fenced at it, making us as
+           depose-able as the leader we replaced.
+
+        A crash *during* promote is safe to retry: fencing is idempotent
+        per epoch and the drain is a no-op the second time.
+        """
+        if epoch <= self.epoch:
+            raise ReproError(
+                f"promotion epoch {epoch} must exceed the replica's "
+                f"current epoch {self.epoch}"
+            )
+        with span_if(get_tracer(), "promote", replica=self.name,
+                     epoch=epoch) as sp:
+            _fire_fault(CRASH_PROMOTE, path=str(self.data_dir), epoch=epoch)
+            self.shipper.fence(epoch)
+            self.catch_up()
+            self.epoch = epoch
+            self.service._wal.epoch = epoch
+            write_fence(self.data_dir, epoch)
+            sp.set(version=self.version)
+        return self.service
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.service is not None:
+            self.service.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Replica<{self.name}, v{self.version}, epoch={self.epoch}, "
+            f"source={self.shipper.source}>"
+        )

@@ -1,0 +1,126 @@
+"""WAL shipping: the seam between a leader's durable state and its replicas.
+
+A replica needs exactly two things from its leader: a **bootstrap** (the
+newest snapshot, to seed its graph) and a **tail** (every committed WAL
+frame past its current version).  :class:`WalShipper` names that contract;
+:class:`DirectoryWalShipper` implements it over a shared filesystem --
+replica and leader see the same data directory, the transport is the
+kernel's page cache.  The seam is deliberately transport-shaped: a socket
+implementation would stream the same ``(version, batch, epoch)`` frames
+and serve the same snapshot bytes, and nothing in
+:class:`~repro.replication.Replica` would change.
+
+Safety properties the directory shipper inherits from
+:mod:`repro.serving.persistence`:
+
+* only **committed** frames ship -- :meth:`ChangeLog.replay_frames` drops
+  a torn tail (leader crashed mid-append), so a replica can never apply a
+  frame the leader did not fsync;
+* snapshots are fsynced before their atomic rename, so :meth:`bootstrap`
+  can never load a renamed-but-torn snapshot;
+* every frame carries the **epoch** it was written under, which is how a
+  replica notices leadership changes (see
+  :meth:`~repro.replication.Replica.apply_frame`).
+
+The ``ship`` crash point fires at the top of every :meth:`poll` -- the
+moment a real transport would fail -- so the failover suite can kill the
+shipping path deterministically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Protocol
+
+from repro.faults import fire as _fire_fault
+from repro.faults import register_crash_point
+from repro.model.changes import ChangeSet
+from repro.model.graph import SocialGraph
+from repro.serving.persistence import (
+    ChangeLog,
+    SnapshotStore,
+    read_fence,
+    write_fence,
+)
+from repro.util.validation import ReproError
+
+__all__ = ["DirectoryWalShipper", "WalShipper"]
+
+CRASH_SHIP = register_crash_point(
+    "ship",
+    "DirectoryWalShipper.poll, before any frames are read from the "
+    "leader's WAL",
+)
+
+
+class WalShipper(Protocol):
+    """What a replica needs from *any* leader transport."""
+
+    def bootstrap(self) -> tuple[int, SocialGraph, int]:
+        """Newest full state: ``(version, graph, epoch)``."""
+        ...
+
+    def poll(self, after_version: int) -> list[tuple[int, ChangeSet, int]]:
+        """Committed ``(version, batch, epoch)`` frames past ``after_version``."""
+        ...
+
+    def fence(self, epoch: int) -> None:
+        """Durably forbid the source from appending under ``< epoch``."""
+        ...
+
+    def retarget(self, source) -> None:
+        """Follow a new leader from now on."""
+        ...
+
+
+class DirectoryWalShipper:
+    """Ship a leader's WAL out of its data directory (shared filesystem).
+
+    >>> import tempfile
+    >>> from repro.model.changes import AddUser, ChangeSet
+    >>> from repro.serving.persistence import ChangeLog, SnapshotStore
+    >>> src = tempfile.mkdtemp()
+    >>> _ = SnapshotStore(src).save(SocialGraph(), 0)
+    >>> _ = ChangeLog(src).append(1, ChangeSet([AddUser(7)]))
+    >>> shipper = DirectoryWalShipper(src)
+    >>> version, graph, epoch = shipper.bootstrap()
+    >>> (version, epoch)
+    (0, 0)
+    >>> [(v, len(batch), e) for v, batch, e in shipper.poll(version)]
+    [(1, 1, 0)]
+    """
+
+    def __init__(self, source):
+        self.source = Path(source)
+
+    def bootstrap(self) -> tuple[int, SocialGraph, int]:
+        """Load the leader's newest snapshot: ``(version, graph, epoch)``.
+
+        The epoch is the source directory's fence -- the minimum epoch the
+        leader position has been promised away to -- so a replica seeded
+        after a failover starts already knowing the new regime.
+        """
+        store = SnapshotStore(self.source)
+        version = store.latest()
+        if version is None:
+            raise ReproError(f"no snapshot to bootstrap from in {self.source}")
+        return version, store.load(version), read_fence(self.source)
+
+    def poll(self, after_version: int) -> list:
+        """Every committed ``(version, batch, epoch)`` past ``after_version``.
+
+        Returns a fully-materialised list (not a generator) so the
+        ``ship`` crash point fires at call time and a mid-iteration crash
+        cannot leave a frame half-consumed.
+        """
+        log = ChangeLog(self.source)
+        _fire_fault(CRASH_SHIP, path=str(log.path), after_version=after_version)
+        return list(log.replay_frames(after_version))
+
+    def fence(self, epoch: int) -> None:
+        """Stamp the source directory: appends under ``< epoch`` now raise."""
+        write_fence(self.source, epoch)
+
+    def retarget(self, source) -> None:
+        """Follow a new leader's directory (after a promotion)."""
+        self.source = Path(source)

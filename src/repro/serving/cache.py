@@ -46,6 +46,10 @@ class CachedResult:
     #: dirty-threshold analytics engines may lag it (the staleness tag).
     #: ``None`` on records written before this field existed.
     computed_version: Optional[int] = None
+    #: which node served this result (``"leader"``, ``"node-01"``, ...)
+    #: when read through a :class:`~repro.replication.ReplicatedGraphService`;
+    #: ``None`` on results served directly by a :class:`GraphService`.
+    source: Optional[str] = None
 
     @property
     def ids(self) -> tuple:

@@ -14,14 +14,24 @@ Two complementary artefacts live in a service's data directory:
 ``wal.csv``
     An append-only change log.  Each applied micro-batch is framed as::
 
-        BEGIN,<version>,<n_changes>
+        BEGIN,<version>,<n_changes>,<epoch>
         <one change row per change, repro.model.loader codec>
         COMMIT,<version>
 
     The ``COMMIT`` line is the durability point: replay ignores a torn
     trailing batch (crash mid-append), and the frame tags cannot collide
     with change rows because change tags are single characters
-    (``U/P/C/L/F/-L/-F``).
+    (``U/P/C/L/F/-L/-F``).  The ``epoch`` field is the replication
+    layer's leadership fencing token (see :mod:`repro.replication`);
+    pre-replication logs framed batches without it, and replay treats a
+    missing field as epoch 0.
+
+``fence.json``
+    Written by replica promotion (:func:`write_fence`): the minimum epoch
+    this directory accepts appends under.  A deposed leader -- fenced by
+    its successor but still believing it leads -- raises
+    :class:`FencedError` on its next append instead of splitting the
+    history (checked *before* any frame bytes are written).
 
 Recovery = load the newest snapshot, then replay every committed batch
 with ``version > snapshot.version``.  Because a batch's effect on the
@@ -30,6 +40,15 @@ state and change list), snapshot + log tail provably converges to the
 same graph -- and therefore the same top-k -- as applying the full stream
 to the initial graph.  ``tests/serving/test_recovery_property.py`` checks
 exactly that, removals included.
+
+Crash safety: a frame is fsynced before :meth:`ChangeLog.append` returns
+(and the WAL's directory entry is fsynced when the file is first
+created); a snapshot's files and directories are fsynced *before* the
+atomic rename publishes them.  Without the pre-rename fsync a power loss
+could leave a renamed-but-empty snapshot -- acknowledged, yet torn --
+which is exactly what a tailing replica must never see.  The killable
+moments are marked as :mod:`repro.faults` crash points (``wal-append``,
+``snapshot-write``), which is how the regression tests die there.
 """
 
 from __future__ import annotations
@@ -42,39 +61,127 @@ import shutil
 from pathlib import Path
 from typing import Iterator, Optional
 
+from repro.faults import fire as _fire_fault
+from repro.faults import register_crash_point
 from repro.model.changes import ChangeSet
 from repro.model.graph import SocialGraph
 from repro.model.loader import change_to_row, load_graph, row_to_change, save_graph
 from repro.util.validation import ReproError
 
-__all__ = ["ChangeLog", "SnapshotStore", "dir_bytes"]
+__all__ = [
+    "ChangeLog",
+    "FencedError",
+    "SnapshotStore",
+    "dir_bytes",
+    "read_fence",
+    "write_fence",
+]
+
+CRASH_WAL_APPEND = register_crash_point(
+    "wal-append", "ChangeLog.append, before any frame bytes are written"
+)
+CRASH_SNAPSHOT_WRITE = register_crash_point(
+    "snapshot-write",
+    "SnapshotStore.save, after the files are written but before "
+    "fsync + atomic rename publish the snapshot",
+)
+
+
+class FencedError(ReproError):
+    """An append under a stale epoch: this node has been deposed.
+
+    Raised before any bytes hit the log, so a fenced (zombie) leader
+    fail-stops without ever forking the committed history.
+    """
 
 
 def dir_bytes(path) -> int:
     """Total file bytes under ``path`` (the ``repro_snapshot_bytes`` gauge)."""
     return sum(p.stat().st_size for p in Path(path).rglob("*") if p.is_file())
 
+
+def _fsync_path(path: Path) -> None:
+    """fsync one file or directory by descriptor."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_tree(root: Path) -> None:
+    """fsync every file, then every directory (bottom-up), under ``root``."""
+    dirs: list[Path] = []
+    for path in sorted(root.rglob("*")):
+        if path.is_dir():
+            dirs.append(path)
+        elif path.is_file():
+            _fsync_path(path)
+    for path in reversed(dirs):
+        _fsync_path(path)
+    _fsync_path(root)
+
+
+_FENCE = "fence.json"
 _SNAP_PREFIX = "snapshot-"
 _META = "meta.json"
 _SCHEMA = 1
 
 
+def read_fence(directory) -> int:
+    """The minimum epoch ``directory`` accepts appends under (0 = none)."""
+    path = Path(directory) / _FENCE
+    if not path.exists():
+        return 0
+    with open(path) as fh:
+        return int(json.load(fh)["epoch"])
+
+
+def write_fence(directory, epoch: int) -> None:
+    """Durably stamp ``directory`` with a fencing ``epoch`` (atomic).
+
+    Idempotent per epoch; lowering an existing fence raises -- fences only
+    ever advance, that is what makes them fences.
+    """
+    directory = Path(directory)
+    current = read_fence(directory)
+    if epoch < current:
+        raise ReproError(f"cannot lower fence from epoch {current} to {epoch}")
+    tmp = directory / (_FENCE + ".tmp")
+    with open(tmp, "w") as fh:
+        json.dump({"epoch": epoch}, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.rename(tmp, directory / _FENCE)
+    _fsync_path(directory)
+
+
 class ChangeLog:
-    """Append-only write-ahead log of applied change batches."""
+    """Append-only write-ahead log of applied change batches.
+
+    ``epoch`` stamps every appended frame with the writer's leadership
+    epoch (0 for an unreplicated service); appends are rejected with
+    :class:`FencedError` when the directory's fence has moved past it.
+    """
 
     FILENAME = "wal.csv"
 
-    def __init__(self, directory, *, sync: bool = True):
+    def __init__(self, directory, *, sync: bool = True, epoch: int = 0):
         self.path = Path(directory) / self.FILENAME
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.sync = sync
+        self.epoch = epoch
         self._fh: Optional[io.TextIOWrapper] = None
 
     # -- writing --------------------------------------------------------
 
     def _handle(self) -> io.TextIOWrapper:
         if self._fh is None or self._fh.closed:
+            created = not self.path.exists()
             self._fh = open(self.path, "a", newline="")
+            if created and self.sync:
+                # the file's *directory entry* must survive power loss too
+                _fsync_path(self.path.parent)
         return self._fh
 
     def append(self, version: int, change_set: ChangeSet) -> int:
@@ -83,10 +190,20 @@ class ChangeLog:
         Returns the bytes appended for this frame (the service feeds the
         ``repro_wal_bytes_total`` counter with it).
         """
+        _fire_fault(
+            CRASH_WAL_APPEND, path=str(self.path), version=version, epoch=self.epoch
+        )
+        fence = read_fence(self.path.parent)
+        if fence > self.epoch:
+            raise FencedError(
+                f"append to {self.path} under epoch {self.epoch} rejected: "
+                f"directory is fenced at epoch {fence} (a newer leader was "
+                "promoted; this writer is a zombie)"
+            )
         fh = self._handle()
         t0 = fh.tell()
         w = csv.writer(fh)
-        w.writerow(["BEGIN", version, len(change_set)])
+        w.writerow(["BEGIN", version, len(change_set), self.epoch])
         for ch in change_set:
             w.writerow(change_to_row(ch))
         w.writerow(["COMMIT", version])
@@ -102,15 +219,24 @@ class ChangeLog:
     # -- replay ---------------------------------------------------------
 
     def replay(self, after_version: int = 0) -> Iterator[tuple[int, ChangeSet]]:
-        """Yield committed (version, batch) pairs with version > ``after_version``.
+        """Yield committed (version, batch) pairs with version > ``after_version``."""
+        for version, batch, _epoch in self.replay_frames(after_version):
+            yield version, batch
+
+    def replay_frames(
+        self, after_version: int = 0
+    ) -> Iterator[tuple[int, ChangeSet, int]]:
+        """Yield committed (version, batch, epoch) with version > ``after_version``.
 
         A torn batch at the tail (``BEGIN`` without its ``COMMIT``) is the
         signature of a crash mid-append and is silently dropped; a torn
-        batch *followed by more records* is corruption and raises.
+        batch *followed by more records* is corruption and raises.  Frames
+        written before the epoch field existed replay as epoch 0.
         """
         if not self.path.exists():
             return
         open_version: Optional[int] = None
+        open_epoch = 0
         open_changes: list = []
         torn_at: Optional[int] = None
         with open(self.path, newline="") as fh:
@@ -128,6 +254,7 @@ class ChangeLog:
                         torn_at = open_version
                         continue
                     open_version = int(row[1])
+                    open_epoch = int(row[3]) if len(row) > 3 else 0
                     open_changes = []
                 elif tag == "COMMIT":
                     if open_version is None or int(row[1]) != open_version:
@@ -135,7 +262,7 @@ class ChangeLog:
                             f"corrupt change log {self.path}: stray COMMIT {row[1:]}"
                         )
                     if open_version > after_version:
-                        yield open_version, ChangeSet(open_changes)
+                        yield open_version, ChangeSet(open_changes), open_epoch
                     open_version = None
                 else:
                     if open_version is None:
@@ -192,7 +319,15 @@ class SnapshotStore:
         return self.root / f"{_SNAP_PREFIX}{version:010d}"
 
     def save(self, graph: SocialGraph, version: int) -> Path:
-        """Write a snapshot of ``graph`` at ``version``; atomic via rename."""
+        """Write a snapshot of ``graph`` at ``version``; atomic via rename.
+
+        The tmp tree is fsynced *before* the rename and the store
+        directory after it: the rename is the commit point, and a commit
+        point over unsynced data would let power loss publish a torn
+        snapshot -- the one artefact bootstrap (recovery, replica
+        :meth:`~repro.replication.Replica` seeding) must be able to trust
+        unconditionally.
+        """
         final = self._dirname(version)
         if final.exists():
             raise ReproError(f"snapshot for version {version} already exists")
@@ -202,7 +337,10 @@ class SnapshotStore:
         save_graph(tmp, graph)
         with open(tmp / _META, "w") as fh:
             json.dump({"schema": _SCHEMA, "version": version}, fh)
+        _fire_fault(CRASH_SNAPSHOT_WRITE, path=str(tmp), version=version)
+        _fsync_tree(tmp)
         os.rename(tmp, final)
+        _fsync_path(self.root)
         return final
 
     def versions(self) -> list[int]:

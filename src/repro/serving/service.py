@@ -45,6 +45,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Union
 
 from repro.analytics.engine import ANALYTICS_NAMES, make_analytics_engine
+from repro.faults import fire as _fire_fault
+from repro.faults import register_crash_point
 from repro.graphblas._kernels import parallel as _kparallel
 from repro.model.changes import Change, ChangeSet
 from repro.model.graph import SocialGraph
@@ -63,6 +65,15 @@ from repro.util.validation import ReproError
 __all__ = ["GraphService"]
 
 _QUERIES = ("Q1", "Q2")
+
+#: the window the fail-stop docstring below describes: the WAL frame is
+#: durable but the in-memory graph has not mutated yet -- a crash here is
+#: the canonical "committed write the crashed process never served"
+CRASH_POST_APPEND = register_crash_point(
+    "post-append-pre-apply",
+    "GraphService._apply, after the WAL frame is fsynced but before the "
+    "graph mutates",
+)
 
 
 class GraphService:
@@ -396,6 +407,11 @@ class GraphService:
                             nbytes = self._wal.append(next_version, batch)
                             wsp.set(nbytes=nbytes)
                     self.registry.counter("repro_wal_bytes_total").inc(nbytes)
+                    _fire_fault(
+                        CRASH_POST_APPEND,
+                        path=str(self._wal.path),
+                        version=next_version,
+                    )
                 with self._metrics.timed("apply"):
                     with span_if(tr, "apply"):
                         delta = self.graph.apply(batch)

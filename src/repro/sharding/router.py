@@ -64,6 +64,7 @@ from repro.model.changes import (
 )
 from repro.model.graph import SocialGraph
 from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.replication.service import ReplicatedGraphService
 from repro.obs.trace import current_span, get_tracer, span_if
 from repro.serving.cache import CachedResult
 from repro.serving.ingest import MicroBatcher, SubmitGate, coerce_changes
@@ -100,7 +101,12 @@ class ShardedGraphService:
     Constructor arguments mirror :class:`~repro.serving.service
     .GraphService` (they configure every shard identically) plus
     ``shards`` -- the partition width, defaulting to the ``REPRO_SHARDS``
-    environment knob.
+    environment knob -- and ``replicas``: when positive, each shard is a
+    :class:`~repro.replication.ReplicatedGraphService` fleet (K shards ×
+    R replicas; requires a ``data_dir``), so a shard's leader can die and
+    be replaced via ``shard.promote()`` without repartitioning.  Barrier
+    reads always come from shard leaders; replicas are each shard's
+    failover capacity.
 
     >>> from repro.model.changes import AddFriendship, AddUser
     >>> svc = ShardedGraphService(shards=2, tools=("graphblas-incremental",),
@@ -121,6 +127,7 @@ class ShardedGraphService:
         graph: Optional[SocialGraph] = None,
         *,
         shards: Optional[int] = None,
+        replicas: int = 0,
         queries: tuple = ("Q1", "Q2"),
         tools: tuple = SHARDABLE_TOOLS,
         analytics: tuple = (),
@@ -142,6 +149,13 @@ class ShardedGraphService:
             shards = default_shards()
         if shards < 1:
             raise ReproError(f"shards must be >= 1, got {shards}")
+        if replicas < 0:
+            raise ReproError(f"replicas must be >= 0, got {replicas}")
+        if replicas and data_dir is None:
+            raise ReproError(
+                "replicated shards keep replica state on disk; pass data_dir "
+                "when replicas > 0"
+            )
         for t in tools:
             if t not in SHARDABLE_TOOLS:
                 raise ReproError(
@@ -149,6 +163,7 @@ class ShardedGraphService:
                     f"protocol; sharded serving supports {SHARDABLE_TOOLS}"
                 )
         self.num_shards = shards
+        self.num_replicas = replicas
         self.queries = tuple(queries)
         self.tools = tuple(tools)
         self.analytics = tuple(analytics)
@@ -212,23 +227,34 @@ class ShardedGraphService:
                         shard_dir = data_dir / f"shard-{i:02d}"
                         if not shard_dir.exists():
                             created_dirs.append(shard_dir)
-                    self._shards.append(
-                        GraphService(
-                            shard_graphs[i],
-                            queries=queries,
-                            tools=tools,
-                            analytics=analytics,
-                            analytics_threshold=analytics_threshold,
-                            k=k,
-                            q2_algorithm=q2_algorithm,
-                            data_dir=shard_dir,
-                            snapshot_every=snapshot_every,
-                            keep_snapshots=keep_snapshots,
-                            wal_sync=wal_sync,
-                            concurrent_refresh=concurrent_refresh,
-                            shard=(i, shards),
-                        )
+                    shard_kwargs = dict(
+                        queries=queries,
+                        tools=tools,
+                        analytics=analytics,
+                        analytics_threshold=analytics_threshold,
+                        k=k,
+                        q2_algorithm=q2_algorithm,
+                        snapshot_every=snapshot_every,
+                        keep_snapshots=keep_snapshots,
+                        wal_sync=wal_sync,
+                        concurrent_refresh=concurrent_refresh,
+                        shard=(i, shards),
                     )
+                    if replicas:
+                        self._shards.append(
+                            ReplicatedGraphService(
+                                shard_graphs[i],
+                                replicas=replicas,
+                                data_dir=shard_dir,
+                                **shard_kwargs,
+                            )
+                        )
+                    else:
+                        self._shards.append(
+                            GraphService(
+                                shard_graphs[i], data_dir=shard_dir, **shard_kwargs
+                            )
+                        )
             except BaseException:
                 # a failed construction must not poison data_dir: drop the
                 # shard directories this attempt created (router.json is
@@ -244,7 +270,11 @@ class ShardedGraphService:
             meta_path = data_dir / _META_FILE
             if not meta_path.exists():
                 with open(meta_path, "w") as fh:
-                    json.dump({"schema": _META_SCHEMA, "shards": shards}, fh)
+                    json.dump(
+                        {"schema": _META_SCHEMA, "shards": shards,
+                         "replicas": replicas},
+                        fh,
+                    )
             self._wal = ChangeLog(data_dir, sync=wal_sync)
 
         self._scatter_pool: Optional[ThreadPoolExecutor] = None
@@ -292,6 +322,14 @@ class ShardedGraphService:
                 f"partitioned with shards={shards} (repartitioning is a "
                 "rebuild, not a recovery)"
             )
+        replicas = int(meta.get("replicas", 0))
+        asked_r = kwargs.pop("replicas", None)
+        if asked_r is not None and asked_r != replicas:
+            raise ReproError(
+                f"cannot recover with replicas={asked_r}: {data_dir} was laid "
+                f"out with replicas={replicas} (resizing the fleet is a "
+                "rebuild, not a recovery)"
+            )
         wal_sync = kwargs.get("wal_sync", True)
         shard_kwargs = {
             key: kwargs[key]
@@ -303,8 +341,9 @@ class ShardedGraphService:
             if key in kwargs
         }
         with span_if(get_tracer(), "recover", shards=shards) as sp:
+            shard_cls = ReplicatedGraphService if replicas else GraphService
             services = [
-                GraphService.recover(
+                shard_cls.recover(
                     data_dir / f"shard-{i:02d}", shard=(i, shards), **shard_kwargs
                 )
                 for i in range(shards)
@@ -313,7 +352,8 @@ class ShardedGraphService:
                 router_wal = ChangeLog(data_dir, sync=wal_sync)
                 router_wal.repair()
                 service = cls(
-                    shards=shards, data_dir=data_dir, _shard_services=services, **kwargs
+                    shards=shards, replicas=replicas, data_dir=data_dir,
+                    _shard_services=services, **kwargs
                 )
                 base = min(svc.version for svc in services)
                 target = max(
@@ -540,6 +580,7 @@ class ShardedGraphService:
             return {
                 "version": self.version,
                 "shards": self.num_shards,
+                "replicas": self.num_replicas,
                 "pending": self._batcher.pending,
                 "submitted": self._batcher.submitted,
                 "applied_batches": self._batcher.batches,

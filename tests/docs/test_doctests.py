@@ -21,6 +21,9 @@ SURFACE = {
     "repro.queries.engine": ("EngineBase", "QueryEngine"),
     "repro.analytics.engine": (),  # module-level example
     "repro.graphblas._kernels.parallel": ("set_kernel_executor",),
+    "repro.faults": (),  # module-level example
+    "repro.replication.service": ("ReplicatedGraphService",),
+    "repro.replication.shipper": ("DirectoryWalShipper",),
     "repro.sharding.router": ("ShardedGraphService",),
     "repro.sharding.partition": ("shard_of",),
     "repro.sharding.merge": ("merge_topk_entries", "merge_partition_partials"),

@@ -1,0 +1,133 @@
+"""repro.faults: registry, deterministic schedules, matchers, injection."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.replication  # noqa: F401 - registers ship/promote
+import repro.serving.service  # noqa: F401 - registers the serving points
+from repro.faults import (
+    FaultPlan,
+    InjectedCrash,
+    at_path,
+    crash_points,
+    fire,
+    inject,
+    register_crash_point,
+)
+from repro.util.validation import ReproError
+
+
+class TestRegistry:
+    def test_all_documented_points_registered(self):
+        """The crash-site inventory the failover suite enumerates; a new
+        point must be added here (and classified there) deliberately."""
+        assert set(crash_points()) == {
+            "wal-append",
+            "post-append-pre-apply",
+            "snapshot-write",
+            "ship",
+            "promote",
+        }
+
+    def test_descriptions_are_nonempty(self):
+        for name, desc in crash_points().items():
+            assert desc, name
+
+    def test_reregistration_same_description_is_idempotent(self):
+        desc = crash_points()["wal-append"]
+        assert register_crash_point("wal-append", desc) == "wal-append"
+
+    def test_reregistration_different_description_collides(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_crash_point("wal-append", "somewhere else entirely")
+
+    def test_unknown_point_in_plan_raises(self):
+        with pytest.raises(ReproError, match="unknown crash point"):
+            FaultPlan().crash("not-a-point")
+
+
+class TestFire:
+    def test_noop_without_plan(self):
+        fire("wal-append", path="/nowhere")  # must not raise
+
+    def test_first_hit_crashes_by_default(self):
+        plan = FaultPlan().crash("wal-append")
+        with inject(plan):
+            with pytest.raises(InjectedCrash) as err:
+                fire("wal-append", path="/x")
+        assert err.value.point == "wal-append"
+        assert err.value.hit == 1
+        assert err.value.ctx == {"path": "/x"}
+        assert plan.fired() == ["wal-append"]
+
+    def test_hit_counting_is_deterministic(self):
+        plan = FaultPlan().crash("wal-append", hit=3)
+        with inject(plan):
+            fire("wal-append")
+            fire("wal-append")
+            with pytest.raises(InjectedCrash):
+                fire("wal-append")
+            fire("wal-append")  # trigger is spent: later hits survive
+        assert [p for p, _ in plan.hits] == ["wal-append"] * 4
+
+    def test_match_filters_hits(self):
+        plan = FaultPlan().crash("wal-append", match=at_path("shard-01"))
+        with inject(plan):
+            fire("wal-append", path="/d/shard-00/wal.csv")
+            with pytest.raises(InjectedCrash):
+                fire("wal-append", path="/d/shard-01/wal.csv")
+
+    def test_custom_exception_type(self):
+        plan = FaultPlan().crash("wal-append", exc=OSError)
+        with inject(plan):
+            with pytest.raises(OSError, match="injected crash"):
+                fire("wal-append")
+
+    def test_observation_mode_records_every_hit(self):
+        """An empty plan is the discovery tool: nothing crashes, every
+        fire lands in .hits -- how the failover suite maps the crash
+        schedule of a workload before scheduling kills."""
+        plan = FaultPlan()
+        with inject(plan):
+            fire("wal-append", path="a", version=1)
+            fire("ship", path="b")
+        assert [p for p, _ in plan.hits] == ["wal-append", "ship"]
+        assert plan.hits[0][1] == {"path": "a", "version": 1}
+        assert plan.fired() == []
+
+    def test_injected_crash_is_not_a_repro_error(self):
+        """Recovery code must see an injected crash as arbitrary process
+        death, never as a validation verdict it might catch."""
+        assert not issubclass(InjectedCrash, ReproError)
+
+    def test_plans_do_not_nest(self):
+        with inject(FaultPlan()):
+            with pytest.raises(ReproError, match="already installed"):
+                with inject(FaultPlan()):
+                    pass
+
+    def test_plan_uninstalls_after_block(self):
+        plan = FaultPlan().crash("wal-append")
+        with inject(plan):
+            with pytest.raises(InjectedCrash):
+                fire("wal-append")
+        fire("wal-append")  # plan gone: silent again
+
+    def test_hit_must_be_positive(self):
+        with pytest.raises(ReproError, match="hit must be"):
+            FaultPlan().crash("wal-append", hit=0)
+
+    def test_two_triggers_independent_counters(self):
+        plan = (
+            FaultPlan()
+            .crash("wal-append", match=at_path("a"), hit=1)
+            .crash("wal-append", match=at_path("b"), hit=2)
+        )
+        with inject(plan):
+            with pytest.raises(InjectedCrash):
+                fire("wal-append", path="a")
+            fire("wal-append", path="b")
+            with pytest.raises(InjectedCrash):
+                fire("wal-append", path="b")
+        assert plan.fired() == ["wal-append", "wal-append"]

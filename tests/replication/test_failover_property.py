@@ -1,0 +1,181 @@
+"""The failover property: kill the leader at every crash point, promote,
+lose nothing.
+
+For each registered crash point on the leader's write path the suite
+drives a replicated fleet mid-stream, kills the leader exactly there (a
+:class:`FaultPlan` aimed at ``node-00`` -- replicas fire the same points
+on their own WALs, so path matching is what makes the kill surgical),
+promotes a replica, resumes the client's retry loop, and asserts:
+
+* no committed write is lost -- the promoted leader drains the old
+  leader's WAL to exactly ``last_version()``;
+* results are bit-identical to a service that never crashed;
+* served ``version`` tags stay monotone across the failover;
+* the deposed leader is fenced -- a zombie write raises instead of
+  forking history.
+
+``tests/faults/test_faults.py`` pins the registry inventory; here every
+point must be *classified* (leader-path or replica-path), so adding a
+crash point without deciding its failover story fails the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash, at_path, crash_points, inject
+from repro.model.changes import AddUser
+from repro.replication import ReplicatedGraphService
+from repro.serving import GraphService
+from repro.serving.persistence import ChangeLog, FencedError
+from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
+
+KW = dict(tools=("graphblas-incremental",), analytics=("components",),
+          max_batch=10**9, max_delay_ms=1e9)
+QUERIES = ("Q1", "Q2", "components")
+
+#: points on the leader's write path: the kill-and-promote property runs
+#: once per entry
+LEADER_POINTS = ("wal-append", "post-append-pre-apply", "snapshot-write")
+#: points on the replica/failover path, each with its own scenario below
+REPLICA_POINTS = ("ship", "promote")
+
+
+def test_every_crash_point_is_classified():
+    """A new crash point must be placed in exactly one bucket here --
+    and thereby get a failover scenario -- before the suite passes."""
+    assert set(crash_points()) == set(LEADER_POINTS) | set(REPLICA_POINTS)
+    assert not set(LEADER_POINTS) & set(REPLICA_POINTS)
+
+
+def test_observation_mode_maps_the_crash_schedule(tmp_path):
+    """An empty plan records where a workload *would* die: the discovery
+    pass that tells the property test its points are actually exercised."""
+    fresh, stream = datagen_stream(109, total_inserts=100)
+    plan = FaultPlan()
+    with inject(plan):
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     snapshot_every=2, **KW)
+        for cs in stream[:2]:
+            svc.submit(list(cs))
+            svc.flush()
+        svc.query("Q1")
+        svc.close()
+    points = {p for p, _ in plan.hits}
+    assert {"wal-append", "post-append-pre-apply",
+            "snapshot-write", "ship"} <= points
+    assert plan.fired() == []  # observation only: nothing crashed
+    assert all("path" in ctx for _, ctx in plan.hits)  # at_path targetable
+
+
+class TestKillLeaderAtEveryPoint:
+    @pytest.mark.parametrize("point", LEADER_POINTS)
+    def test_promote_loses_nothing_and_matches_oracle(self, tmp_path, point):
+        fresh, stream = datagen_stream(127, removal_fraction=0.3,
+                                       total_inserts=150)
+        svc = ReplicatedGraphService(fresh(), replicas=2,
+                                     data_dir=tmp_path / "fleet",
+                                     snapshot_every=2, **KW)
+        served = []
+
+        def drive(css):
+            for cs in css:
+                svc.submit(list(cs))
+                svc.flush()
+                served.append(svc.query("Q1").version)
+
+        drive(stream[:2])
+        plan = FaultPlan().crash(point, match=at_path("node-00"))
+        crashed = False
+        with inject(plan):
+            try:
+                drive(stream[2:])
+            except InjectedCrash:
+                crashed = True
+        assert crashed, f"{point} never fired on the leader"
+        assert plan.fired() == [point]
+
+        # the ground truth a failover must preserve: the old leader's
+        # committed (fsynced) WAL frontier
+        old_leader = svc._leader
+        committed = ChangeLog(tmp_path / "fleet" / "node-00").last_version()
+        assert committed >= 2
+
+        assert svc.promote() == committed  # drained: nothing committed lost
+        assert svc.epoch == 1
+        assert svc.stats()["leader"] == "node-01"
+
+        # the zombie cannot fork history: fenced (or already fail-stopped)
+        with pytest.raises((FencedError, ReproError)):
+            old_leader.submit([AddUser(987654)])
+            old_leader.flush()
+
+        # the client retries everything past the committed frontier
+        drive(stream[committed:])
+        assert svc.version == len(stream)
+        assert served == sorted(served), f"non-monotone reads: {served}"
+
+        oracle = GraphService(fresh(), **KW)
+        for cs in stream:
+            oracle.submit(list(cs))
+            oracle.flush()
+        try:
+            for q in QUERIES:
+                want = oracle.query(q)
+                via_fleet = svc.query(q)
+                via_leader = svc._leader.query(q)
+                assert via_fleet.result_string == want.result_string
+                assert via_fleet.top == want.top
+                assert via_leader.result_string == want.result_string
+        finally:
+            oracle.close()
+            svc.close()
+
+
+class TestReplicaPathCrashes:
+    def test_ship_crash_backs_off_and_the_fleet_still_serves(self, tmp_path):
+        """A replica dying inside its shipper poll is a *read-path* fault:
+        the front backs it off and the read lands elsewhere, lossless."""
+        fresh, stream = datagen_stream(131, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=2, data_dir=tmp_path,
+                                     **KW)
+        for cs in stream[:2]:
+            svc.submit(list(cs))
+            svc.flush()
+        plan = FaultPlan().crash("ship")
+        with inject(plan):
+            r = svc.query("Q1")
+        assert plan.fired() == ["ship"]
+        assert r.source == "node-02"  # node-01 died polling; next took over
+        assert r.version == 2
+        assert svc._backoff["node-01"]["failures"] == 1
+        assert r.result_string == svc._leader.query("Q1").result_string
+        svc.close()
+
+    def test_promote_crash_leaves_fleet_intact_and_retryable(self, tmp_path):
+        """Dying at the promote entry point (before the fence) must leave
+        the old regime fully live: leader writable, both replicas in the
+        fleet, epoch unchanged -- and the retry must simply work."""
+        fresh, stream = datagen_stream(137, removal_fraction=0.2,
+                                       total_inserts=120)
+        svc = ReplicatedGraphService(fresh(), replicas=2, data_dir=tmp_path,
+                                     **KW)
+        for cs in stream[:3]:
+            svc.submit(list(cs))
+            svc.flush()
+        with inject(FaultPlan().crash("promote")):
+            with pytest.raises(InjectedCrash):
+                svc.promote()
+        assert svc.epoch == 0
+        assert len(svc._replicas) == 2
+        assert svc.stats()["leader"] == "node-00"
+        svc.submit(list(stream[3]))  # the unfenced leader still writes
+        svc.flush()
+        assert svc.promote() == 4  # the retry succeeds and drains fully
+        assert svc.stats()["leader"] == "node-01"
+        for cs in stream[4:]:
+            svc.submit(list(cs))
+            svc.flush()
+        assert svc.query("Q1").version == len(stream)
+        svc.close()

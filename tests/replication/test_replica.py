@@ -1,0 +1,196 @@
+"""Replica + DirectoryWalShipper: bootstrap, tailing, epochs, re-seeding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.changes import AddUser, ChangeSet
+from repro.replication import DirectoryWalShipper, Replica
+from repro.serving import GraphService
+from repro.serving.persistence import FencedError
+from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
+
+KW = dict(tools=("graphblas-incremental",), analytics=("components",),
+          max_batch=10**9, max_delay_ms=1e9)
+QUERIES = ("Q1", "Q2", "components")
+
+
+def _leader(tmp_path, fresh):
+    d = tmp_path / "leader"
+    return GraphService(fresh(), data_dir=d, **KW), d
+
+
+class TestShipper:
+    def test_bootstrap_requires_a_snapshot(self, tmp_path):
+        with pytest.raises(ReproError, match="no snapshot"):
+            DirectoryWalShipper(tmp_path).bootstrap()
+
+    def test_bootstrap_and_poll(self, tmp_path):
+        fresh, stream = datagen_stream(11, removal_fraction=0.2,
+                                       total_inserts=100)
+        leader, d = _leader(tmp_path, fresh)
+        leader.submit(list(stream[0]))
+        leader.flush()
+        shipper = DirectoryWalShipper(d)
+        version, graph, epoch = shipper.bootstrap()
+        assert (version, epoch) == (0, 0)  # the baseline snapshot
+        frames = shipper.poll(version)
+        assert [(v, e) for v, _, e in frames] == [(1, 0)]
+        assert shipper.poll(1) == []
+        leader.close()
+
+    def test_poll_never_ships_a_torn_frame(self, tmp_path):
+        fresh, _ = datagen_stream(13, total_inserts=60)
+        leader, d = _leader(tmp_path, fresh)
+        leader.submit([AddUser(9001)])
+        leader.flush()
+        leader.close()
+        with open(d / "wal.csv", "a", newline="") as fh:
+            fh.write("BEGIN,2,1,0\nU,9002,\n")  # crash mid-append: no COMMIT
+        frames = DirectoryWalShipper(d).poll(0)
+        assert [v for v, _, _ in frames] == [1]
+
+
+class TestReplicaTailing:
+    def test_replica_serves_identical_results(self, tmp_path):
+        fresh, stream = datagen_stream(17, removal_fraction=0.3,
+                                       total_inserts=150)
+        leader, d = _leader(tmp_path, fresh)
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        for cs in stream:
+            leader.submit(list(cs))
+            leader.flush()
+            rep.catch_up()
+            assert rep.version == leader.version
+            for q in QUERIES:
+                got, want = rep.query(q), leader.query(q)
+                assert got.result_string == want.result_string
+                assert got.top == want.top
+                assert got.source == "r0"
+                assert want.source is None
+        leader.close()
+        rep.close()
+
+    def test_catch_up_is_incremental_and_idempotent(self, tmp_path):
+        fresh, stream = datagen_stream(19, removal_fraction=0.2,
+                                       total_inserts=120)
+        leader, d = _leader(tmp_path, fresh)
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        for cs in stream[:3]:
+            leader.submit(list(cs))
+            leader.flush()
+        assert rep.catch_up() == 3
+        assert rep.catch_up() == 0  # nothing new: a strict no-op
+        assert rep.version == 3
+        leader.close()
+        rep.close()
+
+    def test_apply_frame_skips_already_applied(self, tmp_path):
+        fresh, stream = datagen_stream(23, removal_fraction=0.2,
+                                       total_inserts=100)
+        leader, d = _leader(tmp_path, fresh)
+        leader.submit(list(stream[0]))
+        leader.flush()
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        rep.catch_up()
+        before = {q: rep.query(q).result_string for q in QUERIES}
+        # re-deliver the whole history (a catch-up race): all no-ops
+        for v, batch, epoch in rep.shipper.poll(0):
+            assert rep.apply_frame(v, batch, epoch) is False
+        assert rep.version == 1
+        assert {q: rep.query(q).result_string for q in QUERIES} == before
+        leader.close()
+        rep.close()
+
+    def test_gap_triggers_reseed(self, tmp_path):
+        """Retargeting to a source whose WAL starts past us (the
+        freshly-promoted-leader shape) re-bootstraps instead of failing."""
+        fresh, stream = datagen_stream(29, removal_fraction=0.2,
+                                       total_inserts=120)
+        leader, d = _leader(tmp_path, fresh)
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        # a second source whose WAL only reaches back to its v3 snapshot
+        d2 = tmp_path / "leader2"
+        leader2 = GraphService(fresh(), data_dir=d2, **KW)
+        for cs in stream[:3]:
+            leader2.submit(list(cs))
+            leader2.flush()
+        leader2.snapshot()  # snapshot at v3...
+        leader2._wal.close()
+        (d2 / "wal.csv").unlink()  # ...and the log before it is gone
+        for cs in stream[3:5]:
+            leader2.submit(list(cs))
+            leader2.flush()
+        rep.shipper.retarget(d2)
+        rep.catch_up()  # v4 is a gap from v0: re-seed at v3, then tail
+        assert rep.version == leader2.version == 5
+        for q in QUERIES:
+            assert rep.query(q).result_string == leader2.query(q).result_string
+        leader.close()
+        leader2.close()
+        rep.close()
+
+
+class TestReplicaEpochs:
+    def test_stale_epoch_frame_is_rejected(self, tmp_path):
+        fresh, _ = datagen_stream(31, total_inserts=60)
+        leader, d = _leader(tmp_path, fresh)
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        rep.epoch = 2  # the replica has seen epoch 2 leadership
+        leader.submit([AddUser(9001)])
+        leader.flush()  # frame carries epoch 0 < 2: zombie
+        with pytest.raises(FencedError, match="zombie"):
+            rep.catch_up()
+        leader.close()
+        rep.close()
+
+    def test_higher_epoch_is_adopted_in_band(self, tmp_path):
+        fresh, _ = datagen_stream(37, total_inserts=60)
+        leader, d = _leader(tmp_path, fresh)
+        leader._wal.epoch = 3  # a promoted leader stamps its epoch
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        leader.submit([AddUser(9001)])
+        leader.flush()
+        rep.catch_up()
+        assert rep.epoch == 3
+        assert rep.service._wal.epoch == 3  # the regime change is durable
+        leader.close()
+        rep.close()
+
+
+class TestPromotion:
+    def test_promote_fences_drains_and_adopts(self, tmp_path):
+        fresh, stream = datagen_stream(41, removal_fraction=0.2,
+                                       total_inserts=120)
+        leader, d = _leader(tmp_path, fresh)
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        for cs in stream[:3]:
+            leader.submit(list(cs))
+            leader.flush()
+        # the replica is behind when the failover starts
+        assert rep.version == 0
+        svc = rep.promote(1)
+        assert svc is rep.service
+        assert rep.version == 3  # residual WAL drained: nothing lost
+        assert rep.epoch == 1
+        # the old leader is now a zombie: its next append is rejected
+        with pytest.raises((FencedError, ReproError)):
+            leader.submit([AddUser(9100)])
+            leader.flush()
+        # the new leader serves and takes writes under the new epoch
+        svc.submit(list(stream[3]))
+        svc.flush()
+        assert svc.version == 4
+        frames = DirectoryWalShipper(tmp_path / "r0").poll(3)
+        assert [(v, e) for v, _, e in frames] == [(4, 1)]
+        rep.close()
+
+    def test_promote_epoch_must_advance(self, tmp_path):
+        fresh, _ = datagen_stream(43, total_inserts=60)
+        leader, d = _leader(tmp_path, fresh)
+        rep = Replica(DirectoryWalShipper(d), data_dir=tmp_path / "r0", **KW)
+        with pytest.raises(ReproError, match="must exceed"):
+            rep.promote(0)
+        leader.close()
+        rep.close()

@@ -1,0 +1,261 @@
+"""ReplicatedGraphService: routing, staleness policy, backoff, failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.changes import AddUser
+from repro.replication import ReplicatedGraphService, default_replicas
+from repro.replication.service import _META_FILE
+from repro.serving.persistence import FencedError
+from repro.util.timer import WallClock
+from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
+
+KW = dict(tools=("graphblas-incremental",), analytics=("components",),
+          max_batch=10**9, max_delay_ms=1e9)
+QUERIES = ("Q1", "Q2", "components")
+
+
+def _drive(svc, stream):
+    for cs in stream:
+        svc.submit(list(cs))
+        svc.flush()
+
+
+class TestKnob:
+    def test_default_replicas_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPLICAS", raising=False)
+        assert default_replicas() == 1
+        monkeypatch.setenv("REPRO_REPLICAS", "3")
+        assert default_replicas() == 3
+        monkeypatch.setenv("REPRO_REPLICAS", "zero")
+        with pytest.raises(ReproError, match="bad REPRO_REPLICAS"):
+            default_replicas()
+        monkeypatch.setenv("REPRO_REPLICAS", "-1")
+        with pytest.raises(ReproError, match="must be >= 0"):
+            default_replicas()
+
+
+class TestReads:
+    def test_replica_reads_match_leader_and_round_robin(self, tmp_path):
+        fresh, stream = datagen_stream(47, removal_fraction=0.3,
+                                       total_inserts=150)
+        svc = ReplicatedGraphService(fresh(), replicas=2, data_dir=tmp_path,
+                                     **KW)
+        oracle_results = {}
+        _drive(svc, stream[:3])
+        for q in QUERIES:
+            oracle_results[q] = svc._leader.query(q)
+        sources = set()
+        for _ in range(4):
+            for q in QUERIES:
+                r = svc.query(q)
+                assert r.version == svc.version == 3
+                assert r.result_string == oracle_results[q].result_string
+                assert r.top == oracle_results[q].top
+                sources.add(r.source)
+        assert sources == {"node-01", "node-02"}  # both replicas serve
+        svc.close()
+
+    def test_bounded_staleness_and_monotone_reads(self, tmp_path):
+        fresh, stream = datagen_stream(53, removal_fraction=0.2,
+                                       total_inserts=150)
+        svc = ReplicatedGraphService(fresh(), replicas=2, data_dir=tmp_path,
+                                     max_staleness=2, **KW)
+        served = []
+        for cs in stream:
+            _drive(svc, [cs])
+            r = svc.query("Q1")
+            assert svc.version - r.version <= 2  # the staleness contract
+            served.append(r.version)
+        assert served == sorted(served), f"non-monotone reads: {served}"
+        svc.close()
+
+    def test_zero_replicas_degenerates_to_leader(self, tmp_path):
+        fresh, stream = datagen_stream(59, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=0, data_dir=tmp_path,
+                                     **KW)
+        _drive(svc, stream[:2])
+        r = svc.query("Q1")
+        assert r.source == "leader"
+        assert r.version == 2
+        snap = svc.stats()["metrics"]
+        assert any("repro_leader_read_fallbacks_total" in str(k) for k in snap)
+        svc.close()
+
+
+class TestDegradation:
+    def test_dead_replica_backs_off_and_leader_serves(self, tmp_path):
+        fresh, stream = datagen_stream(61, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     **KW)
+        _drive(svc, stream[:2])
+        svc._replicas[0].service._failed = True  # the replica process died
+        r = svc.query("Q1")
+        assert r.source == "leader"  # graceful degradation
+        state = svc._backoff["node-01"]
+        assert state["failures"] == 1
+        assert state["retry_at"] > WallClock.now()
+        # while in backoff the replica is not even tried
+        r2 = svc.query("Q1")
+        assert r2.source == "leader"
+        assert svc._backoff["node-01"]["failures"] == 1
+        svc.close()
+
+    def test_backoff_doubles_and_caps(self, tmp_path, monkeypatch):
+        fresh, stream = datagen_stream(67, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     backoff_base_s=1.0, backoff_cap_s=4.0,
+                                     **KW)
+        _drive(svc, stream[:2])
+        svc._replicas[0].service._failed = True
+        clock = {"t": 1000.0}
+        monkeypatch.setattr(WallClock, "now", staticmethod(lambda: clock["t"]))
+        waits = []
+        for _ in range(4):
+            svc.query("Q1")
+            waits.append(svc._backoff["node-01"]["retry_at"] - clock["t"])
+            clock["t"] = svc._backoff["node-01"]["retry_at"] + 0.001
+        assert waits == [1.0, 2.0, 4.0, 4.0]  # doubling, then capped
+        svc.close()
+
+    def test_recovered_replica_serves_again_and_resets_backoff(
+        self, tmp_path, monkeypatch
+    ):
+        fresh, stream = datagen_stream(71, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     backoff_base_s=1.0, **KW)
+        _drive(svc, stream[:2])
+        svc._replicas[0].service._failed = True
+        clock = {"t": 1000.0}
+        monkeypatch.setattr(WallClock, "now", staticmethod(lambda: clock["t"]))
+        assert svc.query("Q1").source == "leader"
+        # the replica comes back; once backoff expires it serves again
+        svc._replicas[0].service._failed = False
+        clock["t"] = svc._backoff["node-01"]["retry_at"] + 0.001
+        assert svc.query("Q1").source == "node-01"
+        assert svc._backoff["node-01"]["failures"] == 0
+        svc.close()
+
+    def test_slow_replica_times_out_to_leader(self, tmp_path, monkeypatch):
+        fresh, stream = datagen_stream(73, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     read_timeout_s=0.5, **KW)
+        _drive(svc, stream[:2])
+        clock = {"t": 1000.0}
+
+        def slow_now():
+            clock["t"] += 0.4  # every clock read costs 0.4s: reads blow 0.5s
+            return clock["t"]
+
+        monkeypatch.setattr(WallClock, "now", staticmethod(slow_now))
+        r = svc.query("Q1")
+        assert r.source == "leader"
+        snap = svc.stats()["metrics"]
+        assert any("repro_replica_errors_total" in str(k) for k in snap)
+        svc.close()
+
+
+class TestFailover:
+    def test_promote_elects_most_caught_up_and_fences_zombie(self, tmp_path):
+        fresh, stream = datagen_stream(79, removal_fraction=0.2,
+                                       total_inserts=150)
+        svc = ReplicatedGraphService(fresh(), replicas=2, data_dir=tmp_path,
+                                     **KW)
+        _drive(svc, stream[:3])
+        old_leader = svc._leader
+        assert svc.promote() == 3  # residual WAL fully drained
+        assert svc.epoch == 1
+        assert svc.stats()["leader"] == "node-01"  # lowest index won the tie
+        # the deposed leader is a fenced zombie: its next write is rejected
+        with pytest.raises((FencedError, ReproError)):
+            old_leader.submit([AddUser(9300)])
+            old_leader.flush()
+        # the fleet keeps serving and writing under the new regime
+        _drive(svc, stream[3:])
+        oracle = {}
+        for q in QUERIES:
+            oracle[q] = svc._leader.query(q).result_string
+        for q in QUERIES:
+            assert svc.query(q).result_string == oracle[q]
+        assert svc.query("Q1").source == "node-02"  # the surviving replica
+        svc.close()
+
+    def test_promote_explicit_index(self, tmp_path):
+        fresh, stream = datagen_stream(83, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=2, data_dir=tmp_path,
+                                     **KW)
+        _drive(svc, stream[:2])
+        svc.promote(index=1)
+        assert svc.stats()["leader"] == "node-02"
+        svc.close()
+
+    def test_promote_without_replicas_raises(self, tmp_path):
+        fresh, _ = datagen_stream(89, total_inserts=60)
+        svc = ReplicatedGraphService(fresh(), replicas=0, data_dir=tmp_path,
+                                     **KW)
+        with pytest.raises(ReproError, match="no replicas"):
+            svc.promote()
+        svc.close()
+
+
+class TestRecovery:
+    def test_recover_resumes_fleet_and_epoch(self, tmp_path):
+        fresh, stream = datagen_stream(97, removal_fraction=0.2,
+                                       total_inserts=150)
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     **KW)
+        _drive(svc, stream[:2])
+        svc.promote()
+        _drive(svc, [stream[2]])
+        v, epoch = svc.version, svc.epoch
+        svc.close()
+
+        rec = ReplicatedGraphService.recover(tmp_path, **KW)
+        try:
+            assert rec.version == v == 3
+            assert rec.epoch == epoch == 1
+            assert rec.stats()["leader"] == "node-01"
+            _drive(rec, stream[3:])
+            r = rec.query("Q1")
+            assert r.version == len(stream)
+        finally:
+            rec.close()
+
+    def test_fresh_ctor_refuses_existing_state(self, tmp_path):
+        fresh, _ = datagen_stream(101, total_inserts=60)
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     **KW)
+        svc.close()
+        assert (tmp_path / _META_FILE).exists()
+        with pytest.raises(ReproError, match="recover"):
+            ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                   **KW)
+
+    def test_recover_refuses_fleet_resize(self, tmp_path):
+        fresh, _ = datagen_stream(103, total_inserts=60)
+        svc = ReplicatedGraphService(fresh(), replicas=2, data_dir=tmp_path,
+                                     **KW)
+        svc.close()
+        with pytest.raises(ReproError, match="rebuild"):
+            ReplicatedGraphService.recover(tmp_path, replicas=1, **KW)
+
+
+class TestTelemetry:
+    def test_lag_in_stats_metrics_and_prometheus(self, tmp_path):
+        fresh, stream = datagen_stream(107, total_inserts=100)
+        svc = ReplicatedGraphService(fresh(), replicas=1, data_dir=tmp_path,
+                                     **KW)
+        _drive(svc, stream[:3])
+        st = svc.stats()
+        assert st["replicas"]["node-01"]["lag"] == 3  # no read happened yet
+        assert any("repro_replication_lag" in str(k) for k in st["metrics"])
+        text = svc.metrics_text()
+        assert "repro_replication_lag" in text
+        assert 'replica="node-01"' in text
+        svc.query("Q1")
+        assert svc.stats()["replicas"]["node-01"]["lag"] == 0
+        text = svc.metrics_text()
+        assert "repro_replica_reads_total" in text
+        svc.close()

@@ -1,0 +1,161 @@
+"""Crash safety of the persistence layer, driven by repro.faults.
+
+The satellite regression for the fsync-before-rename fix: a crash
+injected between a snapshot's file writes and its atomic rename must
+leave *no published snapshot* (only an ignorable ``.tmp``), and a crash
+at the WAL-append site must leave the log exactly as it was -- so what a
+recovery (or a tailing replica) reads is always a fully-fsynced artefact.
+Also pins the epoch fencing contract on ``ChangeLog.append``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash, inject
+from repro.model.changes import AddUser, ChangeSet
+from repro.serving import GraphService
+from repro.serving.persistence import (
+    ChangeLog,
+    FencedError,
+    SnapshotStore,
+    read_fence,
+    write_fence,
+)
+from repro.model.graph import SocialGraph
+from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
+
+KW = dict(tools=("graphblas-incremental",), max_batch=10**9, max_delay_ms=1e9)
+
+
+class TestSnapshotWriteCrash:
+    def test_crash_before_rename_publishes_nothing(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        g = SocialGraph()
+        g.add_user(1)
+        with inject(FaultPlan().crash("snapshot-write")):
+            with pytest.raises(InjectedCrash):
+                store.save(g, 1)
+        # the commit point (rename) was never reached: nothing is visible
+        assert store.versions() == []
+        assert (tmp_path / "snapshot-0000000001.tmp").exists()
+
+    def test_crashed_attempt_is_retryable(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        g = SocialGraph()
+        g.add_user(1)
+        with inject(FaultPlan().crash("snapshot-write")):
+            with pytest.raises(InjectedCrash):
+                store.save(g, 1)
+        store.save(g, 1)  # the .tmp turd from the crash is swept aside
+        assert store.versions() == [1]
+        assert 1 in store.load(1).users
+
+    def test_service_crash_between_write_and_rename_recovers(self, tmp_path):
+        """The ISSUE scenario end-to-end: kill the service inside
+        snapshot(), recover, and serve results identical to an
+        uninterrupted run."""
+        fresh, stream = datagen_stream(71, removal_fraction=0.2,
+                                       total_inserts=120)
+        svc = GraphService(fresh(), data_dir=tmp_path, snapshot_every=2, **KW)
+        svc.submit(list(stream[0]))
+        svc.flush()
+        # the v2 periodic snapshot dies between file writes and rename
+        with inject(FaultPlan().crash("snapshot-write")):
+            with pytest.raises(InjectedCrash):
+                svc.submit(list(stream[1]))
+                svc.flush()
+        # v2 committed (WAL) and applied; only the snapshot is missing
+        assert svc.version == 2
+        store = SnapshotStore(tmp_path)
+        assert 2 not in store.versions()
+        del svc
+
+        rec = GraphService.recover(tmp_path, **KW)
+        oracle = GraphService(fresh(), **KW)
+        for cs in stream[:2]:
+            oracle.submit(list(cs))
+            oracle.flush()
+        try:
+            assert rec.version == 2
+            for q in ("Q1", "Q2"):
+                assert rec.query(q).result_string == oracle.query(q).result_string
+        finally:
+            rec.close()
+            oracle.close()
+
+
+class TestWalAppendCrash:
+    def test_crash_leaves_log_byte_identical(self, tmp_path):
+        log = ChangeLog(tmp_path)
+        log.append(1, ChangeSet([AddUser(1)]))
+        before = (tmp_path / "wal.csv").read_bytes()
+        with inject(FaultPlan().crash("wal-append")):
+            with pytest.raises(InjectedCrash):
+                log.append(2, ChangeSet([AddUser(2)]))
+        assert (tmp_path / "wal.csv").read_bytes() == before
+        assert log.last_version() == 1
+
+    def test_service_fail_stops_and_recovers_at_committed_version(self, tmp_path):
+        fresh, stream = datagen_stream(73, removal_fraction=0.3,
+                                       total_inserts=120)
+        svc = GraphService(fresh(), data_dir=tmp_path, **KW)
+        svc.submit(list(stream[0]))
+        svc.flush()
+        with inject(FaultPlan().crash("wal-append")):
+            with pytest.raises(InjectedCrash):
+                svc.submit(list(stream[1]))
+                svc.flush()
+        with pytest.raises(ReproError, match="fail-stopped"):
+            svc.query("Q1")
+        del svc
+
+        rec = GraphService.recover(tmp_path, **KW)
+        try:
+            assert rec.version == 1  # the crashed frame never committed
+            rec.submit(list(stream[1]))  # client retry carries on
+            rec.flush()
+            assert rec.version == 2
+        finally:
+            rec.close()
+
+
+class TestEpochFencing:
+    def test_append_under_stale_epoch_raises_before_writing(self, tmp_path):
+        log = ChangeLog(tmp_path, epoch=0)
+        log.append(1, ChangeSet([AddUser(1)]))
+        before = (tmp_path / "wal.csv").read_bytes()
+        write_fence(tmp_path, 1)
+        with pytest.raises(FencedError, match="zombie"):
+            log.append(2, ChangeSet([AddUser(2)]))
+        assert (tmp_path / "wal.csv").read_bytes() == before
+
+    def test_append_at_fence_epoch_is_accepted(self, tmp_path):
+        write_fence(tmp_path, 3)
+        log = ChangeLog(tmp_path, epoch=3)
+        log.append(1, ChangeSet([AddUser(1)]))
+        assert list(log.replay_frames()) != []
+
+    def test_fence_only_advances(self, tmp_path):
+        write_fence(tmp_path, 2)
+        write_fence(tmp_path, 2)  # idempotent per epoch
+        with pytest.raises(ReproError, match="cannot lower"):
+            write_fence(tmp_path, 1)
+        assert read_fence(tmp_path) == 2
+
+    def test_epoch_rides_the_frame_and_replays(self, tmp_path):
+        log = ChangeLog(tmp_path, epoch=0)
+        log.append(1, ChangeSet([AddUser(1)]))
+        log.epoch = 2
+        log.append(2, ChangeSet([AddUser(2)]))
+        frames = list(log.replay_frames())
+        assert [(v, e) for v, _, e in frames] == [(1, 0), (2, 2)]
+
+    def test_pre_epoch_frames_replay_as_epoch_zero(self, tmp_path):
+        """Backward compatibility: 3-field BEGIN frames (pre-replication
+        logs) still replay, tagged epoch 0."""
+        with open(tmp_path / "wal.csv", "w", newline="") as fh:
+            fh.write("BEGIN,1,1\nU,7,\nCOMMIT,1\n")
+        frames = list(ChangeLog(tmp_path).replay_frames())
+        assert [(v, len(b), e) for v, b, e in frames] == [(1, 1, 0)]

@@ -9,12 +9,18 @@ append, a torn router WAL tail -- and assert that
 WAL's last committed version, serving results identical to a service that
 never crashed, with ``computed_version`` staleness tags monotone across
 the crash boundary.
+
+Crashes are scheduled through :mod:`repro.faults` crash points
+(``wal-append``, ``post-append-pre-apply``) aimed at one shard via
+:func:`at_path` -- the production code marks the killable sites, the
+tests only pick *when* to die.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.faults import FaultPlan, InjectedCrash, at_path, inject
 from repro.serving import GraphService
 from repro.sharding import ShardedGraphService
 from repro.util.validation import ReproError
@@ -98,15 +104,15 @@ class TestMidScatterCrash:
             fresh(), shards=3, data_dir=tmp_path, concurrent_scatter=False, **KW
         )
         _drive(svc, stream[:3])
-        victim = svc._shards[victim_idx]
 
-        def boom(version, batch):
-            raise OSError("shard disk died")
-
-        victim._wal.append = boom
-        with pytest.raises(OSError):
-            svc.submit(list(stream[3]))
-            svc.flush()
+        plan = FaultPlan().crash(
+            "wal-append", match=at_path(f"shard-{victim_idx:02d}"), exc=OSError
+        )
+        with inject(plan):
+            with pytest.raises(OSError):
+                svc.submit(list(stream[3]))
+                svc.flush()
+        assert plan.fired() == ["wal-append"]
         with pytest.raises(ReproError, match="fail-stopped"):
             svc.query("Q1")
         versions = [s.version for s in svc._shards]
@@ -134,15 +140,15 @@ class TestMidScatterCrash:
             fresh(), shards=3, data_dir=tmp_path, concurrent_scatter=False, **KW
         )
         _drive(svc, stream[:3])
-        victim = svc._shards[1]
 
-        def boom(batch):
-            raise RuntimeError("killed between WAL append and apply")
-
-        victim.graph.apply = boom  # WAL append happens first inside _apply
-        with pytest.raises(RuntimeError):
-            svc.submit(list(stream[3]))
-            svc.flush()
+        plan = FaultPlan().crash(
+            "post-append-pre-apply", match=at_path("shard-01")
+        )
+        with inject(plan):
+            with pytest.raises(InjectedCrash):
+                svc.submit(list(stream[3]))
+                svc.flush()
+        assert plan.fired() == ["post-append-pre-apply"]
         del svc
 
         rec = ShardedGraphService.recover(tmp_path, **KW)
