@@ -1,0 +1,44 @@
+"""The network front door: admission control over any serving stack.
+
+Layer map position: ``GatewayServer`` (asyncio HTTP + WebSocket shell)
+wraps :class:`Gateway` (the transport-agnostic admission pipeline) which
+wraps any engine-owning service -- a single
+:class:`~repro.serving.service.GraphService`, a
+:class:`~repro.sharding.ShardedGraphService`, or a
+:class:`~repro.replication.ReplicatedGraphService`.
+
+Split this way so every interesting property is testable without a
+socket: rate limits, queue bounds, breaker transitions, deadline
+propagation and drain are all exercised deterministically against
+:class:`Gateway` with an injected clock (``tests/gateway/``), while the
+server shell stays a thin translation layer from wire verbs to pipeline
+verbs (429/503/504 and ``Retry-After`` from the typed verdicts).
+
+Run one from the shell::
+
+    python -m repro.gateway            # knobs via REPRO_GATEWAY_* env vars
+"""
+
+from repro.gateway.admission import (
+    CircuitBreaker,
+    CircuitOpen,
+    Draining,
+    GatewayError,
+    RateLimited,
+    TokenBucket,
+)
+from repro.gateway.core import Envelope, Gateway, Subscription
+from repro.gateway.server import GatewayServer
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Draining",
+    "Envelope",
+    "Gateway",
+    "GatewayError",
+    "GatewayServer",
+    "RateLimited",
+    "Subscription",
+    "TokenBucket",
+]

@@ -1,0 +1,239 @@
+"""Admission-control primitives: token buckets, circuit breaker, verdicts.
+
+Everything here is **clock-injected and deterministic**: each component
+takes a ``clock`` callable (defaulting to
+:meth:`repro.util.timer.WallClock.now`) and derives every decision --
+token refills, cooldown expiries, retry hints -- from what that callable
+returns.  Tests drive a fake clock and assert the *exact* admission
+decision sequence (the Nth refill admits, the N+1th sheds), with no
+wall-clock sleeps anywhere; see ``tests/gateway/``.
+
+The verdict hierarchy mirrors the wire semantics the gateway maps them
+to: :class:`RateLimited` and the shared
+:class:`~repro.serving.ingest.QueueFull` become ``429 Too Many Requests``
+with a ``Retry-After`` header, :class:`CircuitOpen` and
+:class:`Draining` become ``503 Service Unavailable``, and
+:class:`~repro.util.validation.DeadlineExceeded` becomes ``504`` --
+shed, throttled or degraded, never an unbounded queue.
+
+>>> t = [0.0]
+>>> bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: t[0])
+>>> bucket.try_acquire(), bucket.try_acquire(), bucket.try_acquire()
+(True, True, False)
+>>> bucket.retry_after()     # half a second until the next token at 2/s
+0.5
+>>> t[0] = 0.5; bucket.try_acquire()
+True
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from repro.util.timer import WallClock
+from repro.util.validation import ReproError
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Draining",
+    "GatewayError",
+    "RateLimited",
+    "TokenBucket",
+]
+
+
+class GatewayError(ReproError):
+    """Base class for gateway admission verdicts (all carry wire semantics)."""
+
+
+class RateLimited(GatewayError):
+    """A client class's token bucket is empty: shed with a retry hint."""
+
+    def __init__(self, msg: str, *, retry_after: float):
+        super().__init__(msg)
+        self.retry_after = retry_after
+
+
+class CircuitOpen(GatewayError):
+    """The read circuit breaker is open (or its half-open probe is taken)."""
+
+    def __init__(self, msg: str, *, retry_after: float):
+        super().__init__(msg)
+        self.retry_after = retry_after
+
+
+class Draining(GatewayError):
+    """The gateway has stopped accepting: it is flushing in-flight work."""
+
+
+class TokenBucket:
+    """Deterministic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    Refill is computed lazily from the injected clock -- there is no
+    background thread, so with a frozen clock the bucket is a pure
+    function of the acquire sequence (exactly ``burst`` admissions, then
+    shed until the clock moves).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = WallClock.now,
+    ):
+        if rate <= 0:
+            raise ReproError(f"token rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ReproError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = max(self._last, now)
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after a lazy refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False (and no debit) otherwise."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will have accumulated (0 if already)."""
+        self._refill()
+        missing = n - self._tokens
+        return max(missing, 0.0) / self.rate
+
+
+class CircuitBreaker:
+    """Error-rate circuit breaker with a half-open single probe.
+
+    States and transitions (all recorded in :attr:`transitions`, which is
+    what the determinism tests compare bit-for-bit):
+
+    ``closed``
+        Outcomes feed a sliding window of the last ``window`` calls; once
+        at least ``min_samples`` are in the window and the failure ratio
+        reaches ``trip_ratio``, the breaker **opens**.
+    ``open``
+        Every :meth:`allow` is refused until ``cooldown_s`` has elapsed,
+        then the next :meth:`allow` transitions to ``half_open`` and is
+        granted as the single probe.
+    ``half_open``
+        Exactly one in-flight probe: further :meth:`allow` calls are
+        refused until the probe reports.  :meth:`record_success` closes
+        the breaker (window cleared); :meth:`record_failure` re-opens it
+        (cooldown re-armed); :meth:`record_abandon` -- a probe abandoned
+        past its deadline, which proves nothing about engine health --
+        releases the probe slot and stays half-open.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        *,
+        window: int = 16,
+        trip_ratio: float = 0.5,
+        min_samples: int = 4,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = WallClock.now,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        if not 0 < trip_ratio <= 1:
+            raise ReproError(f"trip_ratio must be in (0, 1], got {trip_ratio}")
+        if min_samples < 1 or window < min_samples:
+            raise ReproError(
+                f"need window >= min_samples >= 1, got {window}/{min_samples}"
+            )
+        self.window = window
+        self.trip_ratio = trip_ratio
+        self.min_samples = min_samples
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._on_transition = on_transition
+        self.state = self.CLOSED
+        self._outcomes: deque = deque(maxlen=window)
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: every (from_state, to_state) in order -- the determinism oracle
+        self.transitions: List[Tuple[str, str]] = []
+
+    def _go(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.transitions.append((self.state, state))
+        prev, self.state = self.state, state
+        if self._on_transition is not None:
+            self._on_transition(prev, state)
+
+    def allow(self) -> bool:
+        """May a read proceed right now?  (May transition open->half_open.)"""
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self._go(self.HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            return False
+        # half-open: a single probe owns the slot
+        if not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next state change could admit a read."""
+        if self.state == self.OPEN:
+            return max(self._opened_at + self.cooldown_s - self._clock(), 0.0)
+        return 0.0
+
+    def record_success(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self._probe_inflight = False
+            self._outcomes.clear()
+            self._go(self.CLOSED)
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state == self.HALF_OPEN:
+            self._probe_inflight = False
+            self._opened_at = self._clock()
+            self._go(self.OPEN)
+            return
+        if self.state == self.OPEN:
+            return
+        self._outcomes.append(False)
+        failures = sum(1 for ok in self._outcomes if not ok)
+        if (
+            len(self._outcomes) >= self.min_samples
+            and failures / len(self._outcomes) >= self.trip_ratio
+        ):
+            self._opened_at = self._clock()
+            self._go(self.OPEN)
+
+    def record_abandon(self) -> None:
+        """A probe/read was abandoned (deadline): no verdict on health."""
+        if self.state == self.HALF_OPEN:
+            self._probe_inflight = False

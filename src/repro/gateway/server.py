@@ -1,0 +1,456 @@
+"""Asyncio HTTP/WebSocket shell around the :class:`~repro.gateway.Gateway`.
+
+Stdlib only (``asyncio`` streams, no web framework): the serving stack
+must run in the same dependency-frozen container as the benchmarks.  The
+shell owns exactly three responsibilities -- parse the wire, translate
+typed admission verdicts to status codes, and run the single pump thread
+-- everything interesting lives in :mod:`repro.gateway.core`.
+
+Routes::
+
+    POST /submit      body {"changes": [[tag, ...], ...]} (loader rows)
+                      -> 202 {"ticket": n} | 429 (+Retry-After) | 503
+    GET  /read?query=Q1[&tool=...]
+                      -> 200 result | 429 | 503 (breaker) | 504 (deadline)
+    GET  /metrics     -> merged Prometheus exposition (gateway + service)
+    GET  /stats       -> JSON operational snapshot
+    GET  /health      -> 200 while the process lives (state in body)
+    GET  /ready       -> 200 iff accepting, else 503 (load balancer knob)
+    POST /drain       -> graceful drain; 200 with final stats
+    GET  /subscribe?query=Q1[&tool=...&buffer=8]
+                      -> RFC 6455 WebSocket; one JSON text frame per
+                         committed version (lossy, drop-oldest)
+
+Headers: ``X-Client-Class`` picks the token-bucket class,
+``X-Deadline-Ms`` sets a per-request deadline (relative milliseconds,
+converted to an absolute instant at parse time so it propagates through
+sharded gathers and replica retries unchanged).
+
+Verdict -> status mapping (the overload contract):
+``RateLimited``/``QueueFull`` -> 429 with ``Retry-After``;
+``CircuitOpen``/``Draining`` -> 503; ``DeadlineExceeded`` -> 504;
+any other ``ReproError`` (validation) -> 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.gateway.admission import CircuitOpen, Draining, RateLimited
+from repro.gateway.core import Gateway
+from repro.model.loader import row_to_change
+from repro.serving.ingest import QueueFull
+from repro.util.validation import DeadlineExceeded, ReproError
+
+__all__ = ["GatewayServer"]
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 101: "Switching Protocols",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _ws_accept_key(key: str) -> str:
+    digest = hashlib.sha1((key + _WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def _ws_text_frame(payload: bytes) -> bytes:
+    """One FIN text frame, server->client (unmasked per RFC 6455)."""
+    n = len(payload)
+    if n < 126:
+        header = bytes([0x81, n])
+    elif n < 1 << 16:
+        header = b"\x81\x7e" + n.to_bytes(2, "big")
+    else:
+        header = b"\x81\x7f" + n.to_bytes(8, "big")
+    return header + payload
+
+
+async def _ws_read_until_close(reader: asyncio.StreamReader) -> None:
+    """Consume client frames until a close frame (0x8) or EOF."""
+    while True:
+        head = await reader.read(2)
+        if len(head) < 2:
+            return
+        opcode = head[0] & 0x0F
+        masked = bool(head[1] & 0x80)
+        length = head[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(await reader.readexactly(2), "big")
+        elif length == 127:
+            length = int.from_bytes(await reader.readexactly(8), "big")
+        if masked:
+            await reader.readexactly(4)
+        if length:
+            await reader.readexactly(length)
+        if opcode == 0x8:
+            return
+
+
+class GatewayServer:
+    """Serve one :class:`Gateway` over HTTP + WebSocket.
+
+    One background **pump task** drains the ingest queue through a
+    single-worker executor (the gateway's pump is single-consumer by
+    design); the accept path only ever enqueues.  ``pump_interval_s`` is
+    the idle poll bound -- submits wake the pump immediately, the
+    interval only caps how stale a quiet queue can get.
+    """
+
+    def __init__(
+        self,
+        gateway: Gateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        pump_interval_s: float = 0.01,
+        max_body: int = 1 << 20,
+    ):
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.pump_interval_s = pump_interval_s
+        self.max_body = max_body
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._pump_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gateway-pump"
+        )
+        self._work: Optional[asyncio.Event] = None
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+        self._thread_loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "GatewayServer":
+        self._work = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.ensure_future(self._pump_loop())
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful stop: close the listener, drain the gateway, join."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._pump_task is not None:
+            self._work.set()
+            await self._pump_task
+            self._pump_task = None
+        if drain and self.gateway.state != "closed":
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._pump_pool, self.gateway.drain)
+        self._pump_pool.shutdown(wait=True)
+
+    # -- thread helper (tests / benchmarks drive a live server) ---------
+
+    @classmethod
+    def run_in_thread(
+        cls, gateway: Gateway, host: str = "127.0.0.1", port: int = 0, **kw
+    ) -> "GatewayServer":
+        """Boot a server on a dedicated event-loop thread; returns once
+        the socket is bound (``.url`` is usable).  Stop with
+        :meth:`shutdown`."""
+        server = cls(gateway, host, port, **kw)
+        started = threading.Event()
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            server._thread_loop = loop
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+            # drain ran inside stop(); tear the loop down cleanly
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+        server._thread = threading.Thread(
+            target=runner, name="gateway-server", daemon=True
+        )
+        server._thread.start()
+        started.wait()
+        return server
+
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop a :meth:`run_in_thread` server from any thread."""
+        loop = self._thread_loop
+        if loop is None or self._thread is None:
+            return
+        fut = asyncio.run_coroutine_threadsafe(self.stop(drain=drain), loop)
+        fut.result(timeout=timeout)
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # pump
+    # ------------------------------------------------------------------
+
+    async def _pump_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            if self.gateway.queue_depth and self.gateway.state == "accepting":
+                await loop.run_in_executor(
+                    self._pump_pool, self.gateway.pump_once
+                )
+            else:
+                try:
+                    await asyncio.wait_for(
+                        self._work.wait(), timeout=self.pump_interval_s
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                self._work.clear()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                parts = urlsplit(target)
+                if (
+                    parts.path == "/subscribe"
+                    and headers.get("upgrade", "").lower() == "websocket"
+                ):
+                    await self._websocket(reader, writer, parts, headers)
+                    return
+                keep = headers.get("connection", "keep-alive").lower() != "close"
+                status, payload, ctype, extra = await self._dispatch(
+                    method, parts, headers, body
+                )
+                self._write_response(
+                    writer, status, payload, ctype, extra, keep_alive=keep
+                )
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not line or not line.strip():
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError:
+            return None
+        headers: dict = {}
+        while True:
+            hline = await reader.readline()
+            if not hline or hline in (b"\r\n", b"\n"):
+                break
+            name, _, value = hline.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > self.max_body:
+            return method, target, headers, None  # 413 downstream
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    def _write_response(
+        self, writer, status, payload, ctype, extra, keep_alive=True
+    ) -> None:
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(payload)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in (extra or {}).items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _json(status: int, obj, extra: Optional[dict] = None):
+        return (
+            status,
+            json.dumps(obj).encode("utf-8"),
+            "application/json",
+            extra or {},
+        )
+
+    def _deadline_from(self, headers: dict) -> Optional[float]:
+        raw = headers.get("x-deadline-ms")
+        if not raw:
+            return None
+        return self.gateway._clock() + float(raw) / 1e3
+
+    async def _dispatch(self, method: str, parts, headers: dict, body):
+        path = parts.path
+        qs = parse_qs(parts.query)
+        client = headers.get("x-client-class", "default")
+        loop = asyncio.get_running_loop()
+        try:
+            if path == "/submit" and method == "POST":
+                if body is None:
+                    return self._json(413, {"error": "body too large"})
+                doc = json.loads(body.decode("utf-8"))
+                changes = [row_to_change(row) for row in doc["changes"]]
+                ticket = self.gateway.submit(changes, client=client)
+                self._work.set()
+                return self._json(202, {"ticket": ticket})
+            if path == "/read" and method == "GET":
+                query = qs.get("query", ["Q1"])[0]
+                tool = qs.get("tool", [None])[0]
+                deadline = self._deadline_from(headers)
+                result = self.gateway.read(
+                    query, tool, client=client, deadline=deadline
+                )
+                return self._json(200, {
+                    "query": result.query,
+                    "tool": result.tool,
+                    "version": result.version,
+                    "computed_version": result.computed_version,
+                    "top": list(result.top),
+                    "result": result.result_string,
+                })
+            if path == "/metrics" and method == "GET":
+                text = self.gateway.metrics_text()
+                return (200, text.encode("utf-8"),
+                        "text/plain; version=0.0.4", {})
+            if path == "/stats" and method == "GET":
+                return self._json(200, self.gateway.stats())
+            if path == "/health" and method == "GET":
+                return self._json(200, {"state": self.gateway.state})
+            if path == "/ready" and method == "GET":
+                ready = self.gateway.state == "accepting"
+                return self._json(200 if ready else 503,
+                                  {"ready": ready, "state": self.gateway.state})
+            if path == "/drain" and method == "POST":
+                stats = await loop.run_in_executor(
+                    self._pump_pool, self.gateway.drain
+                )
+                return self._json(200, stats)
+            if path in ("/submit", "/drain", "/read", "/metrics", "/stats",
+                        "/health", "/ready"):
+                return self._json(405, {"error": f"wrong method {method}"})
+            return self._json(404, {"error": f"no route {path!r}"})
+        except (RateLimited, QueueFull) as exc:
+            retry = getattr(exc, "retry_after", None) or 0.0
+            return self._json(429, {"error": str(exc), "retry_after": retry},
+                              {"Retry-After": f"{retry:.3f}"})
+        except CircuitOpen as exc:
+            return self._json(503, {"error": str(exc),
+                                    "retry_after": exc.retry_after},
+                              {"Retry-After": f"{exc.retry_after:.3f}"})
+        except Draining as exc:
+            return self._json(503, {"error": str(exc)})
+        except DeadlineExceeded as exc:
+            return self._json(504, {"error": str(exc)})
+        except (ReproError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            return self._json(400, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # ------------------------------------------------------------------
+    # WebSocket subscriptions
+    # ------------------------------------------------------------------
+
+    async def _websocket(self, reader, writer, parts, headers: dict) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            self._write_response(
+                writer, 400, b'{"error": "missing Sec-WebSocket-Key"}',
+                "application/json", {}, keep_alive=False,
+            )
+            await writer.drain()
+            return
+        qs = parse_qs(parts.query)
+        query = qs.get("query", ["Q1"])[0]
+        tool = qs.get("tool", [None])[0]
+        buffer = int(qs.get("buffer", ["8"])[0])
+        try:
+            sub = self.gateway.subscribe(query, tool, buffer=buffer)
+        except (Draining, ReproError) as exc:
+            self._write_response(
+                writer, 503, json.dumps({"error": str(exc)}).encode(),
+                "application/json", {}, keep_alive=False,
+            )
+            await writer.drain()
+            return
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {_ws_accept_key(key)}\r\n\r\n"
+        ).encode("latin-1"))
+        await writer.drain()
+
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+        sub.notify = lambda: loop.call_soon_threadsafe(wake.set)
+        closed = asyncio.ensure_future(_ws_read_until_close(reader))
+        try:
+            while not closed.done() and not self._stopping:
+                for event in sub.poll():
+                    payload = json.dumps(event).encode("utf-8")
+                    writer.write(_ws_text_frame(payload))
+                await writer.drain()
+                if sub.closed:  # gateway drained: last events are flushed
+                    break
+                waiter = asyncio.ensure_future(wake.wait())
+                await asyncio.wait(
+                    [waiter, closed],
+                    timeout=self.pump_interval_s * 10,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                waiter.cancel()
+                wake.clear()
+            for event in sub.poll():  # final flush after drain/close
+                writer.write(_ws_text_frame(json.dumps(event).encode("utf-8")))
+            writer.write(b"\x88\x00")  # close frame
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            closed.cancel()
+            self.gateway.unsubscribe(sub)

@@ -35,6 +35,7 @@ repro_ingest_queue_depth 3
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Optional
 
@@ -45,6 +46,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "merge_expositions",
+    "parse_exposition",
     "render_prometheus",
 ]
 
@@ -213,6 +216,110 @@ class MetricsRegistry:
         """``{name: family}`` for every registered metric (exposition)."""
         with self._lock:
             return {name: fam for name, (fam, _) in sorted(self._metrics.items())}
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse a Prometheus text exposition into its structured form.
+
+    Returns ``{"types": {name: family}, "series": {(name, labels): value}}``
+    where ``labels`` is the literal (already-canonical) label string
+    between the braces, ``""`` for a bare series.  Strict on the
+    invariants a scraper relies on: a malformed line, a ``# TYPE``
+    redefinition to a *different* family, or a duplicate ``(name,
+    labels)`` series raises ``ValueError``.  This is the round-trip
+    oracle the multi-node exposition tests parse the merged gateway /
+    router / replica output back through.
+    """
+    types: dict[str, str] = {}
+    series: dict[tuple[str, str], float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                name, family = parts[2], parts[3]
+                if types.get(name, family) != family:
+                    raise ValueError(
+                        f"line {lineno}: metric {name!r} re-typed "
+                        f"{types[name]!r} -> {family!r}"
+                    )
+                types[name] = family
+            continue
+        m = re.match(r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})? (\S+)$", line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable series {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        key = (name, labels)
+        if key in series:
+            raise ValueError(
+                f"line {lineno}: duplicate series {name}{{{labels}}} -- "
+                "label collision in a merged exposition"
+            )
+        series[key] = float(value)
+    return {"types": types, "series": series}
+
+
+def merge_expositions(parts) -> str:
+    """Merge several text expositions into one valid exposition.
+
+    Plain concatenation of per-node expositions repeats ``# TYPE`` lines
+    for any metric two nodes both export, which the exposition format
+    forbids.  This groups every part's series under a single ``# TYPE``
+    line per metric (first-seen order), verifying along the way that no
+    two parts disagree on a metric's family and -- via the same strict
+    parse as :func:`parse_exposition` -- that no two parts collide on an
+    identical ``(name, labels)`` series, which is what the ``shard=`` /
+    ``node=`` base labels exist to prevent.
+    """
+    order: list[str] = []
+    families: dict[str, str] = {}
+    bodies: dict[str, list[str]] = {}
+    seen: set[tuple[str, str]] = set()
+    current: Optional[str] = None
+    for part in parts:
+        current = None
+        for line in part.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# TYPE "):
+                _, _, name, family = line.split(None, 3)
+                if name not in families:
+                    families[name] = family
+                    order.append(name)
+                    bodies[name] = []
+                elif families[name] != family:
+                    raise ValueError(
+                        f"metric {name!r} exported as {families[name]!r} by "
+                        f"one node and {family!r} by another"
+                    )
+                current = name
+                continue
+            m = re.match(r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})? \S+$", line)
+            if m is None:
+                raise ValueError(f"unparseable series line {line!r}")
+            key = (m.group(1), m.group(2) or "")
+            if key in seen:
+                raise ValueError(
+                    f"label collision: series {key[0]}{{{key[1]}}} exported "
+                    "by two nodes -- stamp distinct shard=/node= base labels"
+                )
+            seen.add(key)
+            if current is None:
+                # an untyped series (extras-style); give it its own group
+                name = m.group(1)
+                if name not in bodies:
+                    families.setdefault(name, "untyped")
+                    order.append(name)
+                    bodies[name] = []
+                bodies[name].append(line)
+            else:
+                bodies[current].append(line)
+    lines: list[str] = []
+    for name in order:
+        lines.append(f"# TYPE {name} {families[name]}")
+        lines.extend(bodies[name])
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 def render_prometheus(

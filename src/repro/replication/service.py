@@ -56,13 +56,13 @@ from typing import Iterable, Optional, Union
 
 from repro.model.changes import Change, ChangeSet
 from repro.model.graph import SocialGraph
-from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.metrics import MetricsRegistry, merge_expositions, render_prometheus
 from repro.replication.replica import Replica
 from repro.replication.shipper import DirectoryWalShipper
 from repro.serving.cache import CachedResult
 from repro.serving.service import GraphService
 from repro.util.timer import WallClock
-from repro.util.validation import ReproError
+from repro.util.validation import DeadlineExceeded, ReproError
 
 __all__ = ["ReplicatedGraphService", "default_replicas"]
 
@@ -285,7 +285,12 @@ class ReplicatedGraphService:
     # reads (replica-preferred, bounded staleness)
     # ------------------------------------------------------------------
 
-    def query(self, query: str, tool: Optional[str] = None) -> CachedResult:
+    def query(
+        self,
+        query: str,
+        tool: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> CachedResult:
         """A cached result within ``max_staleness`` of the leader.
 
         Round-robins the replicas, skipping any in backoff; the chosen
@@ -294,11 +299,27 @@ class ReplicatedGraphService:
         reads push the replica into capped exponential backoff and the
         next candidate is tried; when none can serve, the read degrades
         to the leader (counted in ``repro_leader_read_fallbacks_total``).
+
+        ``deadline`` is an *absolute* WallClock instant bounding the whole
+        read, retries included: each attempt's effective timeout is
+        ``min(read_timeout_s, deadline - now)`` so per-attempt timeouts
+        cannot compound past the caller's budget, no further attempt
+        starts once the budget is spent, and an exhausted budget raises
+        :class:`~repro.util.validation.DeadlineExceeded` instead of
+        falling back to the leader.  An attempt that failed only because
+        the *deadline* squeezed its timeout below ``read_timeout_s`` does
+        not push that replica into backoff -- the replica was not slow,
+        the caller was in a hurry.
         """
         with self._lock:
             self._check_open()
             leader = self._leader
             leader_ok = not (leader._failed or leader._closed)
+            if deadline is not None and WallClock.now() >= deadline:
+                raise DeadlineExceeded(
+                    f"replicated read of {query!r} abandoned: deadline "
+                    "passed before any attempt"
+                )
             if leader_ok and leader._batcher.due():
                 leader.flush()
             target = leader.version
@@ -312,9 +333,19 @@ class ReplicatedGraphService:
                 state = self._backoff.setdefault(
                     rep.name, {"failures": 0, "retry_at": 0.0}
                 )
-                if state["retry_at"] > WallClock.now():
+                now = WallClock.now()
+                if deadline is not None and now >= deadline:
+                    raise DeadlineExceeded(
+                        f"replicated read of {query!r} abandoned: budget "
+                        "exhausted mid-retry, no leader fallback past deadline"
+                    )
+                if state["retry_at"] > now:
                     continue
-                t0 = WallClock.now()
+                timeout = self.read_timeout_s
+                if deadline is not None:
+                    timeout = min(timeout, deadline - now)
+                t0 = now
+                deadline_squeezed = False
                 try:
                     if rep.version < floor:
                         rep.catch_up()
@@ -325,20 +356,22 @@ class ReplicatedGraphService:
                         )
                     result = rep.query(query, tool)
                     elapsed = WallClock.now() - t0
-                    if elapsed > self.read_timeout_s:
+                    if elapsed > timeout:
+                        deadline_squeezed = elapsed <= self.read_timeout_s
                         raise ReproError(
                             f"replica {rep.name} read took {elapsed:.3f}s > "
-                            f"timeout {self.read_timeout_s:.3f}s"
+                            f"effective timeout {timeout:.3f}s"
                         )
                 except Exception:
-                    state["failures"] += 1
-                    state["retry_at"] = WallClock.now() + min(
-                        self.backoff_base_s * 2 ** (state["failures"] - 1),
-                        self.backoff_cap_s,
-                    )
-                    self.registry.counter(
-                        "repro_replica_errors_total", replica=rep.name
-                    ).inc()
+                    if not deadline_squeezed:
+                        state["failures"] += 1
+                        state["retry_at"] = WallClock.now() + min(
+                            self.backoff_base_s * 2 ** (state["failures"] - 1),
+                            self.backoff_cap_s,
+                        )
+                        self.registry.counter(
+                            "repro_replica_errors_total", replica=rep.name
+                        ).inc()
                     continue
                 state["failures"] = 0
                 state["retry_at"] = 0.0
@@ -351,6 +384,11 @@ class ReplicatedGraphService:
                 self._floor = max(self._floor, result.version)
                 return result
             # graceful degradation: every replica down or in backoff
+            if deadline is not None and WallClock.now() >= deadline:
+                raise DeadlineExceeded(
+                    f"replicated read of {query!r} abandoned: budget spent "
+                    "across replica attempts, not degrading to the leader"
+                )
             if not leader_ok:
                 raise ReproError(
                     "no replica can serve and the leader is failed; promote a "
@@ -469,8 +507,10 @@ class ReplicatedGraphService:
             }
 
     def metrics_text(self, labels: Optional[dict] = None) -> str:
-        """Prometheus exposition: the front's replication series, then the
-        leader's and every replica's series stamped ``node="..."``."""
+        """Prometheus exposition: the front's replication series merged
+        with the leader's and every replica's series, each stamped
+        ``node="..."`` so no two fleet members collide on a series; one
+        ``# TYPE`` line per metric across the whole fleet."""
         with self._lock:
             target = self._leader.version
             for rep in self._replicas:
@@ -488,7 +528,7 @@ class ReplicatedGraphService:
                 rep.service.metrics_text(labels={**base, "node": rep.name})
                 for rep in self._replicas
             )
-            return "".join(parts)
+            return merge_expositions(parts)
 
     # ------------------------------------------------------------------
     # persistence / lifecycle

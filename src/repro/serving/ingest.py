@@ -35,7 +35,29 @@ from repro.model.changes import (
 from repro.util.timer import WallClock
 from repro.util.validation import ReproError
 
-__all__ = ["MicroBatcher", "SubmitGate", "coerce_changes"]
+__all__ = ["MicroBatcher", "QueueFull", "SubmitGate", "coerce_changes"]
+
+
+class QueueFull(ReproError):
+    """The bounded ingest path rejected changes instead of buffering them.
+
+    The backpressure verdict shared by every ingest edge: a
+    :class:`MicroBatcher` constructed with ``max_pending`` raises it when
+    accepting a submission would push the pending queue past the bound,
+    and the gateway's bounded request queue (:mod:`repro.gateway`) raises
+    the same type, so callers see identical semantics with or without the
+    network front door.  Carries enough context to answer "come back
+    later": ``pending`` (current depth), ``limit`` (the bound) and
+    ``retry_after`` (advisory seconds, ``None`` when the rejecting edge
+    cannot estimate drain time).
+    """
+
+    def __init__(self, msg: str, *, pending: int, limit: int,
+                 retry_after: Optional[float] = None):
+        super().__init__(msg)
+        self.pending = pending
+        self.limit = limit
+        self.retry_after = retry_after
 
 
 def coerce_changes(
@@ -54,13 +76,27 @@ def coerce_changes(
 class MicroBatcher:
     """Coalesces single changes (or pre-formed ChangeSets) into batches."""
 
-    def __init__(self, max_changes: int = 256, max_delay_ms: float = 50.0):
+    def __init__(
+        self,
+        max_changes: int = 256,
+        max_delay_ms: float = 50.0,
+        max_pending: Optional[int] = None,
+    ):
         if max_changes < 1:
             raise ReproError("max_changes must be >= 1")
         if max_delay_ms < 0:
             raise ReproError("max_delay_ms must be >= 0")
+        if max_pending is not None and max_pending < max_changes:
+            raise ReproError(
+                f"max_pending ({max_pending}) must be >= max_changes "
+                f"({max_changes}): a bound below the flush threshold would "
+                "reject batches the batcher is about to drain anyway"
+            )
         self.max_changes = max_changes
         self.max_delay_ms = max_delay_ms
+        #: optional backpressure bound on the pending queue (None = the
+        #: pre-existing unbounded behaviour, which stays the default)
+        self.max_pending = max_pending
         self._pending: list[Change] = []
         self._oldest: Optional[float] = None  # arrival time of first pending
         #: total changes that ever entered the queue (monotone counter)
@@ -89,6 +125,29 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
 
+    def reserve(self, n: int) -> None:
+        """Backpressure check: raise :class:`QueueFull` if accepting ``n``
+        more changes would exceed ``max_pending``.
+
+        A no-op on unbounded batchers.  Callers that validate before
+        enqueueing (the services' ``SubmitGate.admit``) call this *first*,
+        so a rejected submission leaves no tracked pending ids behind.
+        The advisory ``retry_after`` is the time left until the oldest
+        pending change forces a flush -- after that the queue has drained
+        at least once.
+        """
+        if self.max_pending is None:
+            return
+        if len(self._pending) + n > self.max_pending:
+            wait_ms = max(self.max_delay_ms - self.age_ms(), 0.0)
+            raise QueueFull(
+                f"ingest queue full: {len(self._pending)} pending + {n} "
+                f"submitted > max_pending={self.max_pending}",
+                pending=len(self._pending),
+                limit=self.max_pending,
+                retry_after=wait_ms / 1e3,
+            )
+
     def offer(
         self, changes: Union[Change, ChangeSet, Iterable[Change]]
     ) -> Optional[ChangeSet]:
@@ -97,9 +156,12 @@ class MicroBatcher:
         A single oversized ChangeSet is *not* split -- changes within one
         submitted set may reference each other (the paper's Fig. 3b inserts
         a comment and immediately likes it), so set boundaries are only ever
-        merged, never cut.
+        merged, never cut.  On a bounded batcher (``max_pending``), a
+        submission that would overflow the queue raises :class:`QueueFull`
+        before anything is enqueued -- all-or-nothing, like validation.
         """
         items = coerce_changes(changes)
+        self.reserve(len(items))
         if items:
             if self._oldest is None:
                 self._oldest = WallClock.now()

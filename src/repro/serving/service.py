@@ -60,7 +60,7 @@ from repro.serving.ingest import MicroBatcher, SubmitGate, coerce_changes
 from repro.serving.metrics import OpMetrics
 from repro.serving.persistence import ChangeLog, SnapshotStore, dir_bytes
 from repro.util.timer import WallClock
-from repro.util.validation import ReproError
+from repro.util.validation import DeadlineExceeded, ReproError
 
 __all__ = ["GraphService"]
 
@@ -122,6 +122,7 @@ class GraphService:
         executor: Optional[Executor] = None,
         max_batch: int = 256,
         max_delay_ms: float = 50.0,
+        max_pending: Optional[int] = None,
         data_dir=None,
         snapshot_every: int = 0,
         keep_snapshots: int = 2,
@@ -168,7 +169,10 @@ class GraphService:
         self.shard = shard
 
         self._lock = threading.RLock()
-        self._batcher = MicroBatcher(max_changes=max_batch, max_delay_ms=max_delay_ms)
+        self._batcher = MicroBatcher(
+            max_changes=max_batch, max_delay_ms=max_delay_ms,
+            max_pending=max_pending,
+        )
         self._cache = ResultCache()
         self._metrics = OpMetrics()
         #: typed counters/gauges/histograms (repro.obs); merged into
@@ -330,12 +334,16 @@ class GraphService:
         The batch is applied synchronously inside this call when it trips
         a coalescing threshold; otherwise it stays pending until a later
         submit, an expired read, :meth:`flush`, or the background flusher.
+        On a bounded service (``max_pending``), an overflowing submission
+        raises :class:`~repro.serving.ingest.QueueFull` *before*
+        validation tracks anything -- backpressure, not buffering.
         """
         with self._lock:
             self._check_open()
             with span_if(get_tracer(), "submit") as sp:
                 with self._metrics.timed("submit"):
                     items = coerce_changes(changes)
+                    self._batcher.reserve(len(items))
                     # all-or-nothing validation + pending-id tracking (the
                     # Fig. 3b insert-then-like pattern) lives in SubmitGate
                     self._gate.admit(items)
@@ -564,7 +572,12 @@ class GraphService:
     # reads
     # ------------------------------------------------------------------
 
-    def query(self, query: str, tool: Optional[str] = None) -> CachedResult:
+    def query(
+        self,
+        query: str,
+        tool: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> CachedResult:
         """The cached top-k for ``query`` at the current applied version.
 
         ``query`` is ``"Q1"``/``"Q2"`` (``tool`` defaults to
@@ -573,9 +586,19 @@ class GraphService:
         way: a dict lookup plus one expired-deadline check (an overdue
         pending batch is applied first, so staleness stays bounded by
         ``max_delay_ms`` even on a submit-quiet service).
+
+        ``deadline`` is an absolute :class:`~repro.util.timer.WallClock`
+        instant: a read whose deadline has already passed raises
+        :class:`~repro.util.validation.DeadlineExceeded` *before* doing
+        any work (in particular before an overdue pending batch would be
+        applied on its behalf) -- the gateway counts these as shed load.
         """
         with self._lock:
             self._check_open()
+            if deadline is not None and WallClock.now() >= deadline:
+                raise DeadlineExceeded(
+                    f"read of {query!r} abandoned: deadline passed before serve"
+                )
             if self._batcher.due():
                 self._apply(self._batcher.drain())
             with self._metrics.timed("query"):

@@ -63,7 +63,7 @@ from repro.model.changes import (
     RemoveLike,
 )
 from repro.model.graph import SocialGraph
-from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.metrics import MetricsRegistry, merge_expositions, render_prometheus
 from repro.replication.service import ReplicatedGraphService
 from repro.obs.trace import current_span, get_tracer, span_if
 from repro.serving.cache import CachedResult
@@ -72,7 +72,8 @@ from repro.serving.metrics import OpMetrics
 from repro.serving.persistence import ChangeLog
 from repro.serving.service import GraphService, _Flusher
 from repro.sharding.partition import partition_graph, shard_of
-from repro.util.validation import ReproError
+from repro.util.timer import WallClock
+from repro.util.validation import DeadlineExceeded, ReproError
 
 __all__ = ["SHARDABLE_TOOLS", "ShardedGraphService", "default_shards"]
 
@@ -136,6 +137,7 @@ class ShardedGraphService:
         q2_algorithm: str = "fastsv",
         max_batch: int = 256,
         max_delay_ms: float = 50.0,
+        max_pending: Optional[int] = None,
         data_dir=None,
         snapshot_every: int = 0,
         keep_snapshots: int = 2,
@@ -172,7 +174,10 @@ class ShardedGraphService:
         self.version = 0
 
         self._lock = threading.RLock()
-        self._batcher = MicroBatcher(max_changes=max_batch, max_delay_ms=max_delay_ms)
+        self._batcher = MicroBatcher(
+            max_changes=max_batch, max_delay_ms=max_delay_ms,
+            max_pending=max_pending,
+        )
         self._gate = SubmitGate(self._known_applied)
         self._metrics = OpMetrics()
         #: router-level typed metrics (each shard keeps its own registry)
@@ -385,12 +390,19 @@ class ShardedGraphService:
     # ------------------------------------------------------------------
 
     def submit(self, changes: Union[Change, ChangeSet, Iterable[Change]]) -> int:
-        """Enqueue change(s); returns the current applied router version."""
+        """Enqueue change(s); returns the current applied router version.
+
+        On a bounded router (``max_pending``), an overflowing submission
+        raises :class:`~repro.serving.ingest.QueueFull` before validation
+        tracks anything -- same backpressure semantics as the unsharded
+        service and the gateway.
+        """
         with self._lock:
             self._check_open()
             with span_if(get_tracer(), "submit") as sp:
                 with self._metrics.timed("submit"):
                     items = coerce_changes(changes)
+                    self._batcher.reserve(len(items))
                     self._gate.admit(items)
                     batch = self._batcher.offer(items)
                 sp.set(changes=len(items), flushed=batch is not None)
@@ -530,7 +542,12 @@ class ShardedGraphService:
     # reads (scatter-gather)
     # ------------------------------------------------------------------
 
-    def query(self, query: str, tool: Optional[str] = None) -> CachedResult:
+    def query(
+        self,
+        query: str,
+        tool: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> CachedResult:
         """Merged top-k for ``query`` at a consistent cut across shards.
 
         Gathers every shard's cached result and mergeable partial at the
@@ -540,9 +557,20 @@ class ShardedGraphService:
         merged result's ``computed_version`` carries the worst per-shard
         staleness -- monotone in the router version, since each shard's
         own tag is monotone.
+
+        ``deadline`` (absolute WallClock instant) is checked at entry and
+        between per-shard gathers: a read that cannot finish in budget
+        raises :class:`~repro.util.validation.DeadlineExceeded` rather
+        than blocking the caller -- abandoned, not failed (the gathered
+        shards did nothing torn; no state changed).
         """
         with self._lock:
             self._check_open()
+            if deadline is not None and WallClock.now() >= deadline:
+                raise DeadlineExceeded(
+                    f"sharded read of {query!r} abandoned: deadline passed "
+                    "before gather"
+                )
             if self._batcher.due():
                 self._apply(self._batcher.drain())
             with self._metrics.timed("query"), span_if(
@@ -550,9 +578,14 @@ class ShardedGraphService:
             ):
                 if tool is None:
                     tool = query if query in self.analytics else self.primary_tool
-                gathered = [
-                    svc.result_and_partial(query, tool) for svc in self._shards
-                ]
+                gathered = []
+                for svc in self._shards:
+                    if deadline is not None and WallClock.now() >= deadline:
+                        raise DeadlineExceeded(
+                            f"sharded read of {query!r} abandoned after "
+                            f"{len(gathered)}/{self.num_shards} shard gathers"
+                        )
+                    gathered.append(svc.result_and_partial(query, tool))
                 shard_results = [r for r, _ in gathered]
                 partials = [p for _, p in gathered]
                 versions = sorted({r.version for r in shard_results})
@@ -595,16 +628,24 @@ class ShardedGraphService:
                 "per_shard": [svc.stats() for svc in self._shards],
             }
 
-    def metrics_text(self) -> str:
-        """Prometheus exposition: the router's own series, then every
-        shard's series stamped with a ``shard="i"`` label."""
+    def metrics_text(self, labels: Optional[dict] = None) -> str:
+        """Prometheus exposition: the router's own series merged with every
+        shard's series stamped ``shard="i"`` (replicated shards further
+        stamp ``node="node-0j"`` per fleet member).  ``labels`` are base
+        labels the caller (e.g. the gateway) stamps onto every series;
+        the merge groups series under one ``# TYPE`` line per metric and
+        raises on any label collision, so the output always round-trips
+        through a strict exposition parse.
+        """
         with self._lock:
-            parts = [render_prometheus(self.registry, ops=self._metrics)]
+            base = dict(labels or {})
+            parts = [render_prometheus(self.registry, ops=self._metrics,
+                                       labels=labels)]
             parts.extend(
-                svc.metrics_text(labels={"shard": str(i)})
+                svc.metrics_text(labels={**base, "shard": str(i)})
                 for i, svc in enumerate(self._shards)
             )
-            return "".join(parts)
+            return merge_expositions(parts)
 
     # ------------------------------------------------------------------
     # persistence / lifecycle

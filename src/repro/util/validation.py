@@ -28,6 +28,16 @@ class NotCanonical(ReproError):
     """Internal arrays violate the canonical sorted/unique invariant."""
 
 
+class DeadlineExceeded(ReproError):
+    """A read's absolute deadline passed before a result could be served.
+
+    Raised by the service ``query`` paths when the caller's deadline
+    (an absolute :class:`~repro.util.timer.WallClock` instant) expires.
+    The gateway counts these as *shed* load, not errors: the service is
+    healthy, the caller's budget simply ran out.
+    """
+
+
 def check_positive(value: int, what: str) -> int:
     """Return ``value`` if it is a non-negative int, else raise."""
     v = int(value)

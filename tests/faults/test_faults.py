@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.gateway  # noqa: F401 - registers the gateway-* points
 import repro.replication  # noqa: F401 - registers ship/promote
 import repro.serving.service  # noqa: F401 - registers the serving points
 from repro.faults import (
@@ -28,6 +29,9 @@ class TestRegistry:
             "snapshot-write",
             "ship",
             "promote",
+            "gateway-accept",
+            "gateway-enqueue",
+            "gateway-drain",
         }
 
     def test_descriptions_are_nonempty(self):

@@ -1,0 +1,206 @@
+"""The overload contract, as a deterministic simulation.
+
+ISSUE acceptance property: at 4x sustained admission capacity the
+gateway sheds excess load with 429-class verdicts while
+
+* p99 latency of **admitted** requests stays within 2x the uncontended
+  p99 (admission control keeps the served path fast instead of letting
+  the queue absorb the overload),
+* queue depth never exceeds its bound,
+* zero admitted writes are lost (ticket count == applied count ==
+  service version after drain),
+
+and the whole schedule -- every admit/shed decision, every breaker or
+drain transition -- reproduces bit-identically, because the only clock
+is the simulation's.
+
+The simulation: one tick per offered request, the clock advancing by the
+inter-arrival gap; each tick pumps whatever is queued, charging a fixed
+simulated service time per applied envelope.  No threads, no sleeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash, inject
+from repro.gateway import Gateway, RateLimited
+from repro.model import AddUser
+from repro.serving.ingest import QueueFull
+
+
+class _Clock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt):
+        self.t += dt
+
+
+class SimService:
+    """Applies instantly (the sim charges service time on the clock)."""
+
+    def __init__(self):
+        self.version = 0
+        self.applied = []
+        self._failed = False
+
+    def submit(self, changes):
+        self.applied.append(list(changes))
+        self.version += 1
+        return self.version
+
+    def query(self, query, tool=None, deadline=None):  # pragma: no cover
+        class R:
+            version = self.version
+            query = "Q1"
+            tool = "sim"
+            top = ()
+            result_string = ""
+        return R()
+
+    def flush(self):
+        return self.version
+
+    def metrics_text(self, labels=None):
+        return ""
+
+    def close(self):
+        pass
+
+
+CAPACITY = 100.0        # admitted requests/second (token rate)
+SERVICE_TIME = 0.001    # simulated seconds to apply one envelope
+QUEUE_LIMIT = 8
+N_OFFERED = 2000
+
+
+def run_sim(load_factor: float, drain_crash_hit: int = 0):
+    """Offer ``load_factor * CAPACITY`` req/s; return the event log."""
+    clock = _Clock()
+    service = SimService()
+    gw = Gateway(
+        service,
+        queue_limit=QUEUE_LIMIT,
+        classes={"default": (CAPACITY, 1.0)},
+        clock=clock,
+    )
+    gap = 1.0 / (CAPACITY * load_factor)
+    events = []            # (t, kind, detail) -- the determinism oracle
+    latencies = []
+    max_depth = 0
+
+    def pump():
+        nonlocal max_depth
+        max_depth = max(max_depth, gw.queue_depth)
+        applied = gw.pump_once(max_batch=QUEUE_LIMIT)
+        if applied:
+            clock.tick(SERVICE_TIME * applied)
+
+    for i in range(N_OFFERED):
+        t_submit = clock()
+        try:
+            ticket = gw.submit(
+                [AddUser(i)],
+                on_applied=lambda v, t0=t_submit: (
+                    latencies.append(clock() - t0 + SERVICE_TIME),
+                    events.append((round(clock(), 9), "apply", v)),
+                ),
+            )
+            events.append((round(clock(), 9), "admit", ticket))
+        except RateLimited as exc:
+            events.append((round(clock(), 9), "shed-429-rate",
+                           round(exc.retry_after, 9)))
+        except QueueFull:
+            events.append((round(clock(), 9), "shed-429-queue", None))
+        pump()
+        clock.tick(gap)
+
+    # leave a tail of admitted-but-unpumped envelopes so drain has real
+    # work to flush (and the gateway-drain crash point actually fires)
+    for j in range(4):
+        clock.tick(2.0 / CAPACITY)  # mint a token (with fp headroom)
+        t_submit = clock()
+        ticket = gw.submit(
+            [AddUser(N_OFFERED + j)],
+            on_applied=lambda v, t0=t_submit: (
+                latencies.append(clock() - t0 + SERVICE_TIME),
+                events.append((round(clock(), 9), "apply", v)),
+            ),
+        )
+        events.append((round(clock(), 9), "admit", ticket))
+
+    plan = FaultPlan()
+    if drain_crash_hit:
+        plan.crash("gateway-drain", hit=drain_crash_hit)
+    try:
+        with inject(plan):
+            gw.drain()
+    except InjectedCrash:
+        events.append((round(clock(), 9), "drain-crash", gw.queue_depth))
+        gw.drain()  # retry completes -- admitted writes must survive
+    events.append((round(clock(), 9), "drained", gw.stats()["applied"]))
+    return {
+        "events": events,
+        "latencies": latencies,
+        "max_depth": max_depth,
+        "stats": gw.stats(),
+        "service_version": service.version,
+    }
+
+
+class TestOverloadProperty:
+    def test_sheds_and_keeps_admitted_fast_at_4x(self):
+        calm = run_sim(load_factor=0.5)
+        hot = run_sim(load_factor=4.0)
+
+        admitted = [e for e in hot["events"] if e[1] == "admit"]
+        shed = [e for e in hot["events"] if e[1].startswith("shed-429")]
+        # ~3/4 of offered load must shed with a 429-class verdict
+        assert len(shed) > 0.6 * N_OFFERED
+        assert len(admitted) + len(shed) == N_OFFERED + 4  # + drain tail
+        # every shed carried a retry hint, never a lost write
+        for ev in shed:
+            if ev[1] == "shed-429-rate":
+                assert ev[2] > 0
+
+        # the served path stays fast: p99 admitted within 2x uncontended
+        p99_calm = float(np.percentile(np.asarray(calm["latencies"]), 99))
+        p99_hot = float(np.percentile(np.asarray(hot["latencies"]), 99))
+        assert p99_hot <= 2.0 * p99_calm
+
+        # bounded queue, honestly reported
+        assert hot["max_depth"] <= QUEUE_LIMIT
+        assert hot["stats"]["queue_depth"] == 0
+
+    @pytest.mark.parametrize("load", [0.5, 1.0, 4.0])
+    def test_zero_admitted_writes_lost(self, load):
+        out = run_sim(load_factor=load)
+        admitted = sum(1 for e in out["events"] if e[1] == "admit")
+        applied = sum(1 for e in out["events"] if e[1] == "apply")
+        # version continuity after drain: every ticket ever issued is a
+        # distinct applied version on the service, nothing dropped
+        assert admitted == applied
+        assert out["stats"]["applied"] == admitted
+        assert out["service_version"] == admitted
+
+    @pytest.mark.parametrize("crash_hit", [0, 1])
+    def test_schedule_reproduces_bit_identically(self, crash_hit):
+        a = run_sim(load_factor=4.0, drain_crash_hit=crash_hit)
+        b = run_sim(load_factor=4.0, drain_crash_hit=crash_hit)
+        assert a["events"] == b["events"]
+        assert a["latencies"] == b["latencies"]
+        assert a["stats"]["shed"] == b["stats"]["shed"]
+        assert a["stats"]["breaker"]["transitions"] == \
+            b["stats"]["breaker"]["transitions"]
+
+    def test_crash_mid_drain_loses_nothing(self):
+        out = run_sim(load_factor=4.0, drain_crash_hit=1)
+        kinds = [e[1] for e in out["events"]]
+        admitted = kinds.count("admit")
+        assert out["service_version"] == admitted
+        assert out["stats"]["state"] == "closed"

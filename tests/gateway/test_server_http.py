@@ -1,0 +1,228 @@
+"""GatewayServer over a real socket: wire mapping of the admission verdicts.
+
+One live server per test class (stdlib ``urllib``/``socket`` clients, no
+test-only HTTP deps).  These are integration checks of the *translation*
+layer -- status codes, Retry-After, WebSocket framing; every admission
+semantics detail is covered deterministically in test_gateway_core.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import socket
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.gateway import Gateway, GatewayServer
+from repro.gateway.server import _ws_accept_key
+from repro.model import AddFriendship, AddUser
+from repro.model.loader import change_to_row
+from repro.serving import GraphService
+
+
+def _get(url, headers=None):
+    req = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=5) as r:
+            return r.status, dict(r.headers), r.read()
+    except urllib.error.HTTPError as e:
+        return e.code, dict(e.headers), e.read()
+
+
+def _post(url, doc=None, headers=None):
+    data = json.dumps(doc).encode() if doc is not None else b""
+    req = urllib.request.Request(url, data=data, method="POST",
+                                 headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=5) as r:
+            return r.status, dict(r.headers), r.read()
+    except urllib.error.HTTPError as e:
+        return e.code, dict(e.headers), e.read()
+
+
+def _rows(changes):
+    return {"changes": [change_to_row(c) for c in changes]}
+
+
+def _wait_version(base, v, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, _, body = _get(base + "/read?query=Q1")
+        if status == 200 and json.loads(body)["version"] >= v:
+            return json.loads(body)
+        time.sleep(0.01)
+    raise AssertionError(f"version {v} not served within {timeout}s")
+
+
+@pytest.fixture(scope="class")
+def live():
+    svc = GraphService(tools=("graphblas-incremental",), max_batch=1)
+    gw = Gateway(svc, queue_limit=256)
+    server = GatewayServer.run_in_thread(gw, pump_interval_s=0.005)
+    yield server, gw, server.url
+    if gw.state != "closed":
+        server.shutdown()
+    else:
+        server.shutdown(drain=False)
+    svc.close()
+
+
+@pytest.mark.usefixtures("live")
+class TestHTTP:
+    def test_submit_read_roundtrip(self, live):
+        _server, _gw, base = live
+        status, _, body = _post(base + "/submit",
+                                _rows([AddUser(1), AddUser(2),
+                                       AddFriendship(1, 2)]))
+        assert status == 202
+        assert json.loads(body)["ticket"] >= 1
+        result = _wait_version(base, 1)
+        assert result["query"] == "Q1"
+
+    def test_malformed_submit_is_400(self, live):
+        _server, _gw, base = live
+        status, _, body = _post(base + "/submit", {"changes": [["?", 1]]})
+        assert status == 400
+        status, _, _ = _post(base + "/submit", {"nope": []})
+        assert status == 400
+
+    def test_unknown_route_and_method(self, live):
+        _server, _gw, base = live
+        assert _get(base + "/nope")[0] == 404
+        assert _get(base + "/drain")[0] == 405
+
+    def test_health_ready_stats(self, live):
+        _server, _gw, base = live
+        assert _get(base + "/health")[0] == 200
+        assert _get(base + "/ready")[0] == 200
+        status, _, body = _get(base + "/stats")
+        assert status == 200
+        assert json.loads(body)["state"] == "accepting"
+
+    def test_metrics_exposition_parses(self, live):
+        from repro.obs.metrics import parse_exposition
+
+        _server, _gw, base = live
+        status, headers, body = _get(base + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = parse_exposition(body.decode())
+        names = {name for name, _ in parsed["series"]}
+        assert any(n.startswith("repro_gateway_") for n in names)
+        assert any(n == "repro_op_latency_seconds_count" for n in names)
+
+    def test_deadline_header_maps_to_504(self, live):
+        _server, gw, base = live
+        # a deadline of 0ms is already expired on arrival -> shed as 504
+        status, _, body = _get(base + "/read?query=Q1",
+                               headers={"X-Deadline-Ms": "0"})
+        assert status == 504
+        assert "deadline" in json.loads(body)["error"]
+
+    def test_keep_alive_serves_sequential_requests(self, live):
+        _server, _gw, base = live
+        host, port = base.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=5) as s:
+            for _ in range(2):
+                s.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    data += s.recv(4096)
+                head, _, body = data.partition(b"\r\n\r\n")
+                assert head.startswith(b"HTTP/1.1 200")
+                length = int(
+                    [ln.split(b":")[1] for ln in head.split(b"\r\n")
+                     if ln.lower().startswith(b"content-length")][0])
+                while len(body) < length:
+                    body += s.recv(4096)
+
+
+class TestRateLimitWire:
+    def test_429_with_retry_after(self):
+        svc = GraphService(tools=("graphblas-incremental",), max_batch=1)
+        gw = Gateway(svc, queue_limit=8, classes={"default": (1.0, 1.0)})
+        server = GatewayServer.run_in_thread(gw)
+        try:
+            base = server.url
+            assert _post(base + "/submit", _rows([AddUser(1)]))[0] == 202
+            status, headers, body = _post(base + "/submit",
+                                          _rows([AddUser(2)]))
+            assert status == 429
+            assert float(headers["Retry-After"]) > 0
+            assert json.loads(body)["retry_after"] > 0
+        finally:
+            server.shutdown()
+            svc.close()
+
+
+class TestWebSocket:
+    def test_accept_key_is_rfc6455(self):
+        # the worked example from RFC 6455 section 1.3
+        assert (_ws_accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+                == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=")
+
+    def test_subscribe_streams_commits_then_drain_closes(self):
+        svc = GraphService(tools=("graphblas-incremental",), max_batch=1)
+        gw = Gateway(svc, queue_limit=64)
+        server = GatewayServer.run_in_thread(gw, pump_interval_s=0.005)
+        try:
+            base = server.url
+            key = base64.b64encode(os.urandom(16)).decode()
+            s = socket.create_connection(("127.0.0.1", server.port), timeout=5)
+            s.sendall((
+                "GET /subscribe?query=Q1&buffer=16 HTTP/1.1\r\nHost: x\r\n"
+                "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n\r\n").encode())
+            handshake = s.recv(4096)
+            assert handshake.startswith(b"HTTP/1.1 101")
+            assert _ws_accept_key(key).encode() in handshake
+
+            _post(base + "/submit", _rows([AddUser(1)]))
+            _post(base + "/submit", _rows([AddUser(2)]))
+
+            s.settimeout(5)
+            buf = b""
+            events = []
+            while len(events) < 2:
+                buf += s.recv(65536)
+                while len(buf) >= 2:
+                    length = buf[1] & 0x7F
+                    head = 2
+                    if length == 126:
+                        length = int.from_bytes(buf[2:4], "big")
+                        head = 4
+                    if len(buf) < head + length:
+                        break
+                    if buf[0] & 0x0F == 0x1:
+                        events.append(json.loads(buf[head:head + length]))
+                    buf = buf[head + length:]
+            assert [e["version"] for e in events] == [1, 2]
+            s.close()
+        finally:
+            server.shutdown()
+            svc.close()
+
+    def test_drain_over_http_flips_ready(self):
+        svc = GraphService(tools=("graphblas-incremental",), max_batch=1)
+        gw = Gateway(svc, queue_limit=8)
+        server = GatewayServer.run_in_thread(gw)
+        try:
+            base = server.url
+            _post(base + "/submit", _rows([AddUser(1)]))
+            status, _, body = _post(base + "/drain")
+            assert status == 200
+            stats = json.loads(body)
+            assert stats["state"] == "closed"
+            assert stats["applied"] == 1
+            assert _get(base + "/ready")[0] == 503
+            assert _get(base + "/health")[0] == 200
+            assert _post(base + "/submit", _rows([AddUser(2)]))[0] == 503
+        finally:
+            server.shutdown(drain=False)
+            svc.close()

@@ -1,0 +1,165 @@
+"""Deadline-aware replicated reads (satellite 2): the budget is absolute.
+
+Per-attempt ``read_timeout_s`` used to be the only bound, so a retry
+loop over K replicas could wait K * timeout -- far past any caller
+budget.  Now an absolute deadline caps the *total*: effective per-attempt
+timeout is ``min(read_timeout_s, deadline - now)``, no attempt starts
+past the deadline, an exhausted budget raises ``DeadlineExceeded``
+instead of degrading to the leader, and a replica whose attempt failed
+only because the deadline squeezed its timeout is not punished with
+backoff.  All clock movement here is an injected frozen clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.changes import AddUser
+from repro.replication import ReplicatedGraphService
+from repro.util.timer import WallClock
+from repro.util.validation import DeadlineExceeded
+
+KW = dict(tools=("graphblas-incremental",), max_batch=10**9,
+          max_delay_ms=1e9)
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    class _Clock:
+        t = 1000.0
+
+        @classmethod
+        def tick(cls, dt):
+            cls.t += dt
+
+    monkeypatch.setattr(WallClock, "now", staticmethod(lambda: _Clock.t))
+    return _Clock
+
+
+def _fleet(tmp_path, clock, replicas=2, **kw):
+    svc = ReplicatedGraphService(replicas=replicas, data_dir=tmp_path,
+                                 **{**KW, **kw})
+    svc.submit([AddUser(1), AddUser(2)])
+    svc.flush()
+    return svc
+
+
+class TestDeadlinePropagation:
+    def test_pre_expired_deadline_sheds_before_any_attempt(self, tmp_path,
+                                                           clock):
+        svc = _fleet(tmp_path, clock)
+        try:
+            with pytest.raises(DeadlineExceeded, match="before any attempt"):
+                svc.query("Q1", deadline=clock.t - 0.001)
+            # no replica was touched, so none went into backoff
+            assert all(s["failures"] == 0 for s in svc._backoff.values())
+        finally:
+            svc.close()
+
+    def test_read_without_deadline_unchanged(self, tmp_path, clock):
+        svc = _fleet(tmp_path, clock)
+        try:
+            assert svc.query("Q1").version == 1
+        finally:
+            svc.close()
+
+    def test_total_wait_capped_not_per_attempt(self, tmp_path, clock,
+                                               monkeypatch):
+        # every replica attempt burns 0.6s of simulated time; with
+        # read_timeout_s=1.0 and 2 replicas the old per-attempt regime
+        # would happily wait 1.2s+leader -- a 0.5s budget must stop
+        # after the first squeezed attempt instead
+        svc = _fleet(tmp_path, clock, read_timeout_s=1.0)
+        try:
+            attempts = []
+            for rep in svc._replicas:
+                real_query = rep.query
+
+                def slow_query(q, tool=None, _rep=rep, _real=real_query):
+                    attempts.append(_rep.name)
+                    clock.tick(0.6)  # slower than the squeezed timeout
+                    return _real(q, tool)
+
+                monkeypatch.setattr(rep, "query", slow_query)
+            start = clock.t
+            with pytest.raises(DeadlineExceeded, match="budget"):
+                svc.query("Q1", deadline=start + 0.5)
+            # attempt 1's effective timeout is min(1.0, 0.5) = 0.5s and
+            # its 0.6s cost overruns it; by then the budget is spent, so
+            # no second attempt starts -- total simulated wait is bounded
+            # by budget + one attempt, never n_replicas * read_timeout_s
+            assert clock.t - start <= 0.5 + 0.6
+            assert len(attempts) == 1
+        finally:
+            svc.close()
+
+    def test_budget_exhaustion_never_falls_back_to_leader(self, tmp_path,
+                                                          clock, monkeypatch):
+        svc = _fleet(tmp_path, clock, read_timeout_s=0.2)
+        try:
+            for rep in svc._replicas:
+                def dead_query(q, tool=None):
+                    raise OSError("replica socket gone")
+
+                monkeypatch.setattr(rep, "query", dead_query)
+            leader_reads = []
+            real_leader_query = svc._leader.query
+            monkeypatch.setattr(
+                svc._leader, "query",
+                lambda q, tool=None: leader_reads.append(q)
+                or real_leader_query(q, tool),
+            )
+            # without a deadline, dead replicas degrade to the leader
+            assert svc.query("Q1").source == "leader"
+            assert leader_reads == ["Q1"]
+            # with the budget already spent, shed instead of degrading
+            with pytest.raises(DeadlineExceeded):
+                svc.query("Q1", deadline=clock.t)
+            assert leader_reads == ["Q1"]  # leader untouched the 2nd time
+        finally:
+            svc.close()
+
+    def test_squeezed_attempt_does_not_backoff_replica(self, tmp_path, clock,
+                                                       monkeypatch):
+        # the replica takes 0.3s -- within read_timeout_s=1.0, so it is
+        # healthy; only the caller's 0.2s budget made it "too slow"
+        svc = _fleet(tmp_path, clock, replicas=1, read_timeout_s=1.0)
+        try:
+            rep = svc._replicas[0]
+            real_query = rep.query
+
+            def busy_query(q, tool=None):
+                clock.tick(0.3)
+                return real_query(q, tool)
+
+            monkeypatch.setattr(rep, "query", busy_query)
+            with pytest.raises(DeadlineExceeded):
+                svc.query("Q1", deadline=clock.t + 0.2)
+            state = svc._backoff[rep.name]
+            assert state["failures"] == 0
+            assert state["retry_at"] == 0.0
+            # and the replica serves the very next unhurried read
+            assert svc.query("Q1").source == rep.name
+        finally:
+            svc.close()
+
+    def test_genuinely_slow_attempt_still_backs_off(self, tmp_path, clock,
+                                                    monkeypatch):
+        # 1.5s elapsed > read_timeout_s=1.0: slow regardless of deadline,
+        # so the failure counts and backoff engages as before
+        svc = _fleet(tmp_path, clock, replicas=1, read_timeout_s=1.0)
+        try:
+            rep = svc._replicas[0]
+            real_query = rep.query
+
+            def glacial_query(q, tool=None):
+                clock.tick(1.5)
+                return real_query(q, tool)
+
+            monkeypatch.setattr(rep, "query", glacial_query)
+            r = svc.query("Q1", deadline=clock.t + 5.0)
+            assert r.source == "leader"  # budget left: degrade, not shed
+            assert svc._backoff[rep.name]["failures"] == 1
+            assert svc._backoff[rep.name]["retry_at"] > clock.t
+        finally:
+            svc.close()

@@ -40,13 +40,20 @@ QUERIES = ("Q1", "Q2", "components")
 LEADER_POINTS = ("wal-append", "post-append-pre-apply", "snapshot-write")
 #: points on the replica/failover path, each with its own scenario below
 REPLICA_POINTS = ("ship", "promote")
+#: points on the gateway admission/drain path -- outside the replication
+#: durability domain; their crash scenarios (ticket not burned, drain
+#: retryable, queue preserved) live in tests/gateway/test_gateway_core.py
+GATEWAY_POINTS = ("gateway-accept", "gateway-enqueue", "gateway-drain")
 
 
 def test_every_crash_point_is_classified():
     """A new crash point must be placed in exactly one bucket here --
     and thereby get a failover scenario -- before the suite passes."""
-    assert set(crash_points()) == set(LEADER_POINTS) | set(REPLICA_POINTS)
-    assert not set(LEADER_POINTS) & set(REPLICA_POINTS)
+    import repro.gateway  # noqa: F401 - registers the gateway-* points
+
+    buckets = (set(LEADER_POINTS), set(REPLICA_POINTS), set(GATEWAY_POINTS))
+    assert set(crash_points()) == set().union(*buckets)
+    assert sum(len(b) for b in buckets) == len(set().union(*buckets))
 
 
 def test_observation_mode_maps_the_crash_schedule(tmp_path):

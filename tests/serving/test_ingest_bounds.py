@@ -1,0 +1,114 @@
+"""Bounded in-process ingest: ``max_pending`` backpressure (satellite 1).
+
+The default stays unbounded (regression-locked here); with a bound, an
+overflowing submission is rejected all-or-nothing with a typed
+:class:`QueueFull` carrying a retry hint -- and on a full service, the
+rejection happens *before* SubmitGate tracks pending ids, so a shed
+batch can be resubmitted verbatim once the queue drains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import AddUser, ChangeSet
+from repro.serving import GraphService
+from repro.serving.ingest import MicroBatcher, QueueFull
+from repro.util.timer import WallClock
+from repro.util.validation import ReproError
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    class _Clock:
+        t = 1000.0
+
+        @classmethod
+        def tick(cls, dt):
+            cls.t += dt
+
+    monkeypatch.setattr(WallClock, "now", staticmethod(lambda: _Clock.t))
+    return _Clock
+
+
+def _changes(n, start=0):
+    return [AddUser(start + i) for i in range(n)]
+
+
+class TestMicroBatcherBound:
+    def test_default_is_unbounded(self, clock):
+        mb = MicroBatcher(max_changes=1000, max_delay_ms=1e9)
+        for i in range(500):  # far beyond any sane queue; never rejects
+            assert mb.offer(_changes(1, i)) is None
+        assert mb.pending == 500
+        assert mb.max_pending is None
+
+    def test_overflow_rejects_all_or_nothing(self, clock):
+        mb = MicroBatcher(max_changes=2, max_delay_ms=1e9, max_pending=3)
+        mb.offer(_changes(1))
+        with pytest.raises(QueueFull) as exc:
+            mb.offer(ChangeSet(_changes(3, 10)))
+        # nothing from the rejected batch was enqueued
+        assert mb.pending == 1
+        assert exc.value.pending == 1
+        assert exc.value.limit == 3
+
+    def test_exact_boundary_accepted(self, clock):
+        mb = MicroBatcher(max_changes=4, max_delay_ms=1e9, max_pending=4)
+        mb.offer(_changes(2))
+        batch = mb.offer(_changes(2, 2))  # hits max_changes, flushes
+        assert batch is not None and len(batch) == 4
+
+    def test_retry_after_tracks_remaining_delay(self, clock):
+        mb = MicroBatcher(max_changes=2, max_delay_ms=100.0, max_pending=2)
+        mb.offer(_changes(1))
+        clock.tick(0.040)
+        with pytest.raises(QueueFull) as exc:
+            mb.offer(_changes(2, 10))
+        # 60ms of the coalescing window left: that's when space frees up
+        assert exc.value.retry_after == pytest.approx(0.060)
+
+    def test_bound_must_cover_one_batch(self):
+        with pytest.raises(ReproError):
+            MicroBatcher(max_changes=8, max_pending=4)
+
+
+class TestServiceBound:
+    def _svc(self, **kw):
+        kw.setdefault("tools", ("graphblas-incremental",))
+        return GraphService(**kw)
+
+    def test_bounded_service_sheds_then_recovers(self):
+        svc = self._svc(max_batch=4, max_delay_ms=1e9, max_pending=4)
+        try:
+            svc.submit(_changes(3))
+            with pytest.raises(QueueFull):
+                svc.submit(_changes(2, 10))
+            assert svc.flush() == 1
+            svc.submit(_changes(2, 10))  # space again after the flush
+        finally:
+            svc.close()
+
+    def test_rejected_batch_leaves_no_tracked_ids(self):
+        # the regression this ordering exists for: a QueueFull *after*
+        # SubmitGate.admit would leak the batch's ids as pending, making
+        # the client's retry of the identical batch a duplicate-id error
+        svc = self._svc(max_batch=2, max_delay_ms=1e9, max_pending=2)
+        try:
+            svc.submit(_changes(1))
+            overflow = _changes(2, 50)
+            with pytest.raises(QueueFull):
+                svc.submit(overflow)
+            svc.flush()
+            assert svc.submit(overflow) == 2  # retry verbatim: accepted
+        finally:
+            svc.close()
+
+    def test_unbounded_service_unchanged(self):
+        svc = self._svc(max_batch=1000, max_delay_ms=1e9)
+        try:
+            for i in range(50):
+                svc.submit(_changes(1, i))
+            assert svc.stats()["pending"] == 50
+        finally:
+            svc.close()
