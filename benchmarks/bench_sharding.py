@@ -8,17 +8,23 @@ the merged-read latency percentiles.  Every configuration must serve
 bit-identical Q1/Q2/analytics results -- a result mismatch fails the run,
 so this doubles as the CI guard that the scatter-gather merge stays exact.
 
-Script mode::
+Both shard backends are measured like-for-like on the same workload:
+``inproc`` (shards as threads in this process, the PR 5 configuration)
+and ``process`` (one worker process per shard behind the pipe-RPC
+handles, ``REPRO_SHARD_PROCS=1``).  Script mode::
 
     PYTHONPATH=src python benchmarks/bench_sharding.py --smoke
 
 writes the ``{workload, configs, ...}`` record to ``BENCH_sharding.json``
-(committed copy: ``benchmarks/BENCH_sharding.json``).  Like
-``BENCH_parallel.json``, the record carries ``cpu_count`` and an honest
-``note``: the scatter fans out over Python threads, so on a single-core
-box (or under the GIL with CPU-bound refreshes) shards > 1 mostly buys
-*partitioned state and fault isolation*, not wall-clock speedup -- the
-per-shard work units shrink, but they serialize.
+(committed copy: ``benchmarks/BENCH_sharding.json``).  Every config row
+carries a ``backend`` field, and ``process_vs_inproc`` reports the
+updates/s ratio at each shard count.  Like ``BENCH_parallel.json``, the
+record carries ``cpu_count`` and an honest ``note``: on a single-core
+box neither backend can beat the other by much -- the thread backend
+serializes on the GIL and the process backend time-slices its workers --
+so shards > 1 mostly buys *partitioned state and fault isolation* there;
+real scaling numbers come from the multicore ``tier1-sharded-procs`` CI
+job's artifact.
 """
 
 from __future__ import annotations
@@ -55,7 +61,9 @@ def _fresh_workload(scale: int, seed: int = 42):
     return graph, [ch for cs in change_sets for ch in cs]
 
 
-def run_config(shards: int | None, scale: int, max_batch: int) -> dict:
+def run_config(
+    shards: int | None, scale: int, max_batch: int, backend: str = "inproc"
+) -> dict:
     """One shard count over the standard stream; shards=None = unsharded."""
     graph, changes = _fresh_workload(scale)
     kwargs = dict(
@@ -68,7 +76,9 @@ def run_config(shards: int | None, scale: int, max_batch: int) -> dict:
     if shards is None:
         service = GraphService(graph, **kwargs)
     else:
-        service = ShardedGraphService(graph, shards=shards, **kwargs)
+        service = ShardedGraphService(
+            graph, shards=shards, backend=backend, **kwargs
+        )
     try:
         _drive(service, changes, max_batch)
         ops = service.stats()["ops"]
@@ -76,6 +86,7 @@ def run_config(shards: int | None, scale: int, max_batch: int) -> dict:
         total_s = ops[apply_key]["total_s"]
         return {
             "shards": shards if shards is not None else 0,
+            "backend": backend if shards is not None else None,
             "changes": len(changes),
             "versions": service.version,
             "updates_per_s": round(len(changes) / total_s, 1) if total_s else None,
@@ -95,41 +106,71 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true", help="small fixed CI workload")
     ap.add_argument("--scale", type=int, default=4, help="Table II scale factor")
     ap.add_argument("--max-batch", type=int, default=8)
+    ap.add_argument(
+        "--backend", choices=("both", "inproc", "process"), default="both",
+        help="shard backend(s) to measure (default: both, like-for-like)",
+    )
     args = ap.parse_args(argv)
     scale = 4 if args.smoke else args.scale
+    backends = (
+        ("inproc", "process") if args.backend == "both" else (args.backend,)
+    )
 
     print(
         f"sharding bench: scale factor {scale}, micro-batch {args.max_batch}, "
-        f"tools {TOOLS}, analytics {ANALYTICS}"
+        f"tools {TOOLS}, analytics {ANALYTICS}, backends {backends}"
     )
     print(
-        f"{'config':<12} {'changes':>8} {'upd/s':>10} {'apply p99':>10} "
+        f"{'config':<22} {'changes':>8} {'upd/s':>10} {'apply p99':>10} "
         f"{'read p99':>10}  result"
     )
 
     reference = run_config(None, scale, args.max_batch)
     print(
-        f"{'unsharded':<12} {reference['changes']:>8} "
+        f"{'unsharded':<22} {reference['changes']:>8} "
         f"{reference['updates_per_s']:>10.0f} {reference['apply_p99_ms']:>9.2f}m "
         f"{reference['read_p99_ms']:>9.3f}m  reference"
     )
 
     failures = 0
     configs = []
-    for n in SHARD_COUNTS:
-        r = run_config(n, scale, args.max_batch)
-        ok = r["results"] == reference["results"]
-        r["ok"] = ok
-        configs.append(r)
-        print(
-            f"{f'shards={n}':<12} {r['changes']:>8} {r['updates_per_s']:>10.0f} "
-            f"{r['apply_p99_ms']:>9.2f}m {r['read_p99_ms']:>9.3f}m  "
-            f"{'OK' if ok else 'MISMATCH vs unsharded'}"
-        )
-        if not ok:
-            failures += 1
+    for backend in backends:
+        for n in SHARD_COUNTS:
+            r = run_config(n, scale, args.max_batch, backend=backend)
+            ok = r["results"] == reference["results"]
+            r["ok"] = ok
+            configs.append(r)
+            label = f"shards={n} [{backend}]"
+            print(
+                f"{label:<22} {r['changes']:>8} {r['updates_per_s']:>10.0f} "
+                f"{r['apply_p99_ms']:>9.2f}m {r['read_p99_ms']:>9.3f}m  "
+                f"{'OK' if ok else 'MISMATCH vs unsharded'}"
+            )
+            if not ok:
+                failures += 1
 
-    base = configs[0]["updates_per_s"]
+    def _ups(backend, shards):
+        for c in configs:
+            if c["backend"] == backend and c["shards"] == shards:
+                return c["updates_per_s"]
+        return None
+
+    scaling = {}
+    for backend in backends:
+        base = _ups(backend, SHARD_COUNTS[0])
+        scaling[backend] = {
+            f"shards={n}": round(_ups(backend, n) / base, 2)
+            for n in SHARD_COUNTS
+            if base and _ups(backend, n) is not None
+        }
+    process_vs_inproc = None
+    if "inproc" in backends and "process" in backends:
+        process_vs_inproc = {
+            f"shards={n}": round(_ups("process", n) / _ups("inproc", n), 2)
+            for n in SHARD_COUNTS
+            if _ups("inproc", n) and _ups("process", n) is not None
+        }
+    multicore = (os.cpu_count() or 1) > 1
     record = {
         "workload": {
             "scale": scale,
@@ -141,16 +182,22 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count(),
         "unsharded": {k: reference[k] for k in reference if k != "results"},
         "configs": [{k: c[k] for k in c if k != "results"} for c in configs],
-        "scaling_vs_shards1": {
-            f"shards={c['shards']}": round(c["updates_per_s"] / base, 2)
-            for c in configs
-        },
+        "scaling_vs_shards1": scaling,
+        "process_vs_inproc_updates_per_s": process_vs_inproc,
         "note": (
-            "scatter fans out over Python threads; on a single-core box or "
-            "with GIL-bound refreshes, shards>1 buys partitioned state, "
-            "bounded per-shard work and fault isolation rather than "
-            "wall-clock speedup -- multi-core scaling comes from the "
-            "REPRO_SHARDS=2 CI job's artifact"
+            "backends are measured like-for-like on the same workload and "
+            "must serve identical bytes; "
+            + (
+                "multi-core box: the process backend escapes the GIL, so "
+                "shards>1 should scale scatter throughput with cores"
+                if multicore
+                else "single-core box: the thread backend serializes on the "
+                "GIL and the process backend time-slices its workers plus "
+                "pays per-batch RPC, so shards>1 buys partitioned state, "
+                "bounded per-shard work and fault isolation rather than "
+                "wall-clock speedup -- real scaling numbers come from the "
+                "multicore tier1-sharded-procs CI job's artifact"
+            )
         ),
         "results_identical_across_configs": failures == 0,
     }

@@ -44,11 +44,13 @@ from repro.util.validation import ReproError
 __all__ = [
     "FaultPlan",
     "InjectedCrash",
+    "active_plan",
     "at_path",
     "crash_points",
     "fire",
     "inject",
     "register_crash_point",
+    "set_active_plan",
 ]
 
 
@@ -66,6 +68,12 @@ class InjectedCrash(Exception):
         self.point = point
         self.hit = hit
         self.ctx = dict(ctx or {})
+
+    def __reduce__(self):
+        # Exception's default reduce replays only ``args`` (the formatted
+        # message), which breaks the 3-argument constructor when a crash
+        # raised inside a shard worker is pickled back over the RPC pipe.
+        return (type(self), (self.point, self.hit, self.ctx))
 
 
 #: name -> human description of where the point sits (import-time filled)
@@ -110,6 +118,29 @@ def fire(point: str, **ctx) -> None:
         plan._fire(point, ctx)
 
 
+def active_plan() -> Optional["FaultPlan"]:
+    """The currently installed plan, or ``None``.
+
+    Process-boundary hook: a shard handle reads this before each RPC so
+    it can ship the schedule into its worker (see
+    :mod:`repro.sharding.handle`).  Tests keep using :func:`inject`.
+    """
+    return _ACTIVE
+
+
+def set_active_plan(plan: Optional["FaultPlan"]) -> None:
+    """Install ``plan`` unconditionally (``None`` clears).
+
+    The worker-process counterpart of :func:`inject`: a shard worker
+    replaces its inherited/previous plan with whatever the router just
+    shipped, without the no-nesting check -- inside the worker there is
+    no enclosing ``inject`` block to collide with.
+    """
+    global _ACTIVE
+    with _LOCK:
+        _ACTIVE = plan
+
+
 @contextmanager
 def inject(plan: "FaultPlan"):
     """Install ``plan`` process-wide for the duration of the block.
@@ -129,14 +160,37 @@ def inject(plan: "FaultPlan"):
             _ACTIVE = None
 
 
+class _PathMatcher:
+    """Picklable callable behind :func:`at_path` (a lambda would not ship
+    into shard worker processes with the plan that holds it)."""
+
+    __slots__ = ("fragment",)
+
+    def __init__(self, fragment: str):
+        self.fragment = fragment
+
+    def __call__(self, ctx: dict) -> bool:
+        return self.fragment in str(ctx.get("path", ""))
+
+    def __getstate__(self):
+        return self.fragment
+
+    def __setstate__(self, state):
+        self.fragment = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"at_path({self.fragment!r})"
+
+
 def at_path(fragment: str) -> Callable[[dict], bool]:
     """Matcher factory: hit only when ``fragment`` is in the site's path.
 
     The standard way to aim a plan at one shard or replication node --
     their data directories are named (``shard-01``, ``node-02``), and
-    every IO-adjacent site passes ``path=``.
+    every IO-adjacent site passes ``path=``.  The returned matcher is
+    picklable, so a plan using it can cross a process boundary.
     """
-    return lambda ctx: fragment in str(ctx.get("path", ""))
+    return _PathMatcher(fragment)
 
 
 class _Trigger:
@@ -197,6 +251,54 @@ class FaultPlan:
     def fired(self) -> list[str]:
         """Points whose scheduled crash has been raised (in schedule order)."""
         return [t.point for t in self._triggers if t.fired]
+
+    # -- process boundary ----------------------------------------------
+    #
+    # A shard worker runs against a pickled *copy* of the plan; the copy
+    # accumulates hits/fired state that the test asserts on via the
+    # original.  The handle drains deltas out of the worker after every
+    # RPC (``events_since``) and folds them back into the router-side
+    # plan (``absorb``), so aimed schedules (one ``at_path`` trigger per
+    # shard directory) behave identically across backends.  The one
+    # documented divergence: an *unaimed* trigger counts hits
+    # per-process under the process backend, not globally.
+
+    def __getstate__(self):
+        # snapshot under the lock into fresh objects: a scatter thread may
+        # be absorbing a sibling worker's events while this copy is being
+        # pickled for the next worker
+        with self._lock:
+            triggers = []
+            for t in self._triggers:
+                c = _Trigger(t.point, t.hit, t.match, t.exc)
+                c.seen = t.seen
+                c.fired = t.fired
+                triggers.append(c)
+            return {
+                "_triggers": triggers,
+                "hits": [(point, dict(ctx)) for point, ctx in self.hits],
+            }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def events_since(self, n_hits: int) -> tuple[list, list]:
+        """Delta view for shipping back over RPC: hits past ``n_hits``
+        plus the full per-trigger ``(seen, fired)`` state."""
+        with self._lock:
+            return (
+                list(self.hits[n_hits:]),
+                [(t.seen, t.fired) for t in self._triggers],
+            )
+
+    def absorb(self, new_hits: list, trigger_state: list) -> None:
+        """Fold a worker copy's :meth:`events_since` delta into this plan."""
+        with self._lock:
+            self.hits.extend((point, dict(ctx)) for point, ctx in new_hits)
+            for trig, (seen, fired) in zip(self._triggers, trigger_state):
+                trig.seen = max(trig.seen, seen)
+                trig.fired = trig.fired or fired
 
     # ------------------------------------------------------------------
 

@@ -16,6 +16,8 @@ Knobs (all optional):
 ``REPRO_GATEWAY_BREAKER_WINDOW``          breaker sliding window (default 16)
 ``REPRO_GATEWAY_BREAKER_COOLDOWN_S``      open->half-open cooldown (default 1.0)
 ``REPRO_SHARDS``                          >1 -> ShardedGraphService
+``REPRO_SHARD_PROCS``                     1 -> one worker process per shard
+                                          (sharded only; default: threads)
 ``REPRO_REPLICAS``                        >0 -> replicated (sharded: per shard)
 ``REPRO_GATEWAY_DATA_DIR``                persistence root (required for
                                           replicas; temp dir otherwise)

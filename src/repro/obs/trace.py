@@ -215,6 +215,50 @@ class Tracer:
         with self._lock:
             self._spans.clear()
 
+    def drain(self) -> list[dict]:
+        """Atomically take and clear the finished-span log (``tid`` kept).
+
+        The shard-worker RPC loop ships its spans back to the router in
+        every reply envelope; drain-and-clear under one lock guarantees a
+        span is shipped exactly once.
+        """
+        with self._lock:
+            spans, self._spans = self._spans, []
+            return spans
+
+    def graft(self, spans: list[dict], parent: Optional[Span] = None) -> None:
+        """Splice a *foreign* span log (a worker's :meth:`drain`) in here.
+
+        Re-issues every span id from this tracer's counter so grafted ids
+        never collide with local ones, rewrites parent links through the
+        same map, and hangs the foreign roots (parentless spans, or spans
+        whose parent was shipped in an earlier envelope) under ``parent``
+        -- typically the router-side ``shard`` span that was open while
+        the worker produced them.  Keeps the worker's end-order, so the
+        merged log remains a post-order walk of one connected tree.
+        """
+        if not spans:
+            return
+        if parent is None:
+            parent = _current.get()
+        base = parent.span_id if parent is not None else None
+        with self._lock:
+            id_map: dict[int, int] = {}
+            for s in spans:
+                id_map[s["span_id"]] = self._next_id
+                self._next_id += 1
+            for s in spans:
+                pid = s.get("parent_id")
+                self._spans.append({
+                    "name": s["name"],
+                    "span_id": id_map[s["span_id"]],
+                    "parent_id": id_map.get(pid, base) if pid is not None else base,
+                    "t0": s["t0"],
+                    "duration": s["duration"],
+                    "attrs": dict(s.get("attrs") or {}),
+                    "tid": s.get("tid", 0),
+                })
+
     # -- export ---------------------------------------------------------
 
     def chrome_trace(self) -> dict:

@@ -44,12 +44,18 @@ import numpy as np
 from repro.parallel.executor import Executor
 from repro.util.validation import ReproError
 
-__all__ = ["PersistentWorkerPool"]
+__all__ = ["PersistentWorkerPool", "recv_frame", "send_frame"]
 
 _LEN = struct.Struct("<Q")
 
 
-def _send(fd: int, obj) -> None:
+def send_frame(fd: int, obj) -> None:
+    """Write one length-prefixed pickle frame (``<Q length><payload>``).
+
+    The wire discipline every pipe RPC in the repo speaks -- this pool's
+    fork-join regions and the per-shard worker RPC in
+    :mod:`repro.sharding.handle` alike.
+    """
     payload = pickle.dumps(obj, protocol=5)
     os.write(fd, _LEN.pack(len(payload)))
     # os.write may write partially for large payloads on a pipe
@@ -70,9 +76,16 @@ def _recv_exact(fd: int, n: int) -> bytes:
     return b"".join(parts)
 
 
-def _recv(fd: int):
+def recv_frame(fd: int):
+    """Read one :func:`send_frame` frame; raises ``EOFError`` on a closed
+    pipe (how a peer's death is detected)."""
     (length,) = _LEN.unpack(_recv_exact(fd, _LEN.size))
     return pickle.loads(_recv_exact(fd, length))
+
+
+# historical private names, still used throughout this module
+_send = send_frame
+_recv = recv_frame
 
 
 def _shm_root() -> str:

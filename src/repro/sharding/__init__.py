@@ -7,6 +7,10 @@ The horizontal-scale layer over :mod:`repro.serving`:
 * :mod:`repro.sharding.merge` -- pure merge functions behind the
   mergeable-result protocol on
   :class:`~repro.queries.engine.EngineBase`;
+* :mod:`repro.sharding.handle` -- the :class:`ShardHandle` protocol the
+  router speaks to its shards, with in-process and process-per-shard
+  backends (``backend=`` / ``REPRO_SHARD_PROCS``) and the worker-side
+  serve loop in :mod:`repro.sharding.worker`;
 * :mod:`repro.sharding.router` -- :class:`ShardedGraphService`, the
   router owning the write path, router WAL, versioned consistency
   barrier, scatter-gather reads, and orchestrated per-shard recovery.
@@ -16,6 +20,12 @@ leaf modules above, and an eager router import here would cycle back
 through :mod:`repro.serving`.
 """
 
+from repro.sharding.handle import (
+    InProcessShardHandle,
+    ProcessShardHandle,
+    ShardCrashed,
+    default_shard_backend,
+)
 from repro.sharding.merge import (
     merge_partition_partials,
     merge_topk_entries,
@@ -24,8 +34,12 @@ from repro.sharding.merge import (
 from repro.sharding.partition import partition_graph, shard_of, shard_of_array
 
 __all__ = [
+    "InProcessShardHandle",
+    "ProcessShardHandle",
     "SHARDABLE_TOOLS",
+    "ShardCrashed",
     "ShardedGraphService",
+    "default_shard_backend",
     "default_shards",
     "merge_partition_partials",
     "merge_topk_entries",

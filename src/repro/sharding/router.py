@@ -71,6 +71,13 @@ from repro.serving.ingest import MicroBatcher, SubmitGate, coerce_changes
 from repro.serving.metrics import OpMetrics
 from repro.serving.persistence import ChangeLog
 from repro.serving.service import GraphService, _Flusher
+from repro.obs.trace import trace_output_path
+from repro.sharding.handle import (
+    InProcessShardHandle,
+    ProcessShardHandle,
+    default_shard_backend,
+    validate_backend,
+)
 from repro.sharding.partition import partition_graph, shard_of
 from repro.util.timer import WallClock
 from repro.util.validation import DeadlineExceeded, ReproError
@@ -96,6 +103,52 @@ def default_shards() -> int:
     return n
 
 
+class _ShardBuilder:
+    """Deferred construction of one shard's service.
+
+    Under the ``"inproc"`` backend it runs immediately in the router's
+    process; under ``"process"`` it runs *inside the freshly forked
+    worker*, so the partitioned shard graph it closes over travels by
+    copy-on-write pages, never through a pickle.
+    """
+
+    def __init__(self, graph, data_dir, replicas: int, shard_kwargs: dict):
+        self.graph = graph
+        self.data_dir = data_dir
+        self.replicas = replicas
+        self.shard_kwargs = shard_kwargs
+
+    def __call__(self):
+        if self.replicas:
+            return ReplicatedGraphService(
+                self.graph, replicas=self.replicas, data_dir=self.data_dir,
+                **self.shard_kwargs,
+            )
+        return GraphService(
+            self.graph, data_dir=self.data_dir, **self.shard_kwargs
+        )
+
+
+class _ShardRecoverer:
+    """Deferred per-shard recovery (snapshot + WAL tail), backend-agnostic.
+
+    The fenced restart: by the time this runs, the previous worker (if
+    any) has been reaped, so exactly one process ever has the shard
+    directory open for writing.
+    """
+
+    def __init__(self, shard_cls, shard_dir, shard: tuple, shard_kwargs: dict):
+        self.shard_cls = shard_cls
+        self.shard_dir = shard_dir
+        self.shard = shard
+        self.shard_kwargs = shard_kwargs
+
+    def __call__(self):
+        return self.shard_cls.recover(
+            self.shard_dir, shard=self.shard, **self.shard_kwargs
+        )
+
+
 class ShardedGraphService:
     """Hash-partitioned serving: one router, K GraphService shards.
 
@@ -108,6 +161,15 @@ class ShardedGraphService:
     be replaced via ``shard.promote()`` without repartitioning.  Barrier
     reads always come from shard leaders; replicas are each shard's
     failover capacity.
+
+    The router never touches shard objects directly: every shard sits
+    behind a :mod:`~repro.sharding.handle` chosen by ``backend`` --
+    ``"inproc"`` (the default: shards live in this process) or
+    ``"process"`` (one forked worker process per shard, escaping the GIL
+    on multicore hosts), defaulting to the ``REPRO_SHARD_PROCS``
+    environment knob.  Both backends serve bit-identical results (the
+    cross-backend conformance suite in ``tests/sharding/`` is the
+    oracle).
 
     >>> from repro.model.changes import AddFriendship, AddUser
     >>> svc = ShardedGraphService(shards=2, tools=("graphblas-incremental",),
@@ -129,6 +191,7 @@ class ShardedGraphService:
         *,
         shards: Optional[int] = None,
         replicas: int = 0,
+        backend: Optional[str] = None,
         queries: tuple = ("Q1", "Q2"),
         tools: tuple = SHARDABLE_TOOLS,
         analytics: tuple = (),
@@ -166,6 +229,7 @@ class ShardedGraphService:
                 )
         self.num_shards = shards
         self.num_replicas = replicas
+        self.backend = validate_backend(backend or default_shard_backend())
         self.queries = tuple(queries)
         self.tools = tuple(tools)
         self.analytics = tuple(analytics)
@@ -189,6 +253,10 @@ class ShardedGraphService:
         #: likes is entirely shard-local)
         self._post_shard: dict[int, int] = {}
         self._comment_shard: dict[int, int] = {}
+        #: users are replicated to every shard, so the router tracks them
+        #: itself (the SubmitGate hook must not cost a shard RPC per
+        #: submit under the process backend)
+        self._users: set[int] = set()
 
         self._wal: Optional[ChangeLog] = None
         if data_dir is not None:
@@ -211,17 +279,27 @@ class ShardedGraphService:
                     )
 
         if _shard_services is not None:
-            # recovery path: adopt already-recovered shards and rebuild the
-            # routing tables from what each shard actually owns
-            self._shards = list(_shard_services)
-            for i, svc in enumerate(self._shards):
-                for p in svc.graph.posts.external_array().tolist():
+            # recovery path: adopt already-recovered shard handles and
+            # rebuild the routing tables from what each shard actually owns
+            self._shards = [
+                svc if isinstance(svc, (InProcessShardHandle, ProcessShardHandle))
+                else InProcessShardHandle(svc)
+                for svc in _shard_services
+            ]
+            for i, handle in enumerate(self._shards):
+                owned = handle.owned_ids()
+                for p in owned["posts"]:
                     self._post_shard[p] = i
-                for c in svc.graph.comments.external_array().tolist():
+                for c in owned["comments"]:
                     self._comment_shard[c] = i
+                if i == 0:
+                    # users are replicated: any shard knows them all
+                    self._users.update(owned["users"])
         else:
+            source_graph = graph if graph is not None else SocialGraph()
+            self._users.update(source_graph.users.external_array().tolist())
             shard_graphs, self._post_shard, self._comment_shard = partition_graph(
-                graph if graph is not None else SocialGraph(), shards
+                source_graph, shards
             )
             self._shards = []
             created_dirs: list[Path] = []
@@ -245,21 +323,15 @@ class ShardedGraphService:
                         concurrent_refresh=concurrent_refresh,
                         shard=(i, shards),
                     )
-                    if replicas:
-                        self._shards.append(
-                            ReplicatedGraphService(
-                                shard_graphs[i],
-                                replicas=replicas,
-                                data_dir=shard_dir,
-                                **shard_kwargs,
-                            )
-                        )
+                    build = _ShardBuilder(
+                        shard_graphs[i], shard_dir, replicas, shard_kwargs
+                    )
+                    if self.backend == "process":
+                        # fork now: the child builds the service from the
+                        # copy-on-write shard graph -- nothing is pickled
+                        self._shards.append(ProcessShardHandle(i, build))
                     else:
-                        self._shards.append(
-                            GraphService(
-                                shard_graphs[i], data_dir=shard_dir, **shard_kwargs
-                            )
-                        )
+                        self._shards.append(InProcessShardHandle(build()))
             except BaseException:
                 # a failed construction must not poison data_dir: drop the
                 # shard directories this attempt created (router.json is
@@ -336,6 +408,10 @@ class ShardedGraphService:
                 "rebuild, not a recovery)"
             )
         wal_sync = kwargs.get("wal_sync", True)
+        backend = validate_backend(
+            kwargs.get("backend") or default_shard_backend()
+        )
+        kwargs["backend"] = backend
         shard_kwargs = {
             key: kwargs[key]
             for key in (
@@ -347,12 +423,21 @@ class ShardedGraphService:
         }
         with span_if(get_tracer(), "recover", shards=shards) as sp:
             shard_cls = ReplicatedGraphService if replicas else GraphService
-            services = [
-                shard_cls.recover(
-                    data_dir / f"shard-{i:02d}", shard=(i, shards), **shard_kwargs
-                )
-                for i in range(shards)
-            ]
+            services = []
+            try:
+                for i in range(shards):
+                    build = _ShardRecoverer(
+                        shard_cls, data_dir / f"shard-{i:02d}", (i, shards),
+                        shard_kwargs,
+                    )
+                    if backend == "process":
+                        services.append(ProcessShardHandle(i, build))
+                    else:
+                        services.append(InProcessShardHandle(build()))
+            except BaseException:
+                for svc in services:
+                    svc.close()
+                raise
             try:
                 router_wal = ChangeLog(data_dir, sync=wal_sync)
                 router_wal.repair()
@@ -452,6 +537,7 @@ class ShardedGraphService:
                         self._scatter(subs, next_version)
         except BaseException:
             self._failed = True
+            self._teardown_failed()
             raise
         self.version = next_version
         self._gate.clear()
@@ -468,6 +554,8 @@ class ShardedGraphService:
         subs: list[list[Change]] = [[] for _ in range(self.num_shards)]
         for ch in items:
             if isinstance(ch, (AddUser, AddFriendship, RemoveFriendship)):
+                if isinstance(ch, AddUser):
+                    self._users.add(ch.user_id)
                 for sub in subs:
                     sub.append(ch)
                 continue
@@ -527,13 +615,16 @@ class ShardedGraphService:
                 )
 
     @staticmethod
-    def _apply_shard(i: int, svc: GraphService, sub: list, tr, parent) -> int:
+    def _apply_shard(i: int, svc, sub: list, tr, parent) -> int:
         """One shard's slice of a scatter, under its own ``shard`` span.
 
-        Runs on a scatter-pool thread (or inline when serial); entering
-        the span installs it as the thread's current span, so the shard
-        service's own ``batch``/``wal``/``refresh`` spans hang off it and
-        the whole scatter stays one connected trace tree.
+        ``svc`` is a shard *handle*.  Runs on a scatter-pool thread (or
+        inline when serial); entering the span installs it as the
+        thread's current span, so the shard service's own
+        ``batch``/``wal``/``refresh`` spans hang off it -- directly for
+        an in-process shard, grafted out of the reply envelope for a
+        process shard -- and the whole scatter stays one connected trace
+        tree.
         """
         with span_if(tr, "shard", parent=parent, shard=i, changes=len(sub)):
             return svc.apply_batch(sub)
@@ -594,8 +685,9 @@ class ShardedGraphService:
                         f"torn sharded read: shard versions {versions} vs "
                         f"router v{self.version}"
                     )
-                engine = self._shards[0].engine(query, tool)
-                top, result_string = engine.merge_partials(partials, self.k)
+                top, result_string = self._shards[0].merge_partials(
+                    query, tool, partials, self.k
+                )
                 return CachedResult(
                     query=query,
                     tool=tool,
@@ -677,14 +769,49 @@ class ShardedGraphService:
             self._wal.close()
         for svc in self._shards:
             svc.close()
+        # REPRO_TRACE=<path>: under the process backend the shard workers
+        # scrub the dump path from their environment (their fragments are
+        # grafted into this process's tree), so the router writes the
+        # merged trace itself; idempotent alongside in-process shards'
+        # own dumps of the same tracer
+        out = trace_output_path()
+        if out:
+            tr = get_tracer()
+            if tr is not None:
+                tr.dump(out)
 
     def _known_applied(self, kind: str, external_id: int) -> bool:
-        """SubmitGate hook: users are replicated (ask shard 0), content is
-        partitioned (ask the routing tables)."""
+        """SubmitGate hook: users are replicated (the router mirrors the
+        set every shard holds), content is partitioned (the routing
+        tables).  All router-local state -- the gate must not pay a shard
+        round-trip per submitted change under the process backend."""
         if kind == "user":
-            return external_id in self._shards[0].graph.users
+            return external_id in self._users
         table = self._post_shard if kind == "post" else self._comment_shard
         return external_id in table
+
+    def _teardown_failed(self) -> None:
+        """Release threads/processes/files on fail-stop, best-effort.
+
+        A fail-stopped router is dead weight until ``recover``; without
+        this, an abandoned one leaks its scatter-pool threads, the healthy
+        shards' fan-out threads and -- under the process backend -- whole
+        worker processes (the suite-wide leak fixture is the regression
+        test).  Mirrors ``GraphService._teardown_parallel`` on the shard
+        level.  The flusher (daemon) is left to its ``_failed`` guard:
+        joining it here could deadlock on the router lock.
+        """
+        if self._scatter_pool is not None:
+            self._scatter_pool.shutdown(wait=True, cancel_futures=True)
+            self._scatter_pool = None
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+        for svc in self._shards:
+            try:
+                svc.close()
+            except BaseException:  # pragma: no cover - best-effort teardown
+                pass
 
     def _check_open(self) -> None:
         if self._failed:

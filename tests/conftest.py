@@ -4,7 +4,10 @@ property suite (queries, serving, analytics, sharding) draws from."""
 
 from __future__ import annotations
 
+import gc
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -82,6 +85,82 @@ def paper_update() -> ChangeSet:
             AddComment(C4, 30, U3, C1),
             AddLike(U4, C4),
         ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# suite-wide leak check
+#
+# The repo now forks child processes in three places (the kernel worker
+# pool, per-shard worker processes, the fault suites' crash simulations)
+# and fans out over thread pools in two more.  Every test must hand back a
+# quiet process: no orphaned/zombie children, no non-daemon threads.  This
+# generalises the PR 3 "crashed apply leaves no forked children"
+# regression test to the entire suite.
+# ---------------------------------------------------------------------------
+
+
+def _allowed_child_pids() -> set:
+    """Children that legitimately outlive a single test: the refcounted
+    process-wide kernel executor's fork-once workers."""
+    from repro.graphblas._kernels import parallel as _kparallel
+
+    ex = _kparallel._state.get("executor")
+    children = getattr(ex, "_children", None) or ()
+    return {child[0] for child in children}
+
+
+def _leaked_children() -> list:
+    """(pid, state) of live or zombie children of this process, minus the
+    allowed set -- scanned from /proc so no psutil dependency."""
+    me = os.getpid()
+    allowed = _allowed_child_pids()
+    leaked = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit() or int(entry) in allowed:
+            continue
+        try:
+            with open(f"/proc/{entry}/stat") as fh:
+                stat = fh.read()
+        except OSError:  # raced a process exit
+            continue
+        fields = stat.rsplit(")", 1)[1].split()  # comm may contain spaces
+        state, ppid = fields[0], int(fields[1])
+        if ppid == me:
+            leaked.append((int(entry), "zombie" if state == "Z" else state))
+    return leaked
+
+
+def _leaked_threads() -> list:
+    return [
+        t
+        for t in threading.enumerate()
+        if t is not threading.main_thread() and not t.daemon and t.is_alive()
+    ]
+
+
+@pytest.fixture(autouse=True)
+def no_process_or_thread_leaks():
+    """Assert every test leaves no orphaned children / non-daemon threads.
+
+    Crash-simulation tests abandon services via ``del`` without closing;
+    their worker processes and pool threads are reclaimed through
+    finalizers, so on a first sighting this polls with ``gc.collect()``
+    (triggering ``ProcessShardHandle.__del__`` reaping and executor
+    finalizers) before declaring a leak.
+    """
+    yield
+    procs, threads = _leaked_children(), _leaked_threads()
+    if procs or threads:
+        deadline = time.monotonic() + 5.0
+        while (procs or threads) and time.monotonic() < deadline:
+            gc.collect()
+            time.sleep(0.05)
+            procs, threads = _leaked_children(), _leaked_threads()
+    assert not procs, f"orphaned child processes survived the test: {procs}"
+    assert not threads, (
+        "non-daemon threads survived the test: "
+        f"{[t.name for t in threads]}"
     )
 
 

@@ -1,0 +1,202 @@
+"""Process-boundary fault injection for the process-per-shard backend.
+
+The PR 5/7 fault harness proved the router's recovery story with crash
+points firing on the router's own threads.  Here the same schedules are
+serialized *into the shard worker processes*: a crash point fires inside
+the child, the worker ships the failure (and its fault-plan events) back
+over the RPC pipe, the router fail-stops, and
+``ShardedGraphService.recover`` must rebuild to the never-crashed oracle
+with monotone versions.  A hard SIGKILL -- process death with no reply
+envelope at all -- must land in exactly the same place.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash, at_path, inject
+from repro.serving import GraphService
+from repro.sharding import ShardCrashed, ShardedGraphService
+from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
+
+QUERIES = ("Q1", "Q2", "components")
+SVC_KW = dict(
+    tools=("graphblas-incremental",),
+    analytics=("components",),
+    max_batch=10**9,
+    max_delay_ms=1e9,
+)
+
+
+def _read(svc, q):
+    r = svc.query(q)
+    return (r.top, r.result_string, r.version, r.computed_version)
+
+
+def _reads(svc):
+    return {q: _read(svc, q) for q in QUERIES}
+
+
+def _apply(svc, change_sets):
+    for cs in change_sets:
+        svc.submit(list(cs))
+        svc.flush()
+
+
+@pytest.fixture
+def workload():
+    return datagen_stream(
+        41, removal_fraction=0.2, total_inserts=150, num_change_sets=6
+    )
+
+
+def _oracle(fresh, stream, upto):
+    """A never-crashed unsharded service after ``upto`` change sets."""
+    svc = GraphService(fresh(), **SVC_KW)
+    _apply(svc, stream[:upto])
+    return svc
+
+
+def test_crash_point_inside_worker_fail_stop_then_recover(tmp_path, workload):
+    fresh, stream = workload
+    svc = ShardedGraphService(
+        fresh(), shards=3, backend="process", data_dir=tmp_path, **SVC_KW
+    )
+    _apply(svc, stream[:3])
+    v_before = svc.version
+
+    plan = FaultPlan().crash("wal-append", match=at_path("shard-02"))
+    with inject(plan):
+        with pytest.raises(InjectedCrash) as err:
+            svc.submit(list(stream[3]))
+            svc.flush()
+    # the schedule fired inside the worker that owns shard-02's WAL, and
+    # the reply envelope carried the evidence back into this plan object
+    assert plan.fired() == ["wal-append"]
+    assert "shard-02" in str(err.value.ctx.get("path", ""))
+    assert any("shard-02" in str(ctx.get("path", "")) for _, ctx in plan.hits)
+
+    # fail-stopped: every subsequent operation refuses
+    with pytest.raises(ReproError):
+        svc.flush()
+    del svc
+    gc.collect()  # reaps the abandoned workers via handle finalizers
+
+    rec = ShardedGraphService.recover(
+        tmp_path, backend="process", **SVC_KW
+    )
+    oracle = _oracle(fresh, stream, 4)  # the batch was router-WAL-committed
+    try:
+        assert rec.version > v_before  # monotone across the crash
+        assert rec.stats()["shard_versions"] == [rec.version] * 3
+        assert _reads(rec) == _reads(oracle)
+        # the recovered fleet keeps serving and keeps matching the oracle
+        for cs in stream[4:]:
+            rec.submit(list(cs))
+            rec.flush()
+            oracle.submit(list(cs))
+            oracle.flush()
+            assert _reads(rec) == _reads(oracle)
+    finally:
+        rec.close()
+        oracle.close()
+
+
+def test_post_append_crash_in_worker_recovers_committed_batch(
+    tmp_path, workload
+):
+    """Crash between the shard WAL append and the graph mutation: the
+    frame is durable in the child, so recovery must surface the batch."""
+    fresh, stream = workload
+    svc = ShardedGraphService(
+        fresh(), shards=2, backend="process", data_dir=tmp_path, **SVC_KW
+    )
+    _apply(svc, stream[:2])
+
+    plan = FaultPlan().crash(
+        "post-append-pre-apply", match=at_path("shard-01")
+    )
+    with inject(plan):
+        with pytest.raises(InjectedCrash):
+            svc.submit(list(stream[2]))
+            svc.flush()
+    assert plan.fired() == ["post-append-pre-apply"]
+    del svc
+    gc.collect()
+
+    rec = ShardedGraphService.recover(tmp_path, backend="process", **SVC_KW)
+    oracle = _oracle(fresh, stream, 3)
+    try:
+        assert rec.stats()["shard_versions"] == [rec.version] * 2
+        assert _reads(rec) == _reads(oracle)
+    finally:
+        rec.close()
+        oracle.close()
+
+
+def test_sigkill_worker_fail_stop_then_recover(tmp_path, workload):
+    """Hard process death: no crash point, no error envelope -- just EOF
+    on the pipes.  The router must fail-stop via ShardCrashed and recover
+    to the oracle."""
+    fresh, stream = workload
+    svc = ShardedGraphService(
+        fresh(), shards=3, backend="process", data_dir=tmp_path, **SVC_KW
+    )
+    _apply(svc, stream[:3])
+    v_before = svc.version
+
+    svc._shards[1].kill()
+    with pytest.raises(ShardCrashed):
+        svc.submit(list(stream[3]))
+        svc.flush()
+    with pytest.raises(ReproError):
+        svc.submit(list(stream[4]))
+    del svc
+    gc.collect()
+
+    rec = ShardedGraphService.recover(tmp_path, backend="process", **SVC_KW)
+    # the surviving shards applied the batch and the router WAL committed
+    # it, so recovery replays the killed shard up to the same version
+    oracle = _oracle(fresh, stream, 4)
+    try:
+        assert rec.version > v_before
+        assert rec.stats()["shard_versions"] == [rec.version] * 3
+        assert _reads(rec) == _reads(oracle)
+        for cs in stream[4:]:
+            rec.submit(list(cs))
+            rec.flush()
+            oracle.submit(list(cs))
+            oracle.flush()
+            assert _reads(rec) == _reads(oracle)
+    finally:
+        rec.close()
+        oracle.close()
+
+
+def test_fault_plan_events_identical_across_backends(tmp_path, workload):
+    """The envelope absorption makes an aimed plan observationally
+    identical whether its crash point fires on a router thread (inproc)
+    or inside a forked worker (process)."""
+    fresh, stream = workload
+    observed = {}
+    for backend in ("inproc", "process"):
+        svc = ShardedGraphService(
+            fresh(), shards=2, backend=backend,
+            data_dir=tmp_path / backend, **SVC_KW
+        )
+        _apply(svc, stream[:2])
+        plan = FaultPlan().crash("wal-append", match=at_path("shard-01"))
+        with inject(plan):
+            with pytest.raises(InjectedCrash):
+                svc.submit(list(stream[2]))
+                svc.flush()
+        observed[backend] = (
+            plan.fired(),
+            [point for point, _ in plan.hits],
+        )
+        del svc
+        gc.collect()
+    assert observed["inproc"] == observed["process"]

@@ -7,6 +7,11 @@ the unsharded :class:`~repro.serving.GraphService`, at every applied
 batch.  This is the distributed analogue of the repo's incremental ≡
 batch property: partitioning + scatter-gather merge must not be able to
 change a single byte of any served result.
+
+Every invariance property here runs as a **cross-backend conformance
+suite**: parametrized over ``backend ∈ {inproc, process}``, so the
+process-per-shard handles (one forked worker per shard, pipe RPC) are
+held to the same oracle as the in-process ones.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from hypothesis import given, settings
 
 from repro.serving import GraphService
 from repro.sharding import ShardedGraphService, shard_of
+from repro.sharding.handle import BACKENDS
 from tests.conftest import datagen_stream, graph_and_updates, random_graph_and_stream
 
 SHARD_COUNTS = (1, 2, 4)
@@ -33,14 +39,18 @@ def _read(svc, q):
     return (r.top, r.result_string, r.version, r.computed_version)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @given(graph_and_updates(removals=True))
-@settings(max_examples=20, deadline=None)
-def test_all_shard_counts_identical_to_unsharded_every_batch(case):
+@settings(max_examples=12, deadline=None)
+def test_all_shard_counts_identical_to_unsharded_every_batch(backend, case):
     seed, _, _ = case
     services = {}
     for n in SHARD_COUNTS:
         _, g, stream = random_graph_and_stream(seed, len(case[2]), removals=True)
-        services[n] = (ShardedGraphService(g, shards=n, **SVC_KW), stream)
+        services[n] = (
+            ShardedGraphService(g, shards=n, backend=backend, **SVC_KW),
+            stream,
+        )
     _, g, stream = random_graph_and_stream(seed, len(case[2]), removals=True)
     unsharded = GraphService(g, **SVC_KW)
     try:
@@ -65,15 +75,16 @@ def test_all_shard_counts_identical_to_unsharded_every_batch(case):
             svc.close()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("removal_fraction", [0.0, 0.3])
 @pytest.mark.parametrize("shards", [2, 4])
-def test_datagen_scale_invariance(shards, removal_fraction):
+def test_datagen_scale_invariance(shards, removal_fraction, backend):
     """Same property on a datagen-scale workload (heavy-tailed likes, so
     popular comments really do gather likers from several shards)."""
     fresh, stream = datagen_stream(
         31, removal_fraction=removal_fraction, total_inserts=200, num_change_sets=5
     )
-    sharded = ShardedGraphService(fresh(), shards=shards, **SVC_KW)
+    sharded = ShardedGraphService(fresh(), shards=shards, backend=backend, **SVC_KW)
     unsharded = GraphService(fresh(), **SVC_KW)
     try:
         for cs in stream:
@@ -94,10 +105,11 @@ def test_datagen_scale_invariance(shards, removal_fraction):
         unsharded.close()
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize(
     "analytics", [("pagerank",), ("cdlp",), ("triangles", "lcc", "kcore")]
 )
-def test_dirty_policy_analytics_shard_invariant(analytics):
+def test_dirty_policy_analytics_shard_invariant(analytics, backend):
     """Dirty-threshold engines recompute on the *same* schedule on every
     shard (friendship/user deltas are replicated), so even their stale
     results -- and staleness tags -- merge bit-identically."""
@@ -109,7 +121,7 @@ def test_dirty_policy_analytics_shard_invariant(analytics):
         max_batch=10**9,
         max_delay_ms=1e9,
     )
-    sharded = ShardedGraphService(fresh(), shards=3, **kw)
+    sharded = ShardedGraphService(fresh(), shards=3, backend=backend, **kw)
     unsharded = GraphService(fresh(), **kw)
     try:
         saw_stale = False
@@ -130,10 +142,11 @@ def test_dirty_policy_analytics_shard_invariant(analytics):
 
 def test_single_shard_is_the_callers_graph():
     """shards=1 must not replay or copy: the shard serves the caller's
-    graph object itself, so it is trivially bit-identical to GraphService."""
+    graph object itself, so it is trivially bit-identical to GraphService.
+    (Object identity only exists in-process, so this pins backend.)"""
     fresh, _ = datagen_stream(5)
     g = fresh()
-    svc = ShardedGraphService(g, shards=1, **SVC_KW)
+    svc = ShardedGraphService(g, shards=1, backend="inproc", **SVC_KW)
     try:
         assert svc._shards[0].graph is g
     finally:
@@ -141,8 +154,9 @@ def test_single_shard_is_the_callers_graph():
 
 
 def test_partition_is_total_and_consistent():
+    # pins backend="inproc": the assertions reach into shard graph objects
     fresh, stream = datagen_stream(23, removal_fraction=0.0, total_inserts=120)
-    svc = ShardedGraphService(fresh(), shards=4, **SVC_KW)
+    svc = ShardedGraphService(fresh(), shards=4, backend="inproc", **SVC_KW)
     try:
         for cs in stream:
             svc.submit(list(cs))
