@@ -47,9 +47,12 @@ from repro.graphblas import types as _types
 from repro.graphblas._kernels.coo import canonicalize_matrix
 from repro.graphblas._kernels.freeze import merge_dirty_rows
 from repro.graphblas.matrix import Matrix
+from repro.storage import ArenaStorage
+from repro.storage.heap import HeapArena
 from repro.util.validation import (
     DimensionMismatch,
     IndexOutOfBounds,
+    ReproError,
     check_positive,
 )
 
@@ -86,6 +89,7 @@ class DynamicMatrix:
         "dtype",
         "_nrows",
         "_ncols",
+        "_store",
         "_cols",
         "_vals",
         "_start",
@@ -99,15 +103,34 @@ class DynamicMatrix:
         "_frozen",
     )
 
-    def __init__(self, dtype, nrows: int, ncols: int):
+    #: identity attributes :meth:`compact` must *not* copy from the scratch
+    #: rebuild: the shape/dtype are equal anyway, the store and frozen view
+    #: belong to this object (compact is a physical-layout operation --
+    #: the frozen Matrix and dirty set describe logical content, which
+    #: compaction preserves by definition), and the relocation counter is
+    #: cumulative instrumentation.  Every *other* slot is copied, derived
+    #: from ``__slots__`` so a newly added field cannot be forgotten.
+    _COMPACT_PRESERVES = frozenset(
+        {"dtype", "_nrows", "_ncols", "_store", "_dirty", "_frozen",
+         "_relocations"}
+    )
+    #: slot -> store array name, for the array-valued slots
+    _ARRAY_SLOTS = {
+        "_cols": "cols", "_vals": "vals",
+        "_start": "start", "_len": "len", "_cap": "cap",
+    }
+
+    def __init__(self, dtype, nrows: int, ncols: int, *,
+                 store: ArenaStorage | None = None):
         self.dtype = _types.lookup(dtype)
         self._nrows = check_positive(nrows, "nrows")
         self._ncols = check_positive(ncols, "ncols")
-        self._cols = np.zeros(0, dtype=np.int64)
-        self._vals = np.zeros(0, dtype=self.dtype.np_dtype)
-        self._start = np.full(nrows, -1, dtype=np.int64)  # -1: no block yet
-        self._len = np.zeros(nrows, dtype=np.int64)
-        self._cap = np.zeros(nrows, dtype=np.int64)
+        self._store = store if store is not None else HeapArena()
+        self._cols = self._store.new("cols", 0, np.int64)
+        self._vals = self._store.new("vals", 0, self.dtype.np_dtype)
+        self._start = self._store.new("start", nrows, np.int64, fill=-1)  # -1: no block yet
+        self._len = self._store.new("len", nrows, np.int64)
+        self._cap = self._store.new("cap", nrows, np.int64)
         self._used = 0  # arena bump pointer
         self._free: dict[int, list[int]] = {}  # capacity -> block starts
         self._nvals = 0
@@ -120,7 +143,10 @@ class DynamicMatrix:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_matrix(cls, matrix: Matrix, *, slack: float = 0.0) -> "DynamicMatrix":
+    def from_matrix(
+        cls, matrix: Matrix, *, slack: float = 0.0,
+        store: ArenaStorage | None = None,
+    ) -> "DynamicMatrix":
         """Adopt an immutable matrix; ``slack`` adds per-row headroom.
 
         ``slack=0.5`` sizes each block for 1.5x the current degree (rounded
@@ -129,7 +155,7 @@ class DynamicMatrix:
         """
         if slack < 0:
             raise ValueError(f"slack must be >= 0, got {slack}")
-        dm = cls(matrix.dtype, matrix.nrows, matrix.ncols)
+        dm = cls(matrix.dtype, matrix.nrows, matrix.ncols, store=store)
         rows, cols, vals = matrix.to_coo()
         if rows.size == 0:
             return dm
@@ -141,19 +167,86 @@ class DynamicMatrix:
         starts = np.concatenate([[0], np.cumsum(caps)[:-1]])
         starts[lengths == 0] = -1
         total = int(caps.sum())
-        dm._cols = np.zeros(total, dtype=np.int64)
-        dm._vals = np.zeros(total, dtype=dm.dtype.np_dtype)
+        dm._cols = dm._store.resize("cols", dm._cols, total, keep=0)
+        dm._vals = dm._store.resize("vals", dm._vals, total, keep=0)
         # rows/cols arrive CSR-sorted: one vectorised scatter places all data
         row_starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
         dest = starts[rows] + (np.arange(rows.size) - row_starts[rows])
         dm._cols[dest] = cols
         dm._vals[dest] = dm.dtype.cast(vals)
-        dm._start = starts
-        dm._len = lengths
-        dm._cap = caps
+        dm._start[:] = starts
+        dm._len[:] = lengths
+        dm._cap[:] = caps
         dm._used = total
         dm._nvals = int(rows.size)
         return dm
+
+    @classmethod
+    def open(cls, store: ArenaStorage) -> "DynamicMatrix":
+        """Re-open the matrix last :meth:`flush_storage`-ed into ``store``.
+
+        Bit-exact restoration: arrays, free lists, slack and the
+        relocation counter all come back as flushed, so the reopened
+        matrix is indistinguishable from the one that flushed (the
+        mmap/sqlite durability contract the conformance suite checks).
+        """
+        meta = store.get_meta()
+        if not meta:
+            raise ReproError("store holds no flushed DynamicMatrix to open")
+        dm = cls.__new__(cls)
+        dm.dtype = _types.lookup(meta["dtype"])
+        dm._nrows = int(meta["nrows"])
+        dm._ncols = int(meta["ncols"])
+        dm._store = store
+        arena = int(meta["arena_size"])
+        dm._cols = store.open_array("cols", np.int64)[:arena]
+        dm._vals = store.open_array("vals", dm.dtype.np_dtype)[:arena]
+        dm._start = store.open_array("start", np.int64)[: dm._nrows]
+        dm._len = store.open_array("len", np.int64)[: dm._nrows]
+        dm._cap = store.open_array("cap", np.int64)[: dm._nrows]
+        dm._used = int(meta["used"])
+        dm._nvals = int(meta["nvals"])
+        dm._free = {
+            int(cap): [int(b) for b in blocks]
+            for cap, blocks in meta["free"].items()
+        }
+        dm._relocations = int(meta.get("relocations", 0))
+        dm._dirty = set()
+        dm._frozen = None
+        return dm
+
+    # ------------------------------------------------------------------
+    # storage seam
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> ArenaStorage:
+        """The arena home backing this matrix's arrays."""
+        return self._store
+
+    def flush_storage(self) -> bool:
+        """Persist arrays + layout metadata through the store.
+
+        No-op (False) on non-persistent backends; after True, the store
+        can be :meth:`~repro.storage.ArenaStorage.snapshot_to`-ed or
+        reopened with :meth:`open`.
+        """
+        if not self._store.persistent:
+            return False
+        self._store.put_meta(
+            {
+                "dtype": self.dtype.name,
+                "nrows": self._nrows,
+                "ncols": self._ncols,
+                "arena_size": int(self._cols.size),
+                "used": self._used,
+                "nvals": self._nvals,
+                "relocations": self._relocations,
+                "free": {str(cap): blocks for cap, blocks in self._free.items()},
+            }
+        )
+        self._store.flush()
+        return True
 
     # ------------------------------------------------------------------
     # properties
@@ -195,6 +288,8 @@ class DynamicMatrix:
             "free_list_slots": free,
             "utilisation": (self._nvals / allocated) if allocated else 1.0,
             "relocations": self._relocations,
+            "backend": self._store.backend,
+            "store_bytes": self._store.nbytes(),
         }
 
     # ------------------------------------------------------------------
@@ -247,16 +342,12 @@ class DynamicMatrix:
         start = self._used
         need = start + cap
         if need > self._cols.size:
-            # Explicit allocate-and-copy of the live prefix.  (np.resize
-            # would *repeat* the old content into the new tail -- harmless
-            # while nothing reads unwritten slots, but a correctness trap --
-            # and pays an extra temporary copy.)
+            # growth sizing is backend-independent (max of need, doubling,
+            # floor 64); *how* the bytes move is the store's business --
+            # allocate-and-copy on the heap, ftruncate + remap on mmap
             new_size = max(need, 2 * self._cols.size, 64)
-            new_cols = np.zeros(new_size, dtype=np.int64)
-            new_cols[:start] = self._cols[:start]
-            new_vals = np.zeros(new_size, dtype=self._vals.dtype)
-            new_vals[:start] = self._vals[:start]
-            self._cols, self._vals = new_cols, new_vals
+            self._cols = self._store.resize("cols", self._cols, new_size, keep=start)
+            self._vals = self._store.resize("vals", self._vals, new_size, keep=start)
         self._used = need
         return start
 
@@ -455,19 +546,38 @@ class DynamicMatrix:
                 f"DynamicMatrix.resize only grows: {self.shape} -> {(nrows, ncols)}"
             )
         if nrows > self._nrows:
-            extra = nrows - self._nrows
-            self._start = np.concatenate([self._start, np.full(extra, -1, np.int64)])
-            self._len = np.concatenate([self._len, np.zeros(extra, np.int64)])
-            self._cap = np.concatenate([self._cap, np.zeros(extra, np.int64)])
+            old = self._nrows
+            self._start = self._store.resize("start", self._start, nrows, keep=old, fill=-1)
+            self._len = self._store.resize("len", self._len, nrows, keep=old)
+            self._cap = self._store.resize("cap", self._cap, nrows, keep=old)
             self._nrows = nrows
         self._ncols = ncols
 
     def compact(self) -> None:
-        """Rebuild the arena with zero slack (defragmentation)."""
+        """Rebuild the arena with zero slack (defragmentation).
+
+        A physical-layout operation: logical content, the maintained
+        frozen view, the dirty-row set and the cumulative relocation
+        counter are all preserved (so compact -> mutate -> freeze behaves
+        exactly like the never-compacted matrix -- pinned by
+        ``tests/storage/test_compact_property.py``).  The copy list is
+        derived from ``__slots__`` minus :data:`_COMPACT_PRESERVES`, so a
+        newly added field must be *deliberately* classified rather than
+        silently dropped.
+        """
         fresh = DynamicMatrix.from_matrix(self.to_matrix())
-        for name in ("_cols", "_vals", "_start", "_len", "_cap", "_used", "_free"):
-            setattr(self, name, getattr(fresh, name))
-        self._nvals = fresh._nvals
+        for slot in type(self).__slots__:
+            if slot in self._COMPACT_PRESERVES:
+                continue
+            if slot in self._ARRAY_SLOTS:
+                src = getattr(fresh, slot)
+                arr = self._store.resize(
+                    self._ARRAY_SLOTS[slot], getattr(self, slot), src.size, keep=0
+                )
+                arr[:] = src
+                setattr(self, slot, arr)
+            else:
+                setattr(self, slot, getattr(fresh, slot))
 
     # ------------------------------------------------------------------
     # conversion / iteration

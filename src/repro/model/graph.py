@@ -31,14 +31,19 @@ incidence matrix).
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+import weakref
 from dataclasses import dataclass, field
-from typing import Iterator
+from pathlib import Path
+from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.graphblas import types as _gbtypes
 from repro.graphblas.dynamic import DynamicMatrix
 from repro.graphblas.matrix import Matrix
+from repro.storage import make_store, resolve_storage
 from repro.model.changes import (
     AddComment,
     AddFriendship,
@@ -89,8 +94,14 @@ class _DynamicRelation:
     __slots__ = ("_dm",)
     kind = "dynamic"
 
-    def __init__(self) -> None:
-        self._dm = DynamicMatrix(_gbtypes.BOOL, 0, 0)
+    def __init__(self, store=None) -> None:
+        self._dm = DynamicMatrix(_gbtypes.BOOL, 0, 0, store=store)
+
+    def adopt(self, src) -> None:
+        """Swap in flushed arena files from a snapshot (file-backed only)."""
+        store = self._dm.store
+        store.adopt_from(src)
+        self._dm = DynamicMatrix.open(store)
 
     def resize(self, nrows: int, ncols: int) -> None:
         self._dm.resize(nrows, ncols)
@@ -110,9 +121,6 @@ class _DynamicRelation:
 
     def row_cols(self, i: int) -> np.ndarray:
         return self._dm.row(i)[0]
-
-
-_RELATION_CLASSES = {"matrix": _MatrixRelation, "dynamic": _DynamicRelation}
 
 
 @dataclass
@@ -200,13 +208,26 @@ class GraphDelta:
 class SocialGraph:
     """Users, Posts, Comments and their relations, stored as matrices."""
 
-    def __init__(self, storage: str = "dynamic") -> None:
-        if storage not in _RELATION_CLASSES:
-            raise ReproError(
-                f"unknown storage {storage!r}; expected one of "
-                f"{sorted(_RELATION_CLASSES)}"
-            )
-        self.storage = storage
+    def __init__(self, storage: Optional[str] = None, *, storage_dir=None) -> None:
+        # "matrix" / "dynamic" / a backend name ("heap"/"mmap"/"sqlite");
+        # None and "dynamic" defer the backend to REPRO_STORAGE (see
+        # repro.storage.resolve_storage), so one env knob flips every
+        # default-constructed graph in the process
+        self.storage, self.backend = resolve_storage(storage)
+        self._storage_dir = None
+        self._dir_finalizer = None
+        if self.backend not in (None, "heap"):
+            if storage_dir is None:
+                d = tempfile.mkdtemp(prefix="repro-arenas-")
+                # owned temp dir: reclaimed at GC (or an explicit close());
+                # POSIX keeps mapped/open files readable past the unlink
+                self._dir_finalizer = weakref.finalize(
+                    self, shutil.rmtree, d, ignore_errors=True
+                )
+            else:
+                d = str(storage_dir)
+                Path(d).mkdir(parents=True, exist_ok=True)
+            self._storage_dir = d
         self.users = IdMap(EntityKind.USER)
         self.posts = IdMap(EntityKind.POST)
         self.comments = IdMap(EntityKind.COMMENT)
@@ -222,12 +243,21 @@ class SocialGraph:
         #: root post of each comment (internal post idx) -- the rootPost pointer
         self._comment_root = IntArrayList()
 
-        rel = _RELATION_CLASSES[storage]
-        self._rel = {name: rel() for name in ("root_post", "likes", "friends", "commented")}
-        #: |users| x |comments| mirror of likes, the per-user index behind
-        #: :meth:`comments_liked_by` (dynamic storage only; the matrix
-        #: strategy reads the cached ``likes.T`` instead)
-        self._likes_t = rel() if storage == "dynamic" else None
+        if self.storage == "matrix":
+            self._rel = {
+                name: _MatrixRelation()
+                for name in ("root_post", "likes", "friends", "commented")
+            }
+            self._likes_t = None
+        else:
+            self._rel = {
+                name: _DynamicRelation(self._make_store(name))
+                for name in ("root_post", "likes", "friends", "commented")
+            }
+            #: |users| x |comments| mirror of likes, the per-user index behind
+            #: :meth:`comments_liked_by` (dynamic storage only; the matrix
+            #: strategy reads the cached ``likes.T`` instead)
+            self._likes_t = _DynamicRelation(self._make_store("likes_t"))
 
         self._pending: dict[str, list] = {
             "root_post": [],
@@ -237,6 +267,99 @@ class SocialGraph:
         }
         self._friend_keys: set[tuple[int, int]] = set()
         self._like_keys: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # storage seam (repro.storage)
+    # ------------------------------------------------------------------
+
+    def _make_store(self, name: str):
+        return make_store(self.backend, directory=self._storage_dir, name=name)
+
+    def _arena_relations(self) -> dict:
+        rels: dict = dict(self._rel)
+        rels["likes_t"] = self._likes_t
+        return rels
+
+    @property
+    def storage_spec(self) -> str:
+        """The ``storage=`` argument that recreates this graph's layout.
+
+        Unlike :attr:`storage` (the relation *kind*, ``"matrix"`` or
+        ``"dynamic"``), this also pins the arena backend -- what the
+        sharded partitioner passes so shards inherit the source graph's
+        storage, byte layout included.
+        """
+        if self.storage == "matrix":
+            return "matrix"
+        return self.backend
+
+    def storage_bytes(self) -> int:
+        """Resident arena bytes (file bytes for file-backed backends)."""
+        self._flush()
+        if self.storage == "dynamic":
+            return sum(
+                rel._dm.store.nbytes()
+                for rel in self._arena_relations().values()
+            )
+        total = 0
+        for rel in self._rel.values():
+            m = rel.view()
+            total += m._rows.nbytes + m._cols.nbytes + m._values.nbytes
+        return total
+
+    def flush_storage(self) -> bool:
+        """Persist every arena through its store; False when not file-backed."""
+        if self.storage != "dynamic" or self.backend == "heap":
+            return False
+        self._flush()
+        for rel in self._arena_relations().values():
+            rel._dm.flush_storage()
+        return True
+
+    def snapshot_arenas(self, dest) -> Optional[str]:
+        """Flush + copy every arena into ``dest``; the backend name, or
+        None when this graph has no durable arenas (heap/matrix -- the
+        snapshot store then relies on the CSV serialisation alone)."""
+        if not self.flush_storage():
+            return None
+        dest = Path(dest)
+        for name, rel in self._arena_relations().items():
+            rel._dm.store.snapshot_to(dest / name)
+        return self.backend
+
+    def adopt_arenas(self, src) -> None:
+        """Adopt flushed arena files from a snapshot directory.
+
+        The inverse of :meth:`snapshot_arenas`, for a graph whose
+        *entities* are already loaded: relations and the likes-transpose
+        mirror remap onto the copied files (no CSV edge replay), pending
+        edge ops are discarded, and the edge key sets are rebuilt from
+        the adopted arenas.
+        """
+        src = Path(src)
+        for name, rel in self._arena_relations().items():
+            rel.adopt(src / name)
+        for ops in self._pending.values():
+            ops.clear()
+        lr, lc, _ = self._rel["likes"]._dm.to_coo()
+        self._like_keys = set(zip(lr.tolist(), lc.tolist()))
+        fr, fc, _ = self._rel["friends"]._dm.to_coo()
+        self._friend_keys = {
+            (a, b) for a, b in zip(fr.tolist(), fc.tolist()) if a < b
+        }
+
+    def close(self) -> None:
+        """Release arena file handles and reclaim an owned temp directory.
+
+        Optional (the weakref finalizer reclaims at GC); live matrix
+        views keep working afterwards -- POSIX keeps unlinked files
+        readable while mapped -- but further flushes/snapshots will fail.
+        """
+        if self.storage == "dynamic":
+            for rel in self._arena_relations().values():
+                rel._dm.store.close()
+        if self._dir_finalizer is not None:
+            self._dir_finalizer()
 
     # ------------------------------------------------------------------
     # entity counts / attribute views
@@ -635,7 +758,11 @@ class SocialGraph:
     def storage_stats(self) -> dict:
         """Per-relation storage accounting (arena occupancy when dynamic)."""
         self._flush()
-        out: dict = {"kind": self.storage}
+        out: dict = {
+            "kind": self.storage,
+            "backend": self.backend,
+            "bytes": self.storage_bytes(),
+        }
         if self.storage == "dynamic":
             relations = dict(self._rel)
             relations["likes_t"] = self._likes_t

@@ -92,15 +92,20 @@ def save_graph(directory, graph: SocialGraph) -> None:
             w.writerow([graph.users.external(u), graph.comments.external(c)])
 
 
-def load_graph(directory) -> SocialGraph:
+def load_graph(directory, *, storage=None, storage_dir=None,
+               edges: bool = True) -> SocialGraph:
     """Read a SocialGraph from ``directory``.
 
     Comments are loaded in file order; a comment's parent must precede it,
     which :func:`save_graph` guarantees (insertion order) and generators
-    produce naturally.
+    produce naturally.  ``storage``/``storage_dir`` pass through to the
+    :class:`SocialGraph` constructor; ``edges=False`` loads entities only
+    -- the snapshot store's arena-adoption fast path, where friendships
+    and likes arrive by remapping flushed arena files instead of CSV
+    replay (:meth:`SocialGraph.adopt_arenas`).
     """
     d = Path(directory)
-    g = SocialGraph()
+    g = SocialGraph(storage, storage_dir=storage_dir)
 
     with open(d / "users.csv", newline="") as f:
         for row in csv.reader(f):
@@ -117,15 +122,16 @@ def load_graph(directory) -> SocialGraph:
             if row:
                 g.add_comment(int(row[0]), int(row[1]), int(row[2]), int(row[3]))
 
-    with open(d / "friends.csv", newline="") as f:
-        for row in csv.reader(f):
-            if row:
-                g.add_friendship(int(row[0]), int(row[1]))
+    if edges:
+        with open(d / "friends.csv", newline="") as f:
+            for row in csv.reader(f):
+                if row:
+                    g.add_friendship(int(row[0]), int(row[1]))
 
-    with open(d / "likes.csv", newline="") as f:
-        for row in csv.reader(f):
-            if row:
-                g.add_like(int(row[0]), int(row[1]))
+        with open(d / "likes.csv", newline="") as f:
+            for row in csv.reader(f):
+                if row:
+                    g.add_like(int(row[0]), int(row[1]))
 
     return g
 

@@ -90,8 +90,10 @@ class DirectoryWalShipper:
     [(1, 1, 0)]
     """
 
-    def __init__(self, source):
+    def __init__(self, source, *, storage=None, storage_dir=None):
         self.source = Path(source)
+        self.storage = storage
+        self.storage_dir = storage_dir
 
     def bootstrap(self) -> tuple[int, SocialGraph, int]:
         """Load the leader's newest snapshot: ``(version, graph, epoch)``.
@@ -99,12 +101,19 @@ class DirectoryWalShipper:
         The epoch is the source directory's fence -- the minimum epoch the
         leader position has been promised away to -- so a replica seeded
         after a failover starts already knowing the new regime.
+
+        ``sweep=False`` because this store is a *reader* of the leader's
+        live directory: sweeping ``.tmp`` trees here could delete a save
+        the owning writer has in flight (see :class:`SnapshotStore`).
         """
-        store = SnapshotStore(self.source)
+        store = SnapshotStore(self.source, sweep=False)
         version = store.latest()
         if version is None:
             raise ReproError(f"no snapshot to bootstrap from in {self.source}")
-        return version, store.load(version), read_fence(self.source)
+        graph = store.load(
+            version, storage=self.storage, storage_dir=self.storage_dir
+        )
+        return version, graph, read_fence(self.source)
 
     def poll(self, after_version: int) -> list:
         """Every committed ``(version, batch, epoch)`` past ``after_version``.

@@ -58,6 +58,7 @@ import io
 import json
 import os
 import shutil
+import warnings
 from pathlib import Path
 from typing import Iterator, Optional
 
@@ -66,6 +67,7 @@ from repro.faults import register_crash_point
 from repro.model.changes import ChangeSet
 from repro.model.graph import SocialGraph
 from repro.model.loader import change_to_row, load_graph, row_to_change, save_graph
+from repro.storage import resolve_storage
 from repro.util.validation import ReproError
 
 __all__ = [
@@ -308,15 +310,71 @@ class ChangeLog:
         return True
 
 
-class SnapshotStore:
-    """Atomic point-in-time graph snapshots under one directory."""
+class _UnreadableMeta(Exception):
+    """A meta.json whose *bytes* cannot be parsed (empty/torn/foreign).
 
-    def __init__(self, directory):
+    The quarantine signal: :meth:`SnapshotStore.versions` warns and skips
+    such a snapshot dir instead of bricking recovery.  Distinct from a
+    schema mismatch, which is readable-but-wrong and stays a loud
+    :class:`ReproError`.
+    """
+
+
+class SnapshotStore:
+    """Atomic point-in-time graph snapshots under one directory.
+
+    ``sweep=False`` opens the store read-only with respect to crash
+    artefacts: orphaned ``.tmp`` trees are left alone.  A *reader* of
+    someone else's live directory (replica bootstrap through
+    :class:`~repro.replication.shipper.DirectoryWalShipper`) must pass
+    it, because sweeping could delete a save the owning writer has in
+    flight; the owning service sweeps on construction and recovery.
+    """
+
+    def __init__(self, directory, *, sweep: bool = True):
         self.root = Path(directory)
         self.root.mkdir(parents=True, exist_ok=True)
+        if sweep:
+            self.sweep_tmp()
+
+    def sweep_tmp(self) -> list[str]:
+        """Remove orphaned ``snapshot-*.tmp`` trees; returns their names.
+
+        A save that crashed at version V (e.g. at ``snapshot-write``)
+        leaves ``snapshot-...V.tmp`` behind, and :meth:`save` only clears
+        the tmp of the *same* version it is retrying -- after recovery the
+        service's version moves on and the turd would otherwise leak
+        forever.
+        """
+        victims = sorted(self.root.glob(f"{_SNAP_PREFIX}*.tmp"))
+        for path in victims:
+            shutil.rmtree(path, ignore_errors=True)
+        return [p.name for p in victims]
 
     def _dirname(self, version: int) -> Path:
         return self.root / f"{_SNAP_PREFIX}{version:010d}"
+
+    def _read_meta(self, path: Path) -> dict:
+        """Parse + schema-check one snapshot's ``meta.json``.
+
+        Unparseable bytes or a non-snapshot object raise
+        :class:`_UnreadableMeta` (the quarantine signal); readable meta
+        with the wrong schema raises :class:`ReproError` loudly -- format
+        drift must never be silently skipped.
+        """
+        try:
+            with open(path / _META) as fh:
+                meta = json.load(fh)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            raise _UnreadableMeta(str(exc)) from None
+        if not isinstance(meta, dict) or "version" not in meta:
+            raise _UnreadableMeta("not a snapshot meta object")
+        if meta.get("schema") != _SCHEMA:
+            raise ReproError(
+                f"snapshot {path} has schema {meta.get('schema')}, "
+                f"expected {_SCHEMA}"
+            )
+        return meta
 
     def save(self, graph: SocialGraph, version: int) -> Path:
         """Write a snapshot of ``graph`` at ``version``; atomic via rename.
@@ -327,16 +385,28 @@ class SnapshotStore:
         snapshot -- the one artefact bootstrap (recovery, replica
         :meth:`~repro.replication.Replica` seeding) must be able to trust
         unconditionally.
+
+        A graph with durable arenas (mmap/sqlite backends) additionally
+        flushes and copies its arena files into ``arenas/`` inside the
+        snapshot, recorded in the meta as ``"arenas": <backend>`` --
+        :meth:`load` then restores edges by remapping those files instead
+        of replaying the CSV rows.
         """
         final = self._dirname(version)
         if final.exists():
             raise ReproError(f"snapshot for version {version} already exists")
         tmp = final.with_suffix(".tmp")
-        if tmp.exists():  # leftover of a crashed attempt
+        if tmp.exists():  # leftover of a crashed attempt at this version
             shutil.rmtree(tmp)
         save_graph(tmp, graph)
+        arenas = None
+        if hasattr(graph, "snapshot_arenas"):
+            arenas = graph.snapshot_arenas(tmp / "arenas")
+        meta = {"schema": _SCHEMA, "version": version}
+        if arenas:
+            meta["arenas"] = arenas
         with open(tmp / _META, "w") as fh:
-            json.dump({"schema": _SCHEMA, "version": version}, fh)
+            json.dump(meta, fh)
         _fire_fault(CRASH_SNAPSHOT_WRITE, path=str(tmp), version=version)
         _fsync_tree(tmp)
         os.rename(tmp, final)
@@ -344,18 +414,28 @@ class SnapshotStore:
         return final
 
     def versions(self) -> list[int]:
-        """Versions of all complete snapshots, ascending."""
+        """Versions of all complete snapshots, ascending.
+
+        A snapshot dir whose ``meta.json`` is unreadable (empty, torn,
+        foreign junk) is quarantined -- warned about and skipped -- so one
+        bad artefact cannot brick :meth:`latest`/recovery while a good
+        snapshot exists.  A *readable* meta with the wrong schema still
+        raises: that is drift, not damage.
+        """
         out = []
         for path in self.root.glob(f"{_SNAP_PREFIX}*"):
             if path.suffix == ".tmp" or not (path / _META).exists():
                 continue
-            with open(path / _META) as fh:
-                meta = json.load(fh)
-            if meta.get("schema") != _SCHEMA:
-                raise ReproError(
-                    f"snapshot {path} has schema {meta.get('schema')}, "
-                    f"expected {_SCHEMA}"
+            try:
+                meta = self._read_meta(path)
+            except _UnreadableMeta as exc:
+                warnings.warn(
+                    f"quarantining snapshot {path.name}: unreadable meta.json "
+                    f"({exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
+                continue
             out.append(int(meta["version"]))
         return sorted(out)
 
@@ -363,11 +443,39 @@ class SnapshotStore:
         versions = self.versions()
         return versions[-1] if versions else None
 
-    def load(self, version: int) -> SocialGraph:
+    def load(self, version: int, *, storage=None, storage_dir=None) -> SocialGraph:
+        """Materialise the snapshot at ``version`` as a fresh graph.
+
+        ``storage``/``storage_dir`` choose the *loaded* graph's backend
+        (defaulting through ``REPRO_STORAGE`` like any constructor).
+        When the snapshot carries durable arenas for that same backend,
+        edges are restored by copying + remapping the arena files
+        (entities still come from the CSVs); otherwise the full CSV
+        replay runs.  Schema is enforced here exactly as in
+        :meth:`versions` -- loading an explicit version fails loudly on
+        any damage, it never quarantines.
+        """
         path = self._dirname(version)
         if not (path / _META).exists():
             raise ReproError(f"no snapshot for version {version} in {self.root}")
-        return load_graph(path)
+        try:
+            meta = self._read_meta(path)
+        except _UnreadableMeta as exc:
+            raise ReproError(
+                f"snapshot {path} has unreadable meta.json: {exc}"
+            ) from None
+        kind, backend = resolve_storage(storage)
+        adopt = (
+            kind == "dynamic"
+            and backend != "heap"
+            and meta.get("arenas") == backend
+        )
+        graph = load_graph(
+            path, storage=storage, storage_dir=storage_dir, edges=not adopt
+        )
+        if adopt:
+            graph.adopt_arenas(path / "arenas")
+        return graph
 
     def prune(self, keep: int = 2) -> list[int]:
         """Drop all but the newest ``keep`` snapshots; returns dropped versions."""

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.analytics.engine import ANALYTICS_NAMES, make_analytics_engine
@@ -113,6 +114,7 @@ class GraphService:
         self,
         graph: Optional[SocialGraph] = None,
         *,
+        storage: Optional[str] = None,
         queries: tuple = _QUERIES,
         tools: tuple = TOOL_NAMES,
         analytics: tuple = (),
@@ -152,7 +154,22 @@ class GraphService:
         if not analytics and not tools:
             raise ReproError("need at least one query and one tool, or analytics")
 
-        self.graph = graph if graph is not None else SocialGraph()
+        if graph is None:
+            # file-backed arena storage lives inside the service's data
+            # dir (so snapshots and arenas share a filesystem); without a
+            # data_dir the graph owns a reclaimed-at-GC temp dir
+            graph = SocialGraph(
+                storage,
+                storage_dir=(
+                    Path(data_dir) / "arenas" if data_dir is not None else None
+                ),
+            )
+        elif storage is not None:
+            raise ReproError(
+                "pass storage= only when the service builds its own graph; "
+                "a pre-built graph already fixed its backend"
+            )
+        self.graph = graph
         self.queries = tuple(queries)
         self.tools = tuple(tools)
         self.analytics = tuple(analytics)
@@ -290,12 +307,17 @@ class GraphService:
         configuration the original service ran with (the data directory
         persists *state*, not configuration).
         """
+        storage = kwargs.pop("storage", None)
         with span_if(get_tracer(), "recover") as sp:
             store = SnapshotStore(data_dir)
             snap_version = store.latest()
             if snap_version is None:
                 raise ReproError(f"no snapshot to recover from in {data_dir}")
-            graph = store.load(snap_version)
+            graph = store.load(
+                snap_version,
+                storage=storage,
+                storage_dir=Path(data_dir) / "arenas",
+            )
             wal = ChangeLog(data_dir, sync=kwargs.get("wal_sync", True))
             # drop a torn trailing frame now: the recovered service appends to
             # this log, and writing after an unclosed frame would corrupt it
@@ -657,6 +679,7 @@ class GraphService:
         and -- when ``REPRO_PROFILE_KERNELS`` is on -- per-kernel
         profiling aggregates (``"kernels"``)."""
         with self._lock:
+            self._update_storage_gauge()
             ops = self._metrics.summary()
             ops["cache"] = self._cache.stats()
             prof = get_kernel_profiler()
@@ -686,6 +709,7 @@ class GraphService:
         are stamped onto every series (the sharded router passes its
         ``shard="i"`` tag)."""
         with self._lock:
+            self._update_storage_gauge()
             cache = self._cache.stats()
             return render_prometheus(
                 self.registry,
@@ -697,6 +721,13 @@ class GraphService:
                 },
                 labels=labels,
             )
+
+    def _update_storage_gauge(self) -> None:
+        """Refresh ``repro_storage_bytes`` (labelled by arena backend)."""
+        backend = self.graph.backend or self.graph.storage
+        self.registry.gauge("repro_storage_bytes", backend=backend).set(
+            self.graph.storage_bytes()
+        )
 
     # ------------------------------------------------------------------
     # persistence / lifecycle

@@ -1,0 +1,71 @@
+"""The default arena home: plain in-process ndarrays.
+
+Bit-identical to the storage the dynamic format shipped with -- the
+conformance suite holds the other backends to this one's ``to_coo``
+output.  Not durable: ``flush`` is a no-op and snapshots of heap-backed
+graphs serialize through the CSV dialect as they always have.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage import ArenaStorage
+from repro.util.validation import ReproError
+
+__all__ = ["HeapArena"]
+
+
+class HeapArena(ArenaStorage):
+    backend = "heap"
+    persistent = False
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self._meta: Optional[dict] = None
+
+    def new(self, name: str, size: int, dtype, fill=0) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        if fill == 0:
+            arr = np.zeros(size, dtype=dtype)
+        else:
+            arr = np.full(size, fill, dtype=dtype)
+        self._arrays[name] = arr
+        return arr
+
+    def resize(self, name: str, arr: np.ndarray, size: int, keep: int,
+               fill=0) -> np.ndarray:
+        # Explicit allocate-and-copy of the live prefix.  (np.resize would
+        # *repeat* the old content into the new tail -- harmless while
+        # nothing reads unwritten slots, but a correctness trap -- and pays
+        # an extra temporary copy.)
+        new = self.new(name, size, arr.dtype, fill)
+        keep = min(keep, size)
+        new[:keep] = arr[:keep]
+        return new
+
+    def put_meta(self, meta: dict) -> None:
+        self._meta = dict(meta)
+
+    def get_meta(self) -> Optional[dict]:
+        return self._meta
+
+    def open_array(self, name: str, dtype) -> np.ndarray:
+        arr = self._arrays.get(name)
+        if arr is None:
+            raise ReproError(f"heap arena has no array {name!r} to open")
+        return arr
+
+    def flush(self) -> None:
+        pass
+
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def snapshot_to(self, dest) -> None:
+        raise ReproError("heap arenas are not durable; snapshot via the CSV path")
+
+    def adopt_from(self, src) -> None:
+        raise ReproError("heap arenas are not durable; restore via the CSV path")

@@ -1,0 +1,147 @@
+"""Out-of-core arenas: every array is a ``numpy.memmap`` over a file.
+
+One :class:`MmapArena` owns a directory holding ``<name>.bin`` per array
+plus a ``meta.json``.  The mutation hot path is untouched -- a memmap
+slice supports the same in-place writes and fancy indexing as an ndarray
+-- and the OS pages cold arena regions out, so graphs larger than RAM
+work.  Growth is ``ftruncate`` + remap: the file *is* the array, no
+allocate-and-copy (the kernel moves nothing), which also means a grown
+file's new tail reads as zeros for free.
+
+Durability: :meth:`flush` msyncs every map and then publishes
+``meta.json`` atomically (tmp + rename) -- the meta write is the flush's
+commit point, but the *live* directory is never what recovery trusts:
+snapshots copy the flushed files into the snapshot's own tmp tree
+(:meth:`snapshot_to`), which the snapshot store publishes with its usual
+fsync + rename discipline.  The copy is deliberate -- hardlinking a live
+arena file into a snapshot would share the inode, and the next in-place
+write through the map would corrupt the published snapshot in place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.faults import fire as _fire_fault
+from repro.storage import CRASH_ARENA_FLUSH, ArenaStorage
+from repro.util.validation import ReproError
+
+__all__ = ["MmapArena"]
+
+_META = "meta.json"
+
+
+class MmapArena(ArenaStorage):
+    """File-per-array arena storage under one directory."""
+
+    backend = "mmap"
+    persistent = True
+
+    def __init__(self, home) -> None:
+        self.home = Path(home)
+        self.home.mkdir(parents=True, exist_ok=True)
+        #: full-extent parent maps, kept for flush(); the arrays handed to
+        #: the matrix are exact-size slices of these
+        self._maps: dict[str, np.memmap] = {}
+        self._staged_meta: Optional[dict] = None
+
+    def _path(self, name: str) -> Path:
+        return self.home / f"{name}.bin"
+
+    def _map(self, name: str, size: int, dtype) -> np.ndarray:
+        """(Re)map ``name`` at exactly ``size`` logical elements.
+
+        The file holds ``max(size, 1)`` elements (mmap rejects empty
+        files); the returned array is sliced to ``size`` so the matrix's
+        growth arithmetic (``2 * arr.size``) matches the heap backend
+        exactly.
+        """
+        dtype = np.dtype(dtype)
+        path = self._path(name)
+        with open(path, "ab"):
+            pass  # ensure existence without clobbering
+        os.truncate(path, max(size, 1) * dtype.itemsize)
+        mm = np.memmap(path, dtype=dtype, mode="r+")
+        self._maps[name] = mm
+        return mm[:size]
+
+    def new(self, name: str, size: int, dtype, fill=0) -> np.ndarray:
+        path = self._path(name)
+        if path.exists():
+            os.truncate(path, 0)  # fresh array: drop stale content
+        arr = self._map(name, size, dtype)
+        if fill != 0:
+            arr[:] = fill
+        return arr
+
+    def resize(self, name: str, arr: np.ndarray, size: int, keep: int,
+               fill=0) -> np.ndarray:
+        # ftruncate preserves [0:keep] in place and zero-fills any region
+        # beyond the old extent; only a non-zero fill needs explicit writes
+        new = self._map(name, size, arr.dtype)
+        if fill != 0 and size > keep:
+            new[keep:] = fill
+        return new
+
+    def put_meta(self, meta: dict) -> None:
+        self._staged_meta = dict(meta)
+
+    def get_meta(self) -> Optional[dict]:
+        path = self.home / _META
+        if not path.exists():
+            return None
+        with open(path) as fh:
+            return json.load(fh)
+
+    def open_array(self, name: str, dtype) -> np.ndarray:
+        path = self._path(name)
+        if not path.exists():
+            raise ReproError(f"mmap arena {self.home} has no array {name!r}")
+        mm = np.memmap(path, dtype=np.dtype(dtype), mode="r+")
+        self._maps[name] = mm
+        return mm
+
+    def flush(self) -> None:
+        if self._staged_meta is None:
+            raise ReproError("flush before put_meta: nothing to commit")
+        _fire_fault(CRASH_ARENA_FLUSH, path=str(self.home), backend=self.backend)
+        for mm in self._maps.values():
+            mm.flush()
+        tmp = self.home / (_META + ".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(self._staged_meta, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.rename(tmp, self.home / _META)
+
+    def nbytes(self) -> int:
+        return sum(
+            p.stat().st_size for p in self.home.glob("*.bin")
+        )
+
+    def snapshot_to(self, dest) -> None:
+        if not (self.home / _META).exists():
+            raise ReproError(f"snapshot of unflushed mmap arena {self.home}")
+        dest = Path(dest)
+        dest.mkdir(parents=True, exist_ok=True)
+        for src in sorted(self.home.iterdir()):
+            if src.name == _META or src.suffix == ".bin":
+                shutil.copy2(src, dest / src.name)
+
+    def adopt_from(self, src) -> None:
+        src = Path(src)
+        if not (src / _META).exists():
+            raise ReproError(f"{src} holds no flushed mmap arena to adopt")
+        self._maps.clear()
+        self._staged_meta = None
+        shutil.rmtree(self.home, ignore_errors=True)
+        shutil.copytree(src, self.home)
+
+    def close(self) -> None:
+        self._maps.clear()

@@ -1,0 +1,184 @@
+"""The durable oracle: arenas committed to SQLite, SQL-queryable.
+
+:class:`SqliteArena` keeps the live arrays on the heap (mutation speed is
+heap-identical), and :meth:`flush` commits the whole arena state in one
+transaction:
+
+``arrays(name, dtype, size, data)``
+    Every array, bit-exact, as a blob -- what :meth:`open_array` restores
+    from, so a reopened matrix is indistinguishable from the flushed one
+    (free lists, slack and all).
+
+``meta(key, value)``
+    The staged metadata blob as JSON under key ``"meta"``.
+
+``entries(row, col, val)``
+    A *relational mirror* of the logical matrix content, decoded from
+    the arena layout at commit time.  This is what makes the backend an
+    oracle: any external SQL client can ``SELECT row, col FROM entries``
+    and cross-check the fast backends without importing this codebase --
+    the role SNIPPETS.md's relational-graph-store ADR argues for.
+
+Slow by design (every flush rewrites the blobs); the property tests that
+cross-check heap/mmap against it keep their streams small.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.faults import fire as _fire_fault
+from repro.storage import CRASH_ARENA_FLUSH, ArenaStorage
+from repro.util.validation import ReproError
+
+__all__ = ["SqliteArena"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS arrays (
+    name TEXT PRIMARY KEY, dtype TEXT NOT NULL,
+    size INTEGER NOT NULL, data BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE IF NOT EXISTS entries (row INTEGER, col INTEGER, val REAL);
+"""
+
+#: the arena arrays the relational mirror is decoded from
+_LAYOUT = ("start", "len", "cols", "vals")
+
+
+class SqliteArena(ArenaStorage):
+    backend = "sqlite"
+    persistent = True
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # the service snapshots from whichever thread applies the batch;
+        # our own lock serialises access instead of sqlite's thread check
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self._arrays: dict[str, np.ndarray] = {}
+        self._staged_meta: Optional[dict] = None
+
+    # -- live arrays: heap semantics ------------------------------------
+
+    def new(self, name: str, size: int, dtype, fill=0) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        arr = np.zeros(size, dtype) if fill == 0 else np.full(size, fill, dtype)
+        self._arrays[name] = arr
+        return arr
+
+    def resize(self, name: str, arr: np.ndarray, size: int, keep: int,
+               fill=0) -> np.ndarray:
+        new = self.new(name, size, arr.dtype, fill)
+        keep = min(keep, size)
+        new[:keep] = arr[:keep]
+        return new
+
+    def put_meta(self, meta: dict) -> None:
+        self._staged_meta = dict(meta)
+
+    # -- durability ------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._staged_meta is None:
+            raise ReproError("flush before put_meta: nothing to commit")
+        _fire_fault(CRASH_ARENA_FLUSH, path=str(self.path), backend=self.backend)
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM arrays")
+            for name, arr in self._arrays.items():
+                self._conn.execute(
+                    "INSERT INTO arrays (name, dtype, size, data) VALUES (?,?,?,?)",
+                    (name, arr.dtype.str, arr.size, arr.tobytes()),
+                )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('meta', ?)",
+                (json.dumps(self._staged_meta),),
+            )
+            self._conn.execute("DELETE FROM entries")
+            self._conn.executemany(
+                "INSERT INTO entries (row, col, val) VALUES (?,?,?)",
+                self._logical_entries(),
+            )
+
+    def _logical_entries(self):
+        """Decode (row, col, val) triples from the arena layout."""
+        if not all(k in self._arrays for k in _LAYOUT):
+            return []
+        start, length = self._arrays["start"], self._arrays["len"]
+        cols, vals = self._arrays["cols"], self._arrays["vals"]
+        live = np.flatnonzero(length)
+        if live.size == 0:
+            return []
+        lens = length[live]
+        total = int(lens.sum())
+        out_starts = np.concatenate([[0], np.cumsum(lens)[:-1]])
+        within = np.arange(total, dtype=np.int64) - np.repeat(out_starts, lens)
+        idx = np.repeat(start[live], lens) + within
+        rows = np.repeat(live, lens)
+        return zip(
+            rows.tolist(), cols[idx].tolist(),
+            np.asarray(vals[idx], dtype=np.float64).tolist(),
+        )
+
+    def get_meta(self) -> Optional[dict]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'meta'"
+            ).fetchone()
+        return json.loads(row[0]) if row else None
+
+    def open_array(self, name: str, dtype) -> np.ndarray:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT dtype, size, data FROM arrays WHERE name = ?", (name,)
+            ).fetchone()
+        if row is None:
+            raise ReproError(f"sqlite arena {self.path} has no array {name!r}")
+        stored_dtype, size, data = row
+        if np.dtype(stored_dtype) != np.dtype(dtype):
+            raise ReproError(
+                f"array {name!r} stored as {stored_dtype}, requested {np.dtype(dtype)}"
+            )
+        arr = np.frombuffer(data, dtype=np.dtype(dtype)).copy()
+        if arr.size != size:
+            raise ReproError(
+                f"array {name!r} blob holds {arr.size} elements, meta says {size}"
+            )
+        self._arrays[name] = arr
+        return arr
+
+    def nbytes(self) -> int:
+        live = sum(a.nbytes for a in self._arrays.values())
+        db = self.path.stat().st_size if self.path.exists() else 0
+        return live + db
+
+    def snapshot_to(self, dest) -> None:
+        dest = Path(dest)
+        dest.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            shutil.copy2(self.path, dest / "arena.db")
+
+    def adopt_from(self, src) -> None:
+        src = Path(src) / "arena.db"
+        if not src.exists():
+            raise ReproError(f"{src} holds no sqlite arena to adopt")
+        with self._lock:
+            self._conn.close()
+            shutil.copy2(src, self.path)
+            self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+            self._arrays.clear()
+            self._staged_meta = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

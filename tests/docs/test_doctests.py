@@ -22,6 +22,7 @@ SURFACE = {
     "repro.analytics.engine": (),  # module-level example
     "repro.graphblas._kernels.parallel": ("set_kernel_executor",),
     "repro.faults": (),  # module-level example
+    "repro.storage": (),  # module-level example
     "repro.replication.service": ("ReplicatedGraphService",),
     "repro.replication.shipper": ("DirectoryWalShipper",),
     "repro.sharding.router": ("ShardedGraphService",),

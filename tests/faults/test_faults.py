@@ -7,6 +7,7 @@ import pytest
 import repro.gateway  # noqa: F401 - registers the gateway-* points
 import repro.replication  # noqa: F401 - registers ship/promote
 import repro.serving.service  # noqa: F401 - registers the serving points
+import repro.storage  # noqa: F401 - registers arena-flush
 from repro.faults import (
     FaultPlan,
     InjectedCrash,
@@ -32,6 +33,7 @@ class TestRegistry:
             "gateway-accept",
             "gateway-enqueue",
             "gateway-drain",
+            "arena-flush",
         }
 
     def test_descriptions_are_nonempty(self):

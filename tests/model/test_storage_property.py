@@ -50,10 +50,8 @@ def assert_graphs_equal(a: SocialGraph, b: SocialGraph) -> None:
     )
 
 
-@pytest.mark.parametrize("seed", [3, 11, 23])
-@pytest.mark.parametrize("removal_fraction", [0.0, 0.35])
-def test_datagen_streams_agree(seed, removal_fraction):
-    dyn = generate_graph(1, seed=seed, storage="dynamic")
+def _run_datagen_equivalence(storage, seed, removal_fraction):
+    dyn = generate_graph(1, seed=seed, storage=storage)
     mat = generate_graph(1, seed=seed, storage="matrix")
     stream = generate_change_sets(
         dyn,
@@ -74,6 +72,20 @@ def test_datagen_streams_agree(seed, removal_fraction):
                 zip(*map(np.ndarray.tolist, p2))
             ), field
         assert_graphs_equal(dyn, mat)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 23])
+@pytest.mark.parametrize("removal_fraction", [0.0, 0.35])
+def test_datagen_streams_agree(seed, removal_fraction):
+    _run_datagen_equivalence("dynamic", seed, removal_fraction)
+
+
+@pytest.mark.parametrize("backend", ["mmap", "sqlite"])
+def test_file_backed_arenas_agree_with_matrix_oracle(backend):
+    """The out-of-core backends run the same equivalence gauntlet the
+    heap arena does -- one grid point each; the wider sweep lives in
+    tests/storage/test_backend_conformance.py."""
+    _run_datagen_equivalence(backend, seed=3, removal_fraction=0.35)
 
 
 # -- hypothesis: adversarial tiny streams (duplicates, cancelling ops) -----

@@ -44,14 +44,21 @@ REPLICA_POINTS = ("ship", "promote")
 #: durability domain; their crash scenarios (ticket not burned, drain
 #: retryable, queue preserved) live in tests/gateway/test_gateway_core.py
 GATEWAY_POINTS = ("gateway-accept", "gateway-enqueue", "gateway-drain")
+#: points on the arena-storage flush path -- they only fire under a
+#: file-backed backend (``REPRO_STORAGE=mmap``/``sqlite``), so the heap
+#: fleet here would never reach them; their crash-then-recover scenario
+#: lives in tests/storage/test_storage_faults.py
+STORAGE_POINTS = ("arena-flush",)
 
 
 def test_every_crash_point_is_classified():
     """A new crash point must be placed in exactly one bucket here --
     and thereby get a failover scenario -- before the suite passes."""
     import repro.gateway  # noqa: F401 - registers the gateway-* points
+    import repro.storage  # noqa: F401 - registers arena-flush
 
-    buckets = (set(LEADER_POINTS), set(REPLICA_POINTS), set(GATEWAY_POINTS))
+    buckets = (set(LEADER_POINTS), set(REPLICA_POINTS), set(GATEWAY_POINTS),
+               set(STORAGE_POINTS))
     assert set(crash_points()) == set().union(*buckets)
     assert sum(len(b) for b in buckets) == len(set().union(*buckets))
 

@@ -1,0 +1,172 @@
+"""Regression tests for two SnapshotStore recovery bugs.
+
+Bug 1 -- orphaned ``.tmp`` leak: ``save()`` only clears the tmp tree of
+the *same* version it is retrying, so a crash at version V followed by a
+recovery (whose next snapshot is V+1, V+2, ...) left ``snapshot-...V.tmp``
+on disk forever.  The store now sweeps crash turds on construction
+(:meth:`SnapshotStore.sweep_tmp`); readers of a foreign live directory
+opt out with ``sweep=False``.
+
+Bug 2 -- recovery bricked by one damaged ``meta.json``: ``versions()``
+ran a bare ``json.load`` per snapshot dir, so a single empty/torn/foreign
+meta file made *every* recovery raise even with a perfectly good newer
+snapshot present.  Unreadable metas are now quarantined (warn + skip),
+while a readable meta with the wrong schema stays a loud error -- and
+``load()`` applies the same schema check instead of trusting the caller.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash, inject
+from repro.model.graph import SocialGraph
+from repro.serving import GraphService
+from repro.serving.persistence import SnapshotStore
+from repro.util.validation import ReproError
+from tests.conftest import datagen_stream
+
+KW = dict(tools=("graphblas-incremental",), max_batch=10**9, max_delay_ms=1e9)
+
+
+def _graph(n=2) -> SocialGraph:
+    g = SocialGraph()
+    for i in range(1, n + 1):
+        g.add_user(i)
+    return g
+
+
+class TestOrphanTmpSweep:
+    def test_crash_at_v_then_save_at_v_plus_1_used_to_leak(self, tmp_path):
+        """The failing-before shape: the v1 turd survives a v2 save
+        (save only clears its own version), and only the construction
+        sweep reclaims it."""
+        store = SnapshotStore(tmp_path)
+        with inject(FaultPlan().crash("snapshot-write")):
+            with pytest.raises(InjectedCrash):
+                store.save(_graph(), 1)
+        turd = tmp_path / "snapshot-0000000001.tmp"
+        assert turd.exists()
+
+        store.save(_graph(), 2)  # the service moved on past the crash
+        assert turd.exists()  # <- the leak the old code never cleaned
+
+        swept = SnapshotStore(tmp_path).sweep_tmp()  # idempotent: init swept
+        assert swept == []
+        assert not turd.exists()
+        assert SnapshotStore(tmp_path).versions() == [2]
+
+    def test_construction_sweep_reports_names(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for v in (3, 9):
+            with inject(FaultPlan().crash("snapshot-write")):
+                with pytest.raises(InjectedCrash):
+                    store.save(_graph(), v)
+        fresh = SnapshotStore.__new__(SnapshotStore)
+        fresh.root = tmp_path
+        assert fresh.sweep_tmp() == [
+            "snapshot-0000000003.tmp",
+            "snapshot-0000000009.tmp",
+        ]
+
+    def test_reader_with_sweep_false_leaves_turds_alone(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with inject(FaultPlan().crash("snapshot-write")):
+            with pytest.raises(InjectedCrash):
+                store.save(_graph(), 1)
+        turd = tmp_path / "snapshot-0000000001.tmp"
+        SnapshotStore(tmp_path, sweep=False)
+        assert turd.exists()  # a foreign reader must not delete in-flight work
+
+    def test_service_recovery_sweeps_the_crash_turd(self, tmp_path):
+        """End to end: crash a periodic snapshot, recover, and the data
+        dir holds no ``.tmp`` even though later snapshots use new
+        version numbers."""
+        fresh, stream = datagen_stream(61, total_inserts=80,
+                                       num_change_sets=3)
+        svc = GraphService(fresh(), data_dir=tmp_path, **KW)
+        svc.submit(list(stream[0]))
+        svc.flush()
+        with inject(FaultPlan().crash("snapshot-write")):
+            with pytest.raises(InjectedCrash):
+                svc.snapshot()
+        assert list(tmp_path.glob("*.tmp"))
+        svc.close()
+
+        rec = GraphService.recover(tmp_path, **KW)
+        assert not list(tmp_path.glob("*.tmp"))
+        rec.submit(list(stream[1]))
+        rec.flush()
+        rec.snapshot()
+        assert not list(tmp_path.glob("*.tmp"))
+        rec.close()
+
+
+def _damage(tmp_path, version: int, payload) -> None:
+    d = tmp_path / f"snapshot-{version:010d}"
+    (d / "meta.json").write_bytes(payload)
+
+
+class TestQuarantineUnreadableMeta:
+    def _store_with_good_and_bad(self, tmp_path, payload) -> SnapshotStore:
+        store = SnapshotStore(tmp_path)
+        store.save(_graph(), 1)
+        store.save(_graph(3), 2)
+        _damage(tmp_path, 1, payload)
+        return store
+
+    @pytest.mark.parametrize("payload", [
+        b"",                                # truncated to nothing
+        b'{"schema": 1, "version',          # torn mid-write
+        b"\x00\xffnot json at all",         # binary junk
+        b'[1, 2, 3]',                       # readable JSON, not a meta
+        b'{"hello": "world"}',              # dict without a version
+    ])
+    def test_one_bad_meta_no_longer_bricks_recovery(self, tmp_path, payload):
+        """The failing-before shape: versions() used to raise on the
+        first damaged dir it globbed, hiding the good snapshot."""
+        store = self._store_with_good_and_bad(tmp_path, payload)
+        with pytest.warns(RuntimeWarning, match="quarantining snapshot"):
+            assert store.versions() == [2]
+        with pytest.warns(RuntimeWarning):
+            assert store.latest() == 2
+        assert 3 in store.load(2).users
+
+    def test_loading_the_damaged_version_is_loud(self, tmp_path):
+        store = self._store_with_good_and_bad(tmp_path, b"")
+        with pytest.raises(ReproError, match="unreadable meta.json"):
+            store.load(1)
+
+    def test_schema_mismatch_still_raises(self, tmp_path):
+        """Readable-but-wrong is drift, not damage: never quarantined."""
+        store = SnapshotStore(tmp_path)
+        store.save(_graph(), 1)
+        _damage(tmp_path, 1, json.dumps({"schema": 99, "version": 1}).encode())
+        with pytest.raises(ReproError, match="schema 99"):
+            store.versions()
+        with pytest.raises(ReproError, match="schema 99"):
+            store.load(1)
+
+    def test_load_missing_version_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(ReproError, match="no snapshot for version"):
+            store.load(4)
+
+    def test_service_recovers_past_damaged_older_snapshot(self, tmp_path):
+        fresh, stream = datagen_stream(67, total_inserts=80,
+                                       num_change_sets=3)
+        svc = GraphService(fresh(), data_dir=tmp_path, snapshot_every=1, **KW)
+        for cs in stream:
+            svc.submit(list(cs))
+            svc.flush()
+        want = svc.query("Q1").result_string
+        svc.close()
+        good = SnapshotStore(tmp_path, sweep=False).latest()
+        _damage(tmp_path, good - 1, b"")  # an older snapshot is torn
+
+        with pytest.warns(RuntimeWarning, match="quarantining snapshot"):
+            rec = GraphService.recover(tmp_path, **KW)
+        assert rec.query("Q1").result_string == want
+        rec.close()
